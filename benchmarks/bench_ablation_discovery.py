@@ -1,0 +1,108 @@
+"""A2 — ablation: key-collision vs nearest-neighbour discovery.
+
+DESIGN.md's claim: key collision is cheap and high-precision;
+nearest-neighbour is expensive and higher-recall on typos.  Measured on
+the misspelling-heavy slice of the mess, per method, cost vs recall.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.archive import (
+    VOCABULARY,
+    truth_index,
+    uniform_mess_spec,
+)
+from repro.experiments import messy_archive_of_size, raw_catalog_from
+from repro.refine import DiscoverySession, make_canonical_chooser
+
+from .conftest import BENCH_SEED, write_result
+
+
+def _misspelling_fixture():
+    """An archive where misspellings dominate the mess."""
+    from repro.archive import MessSpec
+
+    mess = MessSpec(
+        clean=0.4, misspelling=0.6, synonym=0.0, abbreviation=0.0,
+        ambiguous=0.0, context=0.0, multilevel=0.0, unit_mess_rate=0.0,
+        excessive_rate=0.0, phantom_rate=0.0, seed=BENCH_SEED,
+    )
+    return messy_archive_of_size(60, seed=BENCH_SEED, mess_spec=mess)
+
+
+def _session(method: str, radius: float = 2.0) -> DiscoverySession:
+    return DiscoverySession(
+        method=method,
+        radius=radius,
+        seed_values={name: 1 for name in VOCABULARY},
+        chooser=make_canonical_chooser(
+            set(VOCABULARY), fallback_to_most_common=False
+        ),
+    )
+
+
+def _misspelling_recall(mapping, archive) -> float:
+    misspelled = {
+        written: vt.canonical
+        for (__, written), vt in truth_index(archive).items()
+        if vt.category == "misspelling"
+    }
+    if not misspelled:
+        return 1.0
+    found = sum(
+        1
+        for written, canonical in misspelled.items()
+        if mapping.get(written) == canonical
+    )
+    return found / len(misspelled)
+
+
+METHODS = ("fingerprint", "ngram-fingerprint", "metaphone",
+           "nn-levenshtein", "nn-jaro-winkler")
+
+
+class TestDiscoveryAblation:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_method_cost(self, benchmark, method):
+        fs, __, archive = _misspelling_fixture()
+        catalog = raw_catalog_from(fs)
+        session = _session(
+            method, radius=0.15 if method == "nn-jaro-winkler" else 2.0
+        )
+        rules = benchmark(session.discover_from_catalog, catalog)
+        assert rules is not None
+
+    def test_nn_recall_beats_key_collision(self, benchmark):
+        fs, __, archive = _misspelling_fixture()
+        catalog = raw_catalog_from(fs)
+        recalls = {}
+        for method in METHODS:
+            session = _session(
+                method, radius=0.15 if method == "nn-jaro-winkler" else 2.0
+            )
+            mapping = session.discover_from_catalog(
+                catalog
+            ).rename_mapping()
+            recalls[method] = _misspelling_recall(mapping, archive)
+        lines = ["A2 — discovery ablation: misspelling recall by method"]
+        lines += [
+            f"{method:20s} recall={recall:6.3f}"
+            for method, recall in recalls.items()
+        ]
+        write_result("a2_discovery_ablation.txt", "\n".join(lines))
+        assert recalls["nn-levenshtein"] >= recalls["fingerprint"]
+        assert recalls["nn-levenshtein"] > 0.5
+        benchmark(
+            _session("fingerprint").discover_from_catalog, catalog
+        )
+
+    @pytest.mark.parametrize("radius", [1.0, 2.0, 3.0])
+    def test_nn_radius_sweep(self, benchmark, radius):
+        fs, __, archive = _misspelling_fixture()
+        catalog = raw_catalog_from(fs)
+        session = _session("nn-levenshtein", radius=radius)
+        rules = benchmark(session.discover_from_catalog, catalog)
+        recall = _misspelling_recall(rules.rename_mapping(), archive)
+        assert 0.0 <= recall <= 1.0

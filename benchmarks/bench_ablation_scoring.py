@@ -1,0 +1,101 @@
+"""A1 — ablation: drop each term of the distance-based ranking.
+
+The ranking is a weighted mean of location, time and variable
+similarities.  Dropping any term must hurt retrieval quality on the
+three-term workload, which validates that every term of the design
+carries weight.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ScoringConfig, SearchEngine
+from repro.experiments import evaluate_engine
+
+from .conftest import write_result
+
+CONFIGS = {
+    "full": ScoringConfig(),
+    "no-location": ScoringConfig(use_location=False),
+    "no-time": ScoringConfig(use_time=False),
+    "no-variables": ScoringConfig(use_variables=False),
+}
+
+
+def _engine(bench_system, config: ScoringConfig) -> SearchEngine:
+    return SearchEngine(
+        bench_system.engine.catalog,
+        hierarchy=bench_system.state.hierarchy,
+        config=config,
+    )
+
+
+class TestScoringAblation:
+    @pytest.mark.parametrize("label", list(CONFIGS))
+    def test_each_config_cost(self, benchmark, bench_system,
+                              bench_workload, label):
+        engine = _engine(bench_system, CONFIGS[label])
+        summary = benchmark(
+            evaluate_engine, engine, bench_workload, 10, label
+        )
+        assert 0.0 <= summary.ndcg <= 1.0
+
+    def test_full_beats_every_ablation(self, benchmark, bench_system,
+                                       bench_workload):
+        summaries = {
+            label: evaluate_engine(
+                _engine(bench_system, config), bench_workload, label=label
+            )
+            for label, config in CONFIGS.items()
+        }
+        lines = ["A1 — scoring-term ablation"]
+        lines += [s.row() for s in summaries.values()]
+        write_result("a1_scoring_ablation.txt", "\n".join(lines))
+        full = summaries["full"].ndcg
+        for label, summary in summaries.items():
+            if label != "full":
+                assert full >= summary.ndcg - 1e-9, label
+        # At least one term must matter strictly (otherwise the ranking
+        # would be vacuous on this workload).
+        assert any(
+            full > summaries[label].ndcg + 0.01
+            for label in ("no-location", "no-time", "no-variables")
+        )
+        benchmark(
+            evaluate_engine,
+            _engine(bench_system, CONFIGS["full"]),
+            bench_workload,
+        )
+
+    @pytest.mark.parametrize("decay_km", [25.0, 100.0, 400.0])
+    def test_location_decay_sweep(self, benchmark, bench_system,
+                                  bench_workload, decay_km):
+        config = ScoringConfig(location_decay_km=decay_km)
+        summary = benchmark(
+            evaluate_engine,
+            _engine(bench_system, config),
+            bench_workload,
+            10,
+            f"decay={decay_km}",
+        )
+        assert summary.ndcg > 0.5
+
+    @pytest.mark.parametrize("shape", ["exponential", "reciprocal",
+                                       "linear"])
+    def test_decay_shape_sweep(self, benchmark, bench_system,
+                               bench_workload, shape):
+        """All three decay shapes rank usefully; the report records the
+        quality spread for DESIGN.md's decay-shape design choice."""
+        config = ScoringConfig(decay_shape=shape)
+        summary = benchmark(
+            evaluate_engine,
+            _engine(bench_system, config),
+            bench_workload,
+            10,
+            f"shape={shape}",
+        )
+        assert summary.ndcg > 0.5
+        write_result(
+            f"a1_decay_shape_{shape}.txt", summary.row()
+        )

@@ -1,0 +1,105 @@
+"""C1 — "Major curatorial activities" as a closed loop.
+
+Simulated curator iterates run -> validate -> improve (ambiguity
+decisions, synonym additions).  The poster's implied claim: the process
+converges — validation failures fall monotonically and search quality
+rises toward the clean-catalog ceiling.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.archive import truth_index
+from repro.core import SearchEngine
+from repro.curator import (
+    CuratorSession,
+    SimulatedCurator,
+    run_curator_loop,
+)
+from repro.experiments import (
+    evaluate_engine,
+    generate_workload,
+    clean_archive_of_size,
+    messy_archive_of_size,
+)
+
+from .conftest import BENCH_SEED, write_result
+
+LOOP_DATASETS = 30
+
+
+def _fixture():
+    fs, __, archive = messy_archive_of_size(LOOP_DATASETS, seed=BENCH_SEED)
+    oracle = {
+        written: vt.canonical
+        for (__, written), vt in truth_index(archive).items()
+    }
+    return fs, oracle
+
+
+class TestCuratorLoop:
+    def test_loop_converges(self, benchmark):
+        def loop():
+            fs, oracle = _fixture()
+            session = CuratorSession(fs)
+            curator = SimulatedCurator(
+                actions_per_iteration=25, oracle=oracle
+            )
+            return run_curator_loop(session, curator, max_iterations=12)
+
+        result = benchmark(loop)
+        assert result.converged
+        for before, after in zip(
+            result.failure_counts, result.failure_counts[1:]
+        ):
+            assert after <= before
+
+    @pytest.mark.parametrize("actions", [5, 15, 40])
+    def test_actions_per_turn_tradeoff(self, benchmark, actions):
+        def loop():
+            fs, oracle = _fixture()
+            session = CuratorSession(fs)
+            curator = SimulatedCurator(
+                actions_per_iteration=actions, oracle=oracle
+            )
+            return run_curator_loop(session, curator, max_iterations=40)
+
+        result = benchmark(loop)
+        assert result.failure_counts[-1] <= result.failure_counts[0]
+
+    def test_convergence_and_quality_report(self, benchmark):
+        fs, oracle = _fixture()
+        session = CuratorSession(fs)
+        curator = SimulatedCurator(actions_per_iteration=15, oracle=oracle)
+        clean = clean_archive_of_size(LOOP_DATASETS, seed=BENCH_SEED)
+        workload = generate_workload(clean, n_queries=15, seed=29)
+        ndcg_per_iteration = []
+        failure_per_iteration = []
+        for __ in range(10):
+            record = session.run()
+            failure_per_iteration.append(record.failure_count)
+            engine = SearchEngine(
+                session.state.published,
+                hierarchy=session.state.hierarchy,
+            )
+            summary = evaluate_engine(engine, workload, label="loop")
+            ndcg_per_iteration.append(summary.ndcg)
+            if record.validation.ok:
+                break
+            actions = curator.propose(session)
+            if not actions:
+                break
+            session.improve(actions)
+        lines = ["C1 — curator loop: failures and search quality by "
+                 "iteration",
+                 f"{'iter':>4s} {'failures':>9s} {'nDCG@10':>8s}"]
+        for i, (failures, ndcg) in enumerate(
+            zip(failure_per_iteration, ndcg_per_iteration), start=1
+        ):
+            lines.append(f"{i:4d} {failures:9d} {ndcg:8.3f}")
+        write_result("c1_curator_loop.txt", "\n".join(lines))
+        assert failure_per_iteration[-1] < failure_per_iteration[0]
+        assert ndcg_per_iteration[-1] >= ndcg_per_iteration[0] - 0.02
+        # Benchmark one full iteration (run + validate).
+        benchmark(session.run)

@@ -1,0 +1,91 @@
+"""E1 — extension features beyond the poster's figures.
+
+Not paper artifacts, but production features the reproduction adds and
+must keep fast: search-by-example ("more like this"), the semi-curated
+review queue, the textual query parser and catalog JSON interchange.
+"""
+
+from __future__ import annotations
+
+from repro.catalog import MemoryCatalog, dump_catalog, load_catalog
+from repro.core.qparser import parse_query
+from repro.core.similar import similar_datasets
+from repro.semantics import TermResolver, queue_from_catalog
+
+from .conftest import write_result
+
+
+class TestSimilarDatasets:
+    def test_similar_throughput(self, benchmark, bench_system):
+        catalog = bench_system.engine.catalog
+        seed = catalog.dataset_ids()[0]
+        results = benchmark(
+            similar_datasets, catalog, seed, 5,
+            bench_system.state.hierarchy,
+        )
+        assert len(results) == 5
+
+    def test_similar_quality_report(self, benchmark, bench_system):
+        """Neighbours share the seed's platform/footprint more often than
+        random datasets do — the feature finds *related* data."""
+        catalog = bench_system.engine.catalog
+        hierarchy = bench_system.state.hierarchy
+
+        def neighbour_platform_match_rate() -> float:
+            matches = total = 0
+            for seed_id in catalog.dataset_ids()[:15]:
+                seed = catalog.get(seed_id)
+                for neighbour in similar_datasets(
+                    catalog, seed_id, limit=3, hierarchy=hierarchy
+                ):
+                    total += 1
+                    if neighbour.feature.platform == seed.platform:
+                        matches += 1
+            return matches / total
+
+        rate = benchmark(neighbour_platform_match_rate)
+        platforms = {f.platform for f in catalog}
+        chance = 1.0 / len(platforms)
+        write_result(
+            "e1_similar_datasets.txt",
+            "E1 — search by example\n"
+            f"neighbour platform-match rate: {rate:.3f} "
+            f"(chance ~{chance:.3f})\n",
+        )
+        assert rate > chance
+
+
+class TestReviewQueue:
+    def test_queue_build_cost(self, benchmark, bench_raw_catalog):
+        queue = benchmark(
+            queue_from_catalog, bench_raw_catalog, TermResolver()
+        )
+        assert len(queue) > 0
+
+    def test_bulk_approval_cost(self, benchmark, bench_raw_catalog):
+        resolver = TermResolver()
+
+        def build_and_approve() -> int:
+            queue = queue_from_catalog(bench_raw_catalog, resolver)
+            from repro.semantics import SynonymTable
+
+            return queue.approve_all(synonyms=SynonymTable())
+
+        assert benchmark(build_and_approve) > 0
+
+
+class TestQueryParser:
+    def test_parse_cost(self, benchmark):
+        text = ("near 45.5, -124.4 within 25 km in mid-2010 with "
+                "temperature between 5 and 10, salinity, turbidity below 20")
+        query = benchmark(parse_query, text)
+        assert len(query.variables) == 3
+
+
+class TestCatalogInterchange:
+    def test_dump_load_cycle(self, benchmark, bench_raw_catalog):
+        def cycle() -> int:
+            text = dump_catalog(bench_raw_catalog)
+            return load_catalog(text, MemoryCatalog())
+
+        assert benchmark(cycle) == len(bench_raw_catalog)

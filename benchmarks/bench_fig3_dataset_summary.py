@@ -1,0 +1,87 @@
+"""F3 — Figure "Example Dataset Summary Page".
+
+The summary page "displays dataset & variable information from metadata
+catalog"; excluded variables appear in the detail view only.  Measured:
+summary assembly + render throughput, and completeness (every catalog
+field the figure shows is present for every dataset).
+"""
+
+from __future__ import annotations
+
+from repro.core import summarize
+from repro.ui import render_summary_html, render_summary_text
+
+from .conftest import write_result
+
+
+def _render_all(system) -> list[str]:
+    catalog = system.engine.catalog
+    return [
+        render_summary_text(
+            summarize(
+                catalog.get(dataset_id),
+                taxonomy_links=system.state.taxonomy_links,
+            )
+        )
+        for dataset_id in catalog.dataset_ids()
+    ]
+
+
+class TestSummaryPages:
+    def test_render_all_text(self, benchmark, bench_system):
+        pages = benchmark(_render_all, bench_system)
+        assert len(pages) == len(bench_system.engine.catalog)
+        write_result("fig3_example_summary.txt", pages[0])
+
+    def test_render_single_html(self, benchmark, bench_system):
+        catalog = bench_system.engine.catalog
+        dataset_id = catalog.dataset_ids()[0]
+        summary = summarize(
+            catalog.get(dataset_id),
+            taxonomy_links=bench_system.state.taxonomy_links,
+        )
+        page = benchmark(render_summary_html, summary)
+        assert "<h1>" in page
+
+    def test_completeness(self, benchmark, bench_system):
+        """Every summary carries the figure's information content."""
+        catalog = bench_system.engine.catalog
+
+        def check_all() -> int:
+            complete = 0
+            for dataset_id in catalog.dataset_ids():
+                summary = summarize(
+                    catalog.get(dataset_id),
+                    taxonomy_links=bench_system.state.taxonomy_links,
+                )
+                assert summary.title
+                assert summary.location_text
+                assert summary.time_text
+                assert summary.row_count > 0
+                assert summary.variable_count > 0
+                for variable in summary.searchable + summary.detail_only:
+                    assert variable.name
+                    assert variable.count >= 0
+                complete += 1
+            return complete
+
+        assert benchmark(check_all) == len(catalog)
+
+    def test_excluded_shown_in_detail_only(self, benchmark, bench_system):
+        """The Table row 4 contract on real wrangled output."""
+        catalog = bench_system.engine.catalog
+
+        def count_detail_only() -> int:
+            total = 0
+            for dataset_id in catalog.dataset_ids():
+                summary = summarize(catalog.get(dataset_id))
+                for variable in summary.detail_only:
+                    assert variable.excluded
+                searchable_names = {v.name for v in summary.searchable}
+                assert "qa_level" not in searchable_names
+                assert "qc_flag" not in searchable_names
+                total += len(summary.detail_only)
+            return total
+
+        detail_only = benchmark(count_detail_only)
+        assert detail_only > 0  # the mess injector added QA columns

@@ -1,0 +1,85 @@
+"""T1 — the poster's Table: "Categories of Semantic Diversity, and
+Possible Approaches".
+
+Regenerates the table (verbatim rows from ``repro.semantics.categories``)
+and attaches measured per-category resolution accuracy for four
+configurations (none / tables / discovery / full), plus a mess-rate
+sweep.  Expected shape: each category's dedicated approach beats the
+no-wrangling baseline; tables alone miss misspellings; discovery alone
+cannot invent abbreviations or multilevel forms; the full pipeline wins
+everywhere.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.archive import uniform_mess_spec
+from repro.experiments import (
+    accuracy_table,
+    messy_archive_of_size,
+    resolution_accuracy,
+)
+from repro.semantics import TABLE_ROWS
+
+from .conftest import BENCH_SEED, write_result
+
+
+def _full_report(archive) -> str:
+    lines = ["Table 1 — Categories of Semantic Diversity (regenerated)", ""]
+    for row in TABLE_ROWS:
+        lines.append(f"* {row.title}")
+        lines.append(f"    example:  {row.example}")
+        lines.append(f"    desired:  {row.desired_result}")
+        lines.append(f"    approach: {row.approach}")
+    lines.append("")
+    lines.append("Measured resolution accuracy by configuration:")
+    lines.append(accuracy_table(archive))
+    return "\n".join(lines)
+
+
+class TestTable1:
+    def test_full_pipeline_accuracy(self, benchmark, bench_fixture):
+        """Benchmarks the full resolver; writes the regenerated table and
+        asserts the expected accuracy shape."""
+        __, ___, archive = bench_fixture
+        full = benchmark(resolution_accuracy, archive, "full")
+        write_result("table1_semantic_diversity.txt", _full_report(archive))
+        none = resolution_accuracy(archive, "none")
+        for category in ("misspelling", "synonym", "abbreviation",
+                         "context", "multilevel"):
+            if category in full:
+                assert full[category].accuracy >= 0.9
+                assert full[category].accuracy > none[category].accuracy
+
+    def test_tables_only_accuracy(self, benchmark, bench_fixture):
+        """Known transformations alone: great on curated categories, poor
+        on misspellings."""
+        __, ___, archive = bench_fixture
+        tables = benchmark(resolution_accuracy, archive, "tables")
+        assert tables["synonym"].accuracy >= 0.9
+        assert tables["abbreviation"].accuracy >= 0.9
+        assert tables["misspelling"].accuracy < 0.5
+
+    def test_discovery_only_accuracy(self, benchmark, bench_fixture):
+        """Discovery alone: great on misspellings, cannot invent
+        abbreviation expansions."""
+        __, ___, archive = bench_fixture
+        discovery = benchmark(resolution_accuracy, archive, "discovery")
+        assert discovery["misspelling"].accuracy >= 0.9
+        assert discovery["abbreviation"].accuracy < 0.5
+
+    @pytest.mark.parametrize("rate", [0.1, 0.25, 0.4])
+    def test_rate_sweep(self, benchmark, rate):
+        """Full-pipeline accuracy holds as the mess rate grows."""
+        __, ___, archive = messy_archive_of_size(
+            30, seed=BENCH_SEED, mess_spec=uniform_mess_spec(rate, seed=11)
+        )
+        full = benchmark(resolution_accuracy, archive, "full")
+        overall_correct = sum(b.correct for b in full.values())
+        overall_total = sum(b.total for b in full.values())
+        assert overall_correct / overall_total >= 0.9
+        write_result(
+            f"table1_rate_{int(rate * 100):02d}.txt",
+            accuracy_table(archive),
+        )

@@ -1,0 +1,66 @@
+"""Shared fixtures for the benchmark harness.
+
+Each bench regenerates one of the poster's artifacts (table/figure) and
+measures the performance claim behind it.  Report text goes to
+``benchmarks/results/*.txt`` so EXPERIMENTS.md can quote it.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import (
+    clean_archive_of_size,
+    generate_workload,
+    messy_archive_of_size,
+    raw_catalog_from,
+    wrangled_system,
+)
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+BENCH_ARCHIVE_DATASETS = 60
+BENCH_SEED = 7
+
+
+def write_result(name: str, text: str) -> str:
+    """Persist a bench report; returns the path."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text if text.endswith("\n") else text + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def bench_fixture():
+    """(fs, truth, messy_archive) at the default bench size."""
+    return messy_archive_of_size(BENCH_ARCHIVE_DATASETS, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def bench_clean_archive():
+    """The clean twin of ``bench_fixture``."""
+    return clean_archive_of_size(BENCH_ARCHIVE_DATASETS, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def bench_workload(bench_clean_archive):
+    """25 ground-truthed queries over the bench archive."""
+    return generate_workload(bench_clean_archive, n_queries=25, seed=23)
+
+
+@pytest.fixture(scope="session")
+def bench_raw_catalog(bench_fixture):
+    """The no-wrangling catalog of the bench archive."""
+    fs, __, __ = bench_fixture
+    return raw_catalog_from(fs)
+
+
+@pytest.fixture(scope="session")
+def bench_system(bench_fixture):
+    """A wrangled, search-ready system over the bench archive."""
+    fs, __, __ = bench_fixture
+    return wrangled_system(fs)

@@ -1,0 +1,105 @@
+"""The four major curatorial activities, walked end to end.
+
+1. *Create* a metadata wrangling process from composable components.
+2. *Run & re-run* it (re-runs skip unchanged files).
+3. *Improve* it: ambiguity decisions, synonym entries, an extra
+   directory to scan.
+4. *Validate* results — and watch failures fall to zero across a
+   simulated-curator loop.
+
+Usage::
+
+    python examples/curator_workflow.py
+"""
+
+from repro.archive import messy_archive_fixture, truth_index
+from repro.curator import (
+    AddScanTarget,
+    AddSynonym,
+    CuratorSession,
+    DecideAmbiguity,
+    SimulatedCurator,
+    run_curator_loop,
+)
+from repro.semantics import AmbiguityAction
+from repro.wrangling import (
+    AddExternalMetadata,
+    DiscoverTransformations,
+    GenerateHierarchies,
+    PerformDiscoveredTransformations,
+    PerformKnownTransformations,
+    ProcessChain,
+    Publish,
+    ScanArchive,
+    ScanTarget,
+)
+
+
+def main() -> None:
+    fs, __, archive = messy_archive_fixture()
+
+    # -- activity 1: compose the process ---------------------------------
+    chain = ProcessChain(
+        components=[
+            # Start deliberately narrow: stations only.
+            ScanArchive(targets=[ScanTarget(directory="stations")]),
+            PerformKnownTransformations(),
+            AddExternalMetadata(),
+            DiscoverTransformations(),
+            PerformDiscoveredTransformations(),
+            GenerateHierarchies(),
+            Publish(),
+        ]
+    )
+    session = CuratorSession(fs, chain=chain)
+    print("process:", " -> ".join(chain.names()))
+
+    # -- activity 2: run --------------------------------------------------
+    record = session.run()
+    print(f"\nrun #1: {record.run_report.total_changes} changes, "
+          f"{record.failure_count} validation failures, "
+          f"{len(session.state.working)} datasets cataloged")
+
+    # -- activity 3: improve ----------------------------------------------
+    print("\nimprovements:")
+    for message in session.improve(
+        [
+            # "specifying an additional directory to scan"
+            AddScanTarget("cruises"),
+            AddScanTarget("casts"),
+            AddScanTarget("auv"),
+            AddScanTarget("met"),
+            # "adding entries to a synonym table"
+            AddSynonym("salinity", "salznity"),
+            # a Table-row-5 decision: hide the phantom 'temp'
+            DecideAmbiguity("temp", AmbiguityAction.HIDE),
+        ]
+    ):
+        print(f"  - {message}")
+
+    record = session.run()
+    print(f"\nrun #2: {len(session.state.working)} datasets cataloged, "
+          f"{record.failure_count} validation failures")
+    scan_report = record.run_report.report_for("scan-archive")
+    print(f"  (scan skipped {scan_report.items_skipped} unchanged files)")
+
+    # -- activity 4: validate, then close the loop -------------------------
+    print("\nvalidation detail:")
+    print(record.validation.summary())
+
+    oracle = {
+        written: vt.canonical
+        for (__, written), vt in truth_index(archive).items()
+    }
+    curator = SimulatedCurator(actions_per_iteration=20, oracle=oracle)
+    result = run_curator_loop(session, curator, max_iterations=10)
+    print("\nclosed loop (failures per iteration):",
+          result.failure_counts)
+    print("converged:", result.converged)
+    print("\naction log tail:")
+    for message in session.action_log[-5:]:
+        print(f"  - {message}")
+
+
+if __name__ == "__main__":
+    main()

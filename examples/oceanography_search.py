@@ -1,0 +1,95 @@
+"""Oceanography search scenarios: the queries the paper's intro motivates.
+
+Four scientists, four information needs:
+
+1. An estuary ecologist wants dissolved oxygen near a station.
+2. A bio-optics researcher asks for *fluorescence* — an inner concept
+   that must expand to fluores375/fluores400/chlorophyll via the
+   generated hierarchy.
+3. A modeler needs anything in a shelf region during one cruise season
+   (region + time, no variable).
+4. A data manager compares ranked search against the boolean portal
+   baseline on a query no dataset fully satisfies.
+
+Usage::
+
+    python examples/oceanography_search.py
+"""
+
+from datetime import datetime
+
+from repro import (
+    BoundingBox,
+    DataNearHere,
+    GeoPoint,
+    Query,
+    TimeInterval,
+    VariableTerm,
+)
+from repro.archive import ArchiveSpec, messy_archive_fixture
+
+
+def show(title: str, page: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+    print(page)
+
+
+def main() -> None:
+    fs, __, ___ = messy_archive_fixture(
+        spec=ArchiveSpec(stations=10, cruises=8, casts=12, gliders=4,
+                         met_stations=3, seed=17)
+    )
+    system = DataNearHere(fs)
+    system.wrangle()
+
+    # 1. Dissolved oxygen near a fixed station.
+    oxygen = Query(
+        location=GeoPoint(46.2, -123.8),
+        variables=(VariableTerm("dissolved_oxygen", low=4.0, high=9.0),),
+    )
+    show("1. dissolved oxygen near the estuary",
+         system.search_page(oxygen, limit=5))
+
+    # 2. Concept query: 'fluorescence' expands down the hierarchy.
+    fluorescence = Query(variables=(VariableTerm("fluorescence"),))
+    show("2. any fluorescence measurement (hierarchy expansion)",
+         system.search_page(fluorescence, limit=5))
+    menu = system.state.hierarchy.menu()
+    print()
+    print("variable menu (collapse/expose, '*' marks concept nodes):")
+    print("\n".join(menu.splitlines()[:15]))
+
+    # 3. Region + season, variable-free.
+    season = Query(
+        region=BoundingBox(45.0, -125.5, 47.0, -124.0),
+        interval=TimeInterval.from_datetimes(
+            datetime(2010, 4, 1), datetime(2010, 9, 30)
+        ),
+    )
+    show("3. anything on the shelf, season 2010",
+         system.search_page(season, limit=5))
+
+    # 4. Ranked vs boolean on an unsatisfiable conjunction.
+    impossible = Query(
+        location=GeoPoint(45.5, -124.4),
+        radius_km=10.0,
+        interval=TimeInterval.from_datetimes(
+            datetime(2011, 1, 1), datetime(2011, 1, 7)
+        ),
+        variables=(VariableTerm("nitrate", low=35.0, high=40.0),),
+    )
+    boolean_hits = system.baseline_engine().search(impossible, limit=10)
+    ranked_hits = system.search(impossible, limit=5)
+    show("4. a query nothing fully satisfies",
+         f"boolean portal: {len(boolean_hits)} hits\n"
+         f"ranked search:  {len(ranked_hits)} hits — nearest misses "
+         "first:")
+    for hit in ranked_hits:
+        print(f"  {hit}  |  {hit.breakdown.explain()}")
+
+
+if __name__ == "__main__":
+    main()

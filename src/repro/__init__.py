@@ -1,0 +1,54 @@
+"""Taming the Metadata Mess — a reproduction of Megler (2013).
+
+A metadata wrangling and ranked-search system for scientific data
+archives, after the *Data Near Here* project:
+
+* ``repro.archive``   — synthetic CMOP-like archive + semantic-mess injector
+* ``repro.catalog``   — the metadata catalog (memory + SQLite stores, indexes)
+* ``repro.core``      — features, distance-based ranking, search, summaries
+* ``repro.semantics`` — the seven semantic-diversity categories, tamed
+* ``repro.hierarchy`` — concept hierarchies and taxonomy links
+* ``repro.refine``    — Google Refine substrate (GREL, ops, clustering, JSON)
+* ``repro.wrangling`` — the composable metadata processing chain
+* ``repro.curator``   — curatorial activities, incl. a simulated curator
+* ``repro.ui``        — search-page and summary-page renderers
+
+Quickstart::
+
+    from repro import DataNearHere, Query, VariableTerm, GeoPoint
+    from repro.archive import messy_archive_fixture
+
+    fs, truth, archive = messy_archive_fixture()
+    system = DataNearHere(fs)
+    system.wrangle()
+    hits = system.search(Query(
+        location=GeoPoint(45.5, -124.4),
+        variables=[VariableTerm("water_temperature", low=5, high=10)],
+    ))
+"""
+
+from .core.qparser import QueryParseError, parse_query
+from .core.query import Query, VariableTerm
+from .core.scoring import ScoringConfig
+from .core.search import BooleanSearchEngine, SearchEngine, SearchResult
+from .geo import BoundingBox, GeoPoint, TimeInterval
+from .system import DataNearHere, NotWrangledError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BoundingBox",
+    "BooleanSearchEngine",
+    "DataNearHere",
+    "GeoPoint",
+    "NotWrangledError",
+    "Query",
+    "QueryParseError",
+    "ScoringConfig",
+    "SearchEngine",
+    "SearchResult",
+    "TimeInterval",
+    "VariableTerm",
+    "__version__",
+    "parse_query",
+]

@@ -1,0 +1,132 @@
+"""Synthetic scientific-data archive substrate.
+
+Replaces the paper's proprietary CMOP observational archive with a
+deterministic generator (stations, cruises, CTD casts, gliders, met
+stations), mixed file formats, per-platform directory conventions, a
+semantic-mess injector with recorded ground truth, and a virtual
+filesystem the wrangling pipeline scans.
+"""
+
+from .corruption import (
+    CorruptionReport,
+    add_stray_files,
+    corrupt_archive,
+    garble_numbers,
+    remove_header,
+    truncate_file,
+)
+from .dataset import (
+    Dataset,
+    DatasetTruth,
+    FileFormat,
+    Platform,
+    VariableTruth,
+)
+from .filesystem import ArchiveFile, ArchivePathError, VirtualArchive
+from .formats import (
+    FormatError,
+    parse_cdl,
+    parse_csv,
+    parse_file,
+    write_cdl,
+    write_csv,
+    write_dataset,
+)
+from .generator import (
+    PLATFORM_SUITES,
+    VALUE_RANGES,
+    ArchiveSpec,
+    StationRecord,
+    SyntheticArchive,
+    generate_archive,
+    parse_station_registry,
+    station_registry_text,
+)
+from .mess import (
+    CATEGORIES,
+    CONTEXT_COLLAPSE,
+    MULTILEVEL_FORMS,
+    MessSpec,
+    category_counts,
+    inject_mess,
+    truth_index,
+    uniform_mess_spec,
+)
+from .observations import (
+    ColumnStats,
+    InconsistentLengthError,
+    ObservationColumn,
+    ObservationTable,
+)
+from .render import (
+    STATION_REGISTRY_PATH,
+    messy_archive_fixture,
+    render_archive,
+)
+from .vocabulary import (
+    AMBIGUOUS_FORMS,
+    UNIT_SYNONYMS,
+    VOCABULARY,
+    CanonicalVariable,
+    Context,
+    auxiliary_variables,
+    concept_children,
+    preferred_unit,
+    searchable_variables,
+)
+
+__all__ = [
+    "AMBIGUOUS_FORMS",
+    "ArchiveFile",
+    "ArchivePathError",
+    "ArchiveSpec",
+    "CATEGORIES",
+    "CONTEXT_COLLAPSE",
+    "CanonicalVariable",
+    "CorruptionReport",
+    "ColumnStats",
+    "Context",
+    "Dataset",
+    "DatasetTruth",
+    "FileFormat",
+    "FormatError",
+    "InconsistentLengthError",
+    "MULTILEVEL_FORMS",
+    "MessSpec",
+    "ObservationColumn",
+    "ObservationTable",
+    "PLATFORM_SUITES",
+    "Platform",
+    "STATION_REGISTRY_PATH",
+    "StationRecord",
+    "SyntheticArchive",
+    "UNIT_SYNONYMS",
+    "VALUE_RANGES",
+    "VOCABULARY",
+    "VariableTruth",
+    "VirtualArchive",
+    "add_stray_files",
+    "auxiliary_variables",
+    "category_counts",
+    "concept_children",
+    "corrupt_archive",
+    "garble_numbers",
+    "generate_archive",
+    "inject_mess",
+    "messy_archive_fixture",
+    "parse_cdl",
+    "parse_csv",
+    "parse_file",
+    "parse_station_registry",
+    "preferred_unit",
+    "remove_header",
+    "render_archive",
+    "searchable_variables",
+    "station_registry_text",
+    "truncate_file",
+    "truth_index",
+    "uniform_mess_spec",
+    "write_cdl",
+    "write_csv",
+    "write_dataset",
+]

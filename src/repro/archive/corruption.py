@@ -1,0 +1,148 @@
+"""Failure injection: corrupt archive files the way real archives break.
+
+Real archives contain truncated transfers, half-written rows, sensors
+that report garbage, files with missing coordinate columns and stray
+non-dataset files.  The wrangling pipeline must *skip and report*, never
+crash.  These injectors corrupt a rendered :class:`VirtualArchive`
+deterministically and return what they broke so tests can assert the
+pipeline's reaction precisely.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .filesystem import VirtualArchive
+
+
+@dataclass(frozen=True, slots=True)
+class CorruptionReport:
+    """What the injector broke."""
+
+    truncated: tuple[str, ...] = ()
+    garbled: tuple[str, ...] = ()
+    decapitated: tuple[str, ...] = ()  # header/coordinates removed
+    stray_files: tuple[str, ...] = ()
+
+    @property
+    def broken_datasets(self) -> set[str]:
+        """Paths whose parse should now fail or degrade."""
+        return set(self.truncated) | set(self.garbled) | set(
+            self.decapitated
+        )
+
+    @property
+    def total(self) -> int:
+        """Number of injected faults."""
+        return (
+            len(self.truncated)
+            + len(self.garbled)
+            + len(self.decapitated)
+            + len(self.stray_files)
+        )
+
+
+def truncate_file(fs: VirtualArchive, path: str, keep_fraction: float = 0.5) -> None:
+    """Cut a file mid-stream (interrupted transfer).
+
+    Raises:
+        ValueError: for a fraction outside (0, 1).
+    """
+    if not 0.0 < keep_fraction < 1.0:
+        raise ValueError("keep_fraction must lie in (0, 1)")
+    record = fs.get(path)
+    cut = max(1, int(len(record.content) * keep_fraction))
+    fs.put(path, record.content[:cut])
+
+
+def garble_numbers(
+    fs: VirtualArchive, path: str, rate: float = 0.05, seed: int = 5
+) -> None:
+    """Replace a fraction of numeric cells with junk tokens."""
+    rng = random.Random(seed)
+    record = fs.get(path)
+    lines = record.content.splitlines()
+    out = []
+    for line in lines:
+        if "," in line and not line.startswith("#") and rng.random() < 0.5:
+            cells = line.split(",")
+            for i in range(len(cells)):
+                if rng.random() < rate:
+                    cells[i] = "###"
+            line = ",".join(cells)
+        out.append(line)
+    fs.put(path, "\n".join(out) + "\n")
+
+
+def remove_header(fs: VirtualArchive, path: str) -> None:
+    """Strip everything before the first data row (lost header block)."""
+    record = fs.get(path)
+    lines = record.content.splitlines()
+    body = [
+        line
+        for line in lines
+        if line and not line.startswith("#") and "[" not in line
+    ]
+    fs.put(path, "\n".join(body) + "\n")
+
+
+def add_stray_files(fs: VirtualArchive, count: int = 3) -> list[str]:
+    """Drop non-dataset junk into the tree (logs, temp files, READMEs)."""
+    strays = []
+    templates = [
+        ("logs/ingest_{i}.log", "2010-05-01 ingest ok\n"),
+        ("stations/.DS_Store", "\x00\x01junk"),
+        ("notes/README_{i}.txt", "ask Bob about the 2009 deployment\n"),
+        ("tmp/scratch_{i}.csv.tmp", "half,a,row"),
+    ]
+    for i in range(count):
+        path_template, content = templates[i % len(templates)]
+        path = path_template.format(i=i)
+        fs.put(path, content)
+        strays.append(path)
+    return strays
+
+
+def corrupt_archive(
+    fs: VirtualArchive,
+    truncate: int = 2,
+    garble: int = 2,
+    decapitate: int = 1,
+    strays: int = 3,
+    seed: int = 5,
+) -> CorruptionReport:
+    """Apply a mixed batch of faults; deterministic from ``seed``.
+
+    Only ``.csv`` files are garbled/decapitated (the line-oriented
+    faults); truncation hits any dataset file.
+    """
+    rng = random.Random(seed)
+    dataset_paths = sorted(
+        record.path
+        for record in fs
+        if record.extension in ("csv", "cdl")
+    )
+    csv_paths = [p for p in dataset_paths if p.endswith(".csv")]
+    chosen_truncate = rng.sample(
+        dataset_paths, min(truncate, len(dataset_paths))
+    )
+    remaining_csv = [p for p in csv_paths if p not in chosen_truncate]
+    chosen_garble = rng.sample(remaining_csv, min(garble, len(remaining_csv)))
+    remaining_csv = [p for p in remaining_csv if p not in chosen_garble]
+    chosen_decap = rng.sample(
+        remaining_csv, min(decapitate, len(remaining_csv))
+    )
+    for path in chosen_truncate:
+        truncate_file(fs, path, keep_fraction=rng.uniform(0.2, 0.8))
+    for path in chosen_garble:
+        garble_numbers(fs, path, rate=0.08, seed=seed)
+    for path in chosen_decap:
+        remove_header(fs, path)
+    stray_paths = add_stray_files(fs, count=strays)
+    return CorruptionReport(
+        truncated=tuple(chosen_truncate),
+        garbled=tuple(chosen_garble),
+        decapitated=tuple(chosen_decap),
+        stray_files=tuple(stray_paths),
+    )

@@ -1,0 +1,94 @@
+"""The dataset model: one archive file's content plus its ground truth.
+
+The wrangling pipeline must *not* see ground truth — it sees only what a
+real archive exposes (path, format, header, data).  Ground truth rides
+along in a separate ``DatasetTruth`` record so experiments can score the
+pipeline's output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from .observations import ObservationTable
+
+
+class Platform(str, Enum):
+    """Observation platform types in the synthetic CMOP-like archive."""
+
+    STATION = "station"  # fixed mooring/pier station, long time series
+    CRUISE = "cruise"  # ship transect, moving position
+    CAST = "cast"  # CTD cast: one position, depth profile
+    GLIDER = "glider"  # AUV/glider mission, moving position
+    MET = "met"  # meteorological station (air-side variables)
+
+
+class FileFormat(str, Enum):
+    """On-disk formats produced by the synthetic archive."""
+
+    CSV = "csv"  # comma-separated with '# key: value' header block
+    CDL = "cdl"  # NetCDF-header-like text (name/units attributes + data)
+
+
+@dataclass(frozen=True, slots=True)
+class VariableTruth:
+    """Ground truth for one as-written column name.
+
+    ``canonical``: the preferred vocabulary name this column *really* is,
+    or ``None`` when the column is not an environmental variable at all
+    (the 'temporary' reading of ``temp``).
+    ``category``: which semantic-diversity category (Table row) produced
+    the as-written spelling; 'clean' when none did.
+    """
+
+    written_name: str
+    written_unit: str
+    canonical: str | None
+    category: str
+    auxiliary: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetTruth:
+    """Ground truth for one dataset: per-column mappings."""
+
+    dataset_path: str
+    variables: tuple[VariableTruth, ...]
+
+    def truth_for(self, written_name: str) -> VariableTruth:
+        """Ground truth record for an as-written column name.
+
+        Raises:
+            KeyError: if the name does not occur in this dataset.
+        """
+        for vt in self.variables:
+            if vt.written_name == written_name:
+                return vt
+        raise KeyError(written_name)
+
+
+@dataclass(slots=True)
+class Dataset:
+    """One dataset as the archive presents it.
+
+    ``path`` is the archive-relative path; ``attributes`` are the header
+    key/values as written in the file (title, station id, ...).
+    """
+
+    path: str
+    platform: Platform
+    file_format: FileFormat
+    attributes: dict[str, str]
+    table: ObservationTable
+    truth: DatasetTruth | None = field(default=None, repr=False)
+
+    @property
+    def name(self) -> str:
+        """The filename without directories or extension."""
+        base = self.path.rsplit("/", 1)[-1]
+        return base.rsplit(".", 1)[0]
+
+    def variable_names(self) -> list[str]:
+        """As-written observation column names."""
+        return self.table.column_names()

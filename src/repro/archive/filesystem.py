@@ -1,0 +1,160 @@
+"""A virtual archive filesystem.
+
+The wrangling scan component is "configured with directories, file types,
+naming conventions"; curatorial activity 3 includes "specifying an
+additional directory to scan".  To make those operations fast, hermetic
+and repeatable, the synthetic archive lives in an in-memory filesystem
+that can also be exported to (and re-imported from) a real directory tree.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import hashlib
+import os
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+class ArchivePathError(KeyError):
+    """Raised for lookups of paths not present in the archive."""
+
+
+def _normalize(path: str) -> str:
+    parts = [p for p in path.strip("/").split("/") if p and p != "."]
+    return "/".join(parts)
+
+
+@dataclass(slots=True)
+class ArchiveFile:
+    """One file in the archive: relative path plus text content."""
+
+    path: str
+    content: str
+
+    @property
+    def directory(self) -> str:
+        """Directory part of the path ('' for top-level files)."""
+        if "/" not in self.path:
+            return ""
+        return self.path.rsplit("/", 1)[0]
+
+    @property
+    def extension(self) -> str:
+        """Lowercased extension without the dot ('' when none)."""
+        base = self.path.rsplit("/", 1)[-1]
+        if "." not in base:
+            return ""
+        return base.rsplit(".", 1)[1].lower()
+
+    def content_hash(self) -> str:
+        """Stable SHA-256 of the content — drives incremental re-runs."""
+        return hashlib.sha256(self.content.encode("utf-8")).hexdigest()
+
+
+@dataclass(slots=True)
+class VirtualArchive:
+    """An in-memory directory tree of text files."""
+
+    _files: dict[str, ArchiveFile] = field(default_factory=dict)
+
+    # -- mutation ----------------------------------------------------------
+
+    def put(self, path: str, content: str) -> ArchiveFile:
+        """Create or overwrite a file; returns the stored record."""
+        norm = _normalize(path)
+        if not norm:
+            raise ArchivePathError("empty path")
+        record = ArchiveFile(path=norm, content=content)
+        self._files[norm] = record
+        return record
+
+    def remove(self, path: str) -> None:
+        """Delete a file.
+
+        Raises:
+            ArchivePathError: if the file does not exist.
+        """
+        norm = _normalize(path)
+        if norm not in self._files:
+            raise ArchivePathError(norm)
+        del self._files[norm]
+
+    # -- lookup ------------------------------------------------------------
+
+    def get(self, path: str) -> ArchiveFile:
+        """Return the file at ``path``.
+
+        Raises:
+            ArchivePathError: if the file does not exist.
+        """
+        norm = _normalize(path)
+        try:
+            return self._files[norm]
+        except KeyError:
+            raise ArchivePathError(norm)
+
+    def exists(self, path: str) -> bool:
+        """True if a file exists at ``path``."""
+        return _normalize(path) in self._files
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    def __iter__(self) -> Iterator[ArchiveFile]:
+        return iter(sorted(self._files.values(), key=lambda f: f.path))
+
+    def directories(self) -> list[str]:
+        """Sorted unique directories containing at least one file."""
+        return sorted({f.directory for f in self._files.values()})
+
+    def list_directory(
+        self, directory: str, pattern: str = "*", recursive: bool = False
+    ) -> list[ArchiveFile]:
+        """Files in ``directory`` whose *basename* matches ``pattern``.
+
+        With ``recursive`` the whole subtree under ``directory`` is
+        searched.  ``directory=''`` means the archive root.
+        """
+        norm_dir = _normalize(directory)
+        out = []
+        for record in self:
+            if recursive:
+                in_dir = (
+                    record.path.startswith(norm_dir + "/")
+                    if norm_dir
+                    else True
+                )
+            else:
+                in_dir = record.directory == norm_dir
+            if not in_dir:
+                continue
+            basename = record.path.rsplit("/", 1)[-1]
+            if fnmatch.fnmatch(basename, pattern):
+                out.append(record)
+        return out
+
+    # -- interop with a real filesystem -------------------------------------
+
+    def export_to(self, root: str) -> int:
+        """Write every file below directory ``root``; returns file count."""
+        count = 0
+        for record in self:
+            target = os.path.join(root, record.path)
+            os.makedirs(os.path.dirname(target) or root, exist_ok=True)
+            with open(target, "w", encoding="utf-8") as fh:
+                fh.write(record.content)
+            count += 1
+        return count
+
+    @classmethod
+    def import_from(cls, root: str) -> "VirtualArchive":
+        """Load every regular file below ``root`` into a new archive."""
+        archive = cls()
+        for dirpath, __, filenames in os.walk(root):
+            for filename in sorted(filenames):
+                full = os.path.join(dirpath, filename)
+                rel = os.path.relpath(full, root).replace(os.sep, "/")
+                with open(full, "r", encoding="utf-8") as fh:
+                    archive.put(rel, fh.read())
+        return archive

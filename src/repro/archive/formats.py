@@ -1,0 +1,277 @@
+"""On-disk formats for the synthetic archive: CSV-ish and CDL-ish.
+
+Real scientific archives mix formats; the poster's scan component is
+configured with "directories, file types, naming conventions".  We provide
+two text formats with symmetric writers and parsers:
+
+* **CSV** — a ``# key: value`` comment header, then a header row of
+  ``name [unit]`` columns, then numeric rows.
+* **CDL** — a minimal NetCDF-CDL-like rendering: ``variables:`` block with
+  ``units`` attributes, ``// global attributes``, and a ``data:`` block.
+
+Both round-trip exactly through :func:`write_dataset` / :func:`parse_file`.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from .dataset import Dataset, FileFormat, Platform
+from .observations import InconsistentLengthError, ObservationColumn, ObservationTable
+
+
+class FormatError(ValueError):
+    """Raised when a file cannot be parsed in its claimed format."""
+
+
+_CSV_COL_RE = re.compile(r"^(?P<name>.*?)\s*(?:\[(?P<unit>[^\]]*)\])?$")
+_CDL_VAR_RE = re.compile(r"^\s*double\s+(?P<name>\S+)\s*\(row\)\s*;\s*$")
+_CDL_ATTR_RE = re.compile(
+    r"^\s*(?P<var>\S+):(?P<attr>\w+)\s*=\s*\"(?P<value>.*)\"\s*;\s*$"
+)
+_CDL_GLOBAL_RE = re.compile(
+    r"^\s*:(?P<attr>[\w ]+)\s*=\s*\"(?P<value>.*)\"\s*;\s*$"
+)
+
+
+def _format_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    return repr(float(value))
+
+
+def _parse_value(token: str) -> float:
+    token = token.strip()
+    if token.lower() in {"nan", ""}:
+        return float("nan")
+    try:
+        return float(token)
+    except ValueError:
+        raise FormatError(f"not a number: {token!r}")
+
+
+# --------------------------------------------------------------------------
+# CSV
+# --------------------------------------------------------------------------
+
+def write_csv(dataset: Dataset) -> str:
+    """Serialize a dataset in the archive's CSV dialect."""
+    lines = [f"# {key}: {value}" for key, value in dataset.attributes.items()]
+    header = ["time [s]", "latitude [degrees]", "longitude [degrees]"]
+    header.extend(
+        f"{col.name} [{col.unit}]" if col.unit else col.name
+        for col in dataset.table.columns
+    )
+    lines.append(",".join(header))
+    table = dataset.table
+    for i in range(table.row_count):
+        row = [
+            _format_value(table.times[i]),
+            _format_value(table.lats[i]),
+            _format_value(table.lons[i]),
+        ]
+        row.extend(_format_value(col.values[i]) for col in table.columns)
+        lines.append(",".join(row))
+    return "\n".join(lines) + "\n"
+
+
+def parse_csv(text: str, path: str = "<memory>") -> Dataset:
+    """Parse the archive's CSV dialect back into a :class:`Dataset`.
+
+    Raises:
+        FormatError: on malformed headers or non-numeric cells.
+    """
+    attributes: dict[str, str] = {}
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines) and lines[i].startswith("#"):
+        body = lines[i][1:].strip()
+        if ":" in body:
+            key, __, value = body.partition(":")
+            attributes[key.strip()] = value.strip()
+        i += 1
+    if i >= len(lines):
+        raise FormatError(f"{path}: no column header row")
+    names: list[str] = []
+    units: list[str] = []
+    for cell in lines[i].split(","):
+        match = _CSV_COL_RE.match(cell.strip())
+        if match is None:  # pragma: no cover - regex matches everything
+            raise FormatError(f"{path}: bad column header {cell!r}")
+        names.append(match.group("name"))
+        units.append(match.group("unit") or "")
+    if len(names) < 3:
+        raise FormatError(f"{path}: expected time/lat/lon columns")
+    expected_coords = ("time", "lat", "lon")
+    for name, prefix in zip(names, expected_coords):
+        if not name.lower().startswith(prefix):
+            # Guards against a lost header row: a row of numbers must
+            # not be mistaken for column names.
+            raise FormatError(
+                f"{path}: coordinate header {name!r} does not look like "
+                f"{prefix!r} — missing header row?"
+            )
+    i += 1
+    data: list[list[float]] = [[] for __ in names]
+    for line in lines[i:]:
+        if not line.strip():
+            continue
+        cells = line.split(",")
+        if len(cells) != len(names):
+            raise FormatError(
+                f"{path}: row has {len(cells)} cells, header has {len(names)}"
+            )
+        for j, cell in enumerate(cells):
+            data[j].append(_parse_value(cell))
+    columns = [
+        ObservationColumn(name=names[j], unit=units[j], values=data[j])
+        for j in range(3, len(names))
+    ]
+    try:
+        table = ObservationTable(
+            times=data[0], lats=data[1], lons=data[2], columns=columns
+        )
+    except InconsistentLengthError as exc:  # pragma: no cover - built equal
+        raise FormatError(f"{path}: {exc}")
+    platform = Platform(attributes.get("platform", Platform.STATION.value))
+    return Dataset(
+        path=path,
+        platform=platform,
+        file_format=FileFormat.CSV,
+        attributes=attributes,
+        table=table,
+    )
+
+
+# --------------------------------------------------------------------------
+# CDL (NetCDF-header-like)
+# --------------------------------------------------------------------------
+
+def write_cdl(dataset: Dataset) -> str:
+    """Serialize a dataset in the archive's CDL-like dialect."""
+    table = dataset.table
+    lines = [f"netcdf {dataset.name} {{"]
+    lines.append(f"dimensions:\n\trow = {table.row_count} ;")
+    lines.append("variables:")
+    all_columns = _cdl_columns(table)
+    for name, unit, __ in all_columns:
+        lines.append(f"\tdouble {name}(row) ;")
+        lines.append(f'\t\t{name}:units = "{unit}" ;')
+    lines.append("")
+    lines.append("// global attributes:")
+    for key, value in dataset.attributes.items():
+        lines.append(f'\t\t:{key} = "{value}" ;')
+    lines.append("data:")
+    for name, __, values in all_columns:
+        rendered = ", ".join(_format_value(v) for v in values)
+        lines.append(f" {name} = {rendered} ;")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _cdl_columns(
+    table: ObservationTable,
+) -> list[tuple[str, str, list[float]]]:
+    out: list[tuple[str, str, list[float]]] = [
+        ("time", "s", table.times),
+        ("latitude", "degrees", table.lats),
+        ("longitude", "degrees", table.lons),
+    ]
+    out.extend((col.name, col.unit, col.values) for col in table.columns)
+    return out
+
+
+def parse_cdl(text: str, path: str = "<memory>") -> Dataset:
+    """Parse the CDL-like dialect back into a :class:`Dataset`.
+
+    Raises:
+        FormatError: when required blocks or coordinates are missing.
+    """
+    var_order: list[str] = []
+    units: dict[str, str] = {}
+    attributes: dict[str, str] = {}
+    data: dict[str, list[float]] = {}
+    in_data = False
+    for raw in text.splitlines():
+        line = raw.rstrip()
+        if not line or line in {"}", "variables:"}:
+            continue
+        if line.startswith("data:"):
+            in_data = True
+            continue
+        if in_data:
+            stripped = line.strip()
+            if "=" not in stripped:
+                continue
+            name, __, rest = stripped.partition("=")
+            rest = rest.strip().rstrip(";").strip()
+            values = (
+                [_parse_value(tok) for tok in rest.split(",")] if rest else []
+            )
+            data[name.strip()] = values
+            continue
+        var_match = _CDL_VAR_RE.match(line)
+        if var_match:
+            var_order.append(var_match.group("name"))
+            continue
+        attr_match = _CDL_ATTR_RE.match(line)
+        if attr_match and attr_match.group("attr") == "units":
+            units[attr_match.group("var")] = attr_match.group("value")
+            continue
+        global_match = _CDL_GLOBAL_RE.match(line)
+        if global_match:
+            attributes[global_match.group("attr").strip()] = (
+                global_match.group("value")
+            )
+    for coord in ("time", "latitude", "longitude"):
+        if coord not in data:
+            raise FormatError(f"{path}: missing coordinate {coord!r}")
+    columns = [
+        ObservationColumn(
+            name=name, unit=units.get(name, ""), values=data.get(name, [])
+        )
+        for name in var_order
+        if name not in {"time", "latitude", "longitude"}
+    ]
+    try:
+        table = ObservationTable(
+            times=data["time"],
+            lats=data["latitude"],
+            lons=data["longitude"],
+            columns=columns,
+        )
+    except InconsistentLengthError as exc:
+        raise FormatError(f"{path}: {exc}")
+    platform = Platform(attributes.get("platform", Platform.STATION.value))
+    return Dataset(
+        path=path,
+        platform=platform,
+        file_format=FileFormat.CDL,
+        attributes=attributes,
+        table=table,
+    )
+
+
+# --------------------------------------------------------------------------
+# dispatch
+# --------------------------------------------------------------------------
+
+def write_dataset(dataset: Dataset) -> str:
+    """Serialize ``dataset`` in its declared :class:`FileFormat`."""
+    if dataset.file_format is FileFormat.CSV:
+        return write_csv(dataset)
+    return write_cdl(dataset)
+
+
+def parse_file(text: str, path: str) -> Dataset:
+    """Parse a file by extension (``.csv`` / ``.cdl``).
+
+    Raises:
+        FormatError: for unknown extensions or malformed content.
+    """
+    if path.endswith(".csv"):
+        return parse_csv(text, path=path)
+    if path.endswith(".cdl"):
+        return parse_cdl(text, path=path)
+    raise FormatError(f"unknown file extension: {path!r}")

@@ -1,0 +1,506 @@
+"""Deterministic synthetic CMOP-like archive generator.
+
+The paper's substrate is the Center for Coastal Margin Observation and
+Prediction archive: fixed estuary stations, ship cruises, CTD casts,
+glider missions and met stations, observed over years, stored in mixed
+formats under per-campaign directories.  This generator reproduces that
+*shape* deterministically from a seed:
+
+* realistic geography (Columbia River estuary and NE Pacific shelf),
+* per-platform variable suites drawn from the canonical vocabulary,
+* plausible value ranges and random-walk dynamics per variable,
+* mixed CSV/CDL formats and per-platform directory conventions,
+* an external station registry (the "external metadata" the wrangling
+  process folds in).
+
+Datasets come out with *clean* canonical names; ``repro.archive.mess``
+then rewrites them into the semantic mess, recording ground truth.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from .dataset import Dataset, DatasetTruth, FileFormat, Platform, VariableTruth
+from .observations import ObservationColumn, ObservationTable
+from .vocabulary import VOCABULARY, CanonicalVariable
+
+#: Plausible physical range (lo, hi) per canonical variable, used both to
+#: synthesize values and (in tests) to sanity-check generated data.
+VALUE_RANGES: dict[str, tuple[float, float]] = {
+    "air_temperature": (-5.0, 30.0),
+    "water_temperature": (4.0, 22.0),
+    "sea_surface_temperature": (6.0, 20.0),
+    "salinity": (0.0, 34.0),
+    "conductivity": (0.5, 5.5),
+    "dissolved_oxygen": (2.0, 12.0),
+    "oxygen_saturation": (40.0, 120.0),
+    "ph": (7.2, 8.6),
+    "nitrate": (0.0, 40.0),
+    "phosphate": (0.0, 3.5),
+    "fluorescence_375nm": (0.0, 5.0),
+    "fluorescence_400nm": (0.0, 5.0),
+    "chlorophyll": (0.0, 25.0),
+    "turbidity": (0.0, 60.0),
+    "par": (0.0, 500.0),
+    "air_pressure": (980.0, 1040.0),
+    "water_pressure": (0.0, 200.0),
+    "depth": (0.0, 180.0),
+    "current_speed": (0.0, 2.5),
+    "current_direction": (0.0, 360.0),
+    "wave_height": (0.0, 8.0),
+    "wind_speed": (0.0, 25.0),
+    "wind_direction": (0.0, 360.0),
+    "relative_humidity": (30.0, 100.0),
+    "precipitation": (0.0, 20.0),
+    "solar_radiation": (0.0, 900.0),
+    "qa_level": (0.0, 2.0),
+    "qc_flag": (0.0, 4.0),
+    "battery_voltage": (10.5, 14.2),
+    "instrument_tilt": (0.0, 15.0),
+    "sample_number": (0.0, 1e6),
+}
+
+#: Variable suites per platform: (core, optional) canonical names.  Every
+#: dataset gets the core suite; optionals join with probability 0.5 each.
+PLATFORM_SUITES: dict[Platform, tuple[tuple[str, ...], tuple[str, ...]]] = {
+    Platform.STATION: (
+        ("water_temperature", "salinity", "depth"),
+        ("dissolved_oxygen", "turbidity", "conductivity", "chlorophyll",
+         "ph", "oxygen_saturation"),
+    ),
+    Platform.CRUISE: (
+        ("sea_surface_temperature", "salinity"),
+        ("chlorophyll", "fluorescence_375nm", "fluorescence_400nm",
+         "nitrate", "phosphate", "par"),
+    ),
+    Platform.CAST: (
+        ("water_temperature", "salinity", "water_pressure", "depth"),
+        ("dissolved_oxygen", "fluorescence_375nm", "fluorescence_400nm",
+         "turbidity", "ph"),
+    ),
+    Platform.GLIDER: (
+        ("water_temperature", "salinity", "depth"),
+        ("chlorophyll", "dissolved_oxygen", "current_speed",
+         "current_direction", "par"),
+    ),
+    Platform.MET: (
+        ("air_temperature", "wind_speed", "wind_direction"),
+        ("air_pressure", "relative_humidity", "precipitation",
+         "solar_radiation", "wave_height"),
+    ),
+}
+
+#: Auxiliary variables appended by the mess injector's "excessive
+#: variables" category; listed here so the generator can size datasets.
+AUXILIARY_SUITE: tuple[str, ...] = (
+    "qa_level", "qc_flag", "battery_voltage", "sample_number",
+)
+
+# Columbia River estuary / NE Pacific shelf geography.
+_ESTUARY_LAT = (46.05, 46.35)
+_ESTUARY_LON = (-124.10, -123.40)
+_SHELF_LAT = (44.50, 47.50)
+_SHELF_LON = (-125.50, -124.00)
+
+_STATION_NAMES = (
+    "saturn01", "saturn02", "saturn03", "saturn04", "saturn05",
+    "jetta", "tansy", "grays", "woody", "eliot", "marsh", "coaof",
+    "dsdma", "yacht", "lonw1", "ogi01", "ogi02", "red26", "am169",
+    "cbnc3",
+)
+
+_EPOCH_2008 = 1199145600.0  # 2008-01-01T00:00:00Z
+_YEAR_SECONDS = 365.25 * 86400.0
+
+
+@dataclass(frozen=True, slots=True)
+class ArchiveSpec:
+    """Size and seed of a synthetic archive."""
+
+    stations: int = 8
+    cruises: int = 6
+    casts: int = 10
+    gliders: int = 3
+    met_stations: int = 3
+    samples_per_station: int = 400
+    samples_per_cruise: int = 150
+    samples_per_cast: int = 60
+    samples_per_glider: int = 250
+    samples_per_met: int = 300
+    years: float = 4.0
+    seed: int = 7
+
+    @property
+    def dataset_count(self) -> int:
+        """Total number of datasets the spec will produce."""
+        return (
+            self.stations
+            + self.cruises
+            + self.casts
+            + self.gliders
+            + self.met_stations
+        )
+
+
+@dataclass(slots=True)
+class StationRecord:
+    """One entry of the external station registry."""
+
+    station_id: str
+    name: str
+    lat: float
+    lon: float
+    description: str
+
+
+@dataclass(slots=True)
+class SyntheticArchive:
+    """Generator output: clean datasets plus the external registry."""
+
+    spec: ArchiveSpec
+    datasets: list[Dataset]
+    stations: list[StationRecord] = field(default_factory=list)
+
+    def dataset_by_path(self, path: str) -> Dataset:
+        """Lookup a dataset by archive-relative path.
+
+        Raises:
+            KeyError: when no dataset has that path.
+        """
+        for ds in self.datasets:
+            if ds.path == path:
+                return ds
+        raise KeyError(path)
+
+
+#: Variables with a pronounced annual cycle in the synthetic archive
+#: (fraction of the physical range used as seasonal amplitude).
+SEASONAL_AMPLITUDE: dict[str, float] = {
+    "air_temperature": 0.35,
+    "water_temperature": 0.30,
+    "sea_surface_temperature": 0.30,
+    "solar_radiation": 0.40,
+    "chlorophyll": 0.30,
+    "relative_humidity": 0.15,
+}
+
+
+def _seasonal_offset(epoch: float, amplitude: float) -> float:
+    """Annual sinusoid peaking around day ~200 (NH late July)."""
+    year_phase = (epoch - _EPOCH_2008) / _YEAR_SECONDS
+    return amplitude * math.sin(2.0 * math.pi * (year_phase - 0.3))
+
+
+def _random_walk(
+    rng: random.Random,
+    lo: float,
+    hi: float,
+    n: int,
+    times: list[float] | None = None,
+    seasonal_fraction: float = 0.0,
+) -> list[float]:
+    """A bounded random walk across [lo, hi] — plausible sensor dynamics,
+    optionally riding an annual seasonal cycle."""
+    span = hi - lo
+    value = rng.uniform(lo + 0.25 * span, hi - 0.25 * span)
+    step = span * 0.03
+    out = []
+    for k in range(n):
+        value += rng.uniform(-step, step)
+        value = min(hi, max(lo, value))
+        sample = value
+        if times is not None and seasonal_fraction > 0.0:
+            sample += _seasonal_offset(
+                times[k], seasonal_fraction * span
+            )
+            sample = min(hi, max(lo, sample))
+        out.append(round(sample, 4))
+    return out
+
+
+def _pick_suite(
+    rng: random.Random, platform: Platform
+) -> list[CanonicalVariable]:
+    core, optional = PLATFORM_SUITES[platform]
+    names = list(core)
+    names.extend(name for name in optional if rng.random() < 0.5)
+    return [VOCABULARY[name] for name in names]
+
+
+def _make_columns(
+    rng: random.Random,
+    suite: list[CanonicalVariable],
+    n: int,
+    times: list[float] | None = None,
+) -> list[ObservationColumn]:
+    columns = []
+    for var in suite:
+        lo, hi = VALUE_RANGES[var.name]
+        columns.append(
+            ObservationColumn(
+                name=var.name,
+                unit=var.unit,
+                values=_random_walk(
+                    rng, lo, hi, n,
+                    times=times,
+                    seasonal_fraction=SEASONAL_AMPLITUDE.get(var.name, 0.0),
+                ),
+            )
+        )
+    return columns
+
+
+def _clean_truth(path: str, dataset: Dataset) -> DatasetTruth:
+    variables = tuple(
+        VariableTruth(
+            written_name=col.name,
+            written_unit=col.unit,
+            canonical=col.name,
+            category="clean",
+            auxiliary=VOCABULARY[col.name].auxiliary,
+        )
+        for col in dataset.table.columns
+    )
+    return DatasetTruth(dataset_path=path, variables=variables)
+
+
+def generate_archive(spec: ArchiveSpec | None = None) -> SyntheticArchive:
+    """Generate a clean synthetic archive per ``spec`` (deterministic).
+
+    Dataset paths follow per-platform conventions, e.g.
+    ``stations/saturn01/saturn01_2009.csv``,
+    ``cruises/cruise_2010_04/transect_03.cdl``.
+    """
+    spec = spec or ArchiveSpec()
+    rng = random.Random(spec.seed)
+    datasets: list[Dataset] = []
+    stations: list[StationRecord] = []
+
+    # -- fixed stations ------------------------------------------------------
+    for i in range(spec.stations):
+        sid = _STATION_NAMES[i % len(_STATION_NAMES)]
+        if i >= len(_STATION_NAMES):
+            sid = f"{sid}{i}"
+        lat = rng.uniform(*_ESTUARY_LAT)
+        lon = rng.uniform(*_ESTUARY_LON)
+        stations.append(
+            StationRecord(
+                station_id=sid,
+                name=f"Station {sid.upper()}",
+                lat=round(lat, 5),
+                lon=round(lon, 5),
+                description=f"Fixed estuary observation station {sid}",
+            )
+        )
+        n = spec.samples_per_station
+        start = _EPOCH_2008 + rng.uniform(0, 0.5) * spec.years * _YEAR_SECONDS
+        period = rng.choice([900.0, 1800.0, 3600.0])
+        times = [start + k * period for k in range(n)]
+        suite = _pick_suite(rng, Platform.STATION)
+        year = 2008 + int((start - _EPOCH_2008) / _YEAR_SECONDS)
+        ds = Dataset(
+            path=f"stations/{sid}/{sid}_{year}.csv",
+            platform=Platform.STATION,
+            file_format=FileFormat.CSV,
+            attributes={
+                "title": f"Station {sid} time series {year}",
+                "platform": Platform.STATION.value,
+                "station": sid,
+            },
+            table=ObservationTable(
+                times=times,
+                lats=[round(lat, 5)] * n,
+                lons=[round(lon, 5)] * n,
+                columns=_make_columns(rng, suite, n, times=times),
+            ),
+        )
+        ds.truth = _clean_truth(ds.path, ds)
+        datasets.append(ds)
+
+    # -- cruises -------------------------------------------------------------
+    # Like casts: one format per cruise directory (see below).
+    cruise_format_by_dir: dict[tuple[int, int], FileFormat] = {}
+    for i in range(spec.cruises):
+        n = spec.samples_per_cruise
+        start = _EPOCH_2008 + rng.uniform(0, spec.years - 0.1) * _YEAR_SECONDS
+        times = [start + k * 600.0 for k in range(n)]
+        lat0 = rng.uniform(*_SHELF_LAT)
+        lon0 = rng.uniform(*_SHELF_LON)
+        heading_lat = rng.uniform(-0.004, 0.004)
+        heading_lon = rng.uniform(-0.004, 0.004)
+        lats = [round(min(89.9, max(-89.9, lat0 + heading_lat * k)), 5)
+                for k in range(n)]
+        lons = [round(min(179.9, max(-179.9, lon0 + heading_lon * k)), 5)
+                for k in range(n)]
+        suite = _pick_suite(rng, Platform.CRUISE)
+        year = 2008 + int((start - _EPOCH_2008) / _YEAR_SECONDS)
+        month = 1 + int(12 * ((start - _EPOCH_2008) / _YEAR_SECONDS % 1.0))
+        fmt = cruise_format_by_dir.setdefault(
+            (year, month),
+            FileFormat.CDL if rng.random() < 0.5 else FileFormat.CSV,
+        )
+        ds = Dataset(
+            path=(
+                f"cruises/cruise_{year}_{month:02d}/"
+                f"transect_{i:02d}.{fmt.value}"
+            ),
+            platform=Platform.CRUISE,
+            file_format=fmt,
+            attributes={
+                "title": f"Cruise {year}-{month:02d} transect {i}",
+                "platform": Platform.CRUISE.value,
+                "vessel": rng.choice(["wecoma", "forerunner", "barnes"]),
+            },
+            table=ObservationTable(
+                times=times, lats=lats, lons=lons,
+                columns=_make_columns(rng, suite, n, times=times),
+            ),
+        )
+        ds.truth = _clean_truth(ds.path, ds)
+        datasets.append(ds)
+
+    # -- CTD casts ------------------------------------------------------------
+    # One format per casts/<year>/ directory: archives are messy about
+    # names, but a campaign's processing pipeline writes one format, and
+    # the directory-format-consistency validation check relies on that.
+    cast_format_by_year: dict[int, FileFormat] = {}
+    for i in range(spec.casts):
+        n = spec.samples_per_cast
+        start = _EPOCH_2008 + rng.uniform(0, spec.years - 0.01) * _YEAR_SECONDS
+        times = [start + k * 2.0 for k in range(n)]
+        lat = round(rng.uniform(*_SHELF_LAT), 5)
+        lon = round(rng.uniform(*_SHELF_LON), 5)
+        suite = _pick_suite(rng, Platform.CAST)
+        year = 2008 + int((start - _EPOCH_2008) / _YEAR_SECONDS)
+        fmt = cast_format_by_year.setdefault(
+            year,
+            FileFormat.CDL if rng.random() < 0.5 else FileFormat.CSV,
+        )
+        ds = Dataset(
+            path=f"casts/{year}/ctd_cast_{i:03d}.{fmt.value}",
+            platform=Platform.CAST,
+            file_format=fmt,
+            attributes={
+                "title": f"CTD cast {i:03d} ({year})",
+                "platform": Platform.CAST.value,
+            },
+            table=ObservationTable(
+                times=times, lats=[lat] * n, lons=[lon] * n,
+                columns=_make_columns(rng, suite, n, times=times),
+            ),
+        )
+        # Depth column of a cast should be monotone (downcast).
+        for col in ds.table.columns:
+            if col.name in {"depth", "water_pressure"}:
+                col.values = sorted(col.values)
+        ds.truth = _clean_truth(ds.path, ds)
+        datasets.append(ds)
+
+    # -- gliders ---------------------------------------------------------------
+    for i in range(spec.gliders):
+        n = spec.samples_per_glider
+        start = _EPOCH_2008 + rng.uniform(0, spec.years - 0.2) * _YEAR_SECONDS
+        times = [start + k * 300.0 for k in range(n)]
+        lat0 = rng.uniform(*_SHELF_LAT)
+        lon0 = rng.uniform(*_SHELF_LON)
+        lats, lons = [], []
+        lat, lon = lat0, lon0
+        for __ in range(n):
+            lat = min(89.9, max(-89.9, lat + rng.uniform(-0.002, 0.002)))
+            lon = min(179.9, max(-179.9, lon + rng.uniform(-0.002, 0.002)))
+            lats.append(round(lat, 5))
+            lons.append(round(lon, 5))
+        suite = _pick_suite(rng, Platform.GLIDER)
+        year = 2008 + int((start - _EPOCH_2008) / _YEAR_SECONDS)
+        ds = Dataset(
+            path=f"auv/mission_{year}_{i:02d}/glider_{i:02d}.csv",
+            platform=Platform.GLIDER,
+            file_format=FileFormat.CSV,
+            attributes={
+                "title": f"Glider mission {year}-{i:02d}",
+                "platform": Platform.GLIDER.value,
+            },
+            table=ObservationTable(
+                times=times, lats=lats, lons=lons,
+                columns=_make_columns(rng, suite, n, times=times),
+            ),
+        )
+        ds.truth = _clean_truth(ds.path, ds)
+        datasets.append(ds)
+
+    # -- met stations ------------------------------------------------------------
+    for i in range(spec.met_stations):
+        sid = f"met{i + 1:02d}"
+        lat = round(rng.uniform(*_ESTUARY_LAT), 5)
+        lon = round(rng.uniform(*_ESTUARY_LON), 5)
+        stations.append(
+            StationRecord(
+                station_id=sid,
+                name=f"Met station {sid.upper()}",
+                lat=lat,
+                lon=lon,
+                description=f"Meteorological station {sid}",
+            )
+        )
+        n = spec.samples_per_met
+        start = _EPOCH_2008 + rng.uniform(0, 0.5) * spec.years * _YEAR_SECONDS
+        times = [start + k * 3600.0 for k in range(n)]
+        suite = _pick_suite(rng, Platform.MET)
+        year = 2008 + int((start - _EPOCH_2008) / _YEAR_SECONDS)
+        ds = Dataset(
+            path=f"met/{sid}/{sid}_{year}.csv",
+            platform=Platform.MET,
+            file_format=FileFormat.CSV,
+            attributes={
+                "title": f"Met station {sid} hourly {year}",
+                "platform": Platform.MET.value,
+                "station": sid,
+            },
+            table=ObservationTable(
+                times=times, lats=[lat] * n, lons=[lon] * n,
+                columns=_make_columns(rng, suite, n, times=times),
+            ),
+        )
+        ds.truth = _clean_truth(ds.path, ds)
+        datasets.append(ds)
+
+    return SyntheticArchive(spec=spec, datasets=datasets, stations=stations)
+
+
+def station_registry_text(stations: list[StationRecord]) -> str:
+    """Render the external station registry as the archive stores it
+    (a pipe-separated table — deliberately *not* one of the dataset
+    formats, because external metadata rarely matches)."""
+    lines = ["station_id|name|lat|lon|description"]
+    for s in stations:
+        lines.append(
+            f"{s.station_id}|{s.name}|{s.lat}|{s.lon}|{s.description}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def parse_station_registry(text: str) -> list[StationRecord]:
+    """Parse the registry format written by :func:`station_registry_text`.
+
+    Raises:
+        ValueError: when a row does not have five fields.
+    """
+    out = []
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    for line in lines[1:]:
+        parts = line.split("|")
+        if len(parts) != 5:
+            raise ValueError(f"bad registry row: {line!r}")
+        out.append(
+            StationRecord(
+                station_id=parts[0],
+                name=parts[1],
+                lat=float(parts[2]),
+                lon=float(parts[3]),
+                description=parts[4],
+            )
+        )
+    return out

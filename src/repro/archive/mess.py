@@ -1,0 +1,374 @@
+"""The semantic-mess injector.
+
+Takes the clean synthetic archive and rewrites variable names and unit
+strings according to the seven categories of the paper's Table
+("Categories of Semantic Diversity"), recording per-column ground truth
+so experiments can score how much of the mess the wrangling process
+tames.  Deterministic from a seed.
+
+Category labels (used in :class:`~repro.archive.dataset.VariableTruth`):
+
+* ``clean``        — name left as the canonical spelling
+* ``misspelling``  — minor variations & misspellings (Table row 1)
+* ``synonym``      — synonyms (row 2; unit synonyms injected independently)
+* ``abbreviation`` — abbreviations (row 3)
+* ``excessive``    — QA/housekeeping columns appended (row 4)
+* ``ambiguous``    — ambiguous short forms, incl. non-variables (row 5)
+* ``context``      — source-context naming collapse (row 6)
+* ``multilevel``   — concepts at multiple levels of detail (row 7)
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+UnitConverter = Callable[[float], float]
+
+from .dataset import Dataset, DatasetTruth, Platform, VariableTruth
+from .generator import VALUE_RANGES, SyntheticArchive, _random_walk
+from .observations import ObservationColumn
+from .vocabulary import (
+    AMBIGUOUS_FORMS,
+    UNIT_SYNONYMS,
+    VOCABULARY,
+)
+
+CATEGORIES = (
+    "clean",
+    "misspelling",
+    "synonym",
+    "abbreviation",
+    "excessive",
+    "ambiguous",
+    "context",
+    "multilevel",
+)
+
+#: Source-context collapse: canonical name -> bare context-free name the
+#: source writes (Table row 6's "Temperature" example, generalized).
+CONTEXT_COLLAPSE: dict[str, str] = {
+    "air_temperature": "temperature",
+    "water_temperature": "temperature",
+    "sea_surface_temperature": "temperature",
+    "air_pressure": "pressure",
+    "water_pressure": "pressure",
+    "wind_speed": "speed",
+    "current_speed": "speed",
+    "wind_direction": "direction",
+    "current_direction": "direction",
+}
+
+#: Multi-level collapse: canonical fine-grained name -> the short form the
+#: source writes (Table row 7's fluores375 example).
+MULTILEVEL_FORMS: dict[str, str] = {
+    "fluorescence_375nm": "fluores375",
+    "fluorescence_400nm": "fluores400",
+    "chlorophyll": "chl",
+    "oxygen_saturation": "o2sat",
+}
+
+#: Cross-family unit conversions some sources report in: canonical unit ->
+#: (alien unit, value conversion).  The abstract's "similar problems in
+#: other areas, e.g. units" made concrete: the file's *values* are in the
+#: alien unit, and wrangling must convert the catalog statistics back.
+ALIEN_UNITS: dict[str, tuple[str, "UnitConverter"]] = {}
+
+
+def _register_alien_units() -> None:
+    def f(scale: float, offset: float = 0.0):
+        return lambda x: x * scale + offset
+
+    ALIEN_UNITS.update(
+        {
+            "degC": ("degF", f(9.0 / 5.0, 32.0)),
+            "m/s": ("knots", f(1.0 / 0.514444)),
+            "mg/L": ("uM", f(1000.0 / 31.998)),
+        }
+    )
+
+
+_register_alien_units()
+
+
+@dataclass(frozen=True, slots=True)
+class MessSpec:
+    """Rates at which each rename category is applied.
+
+    Rates are relative weights over the rename categories; ``excessive``
+    and the "phantom temp" of ``ambiguous`` act per dataset rather than
+    per column.  ``unit_mess_rate`` independently rewrites unit strings to
+    non-preferred synonym spellings.
+    """
+
+    clean: float = 0.35
+    misspelling: float = 0.15
+    synonym: float = 0.15
+    abbreviation: float = 0.10
+    ambiguous: float = 0.08
+    context: float = 0.10
+    multilevel: float = 0.07
+    unit_mess_rate: float = 0.30
+    alien_unit_rate: float = 0.10  # P(column reported in a foreign unit)
+    excessive_rate: float = 0.50  # P(dataset gains auxiliary columns)
+    phantom_rate: float = 0.15  # P(dataset gains a non-variable 'temp')
+    seed: int = 13
+
+    def rename_weights(self) -> list[tuple[str, float]]:
+        """(category, weight) pairs for the per-column rename draw."""
+        return [
+            ("clean", self.clean),
+            ("misspelling", self.misspelling),
+            ("synonym", self.synonym),
+            ("abbreviation", self.abbreviation),
+            ("ambiguous", self.ambiguous),
+            ("context", self.context),
+            ("multilevel", self.multilevel),
+        ]
+
+
+def uniform_mess_spec(rate: float, seed: int = 13) -> MessSpec:
+    """A spec applying each rename category with equal weight ``rate``.
+
+    ``rate`` is the total fraction of columns renamed (split evenly over
+    the six rename categories); the rest stay clean.  Used by the Table 1
+    benchmark's rate sweep.
+
+    Raises:
+        ValueError: if ``rate`` is outside [0, 1].
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"rate must lie in [0, 1], got {rate}")
+    per = rate / 6.0
+    return MessSpec(
+        clean=1.0 - rate,
+        misspelling=per,
+        synonym=per,
+        abbreviation=per,
+        ambiguous=per,
+        context=per,
+        multilevel=per,
+        unit_mess_rate=rate,
+        excessive_rate=rate,
+        phantom_rate=rate / 3.0,
+        seed=seed,
+    )
+
+
+def _typo(rng: random.Random, name: str) -> str:
+    """One deterministic 'minor variation or misspelling' of ``name``."""
+    styles = ["transpose", "drop", "double", "joined", "drop_sep"]
+    style = rng.choice(styles)
+    if style == "joined":
+        return name.replace("_", "")
+    if style == "drop_sep" and "_" in name:
+        parts = name.split("_")
+        k = rng.randrange(len(parts) - 1)
+        return "_".join(parts[:k] + [parts[k] + parts[k + 1]] + parts[k + 2:])
+    letters = [i for i, ch in enumerate(name) if ch.isalpha()]
+    if len(letters) < 4:
+        return name + name[-1]
+    if style == "transpose":
+        i = rng.choice(letters[1:-1])
+        chars = list(name)
+        chars[i - 1], chars[i] = chars[i], chars[i - 1]
+        return "".join(chars)
+    if style == "drop":
+        i = rng.choice(letters[1:])
+        return name[:i] + name[i + 1:]
+    # double
+    i = rng.choice(letters)
+    return name[:i] + name[i] + name[i:]
+
+
+def _messy_unit(rng: random.Random, unit: str) -> str:
+    """A non-preferred synonym spelling of ``unit`` (or ``unit`` itself)."""
+    spellings = UNIT_SYNONYMS.get(unit)
+    if not spellings or len(spellings) < 2:
+        return unit
+    return rng.choice(spellings[1:])
+
+
+def _context_of(platform: Platform) -> str:
+    return "air" if platform is Platform.MET else "water"
+
+
+def _ambiguous_form_for(canonical: str) -> str | None:
+    for form, meanings in AMBIGUOUS_FORMS.items():
+        if canonical in meanings:
+            return form
+    return None
+
+
+def _rename(
+    rng: random.Random,
+    canonical: str,
+    category: str,
+    platform: Platform,
+) -> tuple[str, str] | None:
+    """Return (written_name, category) or None when the category does not
+    apply to this variable (caller falls back to clean)."""
+    var = VOCABULARY[canonical]
+    if category == "misspelling":
+        written = _typo(rng, canonical)
+        if written == canonical:
+            return None
+        return written, category
+    if category == "synonym":
+        if not var.synonyms:
+            return None
+        written = rng.choice(var.synonyms).replace(" ", "_")
+        return written, category
+    if category == "abbreviation":
+        if not var.abbreviations:
+            return None
+        return rng.choice(var.abbreviations), category
+    if category == "ambiguous":
+        form = _ambiguous_form_for(canonical)
+        if form is None:
+            return None
+        return form, category
+    if category == "context":
+        collapsed = CONTEXT_COLLAPSE.get(canonical)
+        if collapsed is None:
+            return None
+        return collapsed, category
+    if category == "multilevel":
+        short = MULTILEVEL_FORMS.get(canonical)
+        if short is None:
+            return None
+        return short, category
+    return None
+
+
+def inject_mess(
+    archive: SyntheticArchive, spec: MessSpec | None = None
+) -> SyntheticArchive:
+    """Rewrite the archive's variable names/units in place, with truth.
+
+    Mutates the datasets of ``archive`` (names, units, appended auxiliary
+    columns) and replaces each dataset's ``truth``.  Returns ``archive``
+    for chaining.
+    """
+    spec = spec or MessSpec()
+    rng = random.Random(spec.seed)
+    weights = spec.rename_weights()
+    categories = [c for c, __ in weights]
+    probs = [w for __, w in weights]
+
+    for ds in archive.datasets:
+        truths: list[VariableTruth] = []
+        used_names = {"time", "latitude", "longitude"}
+        for col in ds.table.columns:
+            canonical = col.name
+            category = rng.choices(categories, weights=probs, k=1)[0]
+            written = canonical
+            applied = "clean"
+            if category != "clean":
+                result = _rename(rng, canonical, category, ds.platform)
+                if result is not None and result[0] not in used_names:
+                    written, applied = result
+            if written in used_names:
+                written, applied = canonical, "clean"
+            used_names.add(written)
+            unit = col.unit
+            alien = ALIEN_UNITS.get(col.unit)
+            if alien is not None and rng.random() < spec.alien_unit_rate:
+                # The source reports in a different unit family: convert
+                # the values themselves and label them accordingly.
+                alien_unit, convert = alien
+                col.values = [round(convert(v), 4) for v in col.values]
+                unit = alien_unit
+            elif rng.random() < spec.unit_mess_rate:
+                unit = _messy_unit(rng, col.unit)
+            col.name = written
+            col.unit = unit
+            truths.append(
+                VariableTruth(
+                    written_name=written,
+                    written_unit=unit,
+                    canonical=canonical,
+                    category=applied,
+                    auxiliary=VOCABULARY[canonical].auxiliary,
+                )
+            )
+
+        n = ds.table.row_count
+        # Category 4: excessive (auxiliary) variables appended.
+        if rng.random() < spec.excessive_rate:
+            count = rng.randint(1, 3)
+            aux_pool = [
+                name
+                for name in ("qa_level", "qc_flag", "battery_voltage",
+                             "sample_number")
+                if name not in used_names
+            ]
+            for aux_name in rng.sample(aux_pool, min(count, len(aux_pool))):
+                var = VOCABULARY[aux_name]
+                lo, hi = VALUE_RANGES[aux_name]
+                values = (
+                    [float(k) for k in range(n)]
+                    if aux_name == "sample_number"
+                    else [float(int(v)) for v in _random_walk(rng, lo, hi, n)]
+                    if aux_name in {"qa_level", "qc_flag"}
+                    else _random_walk(rng, lo, hi, n)
+                )
+                ds.table.columns.append(
+                    ObservationColumn(name=aux_name, unit=var.unit,
+                                      values=values)
+                )
+                used_names.add(aux_name)
+                truths.append(
+                    VariableTruth(
+                        written_name=aux_name,
+                        written_unit=var.unit,
+                        canonical=aux_name,
+                        category="excessive",
+                        auxiliary=True,
+                    )
+                )
+
+        # Category 5's hard case: a 'temp' column that is NOT temperature.
+        if rng.random() < spec.phantom_rate and "temp" not in used_names:
+            ds.table.columns.append(
+                ObservationColumn(
+                    name="temp",
+                    unit="1",
+                    values=[float(k % 17) for k in range(n)],
+                )
+            )
+            used_names.add("temp")
+            truths.append(
+                VariableTruth(
+                    written_name="temp",
+                    written_unit="1",
+                    canonical=None,
+                    category="ambiguous",
+                    auxiliary=False,
+                )
+            )
+
+        ds.truth = DatasetTruth(dataset_path=ds.path, variables=tuple(truths))
+    return archive
+
+
+def truth_index(
+    archive: SyntheticArchive,
+) -> dict[tuple[str, str], VariableTruth]:
+    """(dataset_path, written_name) -> ground truth, over the archive."""
+    out: dict[tuple[str, str], VariableTruth] = {}
+    for ds in archive.datasets:
+        if ds.truth is None:
+            continue
+        for vt in ds.truth.variables:
+            out[(ds.path, vt.written_name)] = vt
+    return out
+
+
+def category_counts(archive: SyntheticArchive) -> dict[str, int]:
+    """How many columns each mess category produced, across the archive."""
+    counts: dict[str, int] = {c: 0 for c in CATEGORIES}
+    for __, vt in truth_index(archive).items():
+        counts[vt.category] = counts.get(vt.category, 0) + 1
+    return counts

@@ -1,0 +1,50 @@
+"""Rendering a synthetic archive into the virtual filesystem.
+
+This is the hand-off point between generation and wrangling: once the
+datasets are written out as files, the pipeline sees only what a real
+archive exposes.  Ground truth is returned separately.
+"""
+
+from __future__ import annotations
+
+from .dataset import DatasetTruth
+from .filesystem import VirtualArchive
+from .formats import write_dataset
+from .generator import SyntheticArchive, station_registry_text
+
+STATION_REGISTRY_PATH = "metadata/station_registry.txt"
+
+
+def render_archive(
+    archive: SyntheticArchive,
+) -> tuple[VirtualArchive, dict[str, DatasetTruth]]:
+    """Write all datasets and the station registry into a fresh
+    :class:`VirtualArchive`.
+
+    Returns the filesystem and a ``path -> DatasetTruth`` map (ground
+    truth stays out of the filesystem on purpose).
+    """
+    fs = VirtualArchive()
+    truth: dict[str, DatasetTruth] = {}
+    for ds in archive.datasets:
+        fs.put(ds.path, write_dataset(ds))
+        if ds.truth is not None:
+            truth[ds.path] = ds.truth
+    fs.put(STATION_REGISTRY_PATH, station_registry_text(archive.stations))
+    return fs, truth
+
+
+def messy_archive_fixture(
+    spec=None, mess_spec=None
+) -> tuple[VirtualArchive, dict[str, DatasetTruth], SyntheticArchive]:
+    """Convenience: generate, mess up and render in one call.
+
+    Returns ``(filesystem, truth_by_path, synthetic_archive)``.
+    """
+    from .generator import ArchiveSpec, generate_archive
+    from .mess import MessSpec, inject_mess
+
+    archive = generate_archive(spec or ArchiveSpec())
+    inject_mess(archive, mess_spec or MessSpec())
+    fs, truth = render_archive(archive)
+    return fs, truth, archive

@@ -1,0 +1,30 @@
+"""Metadata catalog substrate: records, stores and indexes."""
+
+from .index import CatalogIndexes, IntervalIndex, SpatialGridIndex
+from .io import (
+    CatalogFormatError,
+    dump_catalog,
+    feature_from_dict,
+    feature_to_dict,
+    load_catalog,
+)
+from .records import DatasetFeature, VariableEntry
+from .sqlite_store import SqliteCatalog
+from .store import CatalogStore, DatasetNotFoundError, MemoryCatalog
+
+__all__ = [
+    "CatalogFormatError",
+    "CatalogIndexes",
+    "CatalogStore",
+    "DatasetFeature",
+    "DatasetNotFoundError",
+    "IntervalIndex",
+    "MemoryCatalog",
+    "SpatialGridIndex",
+    "SqliteCatalog",
+    "VariableEntry",
+    "dump_catalog",
+    "feature_from_dict",
+    "feature_to_dict",
+    "load_catalog",
+]

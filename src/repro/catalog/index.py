@@ -1,0 +1,211 @@
+"""Candidate-selection indexes over catalog features.
+
+Ranked search scores *every* candidate; with thousands of datasets a full
+scan per query is wasteful when the query carries location or time terms.
+These indexes prune the candidate set cheaply and conservatively (they
+never drop a dataset that could score above zero on the indexed term
+within the given radius/expansion).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from collections import defaultdict
+
+from ..geo import BoundingBox, GeoPoint, TimeInterval
+from .records import DatasetFeature
+
+
+class SpatialGridIndex:
+    """A fixed-resolution lat/lon grid over dataset bounding boxes.
+
+    Each dataset is registered in every grid cell its box touches; a
+    query enumerates the cells within ``radius_km`` of the query point.
+    Conservative: possibly returns extra candidates, never misses one
+    whose box lies within the radius.
+    """
+
+    def __init__(self, cell_degrees: float = 0.5) -> None:
+        if cell_degrees <= 0:
+            raise ValueError("cell_degrees must be positive")
+        self.cell_degrees = cell_degrees
+        self._cells: dict[tuple[int, int], set[str]] = defaultdict(set)
+        self._boxes: dict[str, BoundingBox] = {}
+
+    def _cell_of(self, lat: float, lon: float) -> tuple[int, int]:
+        return (
+            int(math.floor(lat / self.cell_degrees)),
+            int(math.floor(lon / self.cell_degrees)),
+        )
+
+    def insert(self, dataset_id: str, bbox: BoundingBox) -> None:
+        """Register (or re-register) a dataset's box."""
+        if dataset_id in self._boxes:
+            self.remove(dataset_id)
+        self._boxes[dataset_id] = bbox
+        lo = self._cell_of(bbox.min_lat, bbox.min_lon)
+        hi = self._cell_of(bbox.max_lat, bbox.max_lon)
+        for ci in range(lo[0], hi[0] + 1):
+            for cj in range(lo[1], hi[1] + 1):
+                self._cells[(ci, cj)].add(dataset_id)
+
+    def remove(self, dataset_id: str) -> None:
+        """Drop a dataset from the index (no-op when absent)."""
+        bbox = self._boxes.pop(dataset_id, None)
+        if bbox is None:
+            return
+        lo = self._cell_of(bbox.min_lat, bbox.min_lon)
+        hi = self._cell_of(bbox.max_lat, bbox.max_lon)
+        for ci in range(lo[0], hi[0] + 1):
+            for cj in range(lo[1], hi[1] + 1):
+                cell = self._cells.get((ci, cj))
+                if cell is not None:
+                    cell.discard(dataset_id)
+                    if not cell:
+                        del self._cells[(ci, cj)]
+
+    def __len__(self) -> int:
+        return len(self._boxes)
+
+    def candidates_near(
+        self, point: GeoPoint, radius_km: float
+    ) -> set[str]:
+        """Dataset ids whose box may lie within ``radius_km`` of ``point``.
+
+        The radius is converted to a degree margin using the worst-case
+        (smallest) km-per-degree of longitude over the cells in play.
+        """
+        if radius_km < 0:
+            raise ValueError("radius_km must be non-negative")
+        lat_margin = radius_km / 111.0  # km per degree latitude
+        # Longitude degrees shrink with latitude; bound with the extreme
+        # latitude reachable within the radius.
+        extreme_lat = min(89.0, abs(point.lat) + lat_margin)
+        km_per_lon_degree = 111.320 * math.cos(math.radians(extreme_lat))
+        lon_margin = (
+            radius_km / km_per_lon_degree if km_per_lon_degree > 1e-9
+            else 360.0
+        )
+        # A margin beyond the globe means "everything"; clamping keeps
+        # the cell scan bounded even for huge decay horizons.
+        if lat_margin >= 180.0 or lon_margin >= 360.0:
+            return set(self._boxes)
+        lo = self._cell_of(
+            max(-90.0, point.lat - lat_margin),
+            max(-180.0, point.lon - lon_margin),
+        )
+        hi = self._cell_of(
+            min(90.0, point.lat + lat_margin),
+            min(180.0, point.lon + lon_margin),
+        )
+        cell_count = (hi[0] - lo[0] + 1) * (hi[1] - lo[1] + 1)
+        if cell_count > len(self._cells):
+            # Cheaper to test every occupied cell than to enumerate the
+            # query rectangle.
+            out: set[str] = set()
+            for (ci, cj), members in self._cells.items():
+                if lo[0] <= ci <= hi[0] and lo[1] <= cj <= hi[1]:
+                    out.update(members)
+            return out
+        out = set()
+        for ci in range(lo[0], hi[0] + 1):
+            for cj in range(lo[1], hi[1] + 1):
+                out.update(self._cells.get((ci, cj), ()))
+        return out
+
+    def all_ids(self) -> set[str]:
+        """Every registered dataset id."""
+        return set(self._boxes)
+
+
+class IntervalIndex:
+    """A sorted-endpoint index over dataset time intervals.
+
+    Supports "all intervals overlapping [a, b] expanded by ``margin``"
+    via two bisections over sorted start/end lists plus one set
+    subtraction — O(log n + answer).
+    """
+
+    def __init__(self) -> None:
+        self._intervals: dict[str, TimeInterval] = {}
+        self._dirty = True
+        self._starts: list[tuple[float, str]] = []
+        self._ends: list[tuple[float, str]] = []
+
+    def insert(self, dataset_id: str, interval: TimeInterval) -> None:
+        """Register (or re-register) a dataset's time interval."""
+        self._intervals[dataset_id] = interval
+        self._dirty = True
+
+    def remove(self, dataset_id: str) -> None:
+        """Drop a dataset (no-op when absent)."""
+        if self._intervals.pop(dataset_id, None) is not None:
+            self._dirty = True
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def _rebuild(self) -> None:
+        self._starts = sorted(
+            (iv.start, did) for did, iv in self._intervals.items()
+        )
+        self._ends = sorted(
+            (iv.end, did) for did, iv in self._intervals.items()
+        )
+        self._dirty = False
+
+    def candidates_overlapping(
+        self, interval: TimeInterval, margin_seconds: float = 0.0
+    ) -> set[str]:
+        """Ids whose interval overlaps ``interval`` grown by the margin."""
+        if margin_seconds < 0:
+            raise ValueError("margin_seconds must be non-negative")
+        if self._dirty:
+            self._rebuild()
+        lo = interval.start - margin_seconds
+        hi = interval.end + margin_seconds
+        # Not overlapping  <=>  start > hi  OR  end < lo.
+        i = bisect.bisect_right(self._starts, (hi, "￿"))
+        starts_too_late = {did for __, did in self._starts[i:]}
+        j = bisect.bisect_left(self._ends, (lo, ""))
+        ends_too_early = {did for __, did in self._ends[:j]}
+        return (
+            set(self._intervals) - starts_too_late - ends_too_early
+        )
+
+    def all_ids(self) -> set[str]:
+        """Every registered dataset id."""
+        return set(self._intervals)
+
+
+class CatalogIndexes:
+    """Both indexes, kept in lockstep, built from a catalog store."""
+
+    def __init__(self, cell_degrees: float = 0.5) -> None:
+        self.spatial = SpatialGridIndex(cell_degrees=cell_degrees)
+        self.temporal = IntervalIndex()
+
+    @classmethod
+    def build(
+        cls, features: list[DatasetFeature] | None = None,
+        cell_degrees: float = 0.5,
+    ) -> "CatalogIndexes":
+        """Construct and bulk-load from ``features``."""
+        indexes = cls(cell_degrees=cell_degrees)
+        for feature in features or []:
+            indexes.insert(feature)
+        return indexes
+
+    def insert(self, feature: DatasetFeature) -> None:
+        """Register a feature in both indexes."""
+        self.spatial.insert(feature.dataset_id, feature.bbox)
+        self.temporal.insert(feature.dataset_id, feature.interval)
+
+    def remove(self, dataset_id: str) -> None:
+        """Drop a dataset from both indexes."""
+        self.spatial.remove(dataset_id)
+        self.temporal.remove(dataset_id)
+
+    def __len__(self) -> int:
+        return len(self.temporal)

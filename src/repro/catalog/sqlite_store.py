@@ -1,0 +1,268 @@
+"""SQLite-backed catalog store.
+
+The published metadata catalog of Data Near Here lived in a relational
+database; this store provides the same durability with the stdlib
+``sqlite3`` module.  The schema is two tables — ``datasets`` and
+``variables`` — with the dataset's feature fields flattened into columns
+so range predicates can run inside SQLite.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from typing import Iterable
+
+from ..geo import BoundingBox, TimeInterval
+from .records import DatasetFeature, VariableEntry
+from .store import CatalogStore, DatasetNotFoundError
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS datasets (
+    dataset_id   TEXT PRIMARY KEY,
+    title        TEXT NOT NULL,
+    platform     TEXT NOT NULL,
+    file_format  TEXT NOT NULL,
+    min_lat      REAL NOT NULL,
+    min_lon      REAL NOT NULL,
+    max_lat      REAL NOT NULL,
+    max_lon      REAL NOT NULL,
+    time_start   REAL NOT NULL,
+    time_end     REAL NOT NULL,
+    row_count    INTEGER NOT NULL,
+    source_dir   TEXT NOT NULL,
+    attributes   TEXT NOT NULL,
+    content_hash TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS variables (
+    dataset_id   TEXT NOT NULL REFERENCES datasets(dataset_id)
+                 ON DELETE CASCADE,
+    position     INTEGER NOT NULL,
+    written_name TEXT NOT NULL,
+    written_unit TEXT NOT NULL,
+    name         TEXT NOT NULL,
+    unit         TEXT NOT NULL,
+    count        INTEGER NOT NULL,
+    minimum      REAL NOT NULL,
+    maximum      REAL NOT NULL,
+    mean         REAL NOT NULL,
+    stddev       REAL NOT NULL,
+    excluded     INTEGER NOT NULL DEFAULT 0,
+    ambiguous    INTEGER NOT NULL DEFAULT 0,
+    context      TEXT NOT NULL DEFAULT '',
+    resolution   TEXT NOT NULL DEFAULT '',
+    PRIMARY KEY (dataset_id, position)
+);
+CREATE INDEX IF NOT EXISTS idx_variables_name ON variables(name);
+CREATE INDEX IF NOT EXISTS idx_datasets_bbox
+    ON datasets(min_lat, max_lat, min_lon, max_lon);
+CREATE INDEX IF NOT EXISTS idx_datasets_time
+    ON datasets(time_start, time_end);
+"""
+
+
+class SqliteCatalog(CatalogStore):
+    """A :class:`CatalogStore` persisted in SQLite.
+
+    ``path=':memory:'`` (the default) gives a private in-memory database;
+    pass a filename for durability across processes.
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self._conn = sqlite3.connect(path)
+        self._conn.execute("PRAGMA foreign_keys = ON")
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._conn.close()
+
+    def __enter__(self) -> "SqliteCatalog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- dataset-level -------------------------------------------------------
+
+    def upsert(self, feature: DatasetFeature) -> None:
+        with self._conn:
+            self._conn.execute(
+                "DELETE FROM datasets WHERE dataset_id = ?",
+                (feature.dataset_id,),
+            )
+            self._conn.execute(
+                "INSERT INTO datasets VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
+                (
+                    feature.dataset_id,
+                    feature.title,
+                    feature.platform,
+                    feature.file_format,
+                    feature.bbox.min_lat,
+                    feature.bbox.min_lon,
+                    feature.bbox.max_lat,
+                    feature.bbox.max_lon,
+                    feature.interval.start,
+                    feature.interval.end,
+                    feature.row_count,
+                    feature.source_directory,
+                    json.dumps(feature.attributes, sort_keys=True),
+                    feature.content_hash,
+                ),
+            )
+            self._conn.executemany(
+                "INSERT INTO variables VALUES "
+                "(?,?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
+                [
+                    (
+                        feature.dataset_id,
+                        position,
+                        v.written_name,
+                        v.written_unit,
+                        v.name,
+                        v.unit,
+                        v.count,
+                        v.minimum,
+                        v.maximum,
+                        v.mean,
+                        v.stddev,
+                        int(v.excluded),
+                        int(v.ambiguous),
+                        v.context,
+                        v.resolution,
+                    )
+                    for position, v in enumerate(feature.variables)
+                ],
+            )
+
+    def get(self, dataset_id: str) -> DatasetFeature:
+        row = self._conn.execute(
+            "SELECT * FROM datasets WHERE dataset_id = ?", (dataset_id,)
+        ).fetchone()
+        if row is None:
+            raise DatasetNotFoundError(dataset_id)
+        return self._feature_from_row(row)
+
+    def _feature_from_row(self, row: tuple) -> DatasetFeature:
+        (
+            dataset_id, title, platform, file_format,
+            min_lat, min_lon, max_lat, max_lon,
+            time_start, time_end, row_count, source_dir,
+            attributes_json, content_hash,
+        ) = row
+        variables = [
+            VariableEntry(
+                written_name=v[2],
+                written_unit=v[3],
+                name=v[4],
+                unit=v[5],
+                count=v[6],
+                minimum=v[7],
+                maximum=v[8],
+                mean=v[9],
+                stddev=v[10],
+                excluded=bool(v[11]),
+                ambiguous=bool(v[12]),
+                context=v[13],
+                resolution=v[14],
+            )
+            for v in self._conn.execute(
+                "SELECT * FROM variables WHERE dataset_id = ? "
+                "ORDER BY position",
+                (dataset_id,),
+            )
+        ]
+        return DatasetFeature(
+            dataset_id=dataset_id,
+            title=title,
+            platform=platform,
+            file_format=file_format,
+            bbox=BoundingBox(min_lat, min_lon, max_lat, max_lon),
+            interval=TimeInterval(time_start, time_end),
+            row_count=row_count,
+            source_directory=source_dir,
+            attributes=json.loads(attributes_json),
+            variables=variables,
+            content_hash=content_hash,
+        )
+
+    def remove(self, dataset_id: str) -> None:
+        with self._conn:
+            cursor = self._conn.execute(
+                "DELETE FROM datasets WHERE dataset_id = ?", (dataset_id,)
+            )
+        if cursor.rowcount == 0:
+            raise DatasetNotFoundError(dataset_id)
+
+    def dataset_ids(self) -> list[str]:
+        rows = self._conn.execute(
+            "SELECT dataset_id FROM datasets ORDER BY dataset_id"
+        ).fetchall()
+        return [r[0] for r in rows]
+
+    def __len__(self) -> int:
+        (count,) = self._conn.execute(
+            "SELECT COUNT(*) FROM datasets"
+        ).fetchone()
+        return count
+
+    def clear(self) -> None:
+        with self._conn:
+            self._conn.execute("DELETE FROM variables")
+            self._conn.execute("DELETE FROM datasets")
+
+    # -- bulk operations pushed into SQL --------------------------------------
+
+    def rename_variables(
+        self, mapping: dict[str, str], resolution: str = ""
+    ) -> int:
+        changed = 0
+        with self._conn:
+            for old, new in mapping.items():
+                if old == new:
+                    continue
+                cursor = self._conn.execute(
+                    "UPDATE variables SET name = ?, resolution = ? "
+                    "WHERE name = ?",
+                    (new, resolution, old),
+                )
+                changed += cursor.rowcount
+        return changed
+
+    def rename_units(self, mapping: dict[str, str]) -> int:
+        changed = 0
+        with self._conn:
+            for old, new in mapping.items():
+                if old == new:
+                    continue
+                cursor = self._conn.execute(
+                    "UPDATE variables SET unit = ? WHERE unit = ?",
+                    (new, old),
+                )
+                changed += cursor.rowcount
+        return changed
+
+    def set_excluded(self, names: Iterable[str], excluded: bool = True) -> int:
+        changed = 0
+        with self._conn:
+            for name in set(names):
+                cursor = self._conn.execute(
+                    "UPDATE variables SET excluded = ? "
+                    "WHERE name = ? AND excluded != ?",
+                    (int(excluded), name, int(excluded)),
+                )
+                changed += cursor.rowcount
+        return changed
+
+    def set_ambiguous(self, names: Iterable[str], flag: bool = True) -> int:
+        changed = 0
+        with self._conn:
+            for name in set(names):
+                cursor = self._conn.execute(
+                    "UPDATE variables SET ambiguous = ? "
+                    "WHERE name = ? AND ambiguous != ?",
+                    (int(flag), name, int(flag)),
+                )
+                changed += cursor.rowcount
+        return changed

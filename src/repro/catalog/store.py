@@ -1,0 +1,234 @@
+"""Catalog store interface and the in-memory implementation.
+
+The wrangling process maintains a *working catalog* and publishes into a
+*metadata catalog*; both are instances of :class:`CatalogStore`.  The
+interface is deliberately small — upsert/get/iterate plus the bulk
+operations transformations need (rename variables, mark exclusions).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import Counter
+from typing import Iterable, Iterator
+
+from .records import DatasetFeature, VariableEntry
+
+
+class DatasetNotFoundError(KeyError):
+    """Raised when a dataset id is not in the catalog."""
+
+
+class CatalogStore(ABC):
+    """Abstract catalog of dataset features."""
+
+    # -- dataset-level -------------------------------------------------------
+
+    @abstractmethod
+    def upsert(self, feature: DatasetFeature) -> None:
+        """Insert or replace the feature with ``feature.dataset_id``."""
+
+    @abstractmethod
+    def get(self, dataset_id: str) -> DatasetFeature:
+        """Return a copy of the feature.
+
+        Raises:
+            DatasetNotFoundError: when absent.
+        """
+
+    @abstractmethod
+    def remove(self, dataset_id: str) -> None:
+        """Remove a dataset.
+
+        Raises:
+            DatasetNotFoundError: when absent.
+        """
+
+    @abstractmethod
+    def dataset_ids(self) -> list[str]:
+        """Sorted ids of all datasets."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of datasets."""
+
+    @abstractmethod
+    def clear(self) -> None:
+        """Drop all content."""
+
+    def __iter__(self) -> Iterator[DatasetFeature]:
+        for dataset_id in self.dataset_ids():
+            yield self.get(dataset_id)
+
+    def contains(self, dataset_id: str) -> bool:
+        """True when ``dataset_id`` is cataloged."""
+        return dataset_id in set(self.dataset_ids())
+
+    # -- variable-level bulk operations --------------------------------------
+
+    def variable_name_counts(self) -> Counter[str]:
+        """Current variable name -> number of datasets using it."""
+        counts: Counter[str] = Counter()
+        for feature in self:
+            counts.update(set(feature.variable_names()))
+        return counts
+
+    def iter_variables(self) -> Iterator[tuple[str, VariableEntry]]:
+        """Yield ``(dataset_id, variable_entry)`` over the catalog."""
+        for feature in self:
+            for entry in feature.variables:
+                yield feature.dataset_id, entry
+
+    def rename_variables(
+        self, mapping: dict[str, str], resolution: str = ""
+    ) -> int:
+        """Rewrite current variable names via ``mapping``; returns the
+        number of entries changed.  ``resolution`` labels the provenance.
+        """
+        changed = 0
+        for feature in self:
+            touched = False
+            for entry in feature.variables:
+                new_name = mapping.get(entry.name)
+                if new_name is not None and new_name != entry.name:
+                    entry.name = new_name
+                    if resolution:
+                        entry.resolution = resolution
+                    changed += 1
+                    touched = True
+            if touched:
+                self.upsert(feature)
+        return changed
+
+    def rename_units(self, mapping: dict[str, str]) -> int:
+        """Rewrite current unit strings via ``mapping``; returns changes."""
+        changed = 0
+        for feature in self:
+            touched = False
+            for entry in feature.variables:
+                new_unit = mapping.get(entry.unit)
+                if new_unit is not None and new_unit != entry.unit:
+                    entry.unit = new_unit
+                    changed += 1
+                    touched = True
+            if touched:
+                self.upsert(feature)
+        return changed
+
+    def set_excluded(self, names: Iterable[str], excluded: bool = True) -> int:
+        """Mark variables with current names in ``names``; returns count."""
+        target = set(names)
+        changed = 0
+        for feature in self:
+            touched = False
+            for entry in feature.variables:
+                if entry.name in target and entry.excluded != excluded:
+                    entry.excluded = excluded
+                    changed += 1
+                    touched = True
+            if touched:
+                self.upsert(feature)
+        return changed
+
+    def set_ambiguous(self, names: Iterable[str], flag: bool = True) -> int:
+        """Mark variables as needing curator clarification."""
+        target = set(names)
+        changed = 0
+        for feature in self:
+            touched = False
+            for entry in feature.variables:
+                if entry.name in target and entry.ambiguous != flag:
+                    entry.ambiguous = flag
+                    changed += 1
+                    touched = True
+            if touched:
+                self.upsert(feature)
+        return changed
+
+    def copy_into(self, other: "CatalogStore") -> int:
+        """Replace ``other``'s content with a copy of this catalog.
+
+        This is the Publish component's primitive.  Returns dataset count.
+        """
+        other.clear()
+        count = 0
+        for feature in self:
+            other.upsert(feature.copy())
+            count += 1
+        return count
+
+
+class MemoryCatalog(CatalogStore):
+    """Dict-backed store: the default working catalog."""
+
+    def __init__(self) -> None:
+        self._features: dict[str, DatasetFeature] = {}
+
+    def upsert(self, feature: DatasetFeature) -> None:
+        self._features[feature.dataset_id] = feature.copy()
+
+    def get(self, dataset_id: str) -> DatasetFeature:
+        try:
+            return self._features[dataset_id].copy()
+        except KeyError:
+            raise DatasetNotFoundError(dataset_id)
+
+    def remove(self, dataset_id: str) -> None:
+        if dataset_id not in self._features:
+            raise DatasetNotFoundError(dataset_id)
+        del self._features[dataset_id]
+
+    def dataset_ids(self) -> list[str]:
+        return sorted(self._features)
+
+    def __len__(self) -> int:
+        return len(self._features)
+
+    def clear(self) -> None:
+        self._features.clear()
+
+    # Bulk operations work on internal objects directly; re-upserting a
+    # copy per dataset (the ABC default) would double the work.
+    def rename_variables(
+        self, mapping: dict[str, str], resolution: str = ""
+    ) -> int:
+        changed = 0
+        for feature in self._features.values():
+            for entry in feature.variables:
+                new_name = mapping.get(entry.name)
+                if new_name is not None and new_name != entry.name:
+                    entry.name = new_name
+                    if resolution:
+                        entry.resolution = resolution
+                    changed += 1
+        return changed
+
+    def rename_units(self, mapping: dict[str, str]) -> int:
+        changed = 0
+        for feature in self._features.values():
+            for entry in feature.variables:
+                new_unit = mapping.get(entry.unit)
+                if new_unit is not None and new_unit != entry.unit:
+                    entry.unit = new_unit
+                    changed += 1
+        return changed
+
+    def set_excluded(self, names: Iterable[str], excluded: bool = True) -> int:
+        target = set(names)
+        changed = 0
+        for feature in self._features.values():
+            for entry in feature.variables:
+                if entry.name in target and entry.excluded != excluded:
+                    entry.excluded = excluded
+                    changed += 1
+        return changed
+
+    def set_ambiguous(self, names: Iterable[str], flag: bool = True) -> int:
+        target = set(names)
+        changed = 0
+        for feature in self._features.values():
+            for entry in feature.variables:
+                if entry.name in target and entry.ambiguous != flag:
+                    entry.ambiguous = flag
+                    changed += 1
+        return changed

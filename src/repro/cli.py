@@ -1,0 +1,328 @@
+"""Command-line interface: generate, wrangle, search, validate, summarize.
+
+The production shape of the system as an operator sees it::
+
+    python -m repro generate ./archive --datasets 60 --mess 0.3
+    python -m repro wrangle  ./archive --catalog catalog.db
+    python -m repro search   catalog.db "near 45.5, -124.4 in mid-2010 \
+        with temperature between 5 and 10"
+    python -m repro summary  catalog.db stations/saturn01/saturn01_2009.csv
+    python -m repro validate ./archive
+    python -m repro menu     catalog.db
+
+Every command prints to stdout and returns a process exit code, so the
+functions are directly testable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from . import __version__
+from .archive import (
+    ArchiveSpec,
+    VirtualArchive,
+    generate_archive,
+    inject_mess,
+    render_archive,
+    uniform_mess_spec,
+)
+from .catalog import SqliteCatalog
+from .core import SearchEngine
+from .core.qparser import QueryParseError, parse_query
+from .core.summary import summarize
+from .hierarchy import vocabulary_hierarchy
+from .system import DataNearHere
+from .ui import render_search_text, render_summary_text
+from .wrangling import WranglingState, default_chain, validate
+from .wrangling.scan import ScanArchive
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Taming the Metadata Mess — wrangle and search "
+        "scientific data archives",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser(
+        "generate", help="write a synthetic messy archive to a directory"
+    )
+    generate.add_argument("directory")
+    generate.add_argument("--datasets", type=int, default=30)
+    generate.add_argument("--mess", type=float, default=None,
+                          help="uniform mess rate in [0,1] "
+                          "(default: the mixed default rates)")
+    generate.add_argument("--seed", type=int, default=7)
+
+    wrangle = sub.add_parser(
+        "wrangle", help="scan + wrangle an archive directory into a "
+        "SQLite catalog"
+    )
+    wrangle.add_argument("directory")
+    wrangle.add_argument("--catalog", default="metadata_catalog.db")
+    wrangle.add_argument(
+        "--config", default=None,
+        help="load a saved process configuration (JSON) before wrangling",
+    )
+    wrangle.add_argument(
+        "--save-config", default=None,
+        help="write the process configuration (JSON) after wrangling",
+    )
+
+    search = sub.add_parser(
+        "search", help="ranked search over a published catalog"
+    )
+    search.add_argument("catalog")
+    search.add_argument("query", help="query text, e.g. "
+                        "'near 45.5, -124.4 with salinity'")
+    search.add_argument("--limit", type=int, default=10)
+
+    summary = sub.add_parser(
+        "summary", help="show one dataset's summary page"
+    )
+    summary.add_argument("catalog")
+    summary.add_argument("dataset_id")
+
+    check = sub.add_parser(
+        "validate", help="run the curatorial validation checks on an "
+        "archive directory"
+    )
+    check.add_argument("directory")
+
+    menu = sub.add_parser(
+        "menu", help="print the hierarchical variable menu of a catalog"
+    )
+    menu.add_argument("catalog")
+
+    export = sub.add_parser(
+        "export", help="dump a catalog to interchange JSON"
+    )
+    export.add_argument("catalog")
+    export.add_argument("output", help="JSON file path ('-' for stdout)")
+
+    facets = sub.add_parser(
+        "facets", help="print the search sidebar facet counts"
+    )
+    facets.add_argument("catalog")
+
+    report = sub.add_parser(
+        "report", help="print the catalog health report"
+    )
+    report.add_argument("catalog")
+
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    share = args.datasets / 30.0
+    spec = ArchiveSpec(
+        stations=max(1, round(8 * share)),
+        cruises=max(1, round(6 * share)),
+        casts=max(1, round(10 * share)),
+        gliders=max(1, round(3 * share)),
+        met_stations=max(1, round(3 * share)),
+        seed=args.seed,
+    )
+    archive = generate_archive(spec)
+    if args.mess is None:
+        inject_mess(archive)
+    else:
+        if not 0.0 <= args.mess <= 1.0:
+            print("error: --mess must lie in [0, 1]", file=sys.stderr)
+            return 2
+        inject_mess(archive, uniform_mess_spec(args.mess, seed=args.seed))
+    fs, __ = render_archive(archive)
+    count = fs.export_to(args.directory)
+    print(f"wrote {count} files ({len(archive.datasets)} datasets) "
+          f"under {args.directory}")
+    return 0
+
+
+def _cmd_wrangle(args: argparse.Namespace) -> int:
+    from .wrangling import (
+        ProcessConfigError,
+        dump_process_config,
+        load_process_config,
+    )
+
+    fs = VirtualArchive.import_from(args.directory)
+    if len(fs) == 0:
+        print(f"error: no files under {args.directory}", file=sys.stderr)
+        return 2
+    published = SqliteCatalog(args.catalog)
+    system = DataNearHere(fs, published=published)
+    if args.config is not None:
+        try:
+            with open(args.config, "r", encoding="utf-8") as fh:
+                chain, state = load_process_config(fh.read(), fs=fs)
+        except (OSError, ProcessConfigError) as exc:
+            print(f"error: cannot load config: {exc}", file=sys.stderr)
+            published.close()
+            return 2
+        state.published = published
+        system.chain = chain
+        system.state = state
+        print(f"loaded process config from {args.config}")
+    report = system.wrangle()
+    print(report.summary())
+    print()
+    print("validation:", system.validate().summary())
+    print()
+    print(f"published {len(published)} datasets to {args.catalog}")
+    if args.save_config is not None:
+        with open(args.save_config, "w", encoding="utf-8") as fh:
+            fh.write(dump_process_config(system.chain, system.state))
+        print(f"process config saved to {args.save_config}")
+    published.close()
+    return 0
+
+
+def _open_catalog(path: str) -> SqliteCatalog | None:
+    catalog = SqliteCatalog(path)
+    if len(catalog) == 0:
+        print(f"error: catalog {path!r} is empty (run 'wrangle' first)",
+              file=sys.stderr)
+        catalog.close()
+        return None
+    return catalog
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    try:
+        query = parse_query(args.query)
+    except QueryParseError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    catalog = _open_catalog(args.catalog)
+    if catalog is None:
+        return 2
+    engine = SearchEngine(catalog, hierarchy=vocabulary_hierarchy())
+    engine.build_indexes()
+    results = engine.search(query, limit=args.limit)
+    print(render_search_text(query, results))
+    catalog.close()
+    return 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    catalog = _open_catalog(args.catalog)
+    if catalog is None:
+        return 2
+    try:
+        feature = catalog.get(args.dataset_id)
+    except KeyError:
+        print(f"error: no dataset {args.dataset_id!r} in catalog",
+              file=sys.stderr)
+        catalog.close()
+        return 2
+    print(render_summary_text(summarize(feature)))
+    catalog.close()
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    fs = VirtualArchive.import_from(args.directory)
+    if len(fs) == 0:
+        print(f"error: no files under {args.directory}", file=sys.stderr)
+        return 2
+    state = WranglingState(fs=fs)
+    chain = default_chain(scan=ScanArchive())
+    chain.run(state)
+    report = validate(state)
+    print(report.summary())
+    for failure in report.failures[:20]:
+        print(f"  [{failure.check}] {failure.message}")
+    if len(report.failures) > 20:
+        print(f"  ... and {len(report.failures) - 20} more")
+    return 0 if report.ok else 1
+
+
+def _cmd_menu(args: argparse.Namespace) -> int:
+    catalog = _open_catalog(args.catalog)
+    if catalog is None:
+        return 2
+    present = set(catalog.variable_name_counts())
+    hierarchy = vocabulary_hierarchy()
+    lines = []
+    for name, depth in hierarchy.walk():
+        descendants = hierarchy.expand(name)
+        count = sum(1 for d in descendants if d in present)
+        if count == 0 and name not in present:
+            continue
+        marker = "" if hierarchy.node(name).measurable else " *"
+        lines.append("  " * depth + f"- {name}{marker}")
+    print("\n".join(lines))
+    catalog.close()
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from .catalog import dump_catalog
+
+    catalog = _open_catalog(args.catalog)
+    if catalog is None:
+        return 2
+    text = dump_catalog(catalog, indent=2)
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"exported {len(catalog)} datasets to {args.output}")
+    catalog.close()
+    return 0
+
+
+def _cmd_facets(args: argparse.Namespace) -> int:
+    from .core import render_facet_sidebar, render_menu_with_counts
+
+    catalog = _open_catalog(args.catalog)
+    if catalog is None:
+        return 2
+    print(render_facet_sidebar(catalog))
+    print()
+    print("variable menu:")
+    print(render_menu_with_counts(catalog, vocabulary_hierarchy()))
+    catalog.close()
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .ui import render_health_report
+
+    catalog = _open_catalog(args.catalog)
+    if catalog is None:
+        return 2
+    print(render_health_report(catalog))
+    catalog.close()
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "wrangle": _cmd_wrangle,
+    "search": _cmd_search,
+    "summary": _cmd_summary,
+    "validate": _cmd_validate,
+    "menu": _cmd_menu,
+    "export": _cmd_export,
+    "facets": _cmd_facets,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,75 @@
+"""Core contribution: feature extraction, ranked search, summaries."""
+
+from .facets import (
+    FacetCounts,
+    compute_facets,
+    hierarchy_counts,
+    render_facet_sidebar,
+    render_menu_with_counts,
+)
+from .features import EmptyDatasetError, extract_feature
+from .metrics import (
+    average_precision,
+    dcg_at_k,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+)
+from .qparser import QueryParseError, parse_query
+from .query import EmptyQueryError, Query, VariableTerm
+from .scoring import (
+    DECAY_SHAPES,
+    ScoreBreakdown,
+    ScoringConfig,
+    decay,
+    decay_horizon,
+    location_similarity,
+    name_similarity,
+    range_similarity,
+    score_feature,
+    time_similarity,
+    variable_term_similarity,
+)
+from .search import BooleanSearchEngine, SearchEngine, SearchResult
+from .similar import SimilarResult, feature_similarity, similar_datasets
+from .summary import DatasetSummary, VariableSummary, summarize
+
+__all__ = [
+    "BooleanSearchEngine",
+    "DatasetSummary",
+    "DECAY_SHAPES",
+    "EmptyDatasetError",
+    "EmptyQueryError",
+    "Query",
+    "QueryParseError",
+    "ScoreBreakdown",
+    "ScoringConfig",
+    "SearchEngine",
+    "SearchResult",
+    "SimilarResult",
+    "VariableSummary",
+    "VariableTerm",
+    "FacetCounts",
+    "average_precision",
+    "compute_facets",
+    "decay",
+    "decay_horizon",
+    "dcg_at_k",
+    "extract_feature",
+    "feature_similarity",
+    "hierarchy_counts",
+    "location_similarity",
+    "name_similarity",
+    "ndcg_at_k",
+    "parse_query",
+    "precision_at_k",
+    "recall_at_k",
+    "range_similarity",
+    "render_facet_sidebar",
+    "render_menu_with_counts",
+    "score_feature",
+    "similar_datasets",
+    "summarize",
+    "time_similarity",
+    "variable_term_similarity",
+]

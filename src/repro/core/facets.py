@@ -1,0 +1,116 @@
+"""Facet counts for the search UI sidebar.
+
+The "Data Near Here" interface lets scientists narrow by variable
+(through the hierarchical menu), platform and year; this module computes
+those counts from the published catalog, including roll-ups along the
+concept hierarchy ("collapse or expose as needed" with counts attached).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..catalog.store import CatalogStore
+from ..geo import from_epoch
+from ..hierarchy import ConceptHierarchy
+
+
+@dataclass(frozen=True, slots=True)
+class FacetCounts:
+    """Dataset counts per facet value."""
+
+    variables: dict[str, int]  # searchable variable name -> datasets
+    platforms: dict[str, int]
+    years: dict[int, int]  # every year a dataset's interval touches
+    units: dict[str, int]
+
+    def top_variables(self, n: int = 10) -> list[tuple[str, int]]:
+        """Most common variables, count-descending then name."""
+        return sorted(
+            self.variables.items(), key=lambda kv: (-kv[1], kv[0])
+        )[:n]
+
+
+def compute_facets(catalog: CatalogStore) -> FacetCounts:
+    """One pass over the catalog: all sidebar counts."""
+    variables: dict[str, int] = {}
+    platforms: dict[str, int] = {}
+    years: dict[int, int] = {}
+    units: dict[str, int] = {}
+    for feature in catalog:
+        platforms[feature.platform] = platforms.get(feature.platform, 0) + 1
+        start_year = from_epoch(feature.interval.start).year
+        end_year = from_epoch(feature.interval.end).year
+        for year in range(start_year, end_year + 1):
+            years[year] = years.get(year, 0) + 1
+        seen_names: set[str] = set()
+        seen_units: set[str] = set()
+        for entry in feature.searchable_variables():
+            if entry.name not in seen_names:
+                variables[entry.name] = variables.get(entry.name, 0) + 1
+                seen_names.add(entry.name)
+            if entry.unit not in seen_units:
+                units[entry.unit] = units.get(entry.unit, 0) + 1
+                seen_units.add(entry.unit)
+    return FacetCounts(
+        variables=variables, platforms=platforms, years=years, units=units
+    )
+
+
+def hierarchy_counts(
+    catalog: CatalogStore, hierarchy: ConceptHierarchy
+) -> dict[str, int]:
+    """Dataset count per hierarchy node, rolled up to concepts.
+
+    A dataset counts once per node even when it carries several
+    descendant variables (a CTD with fluores375 *and* fluores400 is one
+    dataset under 'fluorescence').
+    """
+    counts: dict[str, int] = {}
+    for feature in catalog:
+        names = {
+            entry.name for entry in feature.searchable_variables()
+        }
+        hit_nodes: set[str] = set()
+        for name in names:
+            if name not in hierarchy:
+                continue
+            hit_nodes.add(name)
+            hit_nodes.update(hierarchy.ancestors(name))
+        for node in hit_nodes:
+            counts[node] = counts.get(node, 0) + 1
+    return counts
+
+
+def render_menu_with_counts(
+    catalog: CatalogStore, hierarchy: ConceptHierarchy
+) -> str:
+    """The hierarchical variable menu, annotated with dataset counts.
+
+    Nodes with zero datasets are omitted (collapse); concept nodes keep
+    the '*' marker.
+    """
+    counts = hierarchy_counts(catalog, hierarchy)
+    lines = []
+    for name, depth in hierarchy.walk():
+        count = counts.get(name, 0)
+        if count == 0:
+            continue
+        marker = "" if hierarchy.node(name).measurable else " *"
+        lines.append("  " * depth + f"- {name}{marker} ({count})")
+    return "\n".join(lines)
+
+
+def render_facet_sidebar(catalog: CatalogStore) -> str:
+    """The non-hierarchical facet blocks (platform / year / unit)."""
+    facets = compute_facets(catalog)
+    lines = ["platforms:"]
+    for platform, count in sorted(facets.platforms.items()):
+        lines.append(f"  {platform:10s} {count:4d}")
+    lines.append("years:")
+    for year, count in sorted(facets.years.items()):
+        lines.append(f"  {year}       {count:4d}")
+    lines.append("top variables:")
+    for name, count in facets.top_variables(8):
+        lines.append(f"  {name:28s} {count:4d}")
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""Retrieval-quality metrics for evaluating ranked search.
+
+The poster has no numeric evaluation; the reproduction measures ranked
+search against ground-truth relevance derived from the *clean* archive
+(which only the experiment harness sees).  Standard IR metrics:
+precision@k, recall@k, average precision and nDCG@k with graded
+relevance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+
+def precision_at_k(
+    ranked_ids: Sequence[str], relevant: set[str], k: int
+) -> float:
+    """Fraction of the top-k that is relevant (0.0 for empty rankings).
+
+    Raises:
+        ValueError: if ``k`` is not positive.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    top = list(ranked_ids[:k])
+    if not top:
+        return 0.0
+    hits = sum(1 for dataset_id in top if dataset_id in relevant)
+    return hits / len(top)
+
+
+def recall_at_k(
+    ranked_ids: Sequence[str], relevant: set[str], k: int
+) -> float:
+    """Fraction of relevant items found in the top-k (1.0 when nothing is
+    relevant — there was nothing to miss).
+
+    Raises:
+        ValueError: if ``k`` is not positive.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if not relevant:
+        return 1.0
+    top = set(ranked_ids[:k])
+    return len(top & relevant) / len(relevant)
+
+
+def average_precision(
+    ranked_ids: Sequence[str], relevant: set[str]
+) -> float:
+    """Mean of precision at each relevant hit (1.0 when nothing relevant)."""
+    if not relevant:
+        return 1.0
+    hits = 0
+    total = 0.0
+    for rank, dataset_id in enumerate(ranked_ids, start=1):
+        if dataset_id in relevant:
+            hits += 1
+            total += hits / rank
+    return total / len(relevant)
+
+
+def dcg_at_k(
+    ranked_ids: Sequence[str], relevance: Mapping[str, float], k: int
+) -> float:
+    """Discounted cumulative gain with graded relevance.
+
+    Uses the standard ``(2^rel - 1) / log2(rank + 1)`` gain.
+
+    Raises:
+        ValueError: if ``k`` is not positive.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    total = 0.0
+    for rank, dataset_id in enumerate(ranked_ids[:k], start=1):
+        rel = relevance.get(dataset_id, 0.0)
+        if rel > 0:
+            total += (2.0 ** rel - 1.0) / math.log2(rank + 1)
+    return total
+
+
+def ndcg_at_k(
+    ranked_ids: Sequence[str], relevance: Mapping[str, float], k: int
+) -> float:
+    """Normalized DCG in [0, 1] (1.0 when nothing is relevant)."""
+    ideal_order = sorted(relevance, key=lambda d: -relevance[d])
+    ideal = dcg_at_k(ideal_order, relevance, k)
+    if ideal == 0.0:
+        return 1.0
+    return dcg_at_k(ranked_ids, relevance, k) / ideal

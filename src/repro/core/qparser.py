@@ -1,0 +1,255 @@
+"""A textual query language for the search box.
+
+The interface figure shows scientists typing information needs; this
+parser turns the poster's example — ``near 45.5, -124.4 in mid-2010 with
+temperature between 5 and 10`` — into a :class:`~repro.core.query.Query`.
+
+Grammar (clauses in any order, case-insensitive):
+
+* ``near LAT, LON``                      — location point
+* ``within N km``                        — pruning radius
+* ``in region LAT1, LON1 to LAT2, LON2`` — region box
+* ``from DATE to DATE``                  — explicit window (YYYY[-MM[-DD]])
+* ``during YYYY[-MM]``                   — a whole year or month
+* ``in early-YYYY | mid-YYYY | late-YYYY`` — thirds of a year
+* ``with VAR [between A and B | above A | below B | = A] [, VAR ...]``
+"""
+
+from __future__ import annotations
+
+import calendar
+import re
+from datetime import datetime, timezone
+
+from ..geo import BoundingBox, GeoPoint, TimeInterval
+from .query import Query, VariableTerm
+
+
+class QueryParseError(ValueError):
+    """Raised when query text cannot be understood."""
+
+
+_NUM = r"[-+]?\d+(?:\.\d+)?"
+_NEAR_RE = re.compile(
+    rf"\bnear\s+(?:lat\s*=?\s*)?({_NUM})\s*,\s*(?:lon\s*=?\s*)?({_NUM})",
+    re.IGNORECASE,
+)
+_WITHIN_RE = re.compile(
+    rf"\bwithin\s+({_NUM})\s*km\b", re.IGNORECASE
+)
+_REGION_RE = re.compile(
+    rf"\bin\s+region\s+({_NUM})\s*,\s*({_NUM})\s+to\s+({_NUM})\s*,\s*({_NUM})",
+    re.IGNORECASE,
+)
+_FROM_TO_RE = re.compile(
+    r"\bfrom\s+(\d{4}(?:-\d{2}(?:-\d{2})?)?)\s+to\s+"
+    r"(\d{4}(?:-\d{2}(?:-\d{2})?)?)",
+    re.IGNORECASE,
+)
+_DURING_RE = re.compile(
+    r"\bduring\s+(\d{4})(?:-(\d{2}))?", re.IGNORECASE
+)
+_SEASON_RE = re.compile(
+    r"\bin\s+(early|mid|late)-?(\d{4})\b", re.IGNORECASE
+)
+_WITH_RE = re.compile(r"\bwith\s+(.+)$", re.IGNORECASE | re.DOTALL)
+_BETWEEN_RE = re.compile(
+    rf"^(?P<name>.+?)\s+between\s+(?P<low>{_NUM})\s+and\s+(?P<high>{_NUM})$",
+    re.IGNORECASE,
+)
+_ABOVE_RE = re.compile(
+    rf"^(?P<name>.+?)\s+(?:above|over|>=?)\s*(?P<low>{_NUM})$",
+    re.IGNORECASE,
+)
+_BELOW_RE = re.compile(
+    rf"^(?P<name>.+?)\s+(?:below|under|<=?)\s*(?P<high>{_NUM})$",
+    re.IGNORECASE,
+)
+_EQUALS_RE = re.compile(
+    rf"^(?P<name>.+?)\s*=\s*(?P<value>{_NUM})$", re.IGNORECASE
+)
+
+
+def _epoch(year: int, month: int, day: int, end_of_day: bool = False) -> float:
+    dt = datetime(
+        year, month, day,
+        23 if end_of_day else 0,
+        59 if end_of_day else 0,
+        59 if end_of_day else 0,
+        tzinfo=timezone.utc,
+    )
+    return dt.timestamp()
+
+
+def _parse_date(text: str, end: bool) -> float:
+    parts = [int(p) for p in text.split("-")]
+    try:
+        if len(parts) == 1:
+            year = parts[0]
+            return _epoch(year, 12 if end else 1, 31 if end else 1, end)
+        if len(parts) == 2:
+            year, month = parts
+            last = calendar.monthrange(year, month)[1]
+            return _epoch(year, month, last if end else 1, end)
+        year, month, day = parts
+        return _epoch(year, month, day, end)
+    except ValueError as exc:
+        raise QueryParseError(f"bad date {text!r}: {exc}")
+
+
+def _season_interval(season: str, year: int) -> TimeInterval:
+    thirds = {
+        "early": (1, 4),  # Jan-Apr
+        "mid": (5, 8),  # May-Aug
+        "late": (9, 12),  # Sep-Dec
+    }
+    start_month, end_month = thirds[season.lower()]
+    last = calendar.monthrange(year, end_month)[1]
+    return TimeInterval(
+        _epoch(year, start_month, 1),
+        _epoch(year, end_month, last, end_of_day=True),
+    )
+
+
+def _parse_variable_clause(clause: str) -> VariableTerm:
+    clause = clause.strip()
+    if not clause:
+        raise QueryParseError("empty variable clause")
+    for pattern, maker in (
+        (_BETWEEN_RE, lambda m: VariableTerm(
+            _norm_var(m.group("name")),
+            low=float(m.group("low")),
+            high=float(m.group("high")),
+        )),
+        (_ABOVE_RE, lambda m: VariableTerm(
+            _norm_var(m.group("name")), low=float(m.group("low"))
+        )),
+        (_BELOW_RE, lambda m: VariableTerm(
+            _norm_var(m.group("name")), high=float(m.group("high"))
+        )),
+        (_EQUALS_RE, lambda m: VariableTerm(
+            _norm_var(m.group("name")),
+            low=float(m.group("value")),
+            high=float(m.group("value")),
+        )),
+    ):
+        match = pattern.match(clause)
+        if match is not None:
+            try:
+                return maker(match)
+            except ValueError as exc:
+                raise QueryParseError(f"bad range in {clause!r}: {exc}")
+    return VariableTerm(_norm_var(clause))
+
+
+def _norm_var(name: str) -> str:
+    from ..text import normalize_name
+
+    normalized = normalize_name(name)
+    if not normalized:
+        raise QueryParseError(f"bad variable name {name!r}")
+    return normalized
+
+
+def parse_query(text: str) -> Query:
+    """Parse query text into a :class:`Query`.
+
+    Raises:
+        QueryParseError: when no clause matches or a clause is malformed.
+    """
+    if not text or not text.strip():
+        raise QueryParseError("empty query text")
+    remaining = text.strip()
+    location: GeoPoint | None = None
+    region: BoundingBox | None = None
+    interval: TimeInterval | None = None
+    radius_km = 50.0
+    variables: list[VariableTerm] = []
+    matched_any = False
+
+    region_match = _REGION_RE.search(remaining)
+    if region_match is not None:
+        matched_any = True
+        lat1, lon1, lat2, lon2 = (
+            float(region_match.group(i)) for i in range(1, 5)
+        )
+        try:
+            region = BoundingBox(
+                min(lat1, lat2), min(lon1, lon2),
+                max(lat1, lat2), max(lon1, lon2),
+            )
+        except ValueError as exc:
+            raise QueryParseError(f"bad region: {exc}")
+        remaining = remaining.replace(region_match.group(0), " ")
+
+    near_match = _NEAR_RE.search(remaining)
+    if near_match is not None:
+        matched_any = True
+        try:
+            location = GeoPoint(
+                float(near_match.group(1)), float(near_match.group(2))
+            )
+        except ValueError as exc:
+            raise QueryParseError(f"bad location: {exc}")
+        remaining = remaining.replace(near_match.group(0), " ")
+
+    within_match = _WITHIN_RE.search(remaining)
+    if within_match is not None:
+        matched_any = True
+        radius_km = float(within_match.group(1))
+        if radius_km <= 0:
+            raise QueryParseError("radius must be positive")
+        remaining = remaining.replace(within_match.group(0), " ")
+
+    from_to = _FROM_TO_RE.search(remaining)
+    season = _SEASON_RE.search(remaining)
+    during = _DURING_RE.search(remaining)
+    if from_to is not None:
+        matched_any = True
+        start = _parse_date(from_to.group(1), end=False)
+        end = _parse_date(from_to.group(2), end=True)
+        if start > end:
+            raise QueryParseError("time window ends before it starts")
+        interval = TimeInterval(start, end)
+        remaining = remaining.replace(from_to.group(0), " ")
+    elif season is not None:
+        matched_any = True
+        interval = _season_interval(
+            season.group(1), int(season.group(2))
+        )
+        remaining = remaining.replace(season.group(0), " ")
+    elif during is not None:
+        matched_any = True
+        year = int(during.group(1))
+        month = during.group(2)
+        if month is None:
+            interval = TimeInterval(
+                _parse_date(str(year), end=False),
+                _parse_date(str(year), end=True),
+            )
+        else:
+            token = f"{year}-{month}"
+            interval = TimeInterval(
+                _parse_date(token, end=False), _parse_date(token, end=True)
+            )
+        remaining = remaining.replace(during.group(0), " ")
+
+    # Variables last, after every other clause has been stripped, so a
+    # 'with ...' in clause-first order does not swallow them.
+    with_match = _WITH_RE.search(remaining)
+    if with_match is not None:
+        matched_any = True
+        for clause in with_match.group(1).split(","):
+            variables.append(_parse_variable_clause(clause))
+
+    if not matched_any:
+        raise QueryParseError(f"no recognizable clause in {text!r}")
+    if location is not None and region is not None:
+        raise QueryParseError("give either 'near' or 'in region', not both")
+    return Query(
+        location=location,
+        region=region,
+        interval=interval,
+        variables=tuple(variables),
+        radius_km=radius_km,
+    )

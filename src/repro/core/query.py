@@ -1,0 +1,120 @@
+"""The query model: location, time and variable terms.
+
+The poster's example information need — "observations collected near
+[lat = 45.5, lon = -124.4] in mid-2010, with temperature between 5-10C"
+— becomes::
+
+    Query(
+        location=GeoPoint(45.5, -124.4),
+        interval=TimeInterval.from_datetimes(
+            datetime(2010, 5, 1), datetime(2010, 8, 31)),
+        variables=[VariableTerm('water_temperature', low=5.0, high=10.0)],
+    )
+
+Every part is optional; a query with no terms matches everything with a
+neutral score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geo import BoundingBox, GeoPoint, TimeInterval
+
+
+class EmptyQueryError(ValueError):
+    """Raised when an engine requires at least one query term."""
+
+
+@dataclass(frozen=True, slots=True)
+class VariableTerm:
+    """One requested variable, optionally with a value range.
+
+    ``name`` is matched against catalog variable names after hierarchy
+    expansion, so a query for ``fluorescence`` matches
+    ``fluorescence_375nm``.  ``low``/``high`` bound the *observed values*
+    the scientist cares about ("temperature between 5-10C").
+    """
+
+    name: str
+    low: float | None = None
+    high: float | None = None
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError("term weight must be positive")
+        if (
+            self.low is not None
+            and self.high is not None
+            and self.low > self.high
+        ):
+            raise ValueError(f"low {self.low} > high {self.high}")
+
+    @property
+    def has_range(self) -> bool:
+        """True when the term constrains observed values."""
+        return self.low is not None or self.high is not None
+
+
+@dataclass(frozen=True, slots=True)
+class Query:
+    """A ranked-search query over the metadata catalog."""
+
+    location: GeoPoint | None = None
+    region: BoundingBox | None = None
+    interval: TimeInterval | None = None
+    variables: tuple[VariableTerm, ...] = ()
+    radius_km: float = 50.0  # pruning radius for indexed candidate lookup
+
+    def __post_init__(self) -> None:
+        if self.location is not None and self.region is not None:
+            raise ValueError("give either a location point or a region")
+        if self.radius_km <= 0:
+            raise ValueError("radius_km must be positive")
+        # Accept a list for ergonomics; store a tuple for immutability.
+        if not isinstance(self.variables, tuple):
+            object.__setattr__(self, "variables", tuple(self.variables))
+
+    @property
+    def has_spatial(self) -> bool:
+        """True when the query carries a location or region term."""
+        return self.location is not None or self.region is not None
+
+    @property
+    def has_temporal(self) -> bool:
+        """True when the query carries a time term."""
+        return self.interval is not None
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no term is present at all."""
+        return not (self.has_spatial or self.has_temporal or self.variables)
+
+    def variable_names(self) -> list[str]:
+        """Requested variable names, in query order."""
+        return [term.name for term in self.variables]
+
+    def describe(self) -> str:
+        """A one-line, human-readable restatement of the query."""
+        parts = []
+        if self.location is not None:
+            parts.append(f"near {self.location}")
+        if self.region is not None:
+            b = self.region
+            parts.append(
+                f"in region [{b.min_lat:.3f},{b.min_lon:.3f}]"
+                f"..[{b.max_lat:.3f},{b.max_lon:.3f}]"
+            )
+        if self.interval is not None:
+            parts.append(f"during {self.interval}")
+        for term in self.variables:
+            if term.low is not None and term.high is not None:
+                parts.append(f"{term.name} in [{term.low}, {term.high}]")
+            elif term.low is not None:
+                parts.append(f"{term.name} >= {term.low}")
+            elif term.high is not None:
+                parts.append(f"{term.name} <= {term.high}")
+            else:
+                parts.append(term.name)
+        return "; ".join(parts) if parts else "(match all)"

@@ -1,0 +1,256 @@
+"""Distance-based similarity scoring.
+
+"Search results ranked on distance-based similarity to query terms."
+Each query term yields a similarity in [0, 1]:
+
+* **location** — exponential decay of the great-circle distance from the
+  query point/region to the dataset's bounding box (1.0 inside).
+* **time** — 1.0 when the dataset's interval overlaps the query window,
+  else exponential decay of the gap.
+* **variable** — per term, the product of a *name* similarity (1.0 for a
+  hierarchy-expanded match, partial credit for near-miss strings) and a
+  *range* similarity (overlap of the requested value range with the
+  variable's observed [min, max], with decay on the gap when disjoint).
+
+The dataset score is the weighted mean of the term similarities that are
+*present in the query* — a query with only a location term ranks purely
+by distance, matching the paper's partial-match behaviour (this is what
+the boolean baseline cannot do).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..catalog.records import DatasetFeature, VariableEntry
+from ..geo import SECONDS_PER_DAY, TimeInterval
+from ..hierarchy import ConceptHierarchy
+from ..text import levenshtein_similarity, normalize_name
+from .query import Query, VariableTerm
+
+
+#: Decay shapes mapping a non-negative distance (in units of the decay
+#: scale) to a similarity in [0, 1].  All three agree at distance 0
+#: (similarity 1) and are monotone non-increasing:
+#:
+#: * ``exponential`` — ``exp(-d)``: smooth, never exactly zero.
+#: * ``reciprocal``  — ``1 / (1 + d)``: heavier tail, gentler nearby.
+#: * ``linear``      — ``max(0, 1 - d)``: hard cutoff at one scale unit.
+DECAY_SHAPES = ("exponential", "reciprocal", "linear")
+
+
+def decay(distance_in_scales: float, shape: str) -> float:
+    """Apply a named decay shape to a scale-normalized distance.
+
+    Raises:
+        ValueError: for negative distances or unknown shapes.
+    """
+    if distance_in_scales < 0:
+        raise ValueError("distance must be non-negative")
+    if shape == "exponential":
+        return math.exp(-distance_in_scales)
+    if shape == "reciprocal":
+        return 1.0 / (1.0 + distance_in_scales)
+    if shape == "linear":
+        return max(0.0, 1.0 - distance_in_scales)
+    raise ValueError(f"unknown decay shape {shape!r}")
+
+
+def decay_horizon(epsilon: float, shape: str) -> float:
+    """The scale-normalized distance beyond which ``decay() <= epsilon``.
+
+    This is what index pruning uses to stay exact for every shape.
+
+    Raises:
+        ValueError: for epsilon outside (0, 1) or unknown shapes.
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError("epsilon must lie in (0, 1)")
+    if shape == "exponential":
+        return math.log(1.0 / epsilon)
+    if shape == "reciprocal":
+        return 1.0 / epsilon - 1.0
+    if shape == "linear":
+        return 1.0
+    raise ValueError(f"unknown decay shape {shape!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class ScoringConfig:
+    """Tunable decay scales, shapes and weights of the ranking function."""
+
+    location_decay_km: float = 100.0
+    time_decay_days: float = 90.0
+    range_decay_fraction: float = 1.0  # gap measured in query-range widths
+    name_partial_threshold: float = 0.75  # below this, string sim scores 0
+    location_weight: float = 1.0
+    time_weight: float = 1.0
+    variable_weight: float = 1.0
+    decay_shape: str = "exponential"  # see DECAY_SHAPES
+    use_location: bool = True  # ablation switches (A1)
+    use_time: bool = True
+    use_variables: bool = True
+
+    def __post_init__(self) -> None:
+        if self.location_decay_km <= 0 or self.time_decay_days <= 0:
+            raise ValueError("decay scales must be positive")
+        if not 0.0 <= self.name_partial_threshold <= 1.0:
+            raise ValueError("name_partial_threshold must lie in [0, 1]")
+        if self.decay_shape not in DECAY_SHAPES:
+            raise ValueError(f"unknown decay shape {self.decay_shape!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class ScoreBreakdown:
+    """Per-term similarities behind one dataset's score (for the UI)."""
+
+    total: float
+    location: float | None = None
+    time: float | None = None
+    variables: tuple[tuple[str, float], ...] = ()
+
+    def explain(self) -> str:
+        """Human-readable breakdown line."""
+        parts = [f"score={self.total:.3f}"]
+        if self.location is not None:
+            parts.append(f"location={self.location:.3f}")
+        if self.time is not None:
+            parts.append(f"time={self.time:.3f}")
+        for name, sim in self.variables:
+            parts.append(f"{name}={sim:.3f}")
+        return " ".join(parts)
+
+
+def location_similarity(
+    query: Query, feature: DatasetFeature, config: ScoringConfig
+) -> float:
+    """Exponential decay of point/region-to-bbox distance; 1.0 inside."""
+    if query.location is not None:
+        distance_km = feature.bbox.distance_km_to_point(query.location)
+    elif query.region is not None:
+        distance_km = feature.bbox.distance_km_to_box(query.region)
+    else:
+        raise ValueError("query has no spatial term")
+    return decay(distance_km / config.location_decay_km, config.decay_shape)
+
+
+def time_similarity(
+    interval: TimeInterval, feature: DatasetFeature, config: ScoringConfig
+) -> float:
+    """1.0 on overlap, else exponential decay of the gap in days."""
+    gap_days = feature.interval.gap_seconds(interval) / SECONDS_PER_DAY
+    return decay(gap_days / config.time_decay_days, config.decay_shape)
+
+
+def range_similarity(
+    term: VariableTerm, entry: VariableEntry, config: ScoringConfig
+) -> float:
+    """Similarity of the requested value range to the observed [min, max].
+
+    Overlapping ranges score by the fraction of the *query* range covered
+    (a dataset spanning the whole request scores 1.0); disjoint ranges
+    decay exponentially with the gap measured in query-range widths.
+    Terms with no range score 1.0.  A half-open request treats the
+    missing bound as the observed extremum.
+    """
+    if not term.has_range:
+        return 1.0
+    if entry.count == 0 or math.isnan(entry.minimum):
+        return 0.0
+    lo = term.low if term.low is not None else entry.minimum
+    hi = term.high if term.high is not None else entry.maximum
+    if lo > hi:  # half-open request entirely off the observed range
+        lo, hi = hi, lo
+    width = max(hi - lo, 1e-9)
+    overlap_lo = max(lo, entry.minimum)
+    overlap_hi = min(hi, entry.maximum)
+    if overlap_hi >= overlap_lo:
+        return min(1.0, (overlap_hi - overlap_lo) / width + 1e-12)
+    gap = overlap_lo - overlap_hi
+    return decay(
+        gap / (width * config.range_decay_fraction), config.decay_shape
+    )
+
+
+def name_similarity(
+    term_name: str,
+    entry_name: str,
+    expansion: set[str],
+    config: ScoringConfig,
+) -> float:
+    """1.0 for an exact or hierarchy-expanded match; partial credit for a
+    close string; 0.0 otherwise."""
+    if entry_name == term_name or entry_name in expansion:
+        return 1.0
+    sim = levenshtein_similarity(
+        normalize_name(term_name), normalize_name(entry_name)
+    )
+    if sim >= config.name_partial_threshold:
+        return sim
+    return 0.0
+
+
+def variable_term_similarity(
+    term: VariableTerm,
+    feature: DatasetFeature,
+    hierarchy: ConceptHierarchy | None,
+    config: ScoringConfig,
+) -> float:
+    """Best (name-sim x range-sim) over the dataset's searchable variables."""
+    expansion = hierarchy.expand(term.name) if hierarchy is not None else {
+        term.name
+    }
+    best = 0.0
+    for entry in feature.searchable_variables():
+        n_sim = name_similarity(term.name, entry.name, expansion, config)
+        if n_sim == 0.0:
+            continue
+        sim = n_sim * range_similarity(term, entry, config)
+        best = max(best, sim)
+        if best >= 1.0:
+            break
+    return best
+
+
+def score_feature(
+    query: Query,
+    feature: DatasetFeature,
+    hierarchy: ConceptHierarchy | None = None,
+    config: ScoringConfig | None = None,
+) -> ScoreBreakdown:
+    """Score one dataset feature against a query.
+
+    Returns the weighted-mean similarity over the terms present in the
+    query, with the per-term breakdown.  An empty query scores 1.0.
+    """
+    config = config or ScoringConfig()
+    weighted_sum = 0.0
+    weight_total = 0.0
+    loc_sim: float | None = None
+    time_sim: float | None = None
+    var_sims: list[tuple[str, float]] = []
+
+    if query.has_spatial and config.use_location:
+        loc_sim = location_similarity(query, feature, config)
+        weighted_sum += config.location_weight * loc_sim
+        weight_total += config.location_weight
+    if query.has_temporal and config.use_time:
+        time_sim = time_similarity(query.interval, feature, config)
+        weighted_sum += config.time_weight * time_sim
+        weight_total += config.time_weight
+    if query.variables and config.use_variables:
+        for term in query.variables:
+            sim = variable_term_similarity(term, feature, hierarchy, config)
+            var_sims.append((term.name, sim))
+            w = config.variable_weight * term.weight
+            weighted_sum += w * sim
+            weight_total += w
+
+    total = weighted_sum / weight_total if weight_total > 0 else 1.0
+    return ScoreBreakdown(
+        total=total,
+        location=loc_sim,
+        time=time_sim,
+        variables=tuple(var_sims),
+    )

@@ -1,0 +1,284 @@
+"""The ranked search engine and the boolean-filter baseline.
+
+:class:`SearchEngine` is the paper's similarity search over the catalog:
+score every candidate feature, return the top-k with per-term breakdowns.
+Optional :class:`~repro.catalog.index.CatalogIndexes` prune candidates
+for spatial/temporal queries; pruning is conservative at the configured
+``epsilon`` (candidates whose indexed term would score below it may be
+skipped).
+
+:class:`BooleanSearchEngine` is the comparison baseline a conventional
+data portal provides: hard filters, no ranking.  A dataset either matches
+*all* terms or is not returned — exactly the behaviour whose failure on
+partial matches motivates ranked search.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..catalog.index import CatalogIndexes
+from ..catalog.records import DatasetFeature
+from ..catalog.store import CatalogStore
+from ..geo import SECONDS_PER_DAY
+from ..hierarchy import ConceptHierarchy
+from .query import Query
+from .scoring import (
+    ScoreBreakdown,
+    ScoringConfig,
+    decay_horizon,
+    score_feature,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class SearchResult:
+    """One ranked hit."""
+
+    dataset_id: str
+    score: float
+    breakdown: ScoreBreakdown
+    feature: DatasetFeature
+
+    def __str__(self) -> str:
+        return f"{self.score:.3f}  {self.dataset_id}"
+
+
+class SearchEngine:
+    """Ranked similarity search over a catalog store."""
+
+    def __init__(
+        self,
+        catalog: CatalogStore,
+        hierarchy: ConceptHierarchy | None = None,
+        indexes: CatalogIndexes | None = None,
+        config: ScoringConfig | None = None,
+        epsilon: float = 1e-3,
+    ) -> None:
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError("epsilon must lie in (0, 1)")
+        self.catalog = catalog
+        self.hierarchy = hierarchy
+        self.indexes = indexes
+        self.config = config or ScoringConfig()
+        self.epsilon = epsilon
+
+    def build_indexes(self, cell_degrees: float = 0.5) -> CatalogIndexes:
+        """Build (and attach) fresh indexes over the current catalog."""
+        self.indexes = CatalogIndexes.build(
+            list(self.catalog), cell_degrees=cell_degrees
+        )
+        return self.indexes
+
+    def _term_weights(self, query: Query) -> tuple[float, float, float]:
+        """(location, time, variables) total weights present in the query
+        under the current config (0 when the term is absent/disabled)."""
+        w_loc = (
+            self.config.location_weight
+            if query.has_spatial and self.config.use_location
+            else 0.0
+        )
+        w_time = (
+            self.config.time_weight
+            if query.has_temporal and self.config.use_time
+            else 0.0
+        )
+        w_vars = (
+            sum(
+                self.config.variable_weight * term.weight
+                for term in query.variables
+            )
+            if query.variables and self.config.use_variables
+            else 0.0
+        )
+        return w_loc, w_time, w_vars
+
+    def _candidate_ids(self, query: Query) -> tuple[list[str], float | None]:
+        """Candidate dataset ids plus an upper bound on the total score
+        any *excluded* dataset could reach (None when nothing was pruned).
+
+        Pruning drops datasets whose indexed term (location or time) has
+        decayed below ``epsilon``; because the total is a weighted mean,
+        such a dataset can still score up to ``(W - w_term (1 - eps))/W``
+        through its other terms.  :meth:`search` uses the bound to decide
+        whether the pruned remainder must be scanned after all.
+        """
+        if self.indexes is None or len(self.indexes) != len(self.catalog):
+            return self.catalog.dataset_ids(), None
+        w_loc, w_time, w_vars = self._term_weights(query)
+        total_weight = w_loc + w_time + w_vars
+        candidates: set[str] | None = None
+        excluded_bound = 0.0
+        if query.location is not None and self.config.use_location:
+            # Distance beyond which the location term alone is below
+            # epsilon: the query radius plus the decay horizon.
+            horizon_km = self.config.location_decay_km * decay_horizon(
+                self.epsilon, self.config.decay_shape
+            )
+            candidates = self.indexes.spatial.candidates_near(
+                query.location, query.radius_km + horizon_km
+            )
+            excluded_bound = max(
+                excluded_bound,
+                (total_weight - w_loc * (1.0 - self.epsilon)) / total_weight,
+            )
+        if query.interval is not None and self.config.use_time:
+            margin = (
+                self.config.time_decay_days
+                * SECONDS_PER_DAY
+                * decay_horizon(self.epsilon, self.config.decay_shape)
+            )
+            temporal = self.indexes.temporal.candidates_overlapping(
+                query.interval, margin_seconds=margin
+            )
+            candidates = (
+                temporal if candidates is None else candidates & temporal
+            )
+            excluded_bound = max(
+                excluded_bound,
+                (total_weight - w_time * (1.0 - self.epsilon))
+                / total_weight,
+            )
+        if candidates is None:
+            return self.catalog.dataset_ids(), None
+        all_ids = self.catalog.dataset_ids()
+        if len(candidates) >= len(all_ids):
+            return all_ids, None
+        return sorted(candidates), excluded_bound
+
+    def _score_ids(self, query: Query, ids) -> list[SearchResult]:
+        results = []
+        for dataset_id in ids:
+            feature = self.catalog.get(dataset_id)
+            breakdown = score_feature(
+                query, feature, hierarchy=self.hierarchy, config=self.config
+            )
+            if breakdown.total <= 0.0 and not query.is_empty:
+                continue
+            results.append(
+                SearchResult(
+                    dataset_id=dataset_id,
+                    score=breakdown.total,
+                    breakdown=breakdown,
+                    feature=feature,
+                )
+            )
+        return results
+
+    def search(self, query: Query, limit: int = 10) -> list[SearchResult]:
+        """Top-``limit`` datasets by similarity to ``query``.
+
+        Exact: index pruning is verified against the excluded-score upper
+        bound, and the pruned remainder is scanned whenever an excluded
+        dataset could still reach the top-``limit``.  Results are sorted
+        by descending score, ties broken by dataset id for determinism.
+
+        Raises:
+            ValueError: if ``limit`` is not positive.
+        """
+        if limit <= 0:
+            raise ValueError("limit must be positive")
+        candidate_ids, excluded_bound = self._candidate_ids(query)
+        results = self._score_ids(query, candidate_ids)
+        results.sort(key=lambda r: (-r.score, r.dataset_id))
+        if excluded_bound is not None:
+            kth_score = (
+                results[limit - 1].score if len(results) >= limit else 0.0
+            )
+            if kth_score < excluded_bound:
+                remainder = sorted(
+                    set(self.catalog.dataset_ids()) - set(candidate_ids)
+                )
+                results.extend(self._score_ids(query, remainder))
+                results.sort(key=lambda r: (-r.score, r.dataset_id))
+        return results[:limit]
+
+    def score_all(self, query: Query) -> dict[str, float]:
+        """Score of every dataset (no pruning) — used by quality metrics."""
+        return {
+            feature.dataset_id: score_feature(
+                query, feature, hierarchy=self.hierarchy, config=self.config
+            ).total
+            for feature in self.catalog
+        }
+
+
+class BooleanSearchEngine:
+    """The unranked hard-filter baseline.
+
+    Matching rules (all present terms must hold):
+
+    * location: the query point within ``radius_km`` of the dataset box
+      (or query region intersecting it),
+    * time: intervals overlap,
+    * each variable term: some searchable variable has *exactly* the
+      requested name (hierarchy expansion applied when provided, since
+      portals do support category menus) and its observed range
+      intersects the requested one.
+    """
+
+    def __init__(
+        self,
+        catalog: CatalogStore,
+        hierarchy: ConceptHierarchy | None = None,
+    ) -> None:
+        self.catalog = catalog
+        self.hierarchy = hierarchy
+
+    def _matches(self, query: Query, feature: DatasetFeature) -> bool:
+        if query.location is not None:
+            if (
+                feature.bbox.distance_km_to_point(query.location)
+                > query.radius_km
+            ):
+                return False
+        if query.region is not None:
+            if not feature.bbox.intersects(query.region):
+                return False
+        if query.interval is not None:
+            if not feature.interval.overlaps(query.interval):
+                return False
+        for term in query.variables:
+            expansion = (
+                self.hierarchy.expand(term.name)
+                if self.hierarchy is not None
+                else {term.name}
+            )
+            expansion = expansion | {term.name}
+            hit = False
+            for entry in feature.searchable_variables():
+                if entry.name not in expansion:
+                    continue
+                if term.has_range:
+                    lo = term.low if term.low is not None else entry.minimum
+                    hi = term.high if term.high is not None else entry.maximum
+                    if math.isnan(entry.minimum) or not (
+                        entry.minimum <= hi and lo <= entry.maximum
+                    ):
+                        continue
+                hit = True
+                break
+            if not hit:
+                return False
+        return True
+
+    def search(self, query: Query, limit: int = 10) -> list[SearchResult]:
+        """Datasets matching *all* terms, in dataset-id order (no ranking)."""
+        if limit <= 0:
+            raise ValueError("limit must be positive")
+        out = []
+        for dataset_id in self.catalog.dataset_ids():
+            feature = self.catalog.get(dataset_id)
+            if self._matches(query, feature):
+                out.append(
+                    SearchResult(
+                        dataset_id=dataset_id,
+                        score=1.0,
+                        breakdown=ScoreBreakdown(total=1.0),
+                        feature=feature,
+                    )
+                )
+            if len(out) >= limit:
+                break
+        return out

@@ -1,0 +1,120 @@
+"""Search by example: "more datasets like this one".
+
+A scientist who found one useful dataset wants its neighbours — same
+water, same season, same variables.  Dataset-to-dataset similarity
+reuses the ranking's distance machinery: spatial gap between footprints,
+temporal gap between coverages, and Jaccard overlap of searchable
+variable sets (hierarchy-expanded so ``fluores375`` and ``chlorophyll``
+count as related).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..catalog.records import DatasetFeature
+from ..catalog.store import CatalogStore
+from ..geo import SECONDS_PER_DAY
+from ..hierarchy import ConceptHierarchy
+from .scoring import ScoringConfig, decay
+
+
+@dataclass(frozen=True, slots=True)
+class SimilarResult:
+    """One neighbour with its per-dimension similarities."""
+
+    dataset_id: str
+    score: float
+    spatial: float
+    temporal: float
+    variables: float
+    feature: DatasetFeature
+
+    def explain(self) -> str:
+        """Human-readable breakdown."""
+        return (
+            f"score={self.score:.3f} spatial={self.spatial:.3f} "
+            f"temporal={self.temporal:.3f} variables={self.variables:.3f}"
+        )
+
+
+def _variable_groups(
+    feature: DatasetFeature, hierarchy: ConceptHierarchy | None
+) -> set[str]:
+    """Top-level concept groups of a dataset's searchable variables."""
+    groups = set()
+    for entry in feature.searchable_variables():
+        if hierarchy is not None and entry.name in hierarchy:
+            groups.add(hierarchy.group_of(entry.name))
+        else:
+            groups.add(entry.name)
+    return groups
+
+
+def feature_similarity(
+    a: DatasetFeature,
+    b: DatasetFeature,
+    hierarchy: ConceptHierarchy | None = None,
+    config: ScoringConfig | None = None,
+) -> tuple[float, float, float, float]:
+    """(total, spatial, temporal, variable) similarity of two features."""
+    config = config or ScoringConfig()
+    distance_km = a.bbox.distance_km_to_box(b.bbox)
+    spatial = decay(
+        distance_km / config.location_decay_km, config.decay_shape
+    )
+    gap_days = a.interval.gap_seconds(b.interval) / SECONDS_PER_DAY
+    temporal = decay(gap_days / config.time_decay_days, config.decay_shape)
+    groups_a = _variable_groups(a, hierarchy)
+    groups_b = _variable_groups(b, hierarchy)
+    if groups_a or groups_b:
+        variables = len(groups_a & groups_b) / len(groups_a | groups_b)
+    else:
+        variables = 1.0
+    weights = (
+        config.location_weight, config.time_weight, config.variable_weight
+    )
+    total = (
+        weights[0] * spatial + weights[1] * temporal + weights[2] * variables
+    ) / sum(weights)
+    return total, spatial, temporal, variables
+
+
+def similar_datasets(
+    catalog: CatalogStore,
+    dataset_id: str,
+    limit: int = 5,
+    hierarchy: ConceptHierarchy | None = None,
+    config: ScoringConfig | None = None,
+) -> list[SimilarResult]:
+    """The ``limit`` datasets most similar to ``dataset_id``.
+
+    The seed dataset itself is excluded.  Deterministic ordering
+    (score descending, then id).
+
+    Raises:
+        ValueError: if ``limit`` is not positive.
+        DatasetNotFoundError: if the seed dataset is not cataloged.
+    """
+    if limit <= 0:
+        raise ValueError("limit must be positive")
+    seed = catalog.get(dataset_id)
+    results = []
+    for candidate in catalog:
+        if candidate.dataset_id == dataset_id:
+            continue
+        total, spatial, temporal, variables = feature_similarity(
+            seed, candidate, hierarchy=hierarchy, config=config
+        )
+        results.append(
+            SimilarResult(
+                dataset_id=candidate.dataset_id,
+                score=total,
+                spatial=spatial,
+                temporal=temporal,
+                variables=variables,
+                feature=candidate,
+            )
+        )
+    results.sort(key=lambda r: (-r.score, r.dataset_id))
+    return results[:limit]

@@ -1,0 +1,32 @@
+"""Curatorial activities: sessions, actions, the simulated curator."""
+
+from .actions import (
+    AddAbbreviation,
+    AddContextRule,
+    AddExclusionPattern,
+    AddScanTarget,
+    AddSynonym,
+    CuratorAction,
+    CuratorActionError,
+    DecideAmbiguity,
+    MoveHierarchyNode,
+)
+from .session import CuratorSession, IterationRecord
+from .simulated import LoopResult, SimulatedCurator, run_curator_loop
+
+__all__ = [
+    "AddAbbreviation",
+    "AddContextRule",
+    "AddExclusionPattern",
+    "AddScanTarget",
+    "AddSynonym",
+    "CuratorAction",
+    "CuratorActionError",
+    "CuratorSession",
+    "DecideAmbiguity",
+    "IterationRecord",
+    "LoopResult",
+    "MoveHierarchyNode",
+    "SimulatedCurator",
+    "run_curator_loop",
+]

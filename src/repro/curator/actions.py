@@ -1,0 +1,145 @@
+"""Curator actions: the concrete edits of activity 3, "improving process".
+
+The poster's examples — "modifying a hierarchy; adding entries to a
+synonym table; specifying an additional directory to scan" — plus the
+ambiguity decisions the Table's row 5 calls for.  Every action is a
+replayable record: applying one mutates the chain/state and the action
+log becomes process provenance.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..semantics import AmbiguityAction, AmbiguityDecision
+from ..wrangling.chain import ProcessChain
+from ..wrangling.scan import ScanArchive
+from ..wrangling.state import WranglingState
+
+
+class CuratorActionError(ValueError):
+    """Raised when an action cannot be applied."""
+
+
+class CuratorAction(ABC):
+    """One replayable curator edit."""
+
+    @abstractmethod
+    def apply(self, chain: ProcessChain, state: WranglingState) -> str:
+        """Apply and return a one-line provenance message."""
+
+
+@dataclass(frozen=True, slots=True)
+class AddSynonym(CuratorAction):
+    """'Adding entries to a synonym table.'
+
+    ``preferred == alternate`` registers a self-resolving preferred term
+    — how a curator acknowledges a harvested name that is deliberately
+    kept as-is (e.g. a hidden housekeeping column), so the
+    synonym-coverage check passes.
+    """
+
+    preferred: str
+    alternate: str
+
+    def apply(self, chain: ProcessChain, state: WranglingState) -> str:
+        if self.preferred == self.alternate:
+            state.resolver.synonyms.add(self.preferred)
+            return f"synonym: {self.preferred!r} registered as preferred"
+        state.resolver.synonyms.add(self.preferred, self.alternate)
+        return f"synonym: {self.alternate!r} -> {self.preferred!r}"
+
+
+@dataclass(frozen=True, slots=True)
+class AddAbbreviation(CuratorAction):
+    """Register an abbreviation expansion."""
+
+    abbreviation: str
+    canonical: str
+
+    def apply(self, chain: ProcessChain, state: WranglingState) -> str:
+        state.resolver.abbreviations.add(self.abbreviation, self.canonical)
+        # Keep the synonym table in sync so coverage validation passes.
+        state.resolver.synonyms.add(self.canonical, self.abbreviation)
+        return f"abbreviation: {self.abbreviation!r} -> {self.canonical!r}"
+
+
+@dataclass(frozen=True, slots=True)
+class AddScanTarget(CuratorAction):
+    """'Specifying an additional directory to scan.'"""
+
+    directory: str
+    pattern: str = "*"
+
+    def apply(self, chain: ProcessChain, state: WranglingState) -> str:
+        scan = chain.component("scan-archive")
+        if not isinstance(scan, ScanArchive):  # pragma: no cover
+            raise CuratorActionError("chain has no ScanArchive component")
+        scan.add_target(self.directory, self.pattern)
+        return f"scan target added: {self.directory!r} ({self.pattern})"
+
+
+@dataclass(frozen=True, slots=True)
+class DecideAmbiguity(CuratorAction):
+    """A row-5 decision: clarify, hide or leave an ambiguous name."""
+
+    name: str
+    action: AmbiguityAction
+    canonical: str | None = None
+    scope: str = ""
+
+    def apply(self, chain: ProcessChain, state: WranglingState) -> str:
+        decision = AmbiguityDecision(
+            name=self.name,
+            action=self.action,
+            canonical=self.canonical,
+            scope=self.scope,
+        )
+        state.decisions.append(decision)
+        target = f" -> {self.canonical!r}" if self.canonical else ""
+        scope = f" in {self.scope!r}" if self.scope else ""
+        return f"ambiguity: {self.name!r} {self.action.value}{target}{scope}"
+
+
+@dataclass(frozen=True, slots=True)
+class MoveHierarchyNode(CuratorAction):
+    """'Modifying a hierarchy': re-parent a concept node."""
+
+    node: str
+    new_parent: str | None
+
+    def apply(self, chain: ProcessChain, state: WranglingState) -> str:
+        if state.hierarchy is None:
+            raise CuratorActionError("no hierarchy generated yet")
+        state.hierarchy.move(self.node, self.new_parent)
+        return f"hierarchy: moved {self.node!r} under {self.new_parent!r}"
+
+
+@dataclass(frozen=True, slots=True)
+class AddExclusionPattern(CuratorAction):
+    """Extend the excessive-variable policy with a name pattern."""
+
+    pattern: str
+
+    def apply(self, chain: ProcessChain, state: WranglingState) -> str:
+        state.resolver.exclusion.add_pattern(self.pattern)
+        return f"exclusion pattern added: {self.pattern!r}"
+
+
+@dataclass(frozen=True, slots=True)
+class AddContextRule(CuratorAction):
+    """Teach the context rules a new (bare name, context) resolution."""
+
+    bare: str
+    context: str
+    canonical: str
+
+    def apply(self, chain: ProcessChain, state: WranglingState) -> str:
+        state.resolver.context_rules.add(
+            self.bare, self.context, self.canonical
+        )
+        return (
+            f"context rule: ({self.bare!r}, {self.context!r}) -> "
+            f"{self.canonical!r}"
+        )

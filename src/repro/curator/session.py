@@ -1,0 +1,141 @@
+"""The curator session: the four major curatorial activities as an API.
+
+1. *Creating* the wrangling process from composable components
+   (:meth:`CuratorSession.compose` or the default chain),
+2. *Running & re-running* it (:meth:`run`),
+3. *Improving* it by applying :class:`~repro.curator.actions.CuratorAction`
+   records (:meth:`improve`),
+4. *Validating* results (:meth:`validate`).
+
+The session keeps the action log and per-iteration metrics, which is
+what the curator-loop benchmark (C1) plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..archive.filesystem import VirtualArchive
+from ..semantics import AmbiguityFinding, analyze_ambiguity
+from ..wrangling.chain import ChainRunReport, ProcessChain, default_chain
+from ..wrangling.state import WranglingState
+from ..wrangling.validate import ValidationCheck, ValidationReport, validate
+from .actions import CuratorAction
+
+
+@dataclass(slots=True)
+class IterationRecord:
+    """One run-improve-validate loop turn."""
+
+    iteration: int
+    run_report: ChainRunReport
+    validation: ValidationReport
+    actions_applied: list[str] = field(default_factory=list)
+
+    @property
+    def failure_count(self) -> int:
+        """Validation failures after this iteration's run."""
+        return len(self.validation.failures)
+
+
+class CuratorSession:
+    """Drives one archive's wrangling process over many iterations."""
+
+    def __init__(
+        self,
+        fs: VirtualArchive,
+        chain: ProcessChain | None = None,
+        state: WranglingState | None = None,
+        checks: list[ValidationCheck] | None = None,
+    ) -> None:
+        self.state = state or WranglingState(fs=fs)
+        self.chain = chain or default_chain()
+        self.checks = checks
+        self.iterations: list[IterationRecord] = []
+        self.action_log: list[str] = []
+
+    # -- activity 1: composing -------------------------------------------------
+
+    def compose(self, chain: ProcessChain) -> None:
+        """Replace the process chain (activity 1)."""
+        self.chain = chain
+
+    # -- activity 2: running ----------------------------------------------------
+
+    def run(self) -> IterationRecord:
+        """Run the chain once and validate; records the iteration."""
+        run_report = self.chain.run(self.state)
+        validation = self.validate()
+        record = IterationRecord(
+            iteration=len(self.iterations) + 1,
+            run_report=run_report,
+            validation=validation,
+        )
+        self.iterations.append(record)
+        return record
+
+    # -- activity 3: improving ----------------------------------------------------
+
+    def improve(self, actions: list[CuratorAction]) -> list[str]:
+        """Apply improvement actions; returns provenance messages.
+
+        Messages also land on the latest iteration record (if any) and
+        the session log.
+        """
+        messages = []
+        for action in actions:
+            message = action.apply(self.chain, self.state)
+            messages.append(message)
+            self.action_log.append(message)
+        if self.iterations:
+            self.iterations[-1].actions_applied.extend(messages)
+        return messages
+
+    # -- activity 4: validating -----------------------------------------------------
+
+    def validate(self) -> ValidationReport:
+        """Validate the current working catalog."""
+        return validate(self.state, checks=self.checks)
+
+    # -- inspection helpers ------------------------------------------------------------
+
+    def unresolved_names(self) -> list[str]:
+        """Current variable names that failed to resolve (sorted)."""
+        from ..archive.vocabulary import VOCABULARY
+
+        out = set()
+        for __, entry in self.state.working.iter_variables():
+            if entry.name not in VOCABULARY and not entry.excluded:
+                out.add(entry.name)
+        return sorted(out)
+
+    def ambiguous_findings(self) -> list[AmbiguityFinding]:
+        """Ambiguity analyses for every still-flagged variable."""
+        findings = []
+        for feature in self.state.working:
+            for entry in feature.variables:
+                if not entry.ambiguous:
+                    continue
+                finding = analyze_ambiguity(
+                    feature.dataset_id,
+                    feature.platform,
+                    entry,
+                    self.state.resolver.context_rules,
+                )
+                if finding is not None:
+                    findings.append(finding)
+        return findings
+
+    def uncovered_written_names(self) -> list[tuple[str, str]]:
+        """(written name, current name) pairs where the written form is
+        missing from the synonym table (synonym-coverage failures)."""
+        out = {}
+        for __, entry in self.state.working.iter_variables():
+            if not self.state.resolver.synonyms.contains(entry.written_name):
+                out[entry.written_name] = entry.name
+        return sorted(out.items())
+
+    @property
+    def failure_history(self) -> list[int]:
+        """Validation failure count per iteration (the C1 curve)."""
+        return [record.failure_count for record in self.iterations]

@@ -1,0 +1,183 @@
+"""A simulated curator for closed-loop experiments.
+
+The poster's process has a human in the loop; benchmark C1 needs the
+loop closed programmatically.  :class:`SimulatedCurator` reads the
+validation report and proposes the actions a careful curator would:
+
+* synonym-coverage failures -> add the written form as an alternate of
+  the name it currently resolves to (when it resolved at all),
+* ambiguity flags with evidence -> clarify; evidently non-physical
+  columns (dimensionless, integer-stepped) -> hide; otherwise consult
+  the optional *oracle* (stand-in for the scientist who knows the
+  archive) or leave flagged,
+* unresolved names -> consult the oracle, else leave for discovery.
+
+``actions_per_iteration`` caps the work per turn, which is what makes
+the convergence curve gradual and measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..archive.vocabulary import VOCABULARY
+from ..semantics import AmbiguityAction
+from .actions import AddSynonym, CuratorAction, DecideAmbiguity
+from .session import CuratorSession
+
+
+@dataclass(slots=True)
+class SimulatedCurator:
+    """A deterministic curator policy."""
+
+    actions_per_iteration: int = 10
+    oracle: dict[str, str | None] | None = None  # written name -> canonical
+    hide_phantoms: bool = True
+
+    def propose(self, session: CuratorSession) -> list[CuratorAction]:
+        """Actions for the next improvement turn (capped)."""
+        actions: list[CuratorAction] = []
+        proposed_synonyms: set[str] = set()
+
+        # 1. Ambiguity decisions first: they unlock renames.
+        proposed_decisions: set[tuple[str, str]] = set()
+        for finding in session.ambiguous_findings():
+            if len(actions) >= self.actions_per_iteration:
+                return actions
+            if self._already_decided(session, finding):
+                continue
+            key = (finding.name, finding.dataset_id)
+            if key in proposed_decisions:
+                continue
+            proposed_decisions.add(key)
+            if finding.suggested is not None:
+                actions.append(
+                    DecideAmbiguity(
+                        name=finding.name,
+                        action=AmbiguityAction.CLARIFY,
+                        canonical=finding.suggested,
+                        scope=finding.dataset_id,
+                    )
+                )
+                continue
+            oracle_answer = (
+                self.oracle.get(finding.name, "absent")
+                if self.oracle is not None
+                else "absent"
+            )
+            if oracle_answer is None and self.hide_phantoms:
+                # The scientist says: not an environmental variable.
+                # HIDE is global, so dedupe on the name alone.
+                if (finding.name, "") in proposed_decisions:
+                    continue
+                proposed_decisions.add((finding.name, ""))
+                actions.append(
+                    DecideAmbiguity(
+                        name=finding.name, action=AmbiguityAction.HIDE
+                    )
+                )
+            elif isinstance(oracle_answer, str) and oracle_answer in VOCABULARY:
+                actions.append(
+                    DecideAmbiguity(
+                        name=finding.name,
+                        action=AmbiguityAction.CLARIFY,
+                        canonical=oracle_answer,
+                        scope=finding.dataset_id,
+                    )
+                )
+            # else: leave flagged this turn.
+
+        # 2. Grow the synonym table from names that already resolved, so
+        #    coverage validation passes and future scans resolve directly.
+        for written, current in session.uncovered_written_names():
+            if len(actions) >= self.actions_per_iteration:
+                return actions
+            if written in proposed_synonyms:
+                continue
+            if current in VOCABULARY:
+                actions.append(
+                    AddSynonym(preferred=current, alternate=written)
+                )
+                proposed_synonyms.add(written)
+                continue
+            oracle_answer = (
+                self.oracle.get(written, "absent")
+                if self.oracle is not None
+                else "absent"
+            )
+            if isinstance(oracle_answer, str) and oracle_answer in VOCABULARY:
+                actions.append(
+                    AddSynonym(preferred=oracle_answer, alternate=written)
+                )
+                proposed_synonyms.add(written)
+            elif self._hidden_by_decision(session, written):
+                # Deliberately hidden name: acknowledge it in the table
+                # so synonym-coverage validation passes.
+                actions.append(
+                    AddSynonym(preferred=written, alternate=written)
+                )
+                proposed_synonyms.add(written)
+
+        # 3. Unresolved current names: ask the oracle.
+        for name in session.unresolved_names():
+            if len(actions) >= self.actions_per_iteration:
+                return actions
+            oracle_answer = (
+                self.oracle.get(name) if self.oracle is not None else None
+            )
+            if isinstance(oracle_answer, str) and oracle_answer in VOCABULARY:
+                actions.append(
+                    AddSynonym(preferred=oracle_answer, alternate=name)
+                )
+        return actions
+
+    @staticmethod
+    def _hidden_by_decision(session: CuratorSession, name: str) -> bool:
+        return any(
+            d.name == name and d.action is AmbiguityAction.HIDE
+            for d in session.state.decisions
+        )
+
+    @staticmethod
+    def _already_decided(session: CuratorSession, finding) -> bool:
+        """A decision counts only when its scope covers the finding's
+        dataset — a clarification for one dataset must not suppress the
+        same name elsewhere."""
+        return any(
+            d.name == finding.name and d.applies_to(finding.dataset_id)
+            for d in session.state.decisions
+        )
+
+
+@dataclass(slots=True)
+class LoopResult:
+    """Outcome of a full closed loop."""
+
+    iterations_run: int
+    failure_counts: list[int] = field(default_factory=list)
+    actions_per_turn: list[int] = field(default_factory=list)
+    converged: bool = False
+
+
+def run_curator_loop(
+    session: CuratorSession,
+    curator: SimulatedCurator,
+    max_iterations: int = 10,
+) -> LoopResult:
+    """Run run->validate->improve until validation passes or actions dry
+    up (the poster's activities 2-4 as a loop)."""
+    result = LoopResult(iterations_run=0)
+    for __ in range(max_iterations):
+        record = session.run()
+        result.iterations_run += 1
+        result.failure_counts.append(record.failure_count)
+        if record.validation.ok:
+            result.converged = True
+            result.actions_per_turn.append(0)
+            break
+        actions = curator.propose(session)
+        result.actions_per_turn.append(len(actions))
+        if not actions:
+            break
+        session.improve(actions)
+    return result

@@ -1,0 +1,40 @@
+"""Experiment harness shared by benchmarks and examples."""
+
+from .builders import (
+    clean_archive_of_size,
+    messy_archive_of_size,
+    raw_catalog_from,
+    spec_for_size,
+    wrangled_system,
+)
+from .quality import QualitySummary, evaluate_engine
+from .table1 import (
+    CategoryAccuracy,
+    accuracy_table,
+    make_resolver,
+    resolution_accuracy,
+)
+from .workload import (
+    RELEVANCE_RADIUS_KM,
+    RELEVANCE_TIME_MARGIN_SECONDS,
+    QuerySpec,
+    generate_workload,
+)
+
+__all__ = [
+    "CategoryAccuracy",
+    "QualitySummary",
+    "QuerySpec",
+    "RELEVANCE_RADIUS_KM",
+    "RELEVANCE_TIME_MARGIN_SECONDS",
+    "accuracy_table",
+    "clean_archive_of_size",
+    "evaluate_engine",
+    "generate_workload",
+    "make_resolver",
+    "messy_archive_of_size",
+    "raw_catalog_from",
+    "resolution_accuracy",
+    "spec_for_size",
+    "wrangled_system",
+]

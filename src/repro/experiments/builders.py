@@ -1,0 +1,86 @@
+"""Builders for experiment fixtures: sized archives, raw and wrangled
+catalogs.
+
+Benchmarks sweep archive size and mess rate; these helpers make that a
+one-liner while keeping every step deterministic from the seed.
+"""
+
+from __future__ import annotations
+
+from ..archive import (
+    ArchiveSpec,
+    MessSpec,
+    SyntheticArchive,
+    VirtualArchive,
+    generate_archive,
+    inject_mess,
+    parse_file,
+    render_archive,
+)
+from ..catalog import MemoryCatalog
+from ..core import extract_feature
+from ..system import DataNearHere
+
+
+def spec_for_size(n_datasets: int, seed: int = 7) -> ArchiveSpec:
+    """An :class:`ArchiveSpec` with roughly ``n_datasets`` datasets,
+    keeping the platform mix of the default spec.
+
+    Raises:
+        ValueError: for non-positive sizes.
+    """
+    if n_datasets <= 0:
+        raise ValueError("n_datasets must be positive")
+    # Default mix: 8/6/10/3/3 over 30 -> scale each share, min 1.
+    share = n_datasets / 30.0
+    return ArchiveSpec(
+        stations=max(1, round(8 * share)),
+        cruises=max(1, round(6 * share)),
+        casts=max(1, round(10 * share)),
+        gliders=max(1, round(3 * share)),
+        met_stations=max(1, round(3 * share)),
+        samples_per_station=200,
+        samples_per_cruise=100,
+        samples_per_cast=50,
+        samples_per_glider=150,
+        samples_per_met=150,
+        seed=seed,
+    )
+
+
+def messy_archive_of_size(
+    n_datasets: int,
+    seed: int = 7,
+    mess_spec: MessSpec | None = None,
+) -> tuple[VirtualArchive, dict, SyntheticArchive]:
+    """Generate, mess and render an archive of ``n_datasets`` datasets."""
+    archive = generate_archive(spec_for_size(n_datasets, seed=seed))
+    inject_mess(archive, mess_spec or MessSpec(seed=seed + 1))
+    fs, truth = render_archive(archive)
+    return fs, truth, archive
+
+
+def clean_archive_of_size(
+    n_datasets: int, seed: int = 7
+) -> SyntheticArchive:
+    """The clean (pre-mess) twin of :func:`messy_archive_of_size`."""
+    return generate_archive(spec_for_size(n_datasets, seed=seed))
+
+
+def raw_catalog_from(fs: VirtualArchive) -> MemoryCatalog:
+    """Scan-once features with *no* wrangling (the no-wrangling baseline)."""
+    catalog = MemoryCatalog()
+    for record in fs:
+        if record.extension in ("csv", "cdl"):
+            dataset = parse_file(record.content, record.path)
+            catalog.upsert(
+                extract_feature(dataset, content_hash=record.content_hash())
+            )
+    return catalog
+
+
+def wrangled_system(fs: VirtualArchive) -> DataNearHere:
+    """A fully wrangled, search-ready :class:`DataNearHere`."""
+    system = DataNearHere(fs)
+    system.wrangle()
+    return system

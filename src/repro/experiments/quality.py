@@ -1,0 +1,56 @@
+"""Search-quality evaluation: engines vs workloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.metrics import ndcg_at_k, precision_at_k, recall_at_k
+from .workload import QuerySpec
+
+
+@dataclass(frozen=True, slots=True)
+class QualitySummary:
+    """Mean retrieval quality of one engine over one workload."""
+
+    label: str
+    ndcg: float
+    precision: float
+    recall: float
+    queries: int
+    k: int
+
+    def row(self) -> str:
+        """A fixed-width report row."""
+        return (
+            f"{self.label:28s} nDCG@{self.k}={self.ndcg:5.3f} "
+            f"P@{self.k}={self.precision:5.3f} R@{self.k}={self.recall:5.3f}"
+        )
+
+
+def evaluate_engine(
+    engine, workload: list[QuerySpec], k: int = 10, label: str = "engine"
+) -> QualitySummary:
+    """Mean nDCG/precision/recall of ``engine.search`` over the workload.
+
+    Works for both the ranked engine and the boolean baseline (anything
+    with ``search(query, limit) -> [SearchResult]``).
+    """
+    if not workload:
+        raise ValueError("workload is empty")
+    ndcg_total = precision_total = recall_total = 0.0
+    for spec in workload:
+        ranked = [
+            r.dataset_id for r in engine.search(spec.query, limit=k)
+        ]
+        ndcg_total += ndcg_at_k(ranked, spec.relevance, k)
+        precision_total += precision_at_k(ranked, spec.relevant_ids, k)
+        recall_total += recall_at_k(ranked, spec.strongly_relevant_ids, k)
+    n = len(workload)
+    return QualitySummary(
+        label=label,
+        ndcg=ndcg_total / n,
+        precision=precision_total / n,
+        recall=recall_total / n,
+        queries=n,
+        k=k,
+    )

@@ -1,0 +1,142 @@
+"""Query workloads with ground-truth relevance.
+
+Queries follow the poster's example shape — location + time window +
+variable-with-range — and are generated *from the clean archive*, so
+every query has at least one strongly relevant dataset.  Relevance is
+graded 0-3 against the clean data (one point per satisfied criterion:
+variable present, time overlap, spatial proximity); the messy catalog
+never informs the ground truth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..archive.dataset import Dataset
+from ..archive.generator import SyntheticArchive
+from ..archive.vocabulary import VOCABULARY
+from ..core.query import Query, VariableTerm
+from ..geo import BoundingBox, GeoPoint, TimeInterval
+from ..hierarchy import ConceptHierarchy, vocabulary_hierarchy
+
+RELEVANCE_RADIUS_KM = 100.0
+RELEVANCE_TIME_MARGIN_SECONDS = 30.0 * 86400.0
+
+
+@dataclass(frozen=True, slots=True)
+class QuerySpec:
+    """One workload query plus its graded ground truth."""
+
+    query: Query
+    relevance: dict[str, float]  # dataset path -> grade 0..3
+    seed_dataset: str  # the clean dataset the query was built from
+
+    @property
+    def relevant_ids(self) -> set[str]:
+        """Binary relevance: any grade above zero."""
+        return {d for d, g in self.relevance.items() if g > 0}
+
+    @property
+    def strongly_relevant_ids(self) -> set[str]:
+        """Datasets satisfying all three criteria."""
+        return {d for d, g in self.relevance.items() if g >= 3.0}
+
+
+def _dataset_bbox(dataset: Dataset) -> BoundingBox:
+    return BoundingBox(
+        min(dataset.table.lats),
+        min(dataset.table.lons),
+        max(dataset.table.lats),
+        max(dataset.table.lons),
+    )
+
+
+def _dataset_interval(dataset: Dataset) -> TimeInterval:
+    return TimeInterval(min(dataset.table.times), max(dataset.table.times))
+
+
+def _grade(
+    dataset: Dataset,
+    query: Query,
+    expansion: set[str],
+) -> float:
+    grade = 0.0
+    names = set(dataset.variable_names())
+    if names & expansion:
+        grade += 1.0
+    interval = _dataset_interval(dataset)
+    if query.interval is not None and (
+        interval.gap_seconds(query.interval) <= RELEVANCE_TIME_MARGIN_SECONDS
+    ):
+        grade += 1.0
+    if query.location is not None:
+        bbox = _dataset_bbox(dataset)
+        if bbox.distance_km_to_point(query.location) <= RELEVANCE_RADIUS_KM:
+            grade += 1.0
+    return grade
+
+
+def generate_workload(
+    clean_archive: SyntheticArchive,
+    n_queries: int = 20,
+    seed: int = 23,
+    hierarchy: ConceptHierarchy | None = None,
+) -> list[QuerySpec]:
+    """Build ``n_queries`` query specs with graded relevance.
+
+    Each query is seeded from one clean dataset: the location is near its
+    footprint, the time window sits inside its coverage, and the variable
+    term names a canonical variable it carries (range overlapping what it
+    observed).  Ground truth then grades *every* clean dataset.
+
+    Raises:
+        ValueError: if ``n_queries`` is not positive.
+    """
+    if n_queries <= 0:
+        raise ValueError("n_queries must be positive")
+    rng = random.Random(seed)
+    hierarchy = hierarchy or vocabulary_hierarchy()
+    datasets = clean_archive.datasets
+    specs = []
+    for __ in range(n_queries):
+        seed_ds = rng.choice(datasets)
+        searchable = [
+            name
+            for name in seed_ds.variable_names()
+            if name in VOCABULARY and not VOCABULARY[name].auxiliary
+        ]
+        variable = rng.choice(searchable)
+        column = seed_ds.table.column_named(variable)
+        lo, hi = min(column.values), max(column.values)
+        width = max(hi - lo, 1e-6)
+        q_lo = lo + rng.uniform(0.0, 0.5) * width
+        q_hi = q_lo + rng.uniform(0.2, 0.6) * width
+        bbox = _dataset_bbox(seed_ds)
+        center = bbox.center
+        location = GeoPoint(
+            min(89.9, max(-89.9, center.lat + rng.uniform(-0.3, 0.3))),
+            min(179.9, max(-179.9, center.lon + rng.uniform(-0.3, 0.3))),
+        )
+        interval = _dataset_interval(seed_ds)
+        mid = interval.midpoint
+        half_window = rng.uniform(0.5, 10.0) * 86400.0
+        query = Query(
+            location=location,
+            interval=TimeInterval(mid - half_window, mid + half_window),
+            variables=(VariableTerm(variable, low=q_lo, high=q_hi),),
+        )
+        expansion = hierarchy.expand(variable) | {variable}
+        relevance = {}
+        for dataset in datasets:
+            grade = _grade(dataset, query, expansion)
+            if grade > 0:
+                relevance[dataset.path] = grade
+        specs.append(
+            QuerySpec(
+                query=query,
+                relevance=relevance,
+                seed_dataset=seed_ds.path,
+            )
+        )
+    return specs

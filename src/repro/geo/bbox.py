@@ -1,0 +1,202 @@
+"""Geographic bounding boxes.
+
+Each dataset's *feature* (its catalog summary) carries a spatial bounding
+box; query ranking measures the distance from the query point or region to
+that box.  Boxes here never cross the antimeridian — the synthetic archive
+(Columbia River estuary / NE Pacific, like CMOP's) does not need it, and
+the catalog stores min/max pairs directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from .point import GeoPoint, haversine_km, validate_latitude, validate_longitude
+
+
+class EmptyBoundingBoxError(ValueError):
+    """Raised when a bounding box is built from no points."""
+
+
+@dataclass(frozen=True, slots=True)
+class BoundingBox:
+    """An immutable lat/lon axis-aligned rectangle.
+
+    Invariant: ``min_lat <= max_lat`` and ``min_lon <= max_lon``.
+    A degenerate box (single point) is legal and common: a fixed station's
+    footprint is a point.
+    """
+
+    min_lat: float
+    min_lon: float
+    max_lat: float
+    max_lon: float
+
+    def __post_init__(self) -> None:
+        validate_latitude(self.min_lat)
+        validate_latitude(self.max_lat)
+        validate_longitude(self.min_lon)
+        validate_longitude(self.max_lon)
+        if self.min_lat > self.max_lat:
+            raise ValueError(
+                f"min_lat {self.min_lat} > max_lat {self.max_lat}"
+            )
+        if self.min_lon > self.max_lon:
+            raise ValueError(
+                f"min_lon {self.min_lon} > max_lon {self.max_lon}"
+            )
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_point(cls, point: GeoPoint) -> "BoundingBox":
+        """A degenerate box covering a single point."""
+        return cls(point.lat, point.lon, point.lat, point.lon)
+
+    @classmethod
+    def from_points(cls, points: Iterable[GeoPoint]) -> "BoundingBox":
+        """The tightest box covering ``points``.
+
+        Raises:
+            EmptyBoundingBoxError: if ``points`` is empty.
+        """
+        iterator: Iterator[GeoPoint] = iter(points)
+        try:
+            first = next(iterator)
+        except StopIteration:
+            raise EmptyBoundingBoxError("cannot build a box from no points")
+        min_lat = max_lat = first.lat
+        min_lon = max_lon = first.lon
+        for p in iterator:
+            min_lat = min(min_lat, p.lat)
+            max_lat = max(max_lat, p.lat)
+            min_lon = min(min_lon, p.lon)
+            max_lon = max(max_lon, p.lon)
+        return cls(min_lat, min_lon, max_lat, max_lon)
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def center(self) -> GeoPoint:
+        """Box centroid (arithmetic midpoint; fine away from the poles)."""
+        return GeoPoint(
+            (self.min_lat + self.max_lat) / 2.0,
+            (self.min_lon + self.max_lon) / 2.0,
+        )
+
+    @property
+    def is_point(self) -> bool:
+        """True if the box degenerates to a single point."""
+        return self.min_lat == self.max_lat and self.min_lon == self.max_lon
+
+    @property
+    def width_degrees(self) -> float:
+        """Longitudinal extent in degrees."""
+        return self.max_lon - self.min_lon
+
+    @property
+    def height_degrees(self) -> float:
+        """Latitudinal extent in degrees."""
+        return self.max_lat - self.min_lat
+
+    # -- geometry ----------------------------------------------------------
+
+    def contains_point(self, point: GeoPoint) -> bool:
+        """True if ``point`` lies inside or on the border of the box."""
+        return (
+            self.min_lat <= point.lat <= self.max_lat
+            and self.min_lon <= point.lon <= self.max_lon
+        )
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        """True if the two boxes share any point (borders count)."""
+        return not (
+            other.min_lat > self.max_lat
+            or other.max_lat < self.min_lat
+            or other.min_lon > self.max_lon
+            or other.max_lon < self.min_lon
+        )
+
+    def union(self, other: "BoundingBox") -> "BoundingBox":
+        """The tightest box covering both boxes."""
+        return BoundingBox(
+            min(self.min_lat, other.min_lat),
+            min(self.min_lon, other.min_lon),
+            max(self.max_lat, other.max_lat),
+            max(self.max_lon, other.max_lon),
+        )
+
+    def expand(self, degrees: float) -> "BoundingBox":
+        """A box grown by ``degrees`` on every side, clamped to the globe."""
+        if degrees < 0:
+            raise ValueError("expand() takes a non-negative margin")
+        return BoundingBox(
+            max(-90.0, self.min_lat - degrees),
+            max(-180.0, self.min_lon - degrees),
+            min(90.0, self.max_lat + degrees),
+            min(180.0, self.max_lon + degrees),
+        )
+
+    def closest_point_to(self, point: GeoPoint) -> GeoPoint:
+        """The point of the box nearest to ``point`` (point itself if inside)."""
+        lat = min(max(point.lat, self.min_lat), self.max_lat)
+        lon = min(max(point.lon, self.min_lon), self.max_lon)
+        return GeoPoint(lat, lon)
+
+    def distance_km_to_point(self, point: GeoPoint) -> float:
+        """Great-circle distance from ``point`` to the nearest box point.
+
+        Zero when the point is inside the box.  This is the quantity the
+        ranking function's location term is built on.  The nearest box
+        point is found by lat/lon clamping; because the shorter way
+        around the globe may pass the antimeridian, both box edges are
+        also considered (which keeps the result within ~0.1% of the true
+        spherical minimum even at planetary scales).
+        """
+        nearest = self.closest_point_to(point)
+        best = haversine_km(point.lat, point.lon, nearest.lat, nearest.lon)
+        if best == 0.0:
+            return 0.0
+        # On a sphere the nearest point of a meridian edge is not the
+        # clamped latitude when the longitude gap is large: minimizing
+        # the spherical law of cosines over latitude gives
+        # tan(lat*) = tan(q_lat) / cos(dlon).  Check both edges (which
+        # also covers the shorter way around the antimeridian).
+        for lon in (self.min_lon, self.max_lon):
+            dlon = math.radians(point.lon - lon)
+            cos_dlon = math.cos(dlon)
+            if abs(cos_dlon) > 1e-12:
+                optimal = math.degrees(
+                    math.atan(math.tan(math.radians(point.lat)) / cos_dlon)
+                )
+            else:
+                optimal = 0.0
+            clamped = min(max(optimal, self.min_lat), self.max_lat)
+            # The stationary point may be the far side of the great
+            # circle; the constrained minimum is then at an edge corner,
+            # so evaluate those too.
+            for lat in (clamped, self.min_lat, self.max_lat):
+                best = min(
+                    best, haversine_km(point.lat, point.lon, lat, lon)
+                )
+        return best
+
+    def distance_km_to_box(self, other: "BoundingBox") -> float:
+        """Great-circle distance between nearest points of two boxes.
+
+        Zero when they intersect.
+        """
+        if self.intersects(other):
+            return 0.0
+        # Clamp each box's nearest corner toward the other box.
+        lat = min(max(other.min_lat, self.min_lat), self.max_lat)
+        lon = min(max(other.min_lon, self.min_lon), self.max_lon)
+        nearest_self = GeoPoint(lat, lon)
+        nearest_other = other.closest_point_to(nearest_self)
+        return nearest_self.distance_km(nearest_other)
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        """Return ``(min_lat, min_lon, max_lat, max_lon)``."""
+        return (self.min_lat, self.min_lon, self.max_lat, self.max_lon)

@@ -1,0 +1,19 @@
+"""Variable hierarchies and multi-taxonomy links."""
+
+from .taxonomy import TaxonomyLink, TaxonomyLinks, default_taxonomy_links
+from .tree import (
+    ConceptHierarchy,
+    ConceptNode,
+    HierarchyError,
+    vocabulary_hierarchy,
+)
+
+__all__ = [
+    "ConceptHierarchy",
+    "ConceptNode",
+    "HierarchyError",
+    "TaxonomyLink",
+    "TaxonomyLinks",
+    "default_taxonomy_links",
+    "vocabulary_hierarchy",
+]

@@ -1,0 +1,103 @@
+"""Links from variables to multiple external taxonomies.
+
+The Table's "source-context naming variations" row calls for attaching a
+context to a variable and "link[ing] to multiple taxonomies".  A
+:class:`TaxonomyLinks` registry records, per canonical variable, its path
+in any number of named taxonomies (CF standard names, GCMD keywords, a
+local station taxonomy, ...), so context is preserved and exposable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections import defaultdict
+
+
+@dataclass(frozen=True, slots=True)
+class TaxonomyLink:
+    """One variable's placement in one taxonomy."""
+
+    taxonomy: str
+    path: tuple[str, ...]
+
+    @property
+    def leaf(self) -> str:
+        """The final path element."""
+        return self.path[-1]
+
+    def __str__(self) -> str:
+        return f"{self.taxonomy}:{' > '.join(self.path)}"
+
+
+class TaxonomyLinks:
+    """Registry of variable -> links across named taxonomies."""
+
+    def __init__(self) -> None:
+        self._links: dict[str, list[TaxonomyLink]] = defaultdict(list)
+
+    def add(self, variable: str, taxonomy: str, path: tuple[str, ...]) -> None:
+        """Link ``variable`` to a path in ``taxonomy``.
+
+        Raises:
+            ValueError: if the path is empty or the link already exists.
+        """
+        if not path:
+            raise ValueError("taxonomy path must be non-empty")
+        link = TaxonomyLink(taxonomy=taxonomy, path=path)
+        if link in self._links[variable]:
+            raise ValueError(f"duplicate link {link} for {variable!r}")
+        self._links[variable].append(link)
+
+    def links_for(self, variable: str) -> list[TaxonomyLink]:
+        """All links of ``variable`` (empty list when unlinked)."""
+        return list(self._links.get(variable, ()))
+
+    def taxonomies(self) -> list[str]:
+        """Sorted names of all taxonomies with at least one link."""
+        return sorted(
+            {link.taxonomy for links in self._links.values() for link in links}
+        )
+
+    def variables_under(
+        self, taxonomy: str, prefix: tuple[str, ...]
+    ) -> list[str]:
+        """Variables whose ``taxonomy`` path starts with ``prefix``."""
+        out = []
+        for variable, links in self._links.items():
+            for link in links:
+                if (
+                    link.taxonomy == taxonomy
+                    and link.path[: len(prefix)] == prefix
+                ):
+                    out.append(variable)
+                    break
+        return sorted(out)
+
+    def __len__(self) -> int:
+        return sum(len(links) for links in self._links.values())
+
+
+def default_taxonomy_links() -> TaxonomyLinks:
+    """CF-like and GCMD-like links for the canonical vocabulary.
+
+    Synthesized stand-ins for the real external taxonomies (which are
+    data we do not ship): paths follow each standard's actual shape.
+    """
+    from ..archive.vocabulary import VOCABULARY, Context
+
+    links = TaxonomyLinks()
+    gcmd_branch = {
+        Context.AIR: ("Earth Science", "Atmosphere"),
+        Context.WATER: ("Earth Science", "Oceans"),
+        Context.SEAFLOOR: ("Earth Science", "Oceans", "Bathymetry"),
+        Context.PLATFORM: ("Earth Science", "Instrumentation"),
+        Context.NONE: ("Earth Science",),
+    }
+    for var in VOCABULARY.values():
+        links.add(
+            var.name,
+            "cf",
+            tuple(var.name.split("_")) if "_" in var.name else (var.name,),
+        )
+        links.add(var.name, "gcmd", gcmd_branch[var.context] + (var.name,))
+    return links

@@ -1,0 +1,270 @@
+"""Concept hierarchies over variable names.
+
+The Table's "concepts at multiple levels of detail" row: ``fluorescence``
+vs ``fluores375``/``fluores400``.  The desired result is "collapse or
+expose as needed; allow variables to be grouped; support hierarchical
+menus".  A :class:`ConceptHierarchy` is a forest of named concepts;
+queries naming an inner concept expand to all measurable descendants,
+and the UI renders the forest as an indented menu.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+class HierarchyError(ValueError):
+    """Raised on structural violations (cycles, duplicate nodes, ...)."""
+
+
+@dataclass(slots=True)
+class ConceptNode:
+    """One node: a concept or a concrete (measurable) variable."""
+
+    name: str
+    parent: str | None = None
+    measurable: bool = True
+    description: str = ""
+    children: list[str] = field(default_factory=list)
+
+
+class ConceptHierarchy:
+    """A mutable forest of concept nodes, keyed by name."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, ConceptNode] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def add(
+        self,
+        name: str,
+        parent: str | None = None,
+        measurable: bool = True,
+        description: str = "",
+    ) -> ConceptNode:
+        """Add a node; the parent is auto-created as a concept if missing.
+
+        Raises:
+            HierarchyError: on duplicate names or self-parenting.
+        """
+        if name in self._nodes:
+            raise HierarchyError(f"duplicate node {name!r}")
+        if parent == name:
+            raise HierarchyError(f"node {name!r} cannot be its own parent")
+        if parent is not None and parent not in self._nodes:
+            self.add(parent, parent=None, measurable=False)
+        node = ConceptNode(
+            name=name,
+            parent=parent,
+            measurable=measurable,
+            description=description,
+        )
+        self._nodes[name] = node
+        if parent is not None:
+            self._nodes[parent].children.append(name)
+        return node
+
+    def remove(self, name: str) -> None:
+        """Remove a leaf node.
+
+        Raises:
+            HierarchyError: when the node has children or does not exist.
+        """
+        node = self._nodes.get(name)
+        if node is None:
+            raise HierarchyError(f"no node {name!r}")
+        if node.children:
+            raise HierarchyError(f"node {name!r} has children")
+        if node.parent is not None:
+            self._nodes[node.parent].children.remove(name)
+        del self._nodes[name]
+
+    def move(self, name: str, new_parent: str | None) -> None:
+        """Re-parent a node (curatorial activity: "modifying a hierarchy").
+
+        Raises:
+            HierarchyError: on unknown nodes or when the move would create
+                a cycle.
+        """
+        node = self._nodes.get(name)
+        if node is None:
+            raise HierarchyError(f"no node {name!r}")
+        if new_parent is not None:
+            if new_parent not in self._nodes:
+                raise HierarchyError(f"no node {new_parent!r}")
+            if new_parent == name or new_parent in self.descendants(name):
+                raise HierarchyError(
+                    f"moving {name!r} under {new_parent!r} creates a cycle"
+                )
+        if node.parent is not None:
+            self._nodes[node.parent].children.remove(name)
+        node.parent = new_parent
+        if new_parent is not None:
+            self._nodes[new_parent].children.append(name)
+
+    # -- queries ---------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(self, name: str) -> ConceptNode:
+        """Return the node.
+
+        Raises:
+            HierarchyError: when absent.
+        """
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise HierarchyError(f"no node {name!r}")
+
+    def roots(self) -> list[str]:
+        """Names of parentless nodes, sorted."""
+        return sorted(n.name for n in self._nodes.values() if n.parent is None)
+
+    def children(self, name: str) -> list[str]:
+        """Direct children of ``name`` (sorted)."""
+        return sorted(self.node(name).children)
+
+    def ancestors(self, name: str) -> list[str]:
+        """Ancestors of ``name`` from parent up to the root."""
+        out = []
+        current = self.node(name).parent
+        while current is not None:
+            out.append(current)
+            current = self._nodes[current].parent
+        return out
+
+    def descendants(self, name: str) -> set[str]:
+        """All strict descendants of ``name``."""
+        out: set[str] = set()
+        stack = list(self.node(name).children)
+        while stack:
+            child = stack.pop()
+            if child in out:
+                continue
+            out.add(child)
+            stack.extend(self._nodes[child].children)
+        return out
+
+    def expand(self, name: str) -> set[str]:
+        """Measurable names a query for ``name`` should match: ``name``
+        itself (if measurable) plus all measurable descendants.
+
+        Unknown names expand to themselves — search still works on a
+        vocabulary the hierarchy has not caught up with.
+        """
+        if name not in self._nodes:
+            return {name}
+        out = {
+            d for d in self.descendants(name) if self._nodes[d].measurable
+        }
+        if self._nodes[name].measurable:
+            out.add(name)
+        return out
+
+    def depth(self, name: str) -> int:
+        """Root is depth 0."""
+        return len(self.ancestors(name))
+
+    def distance(self, a: str, b: str) -> int | None:
+        """Tree distance between two nodes, or None when disconnected."""
+        if a not in self._nodes or b not in self._nodes:
+            return None
+        path_a = [a] + self.ancestors(a)
+        depth_in_a = {name: i for i, name in enumerate(path_a)}
+        steps_b = 0
+        current: str | None = b
+        while current is not None:
+            if current in depth_in_a:
+                return steps_b + depth_in_a[current]
+            current = self._nodes[current].parent
+            steps_b += 1
+        return None
+
+    def walk(self) -> Iterator[tuple[str, int]]:
+        """Depth-first (name, depth) over the forest, children sorted."""
+        for root in self.roots():
+            yield from self._walk_from(root, 0)
+
+    def _walk_from(self, name: str, depth: int) -> Iterator[tuple[str, int]]:
+        yield name, depth
+        for child in self.children(name):
+            yield from self._walk_from(child, depth + 1)
+
+    def menu(self) -> str:
+        """The hierarchical menu rendering the Table calls for."""
+        lines = []
+        for name, depth in self.walk():
+            node = self._nodes[name]
+            marker = "" if node.measurable else " *"
+            lines.append("  " * depth + f"- {name}{marker}")
+        return "\n".join(lines)
+
+    def flattened(self, max_depth: int) -> "ConceptHierarchy":
+        """A copy with depth capped at ``max_depth``.
+
+        The hierarchy-generation component's "configure: levels" knob:
+        nodes deeper than ``max_depth`` re-attach to their ancestor at
+        depth ``max_depth - 1``, so menus never nest deeper than the
+        configured level while keeping every variable reachable.
+
+        Raises:
+            HierarchyError: if ``max_depth`` is not positive.
+        """
+        if max_depth < 1:
+            raise HierarchyError("max_depth must be at least 1")
+        out = ConceptHierarchy()
+        for name, depth in self.walk():
+            node = self.node(name)
+            if depth <= max_depth:
+                parent = node.parent
+            else:
+                ancestors = self.ancestors(name)
+                parent = ancestors[depth - max_depth]
+            out.add(
+                name,
+                parent=parent,
+                measurable=node.measurable,
+                description=node.description,
+            )
+        return out
+
+    def group_of(self, name: str) -> str:
+        """The top-level concept a variable rolls up to (itself if root)."""
+        node = self.node(name)
+        current = node
+        while current.parent is not None:
+            current = self._nodes[current.parent]
+        return current.name
+
+
+def vocabulary_hierarchy() -> ConceptHierarchy:
+    """The default hierarchy induced by the canonical vocabulary's
+    parent links (abstract concepts marked non-measurable)."""
+    from ..archive.vocabulary import VOCABULARY, _ABSTRACT_CONCEPTS
+
+    hierarchy = ConceptHierarchy()
+    # Parents first so children attach to proper nodes.
+    pending = dict(VOCABULARY)
+    while pending:
+        progressed = False
+        for name in list(pending):
+            var = pending[name]
+            if var.parent is None or var.parent in hierarchy:
+                hierarchy.add(
+                    name,
+                    parent=var.parent,
+                    measurable=name not in _ABSTRACT_CONCEPTS,
+                    description=var.description,
+                )
+                del pending[name]
+                progressed = True
+        if not progressed:  # pragma: no cover - vocabulary is acyclic
+            raise HierarchyError(f"cyclic parents among {sorted(pending)}")
+    return hierarchy

@@ -1,0 +1,78 @@
+"""Google Refine substrate: GREL expressions, operations, facets,
+clustering, operation-history JSON and the catalog bridge."""
+
+from .bridge import (
+    FIELD_COLUMN,
+    DiscoverySession,
+    apply_rules_to_catalog,
+    catalog_to_table,
+    make_canonical_chooser,
+    most_common_chooser,
+)
+from .clustering import (
+    KEYERS,
+    ValueCluster,
+    clusters_to_mass_edits,
+    key_collision_clusters,
+    nearest_neighbour_clusters,
+)
+from .facets import (
+    EngineConfig,
+    FacetConfigError,
+    ListFacet,
+    TextFacet,
+    facet_from_json,
+)
+from .grel import GrelEvalError, GrelExpression, GrelSyntaxError, evaluate
+from .history import RuleSet
+from .ops import (
+    ColumnAdditionOperation,
+    ColumnRemovalOperation,
+    ColumnRenameOperation,
+    FillDownOperation,
+    MassEditEdit,
+    MassEditOperation,
+    Operation,
+    OperationError,
+    RowRemovalOperation,
+    TextTransformOperation,
+    operation_from_json,
+)
+from .table import ColumnError, RefineTable
+
+__all__ = [
+    "ColumnAdditionOperation",
+    "ColumnError",
+    "ColumnRemovalOperation",
+    "ColumnRenameOperation",
+    "DiscoverySession",
+    "EngineConfig",
+    "FIELD_COLUMN",
+    "FacetConfigError",
+    "FillDownOperation",
+    "GrelEvalError",
+    "GrelExpression",
+    "GrelSyntaxError",
+    "KEYERS",
+    "ListFacet",
+    "MassEditEdit",
+    "MassEditOperation",
+    "Operation",
+    "OperationError",
+    "RefineTable",
+    "RowRemovalOperation",
+    "RuleSet",
+    "TextFacet",
+    "TextTransformOperation",
+    "ValueCluster",
+    "apply_rules_to_catalog",
+    "catalog_to_table",
+    "clusters_to_mass_edits",
+    "evaluate",
+    "facet_from_json",
+    "key_collision_clusters",
+    "make_canonical_chooser",
+    "most_common_chooser",
+    "nearest_neighbour_clusters",
+    "operation_from_json",
+]

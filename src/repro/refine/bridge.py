@@ -1,0 +1,171 @@
+"""The catalog <-> Refine bridge: the poster's discovery round-trip.
+
+Figure "Discovering Transformations with Google Refine":
+
+1. *Extract catalog entries to Google Refine* — variable entries become
+   rows of a :class:`~repro.refine.table.RefineTable` with a ``field``
+   column (the poster's mass-edit example edits column ``field``).
+2. The curator clusters the ``field`` column and confirms merges; here a
+   :class:`DiscoverySession` automates that with pluggable cluster
+   methods and a target chooser (default: most common value; the
+   semantics-aware chooser maps clusters onto canonical vocabulary).
+3. *Export JSON rules* — the confirmed merges become ``core/mass-edit``
+   operations in a :class:`~repro.refine.history.RuleSet`.
+4. *Run rules against metadata* — the rule set's rename mapping is
+   replayed on the working catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..catalog.store import CatalogStore
+from .clustering import (
+    ValueCluster,
+    clusters_to_mass_edits,
+    key_collision_clusters,
+    nearest_neighbour_clusters,
+)
+from .history import RuleSet
+from .ops import MassEditOperation
+from .table import RefineTable
+
+FIELD_COLUMN = "field"  # the poster's column name for variable names
+
+
+def catalog_to_table(catalog: CatalogStore) -> RefineTable:
+    """Export variable entries: one row per (dataset, variable)."""
+    table = RefineTable(
+        columns=[
+            "dataset_id",
+            FIELD_COLUMN,
+            "unit",
+            "platform",
+            "directory",
+            "excluded",
+        ]
+    )
+    for dataset_id, entry in catalog.iter_variables():
+        feature_platform = dataset_id  # resolved below via catalog.get
+        table.append_row(
+            {
+                "dataset_id": dataset_id,
+                FIELD_COLUMN: entry.name,
+                "unit": entry.unit,
+                "platform": "",
+                "directory": dataset_id.rsplit("/", 1)[0]
+                if "/" in dataset_id
+                else "",
+                "excluded": entry.excluded,
+            }
+        )
+    # Fill platforms in one pass over features (iter_variables does not
+    # expose the feature).
+    platforms = {f.dataset_id: f.platform for f in catalog}
+    for row in table.rows:
+        row["platform"] = platforms.get(row["dataset_id"], "")
+    return table
+
+
+def apply_rules_to_catalog(
+    rules: RuleSet, catalog: CatalogStore, resolution: str = "refine"
+) -> int:
+    """Replay a rule set's combined rename mapping on the catalog.
+
+    Returns the number of variable entries renamed.
+    """
+    mapping = rules.rename_mapping()
+    if not mapping:
+        return 0
+    return catalog.rename_variables(mapping, resolution=resolution)
+
+
+TargetChooser = Callable[[ValueCluster], str | None]
+
+
+def most_common_chooser(cluster: ValueCluster) -> str | None:
+    """Refine's default: merge to the most frequent value."""
+    return cluster.suggested_value
+
+
+def make_canonical_chooser(
+    canonical_names: set[str],
+    fallback_to_most_common: bool = True,
+) -> TargetChooser:
+    """A chooser that prefers a canonical vocabulary name in the cluster.
+
+    Emulates the curator recognizing the right name among the variants;
+    when no member is canonical, optionally falls back to Refine's
+    default (else skips the cluster for manual review).  A cluster
+    containing *two or more* canonical names is always skipped — short
+    canonical names can land within edit distance of each other (``ph``
+    vs ``par``), and no curator would merge two real variables.
+    """
+
+    def chooser(cluster: ValueCluster) -> str | None:
+        canonical_members = [
+            value for value in cluster.values if value in canonical_names
+        ]
+        if len(canonical_members) > 1:
+            return None
+        if canonical_members:
+            return canonical_members[0]
+        return cluster.suggested_value if fallback_to_most_common else None
+
+    return chooser
+
+
+@dataclass(slots=True)
+class DiscoverySession:
+    """Programmatic stand-in for the curator's Refine session."""
+
+    method: str = "fingerprint"  # any KEYERS key, or 'nn-levenshtein',
+    # 'nn-jaro-winkler'
+    radius: float = 2.0
+    min_cluster_size: int = 2
+    chooser: TargetChooser = field(default=most_common_chooser)
+    seed_values: dict[str, int] | None = None  # extra values (e.g. the
+    # canonical vocabulary) to cluster alongside the harvested names
+
+    def cluster(self, table: RefineTable) -> list[ValueCluster]:
+        """Cluster the ``field`` column of an exported table."""
+        counts = {
+            str(value): count
+            for value, count in table.distinct_values(FIELD_COLUMN).items()
+            if value is not None
+        }
+        for value, count in (self.seed_values or {}).items():
+            counts[value] = counts.get(value, 0) + count
+        if self.method.startswith("nn-"):
+            return nearest_neighbour_clusters(
+                counts,
+                distance=self.method[len("nn-"):],
+                radius=self.radius,
+                min_size=self.min_cluster_size,
+            )
+        return key_collision_clusters(
+            counts, keyer=self.method, min_size=self.min_cluster_size
+        )
+
+    def discover(self, table: RefineTable) -> RuleSet:
+        """Cluster and convert confirmed merges into a rule set."""
+        clusters = self.cluster(table)
+        edits = clusters_to_mass_edits(clusters, target_for=self.chooser)
+        rules = RuleSet()
+        if edits:
+            rules.append(
+                MassEditOperation(
+                    column=FIELD_COLUMN,
+                    edits=edits,
+                    description=(
+                        f"Mass edit cells in column {FIELD_COLUMN} "
+                        f"({self.method} clustering)"
+                    ),
+                )
+            )
+        return rules
+
+    def discover_from_catalog(self, catalog: CatalogStore) -> RuleSet:
+        """The full export -> cluster -> rules pipeline."""
+        return self.discover(catalog_to_table(catalog))

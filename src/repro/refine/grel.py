@@ -1,0 +1,320 @@
+"""A small GREL-like expression language.
+
+Google Refine's transformations carry expressions such as ``value``,
+``value.trim().toLowercase()`` or ``value.replace('-', '_')``.  The
+poster's exported rules embed them (``"expression": "value"``), so
+replaying rule JSON requires an evaluator.  This implements the subset
+that name-wrangling uses: the ``value``/``cells`` variables, string and
+number literals, method chaining, a function library, and ``+``
+concatenation.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Callable
+
+
+class GrelSyntaxError(ValueError):
+    """Raised when an expression cannot be parsed."""
+
+
+class GrelEvalError(ValueError):
+    """Raised when a parsed expression fails to evaluate."""
+
+
+# -- tokenizer ----------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+(?:\.\d+)?)
+  | (?P<string>'(?:[^'\\]|\\.)*'|"(?:[^"\\]|\\.)*")
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op>[.,()+\[\]])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class _Token:
+    kind: str
+    text: str
+
+
+def _tokenize(expression: str) -> list[_Token]:
+    tokens = []
+    pos = 0
+    while pos < len(expression):
+        match = _TOKEN_RE.match(expression, pos)
+        if match is None:
+            raise GrelSyntaxError(
+                f"bad character {expression[pos]!r} at {pos} in "
+                f"{expression!r}"
+            )
+        pos = match.end()
+        kind = match.lastgroup or ""
+        if kind == "ws":
+            continue
+        tokens.append(_Token(kind=kind, text=match.group()))
+    return tokens
+
+
+# -- AST ----------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class _Literal:
+    value: Any
+
+
+@dataclass(frozen=True, slots=True)
+class _Variable:
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class _Call:
+    function: str
+    args: tuple[Any, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class _Method:
+    target: Any
+    name: str
+    args: tuple[Any, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class _Concat:
+    left: Any
+    right: Any
+
+
+@dataclass(frozen=True, slots=True)
+class _Index:
+    target: Any
+    index: Any
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token], source: str) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._source = source
+
+    def _peek(self) -> _Token | None:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise GrelSyntaxError(f"unexpected end of {self._source!r}")
+        self._pos += 1
+        return token
+
+    def _expect(self, text: str) -> None:
+        token = self._next()
+        if token.text != text:
+            raise GrelSyntaxError(
+                f"expected {text!r}, got {token.text!r} in {self._source!r}"
+            )
+
+    def parse(self) -> Any:
+        node = self._expression()
+        if self._peek() is not None:
+            raise GrelSyntaxError(
+                f"trailing input from {self._peek().text!r} in "
+                f"{self._source!r}"
+            )
+        return node
+
+    def _expression(self) -> Any:
+        node = self._postfix()
+        while True:
+            token = self._peek()
+            if token is not None and token.text == "+":
+                self._next()
+                node = _Concat(left=node, right=self._postfix())
+            else:
+                return node
+
+    def _postfix(self) -> Any:
+        node = self._primary()
+        while True:
+            token = self._peek()
+            if token is None:
+                return node
+            if token.text == ".":
+                self._next()
+                name = self._next()
+                if name.kind != "name":
+                    raise GrelSyntaxError(
+                        f"expected method name after '.', got "
+                        f"{name.text!r}"
+                    )
+                self._expect("(")
+                args = self._arguments()
+                node = _Method(target=node, name=name.text, args=args)
+            elif token.text == "[":
+                self._next()
+                index = self._expression()
+                self._expect("]")
+                node = _Index(target=node, index=index)
+            else:
+                return node
+
+    def _arguments(self) -> tuple[Any, ...]:
+        args: list[Any] = []
+        token = self._peek()
+        if token is not None and token.text == ")":
+            self._next()
+            return ()
+        while True:
+            args.append(self._expression())
+            token = self._next()
+            if token.text == ")":
+                return tuple(args)
+            if token.text != ",":
+                raise GrelSyntaxError(
+                    f"expected ',' or ')', got {token.text!r}"
+                )
+
+    def _primary(self) -> Any:
+        token = self._next()
+        if token.kind == "number":
+            text = token.text
+            return _Literal(float(text) if "." in text else int(text))
+        if token.kind == "string":
+            body = token.text[1:-1]
+            return _Literal(
+                body.replace("\\'", "'").replace('\\"', '"').replace(
+                    "\\\\", "\\"
+                )
+            )
+        if token.kind == "name":
+            nxt = self._peek()
+            if nxt is not None and nxt.text == "(":
+                self._next()
+                args = self._arguments()
+                return _Call(function=token.text, args=args)
+            return _Variable(name=token.text)
+        if token.text == "(":
+            node = self._expression()
+            self._expect(")")
+            return node
+        raise GrelSyntaxError(f"unexpected token {token.text!r}")
+
+
+# -- evaluation ------------------------------------------------------------------
+
+def _need_str(value: Any, where: str) -> str:
+    if not isinstance(value, str):
+        raise GrelEvalError(f"{where} needs a string, got {type(value).__name__}")
+    return value
+
+
+_FUNCTIONS: dict[str, Callable[..., Any]] = {
+    "trim": lambda v: _need_str(v, "trim").strip(),
+    "strip": lambda v: _need_str(v, "strip").strip(),
+    "toLowercase": lambda v: _need_str(v, "toLowercase").lower(),
+    "toUppercase": lambda v: _need_str(v, "toUppercase").upper(),
+    "length": lambda v: len(v),
+    "toString": lambda v: str(v),
+    "toNumber": lambda v: float(v),
+    "replace": lambda v, a, b: _need_str(v, "replace").replace(a, b),
+    "split": lambda v, sep: _need_str(v, "split").split(sep),
+    "substring": lambda v, i, j=None: (
+        _need_str(v, "substring")[int(i):] if j is None
+        else _need_str(v, "substring")[int(i):int(j)]
+    ),
+    "startsWith": lambda v, p: _need_str(v, "startsWith").startswith(p),
+    "endsWith": lambda v, p: _need_str(v, "endsWith").endswith(p),
+    "contains": lambda v, p: p in _need_str(v, "contains"),
+    "indexOf": lambda v, p: _need_str(v, "indexOf").find(p),
+    "fingerprint": None,  # bound lazily to avoid an import cycle
+    "join": lambda parts, sep: sep.join(str(p) for p in parts),
+    "reverse": lambda v: v[::-1],
+}
+
+
+def _function(name: str) -> Callable[..., Any]:
+    fn = _FUNCTIONS.get(name)
+    if fn is None and name == "fingerprint":
+        from ..text import fingerprint as fp
+
+        _FUNCTIONS["fingerprint"] = fp
+        return fp
+    if fn is None:
+        raise GrelEvalError(f"unknown function {name!r}")
+    return fn
+
+
+def _evaluate(node: Any, env: dict[str, Any]) -> Any:
+    if isinstance(node, _Literal):
+        return node.value
+    if isinstance(node, _Variable):
+        if node.name not in env:
+            raise GrelEvalError(f"unknown variable {node.name!r}")
+        return env[node.name]
+    if isinstance(node, _Concat):
+        left = _evaluate(node.left, env)
+        right = _evaluate(node.right, env)
+        if isinstance(left, str) or isinstance(right, str):
+            return f"{left}{right}"
+        return left + right
+    if isinstance(node, _Call):
+        args = [_evaluate(a, env) for a in node.args]
+        return _function(node.function)(*args)
+    if isinstance(node, _Method):
+        target = _evaluate(node.target, env)
+        args = [_evaluate(a, env) for a in node.args]
+        return _function(node.name)(target, *args)
+    if isinstance(node, _Index):
+        target = _evaluate(node.target, env)
+        index = _evaluate(node.index, env)
+        try:
+            return target[index if not isinstance(index, float) else int(index)]
+        except (KeyError, IndexError, TypeError) as exc:
+            raise GrelEvalError(f"bad index {index!r}: {exc}")
+    raise GrelEvalError(f"unexpected node {node!r}")  # pragma: no cover
+
+
+class GrelExpression:
+    """A parsed, reusable GREL expression."""
+
+    def __init__(self, source: str) -> None:
+        """Parse ``source``.
+
+        Raises:
+            GrelSyntaxError: when the expression is malformed.
+        """
+        if source.startswith("grel:"):
+            source = source[len("grel:"):]
+        self.source = source
+        self._ast = _Parser(_tokenize(source), source).parse()
+
+    def evaluate(self, value: Any, cells: dict[str, Any] | None = None) -> Any:
+        """Evaluate with ``value`` bound (and optionally ``cells``).
+
+        Raises:
+            GrelEvalError: on type errors or unknown names.
+        """
+        env: dict[str, Any] = {"value": value}
+        if cells is not None:
+            env["cells"] = cells
+        return _evaluate(self._ast, env)
+
+    def __repr__(self) -> str:
+        return f"GrelExpression({self.source!r})"
+
+
+def evaluate(expression: str, value: Any, **cells: Any) -> Any:
+    """One-shot parse + evaluate (convenience wrapper)."""
+    return GrelExpression(expression).evaluate(
+        value, cells=cells or None
+    )

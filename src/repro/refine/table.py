@@ -1,0 +1,149 @@
+"""The Refine project table: ordered columns, rows of cells.
+
+Google Refine edits a rectangular grid.  Catalog entries are exported
+into one of these ("Extract catalog entries to Google Refine"), rules
+run against it, and the edited grid is diffed to produce the rename
+mapping replayed on the working catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+
+class ColumnError(KeyError):
+    """Raised for operations naming a column the table lacks."""
+
+
+@dataclass(slots=True)
+class RefineTable:
+    """A mutable grid with named, ordered columns."""
+
+    columns: list[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(set(self.columns)) != len(self.columns):
+            raise ValueError(f"duplicate column names in {self.columns}")
+
+    # -- structure ------------------------------------------------------------
+
+    def require_column(self, name: str) -> None:
+        """Raise :class:`ColumnError` unless ``name`` is a column."""
+        if name not in self.columns:
+            raise ColumnError(name)
+
+    def add_column(
+        self, name: str, values: list[Any] | None = None, index: int | None = None
+    ) -> None:
+        """Append (or insert) a column; missing values become None.
+
+        Raises:
+            ValueError: on duplicate names or wrong value count.
+        """
+        if name in self.columns:
+            raise ValueError(f"column {name!r} already exists")
+        if values is not None and len(values) != len(self.rows):
+            raise ValueError(
+                f"{len(values)} values for {len(self.rows)} rows"
+            )
+        if index is None:
+            self.columns.append(name)
+        else:
+            self.columns.insert(index, name)
+        for i, row in enumerate(self.rows):
+            row[name] = values[i] if values is not None else None
+
+    def remove_column(self, name: str) -> None:
+        """Drop a column and its cells.
+
+        Raises:
+            ColumnError: when absent.
+        """
+        self.require_column(name)
+        self.columns.remove(name)
+        for row in self.rows:
+            row.pop(name, None)
+
+    def rename_column(self, old: str, new: str) -> None:
+        """Rename a column in place.
+
+        Raises:
+            ColumnError: when ``old`` is absent.
+            ValueError: when ``new`` already exists.
+        """
+        self.require_column(old)
+        if new in self.columns:
+            raise ValueError(f"column {new!r} already exists")
+        self.columns[self.columns.index(old)] = new
+        for row in self.rows:
+            row[new] = row.pop(old)
+
+    # -- data -------------------------------------------------------------------
+
+    def append_row(self, row: dict[str, Any]) -> None:
+        """Add a row; extra keys rejected, missing keys filled with None.
+
+        Raises:
+            ValueError: when the row has keys outside the columns.
+        """
+        extra = set(row) - set(self.columns)
+        if extra:
+            raise ValueError(f"row has unknown columns {sorted(extra)}")
+        self.rows.append({c: row.get(c) for c in self.columns})
+
+    def column_values(self, name: str) -> list[Any]:
+        """All cell values of a column, in row order.
+
+        Raises:
+            ColumnError: when absent.
+        """
+        self.require_column(name)
+        return [row[name] for row in self.rows]
+
+    def distinct_values(self, name: str) -> dict[Any, int]:
+        """Value -> occurrence count for a column."""
+        counts: dict[Any, int] = {}
+        for value in self.column_values(name):
+            counts[value] = counts.get(value, 0) + 1
+        return counts
+
+    def transform_column(
+        self,
+        name: str,
+        fn: Callable[[Any, dict[str, Any]], Any],
+        row_filter: Callable[[dict[str, Any]], bool] | None = None,
+    ) -> int:
+        """Apply ``fn(value, row)`` to a column; returns changed count."""
+        self.require_column(name)
+        changed = 0
+        for row in self.rows:
+            if row_filter is not None and not row_filter(row):
+                continue
+            new_value = fn(row[name], row)
+            if new_value != row[name]:
+                row[name] = new_value
+                changed += 1
+        return changed
+
+    def remove_rows(
+        self, predicate: Callable[[dict[str, Any]], bool]
+    ) -> int:
+        """Drop rows where ``predicate`` holds; returns removed count."""
+        before = len(self.rows)
+        self.rows = [row for row in self.rows if not predicate(row)]
+        return before - len(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self.rows)
+
+    def copy(self) -> "RefineTable":
+        """An independent deep-enough copy."""
+        return RefineTable(
+            columns=list(self.columns),
+            rows=[dict(row) for row in self.rows],
+        )

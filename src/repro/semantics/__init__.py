@@ -1,0 +1,87 @@
+"""Semantic-diversity machinery: one module per Table category plus the
+combined resolver."""
+
+from .abbreviations import (
+    AbbreviationConflictError,
+    AbbreviationTable,
+    AcronymCandidate,
+    acronym_candidates,
+    looks_like_abbreviation,
+    vocabulary_abbreviation_table,
+)
+from .ambiguity import (
+    AmbiguityAction,
+    AmbiguityDecision,
+    AmbiguityFinding,
+    analyze_ambiguity,
+    is_ambiguous_form,
+)
+from .categories import CategoryRow, DiversityCategory, TABLE_ROWS, row_for
+from .context import (
+    PLATFORM_CONTEXT,
+    ContextRules,
+    UnknownContextError,
+    default_context_rules,
+)
+from .exclusion import DEFAULT_EXCLUSION_PATTERNS, ExclusionPolicy
+from .resolver import Resolution, ResolutionMethod, TermResolver
+from .review import (
+    LOW_CONFIDENCE_METHODS,
+    ReviewItem,
+    ReviewQueue,
+    ReviewVerdict,
+    queue_from_catalog,
+)
+from .spelling import MisspellingResolver, SpellingMatch
+from .synonyms import (
+    SynonymConflictError,
+    SynonymTable,
+    vocabulary_synonym_table,
+)
+from .units import (
+    UnitConversion,
+    UnitRegistry,
+    UnknownUnitError,
+    unit_normalization_mapping,
+)
+
+__all__ = [
+    "AbbreviationConflictError",
+    "AbbreviationTable",
+    "AcronymCandidate",
+    "AmbiguityAction",
+    "AmbiguityDecision",
+    "AmbiguityFinding",
+    "CategoryRow",
+    "ContextRules",
+    "DEFAULT_EXCLUSION_PATTERNS",
+    "DiversityCategory",
+    "ExclusionPolicy",
+    "MisspellingResolver",
+    "PLATFORM_CONTEXT",
+    "LOW_CONFIDENCE_METHODS",
+    "Resolution",
+    "ResolutionMethod",
+    "ReviewItem",
+    "ReviewQueue",
+    "ReviewVerdict",
+    "SpellingMatch",
+    "SynonymConflictError",
+    "SynonymTable",
+    "TABLE_ROWS",
+    "TermResolver",
+    "UnitConversion",
+    "UnitRegistry",
+    "UnknownContextError",
+    "UnknownUnitError",
+    "acronym_candidates",
+    "analyze_ambiguity",
+    "default_context_rules",
+    "is_ambiguous_form",
+    "looks_like_abbreviation",
+    "queue_from_catalog",
+    "row_for",
+    "unit_normalization_mapping",
+    "vocabulary_abbreviation_table",
+    "vocabulary_synonym_table",
+]

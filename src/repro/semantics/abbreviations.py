@@ -1,0 +1,142 @@
+"""Abbreviation expansion (Table row 3).
+
+``MWHLA`` cannot be *discovered* — no string distance connects it to
+"mean wave height, low-pass averaged".  The Table's approach is a
+translation table; this module adds the machinery around one:
+
+* :class:`AbbreviationTable` — curated abbreviation -> canonical name,
+* :func:`acronym_candidates` — a heuristic that *proposes* expansions by
+  matching an all-caps token against initial letters of vocabulary
+  names, which the curator confirms (the poster's semi-curated blend).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..text import split_identifier
+
+
+class AbbreviationConflictError(ValueError):
+    """Raised when one abbreviation is bound to two canonical names."""
+
+
+def looks_like_abbreviation(name: str) -> bool:
+    """Heuristic: short, all-uppercase (in its alphabetic part) tokens.
+
+    ``SST`` and ``MWHLA`` qualify; ``salinity`` and ``fluores375`` do not.
+    """
+    alpha = "".join(ch for ch in name if ch.isalpha())
+    return 1 < len(alpha) <= 6 and alpha.isupper()
+
+
+class AbbreviationTable:
+    """Curated abbreviation -> canonical-name mapping (case-sensitive on
+    display, case-insensitive on lookup)."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, str] = {}
+        self._display: dict[str, str] = {}
+
+    def add(self, abbreviation: str, canonical: str) -> None:
+        """Register an expansion.
+
+        Raises:
+            AbbreviationConflictError: when rebinding to a different name.
+        """
+        key = abbreviation.lower()
+        existing = self._entries.get(key)
+        if existing is not None and existing != canonical:
+            raise AbbreviationConflictError(
+                f"{abbreviation!r} already expands to {existing!r}"
+            )
+        self._entries[key] = canonical
+        self._display.setdefault(key, abbreviation)
+
+    def expand(self, abbreviation: str) -> str | None:
+        """Canonical name for ``abbreviation``, or None."""
+        return self._entries.get(abbreviation.lower())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, abbreviation: str) -> bool:
+        return abbreviation.lower() in self._entries
+
+    def items(self) -> list[tuple[str, str]]:
+        """Sorted ``(abbreviation, canonical)`` pairs."""
+        return sorted(
+            (self._display[key], canonical)
+            for key, canonical in self._entries.items()
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class AcronymCandidate:
+    """A proposed expansion for the curator to confirm."""
+
+    abbreviation: str
+    canonical: str
+    matched_letters: int
+
+
+def acronym_candidates(
+    abbreviation: str, canonical_names: list[str]
+) -> list[AcronymCandidate]:
+    """Vocabulary names whose token initials are compatible with
+    ``abbreviation``.
+
+    A name is compatible when the abbreviation's letters appear in order
+    as prefixes-of-tokens (so ``SST`` matches ``sea_surface_temperature``,
+    ``WSPD`` matches ``wind_speed`` via w-s-p-d in 'wind speed').
+    Sorted by match tightness (more matched token initials first).
+    """
+    letters = [ch for ch in abbreviation.lower() if ch.isalpha()]
+    if not letters:
+        return []
+    out = []
+    for name in canonical_names:
+        tokens = split_identifier(name)
+        if not tokens:
+            continue
+        initials = [tok[0] for tok in tokens]
+        if _subsequence_of_initials(letters, tokens):
+            matched = sum(
+                1 for ch, init in zip(letters, initials) if ch == init
+            )
+            out.append(
+                AcronymCandidate(
+                    abbreviation=abbreviation,
+                    canonical=name,
+                    matched_letters=matched,
+                )
+            )
+    out.sort(key=lambda c: (-c.matched_letters, c.canonical))
+    return out
+
+
+def _subsequence_of_initials(letters: list[str], tokens: list[str]) -> bool:
+    """True when ``letters`` can be consumed, in order, by walking the
+    tokens and taking each letter either as the next token's initial or a
+    continuation inside the current token."""
+    joined = "".join(tokens)
+    # letters must be a subsequence of the joined tokens AND the first
+    # letter must be the first token's initial.
+    if letters[0] != tokens[0][0]:
+        return False
+    i = 0
+    for ch in joined:
+        if i < len(letters) and ch == letters[i]:
+            i += 1
+    return i == len(letters)
+
+
+def vocabulary_abbreviation_table() -> AbbreviationTable:
+    """The abbreviation table induced by the canonical vocabulary."""
+    from ..archive.vocabulary import VOCABULARY
+
+    table = AbbreviationTable()
+    for var in VOCABULARY.values():
+        for abbreviation in var.abbreviations:
+            table.add(abbreviation, var.name)
+    return table

@@ -1,0 +1,166 @@
+"""Ambiguous-usage handling (Table row 5).
+
+``temp`` may mean temporary *or* temperature.  The Table's desired
+result: identify and expose such variables, then let the curator clarify
+where possible, hide the variable, or leave it as is.  This module
+detects ambiguous forms, proposes automatic clarifications where the
+evidence (unit, value range, context) disambiguates, and records curator
+decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..archive.vocabulary import AMBIGUOUS_FORMS, VOCABULARY, preferred_unit
+from ..catalog.records import VariableEntry
+from .context import ContextRules
+
+
+class AmbiguityAction(str, Enum):
+    """The curator's three options from the Table."""
+
+    CLARIFY = "clarify"  # rename to a specific canonical
+    HIDE = "hide"  # exclude from search
+    LEAVE = "leave"  # keep as is, flagged
+
+
+@dataclass(frozen=True, slots=True)
+class AmbiguityDecision:
+    """A curator decision for one ambiguous name in one dataset scope.
+
+    ``scope`` is a dataset id, a directory prefix, or '' for global.
+    """
+
+    name: str
+    action: AmbiguityAction
+    canonical: str | None = None  # required for CLARIFY
+    scope: str = ""
+
+    def __post_init__(self) -> None:
+        if self.action is AmbiguityAction.CLARIFY and not self.canonical:
+            raise ValueError("CLARIFY decisions need a canonical name")
+
+    def applies_to(self, dataset_id: str) -> bool:
+        """True when this decision covers ``dataset_id``."""
+        return not self.scope or dataset_id.startswith(self.scope)
+
+
+@dataclass(frozen=True, slots=True)
+class AmbiguityFinding:
+    """One detected ambiguous variable, with candidate meanings."""
+
+    dataset_id: str
+    name: str
+    candidates: tuple[str | None, ...]
+    suggested: str | None  # auto-clarification when evidence suffices
+    evidence: str
+
+
+def is_ambiguous_form(name: str) -> bool:
+    """True when ``name`` is a known ambiguous short form."""
+    return name.lower() in AMBIGUOUS_FORMS
+
+
+def _range_compatible(entry: VariableEntry, canonical: str) -> bool:
+    from ..archive.generator import VALUE_RANGES
+
+    bounds = VALUE_RANGES.get(canonical)
+    if bounds is None or entry.count == 0:
+        return False
+    lo, hi = bounds
+    span = hi - lo
+    return (
+        entry.minimum >= lo - 0.5 * span and entry.maximum <= hi + 0.5 * span
+    )
+
+
+def analyze_ambiguity(
+    dataset_id: str,
+    platform: str,
+    entry: VariableEntry,
+    context_rules: ContextRules | None = None,
+) -> AmbiguityFinding | None:
+    """Detect and (when evidence allows) auto-clarify one variable.
+
+    Evidence order: unit string (a ``degC`` unit on ``temp`` rules out
+    'temporary'), then platform context, then observed value range.
+    Returns None when ``entry.name`` is not an ambiguous form.
+    """
+    form = entry.name.lower()
+    candidates = AMBIGUOUS_FORMS.get(form)
+    if candidates is None:
+        return None
+    context_rules = context_rules or ContextRules()
+    context = context_rules.context_of_platform(platform)
+    real = [c for c in candidates if c is not None]
+
+    # 1. unit evidence: match the entry's (preferred) unit against each
+    #    candidate's canonical unit.
+    unit = preferred_unit(entry.written_unit or entry.unit)
+    unit_hits = [
+        c for c in real
+        if c in VOCABULARY and VOCABULARY[c].unit == unit and unit != "1"
+    ]
+    if len(unit_hits) == 1 and None not in candidates:
+        return AmbiguityFinding(
+            dataset_id=dataset_id,
+            name=entry.name,
+            candidates=candidates,
+            suggested=unit_hits[0],
+            evidence=f"unit {unit!r} uniquely matches",
+        )
+    # Unit + context: a unit match plus platform context picks within
+    # unit-compatible candidates even when a non-variable reading exists,
+    # because a physical unit rules 'temporary' out.
+    if unit_hits:
+        context_hits = [
+            c for c in unit_hits
+            if c in VOCABULARY and VOCABULARY[c].context.value == context
+        ]
+        if len(context_hits) == 1:
+            return AmbiguityFinding(
+                dataset_id=dataset_id,
+                name=entry.name,
+                candidates=candidates,
+                suggested=context_hits[0],
+                evidence=f"unit {unit!r} + context {context!r}",
+            )
+
+    # 2. context evidence alone (only when no non-variable reading).
+    if None not in candidates:
+        context_hits = [
+            c for c in real
+            if c in VOCABULARY and VOCABULARY[c].context.value == context
+        ]
+        if len(context_hits) == 1:
+            return AmbiguityFinding(
+                dataset_id=dataset_id,
+                name=entry.name,
+                candidates=candidates,
+                suggested=context_hits[0],
+                evidence=f"context {context!r} uniquely matches",
+            )
+
+    # 3. value-range evidence: ranges that fit exactly one candidate.
+    range_hits = [c for c in real if _range_compatible(entry, c)]
+    if len(range_hits) == 1:
+        # A dimensionless unit with a plausible physical range is weak
+        # evidence when 'temporary' is on the table; still suggest, the
+        # curator confirms.
+        return AmbiguityFinding(
+            dataset_id=dataset_id,
+            name=entry.name,
+            candidates=candidates,
+            suggested=range_hits[0],
+            evidence="observed range fits one candidate",
+        )
+
+    return AmbiguityFinding(
+        dataset_id=dataset_id,
+        name=entry.name,
+        candidates=candidates,
+        suggested=None,
+        evidence="insufficient evidence",
+    )

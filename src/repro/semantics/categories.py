@@ -1,0 +1,107 @@
+"""The paper's Table: categories of semantic diversity.
+
+This module *is* Table 1 as data — each row with its example, desired
+result and possible technical approach — so the T1 benchmark can
+regenerate the table verbatim and attach measured resolution accuracy
+per row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class DiversityCategory(str, Enum):
+    """Stable keys for the seven rows (match the mess injector's labels)."""
+
+    MISSPELLING = "misspelling"
+    SYNONYM = "synonym"
+    ABBREVIATION = "abbreviation"
+    EXCESSIVE = "excessive"
+    AMBIGUOUS = "ambiguous"
+    CONTEXT = "context"
+    MULTILEVEL = "multilevel"
+
+
+@dataclass(frozen=True, slots=True)
+class CategoryRow:
+    """One row of the Table, verbatim from the poster."""
+
+    category: DiversityCategory
+    title: str
+    example: str
+    desired_result: str
+    approach: str
+
+
+TABLE_ROWS: tuple[CategoryRow, ...] = (
+    CategoryRow(
+        DiversityCategory.MISSPELLING,
+        "Minor variations and misspellings",
+        "air_temperature, air_temperatrue, airtemp",
+        "Make them the same",
+        "Translate current to desired name",
+    ),
+    CategoryRow(
+        DiversityCategory.SYNONYM,
+        "Synonyms",
+        "C, degC, Centigrade",
+        "Make them the same",
+        "Translate current to desired name",
+    ),
+    CategoryRow(
+        DiversityCategory.ABBREVIATION,
+        "Abbreviations",
+        "MWHLA",
+        "Use full/canonical variable name",
+        "Translate current to desired name",
+    ),
+    CategoryRow(
+        DiversityCategory.EXCESSIVE,
+        "Excessive variables",
+        "Quality assurance variables: qa_level",
+        "Exclude from search; show in detailed dataset views",
+        "Mark variables; exclude from search",
+    ),
+    CategoryRow(
+        DiversityCategory.AMBIGUOUS,
+        "Ambiguous usages",
+        "temp: temporary or temperature?",
+        "Identify and expose variables; allow curator to clarify where "
+        "possible, hide variable, or leave as is",
+        "Provide interface to specify options",
+    ),
+    CategoryRow(
+        DiversityCategory.CONTEXT,
+        "Source-context naming variations",
+        "Temperature: air_temperature or water_temperature depending on "
+        "source context",
+        "Specify context of variable; make context accessible to user",
+        "Link to multiple taxonomies",
+    ),
+    CategoryRow(
+        DiversityCategory.MULTILEVEL,
+        "Concepts at multiple levels of detail",
+        "Fluorescence, vs. fluores375, fluores400",
+        "Collapse or expose as needed",
+        "Allow variables to be grouped; support hierarchical menus",
+    ),
+)
+
+
+def row_for(category: DiversityCategory | str) -> CategoryRow:
+    """The Table row for a category key.
+
+    Raises:
+        KeyError: for unknown categories.
+    """
+    key = (
+        category.value
+        if isinstance(category, DiversityCategory)
+        else category
+    )
+    for row in TABLE_ROWS:
+        if row.category.value == key:
+            return row
+    raise KeyError(key)

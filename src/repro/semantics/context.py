@@ -1,0 +1,91 @@
+"""Source-context naming resolution (Table row 6).
+
+A column called plain ``temperature`` means ``air_temperature`` on a met
+station and ``water_temperature`` on a CTD: "specify context of variable;
+make context accessible to user".  :class:`ContextRules` maps
+(bare name, source context) -> canonical name; the source context of a
+dataset comes from its platform and directory conventions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..archive.dataset import Platform
+from ..archive.mess import CONTEXT_COLLAPSE
+
+
+class UnknownContextError(KeyError):
+    """Raised when a bare name has no rule for the given context."""
+
+
+#: Which measurement context each platform implies.
+PLATFORM_CONTEXT: dict[str, str] = {
+    Platform.STATION.value: "water",
+    Platform.CRUISE.value: "water",
+    Platform.CAST.value: "water",
+    Platform.GLIDER.value: "water",
+    Platform.MET.value: "air",
+}
+
+
+def default_context_rules() -> dict[tuple[str, str], str]:
+    """(bare name, context-or-platform) -> canonical.
+
+    Derived from the collapse map: ``temperature`` in a water context
+    resolves to ``water_temperature`` (the generic in-situ variable).
+    Platform-specific refinements take precedence over the broad
+    air/water contexts — underway *cruise* temperature is sea-surface
+    temperature.  Curators refine the mapping per archive.
+    """
+    rules: dict[tuple[str, str], str] = {}
+    for canonical, bare in CONTEXT_COLLAPSE.items():
+        context = "air" if canonical.startswith(("air_", "wind_")) else "water"
+        key = (bare, context)
+        # Prefer the least-specific canonical per (bare, context): e.g.
+        # water_temperature over sea_surface_temperature.
+        if key not in rules or len(canonical) < len(rules[key]):
+            rules[key] = canonical
+    rules[("temperature", Platform.CRUISE.value)] = "sea_surface_temperature"
+    return rules
+
+
+@dataclass(slots=True)
+class ContextRules:
+    """Resolver for bare, context-dependent names."""
+
+    rules: dict[tuple[str, str], str] = field(
+        default_factory=default_context_rules
+    )
+
+    def bare_names(self) -> set[str]:
+        """All bare names with at least one rule."""
+        return {bare for bare, __ in self.rules}
+
+    def add(self, bare: str, context: str, canonical: str) -> None:
+        """Register/override a rule (curator action)."""
+        self.rules[(bare, context)] = canonical
+
+    def resolve(self, bare: str, context: str) -> str:
+        """Canonical name for ``bare`` in ``context``.
+
+        Raises:
+            UnknownContextError: when no rule covers the pair.
+        """
+        try:
+            return self.rules[(bare, context)]
+        except KeyError:
+            raise UnknownContextError(f"({bare!r}, {context!r})")
+
+    def context_of_platform(self, platform: str) -> str:
+        """The measurement context a platform implies ('water' default)."""
+        return PLATFORM_CONTEXT.get(platform, "water")
+
+    def resolve_for_platform(self, bare: str, platform: str) -> str | None:
+        """Resolve using a platform-specific rule when one exists, else
+        the platform's implied context; None if no rule covers it."""
+        specific = self.rules.get((bare, platform))
+        if specific is not None:
+            return specific
+        context = self.context_of_platform(platform)
+        return self.rules.get((bare, context))

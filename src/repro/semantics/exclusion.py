@@ -1,0 +1,71 @@
+"""Excessive-variable marking (Table row 4).
+
+QA and housekeeping variables (``qa_level``, ``qc_flag``, battery
+voltage, sample counters) must be *marked* and *excluded from search*
+while remaining visible in detailed dataset views.  Marking combines a
+vocabulary flag (for resolved names) with name-pattern rules (for names
+the resolver has not yet tamed).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..archive.vocabulary import VOCABULARY
+
+#: Default patterns over *normalized* names that indicate housekeeping
+#: variables.  Curators extend this list per archive.
+DEFAULT_EXCLUSION_PATTERNS: tuple[str, ...] = (
+    r"(^|_)qa([_-]|$)",
+    r"(^|_)qc([_-]|$)",
+    r"(^|_)flag($|_)",
+    r"battery",
+    r"voltage",
+    r"(^|_)tilt($|_)",
+    r"sample_number",
+    r"record_number",
+    r"^serial",
+    r"checksum",
+)
+
+
+@dataclass
+class ExclusionPolicy:
+    """Decides whether a variable name is auxiliary (search-excluded)."""
+
+    patterns: list[str] = field(
+        default_factory=lambda: list(DEFAULT_EXCLUSION_PATTERNS)
+    )
+    use_vocabulary: bool = True
+
+    def __post_init__(self) -> None:
+        self._compiled = [re.compile(p) for p in self.patterns]
+
+    def add_pattern(self, pattern: str) -> None:
+        """Register an additional exclusion regex (curator action).
+
+        Raises:
+            re.error: when the pattern does not compile.
+        """
+        self._compiled.append(re.compile(pattern))
+        self.patterns.append(pattern)
+
+    def is_auxiliary(self, name: str) -> bool:
+        """True when ``name`` should be excluded from search."""
+        if self.use_vocabulary:
+            var = VOCABULARY.get(name)
+            if var is not None:
+                return var.auxiliary
+        lowered = name.lower()
+        return any(rx.search(lowered) for rx in self._compiled)
+
+    def partition(self, names: list[str]) -> tuple[list[str], list[str]]:
+        """Split names into ``(searchable, auxiliary)`` lists."""
+        searchable: list[str] = []
+        auxiliary: list[str] = []
+        for name in names:
+            (auxiliary if self.is_auxiliary(name) else searchable).append(
+                name
+            )
+        return searchable, auxiliary

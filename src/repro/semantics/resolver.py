@@ -1,0 +1,194 @@
+"""The combined term resolver: one name in, one verdict out.
+
+Chains the per-category machinery in precision order — exact vocabulary,
+synonym table, abbreviation table, context rules, ambiguity analysis,
+then fuzzy misspelling matching — and reports *how* each name resolved,
+so experiments can attribute accuracy per Table row and the catalog can
+record provenance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..archive.vocabulary import VOCABULARY
+from ..catalog.records import VariableEntry
+from .abbreviations import (
+    AbbreviationTable,
+    looks_like_abbreviation,
+    vocabulary_abbreviation_table,
+)
+from .ambiguity import analyze_ambiguity, is_ambiguous_form
+from .context import ContextRules
+from .exclusion import ExclusionPolicy
+from .spelling import MisspellingResolver
+from .synonyms import SynonymTable, vocabulary_synonym_table
+
+
+class ResolutionMethod(str, Enum):
+    """How a written name was mapped to its canonical form."""
+
+    EXACT = "exact"
+    SYNONYM = "synonym"
+    ABBREVIATION = "abbreviation"
+    CONTEXT = "context"
+    AMBIGUITY_EVIDENCE = "ambiguity-evidence"
+    FUZZY = "fuzzy"
+    CURATOR = "curator"
+    UNRESOLVED = "unresolved"
+
+
+@dataclass(frozen=True, slots=True)
+class Resolution:
+    """The verdict for one written name in one dataset."""
+
+    written: str
+    canonical: str | None
+    method: ResolutionMethod
+    auxiliary: bool = False
+    ambiguous: bool = False
+    note: str = ""
+
+    @property
+    def resolved(self) -> bool:
+        """True when a canonical name was assigned."""
+        return self.canonical is not None
+
+
+@dataclass(slots=True)
+class TermResolver:
+    """Configurable resolution pipeline over the semantic machinery.
+
+    All knowledge sources are injectable so experiments can ablate them
+    (e.g. a resolver with an empty synonym table measures what discovery
+    alone achieves).
+    """
+
+    synonyms: SynonymTable = field(default_factory=vocabulary_synonym_table)
+    abbreviations: AbbreviationTable = field(
+        default_factory=vocabulary_abbreviation_table
+    )
+    context_rules: ContextRules = field(default_factory=ContextRules)
+    exclusion: ExclusionPolicy = field(default_factory=ExclusionPolicy)
+    fuzzy: MisspellingResolver | None = None
+    use_fuzzy: bool = True
+
+    def __post_init__(self) -> None:
+        if self.fuzzy is None:
+            self.fuzzy = MisspellingResolver(sorted(VOCABULARY))
+
+    def _finish(
+        self,
+        written: str,
+        canonical: str | None,
+        method: ResolutionMethod,
+        ambiguous: bool = False,
+        note: str = "",
+    ) -> Resolution:
+        auxiliary = False
+        probe = canonical if canonical is not None else written
+        auxiliary = self.exclusion.is_auxiliary(probe)
+        return Resolution(
+            written=written,
+            canonical=canonical,
+            method=method,
+            auxiliary=auxiliary,
+            ambiguous=ambiguous,
+            note=note,
+        )
+
+    def resolve_name(
+        self, written: str, platform: str = "station"
+    ) -> Resolution:
+        """Resolve a bare name without per-entry evidence.
+
+        Ambiguous forms resolve by platform context when possible; names
+        that stay ambiguous come back flagged with ``canonical=None``.
+        """
+        # Ambiguity first: a known ambiguous short form must not fall
+        # through to fuzzy matching ('temp' is 4 edits from nothing).
+        if is_ambiguous_form(written):
+            resolved = self.context_rules.resolve_for_platform(
+                written, platform
+            )
+            entry = VariableEntry.from_written(written, "", 0, 0, 0, 0, 0)
+            finding = analyze_ambiguity(
+                "", platform, entry, self.context_rules
+            )
+            if finding is not None and finding.suggested is not None:
+                return self._finish(
+                    written,
+                    finding.suggested,
+                    ResolutionMethod.AMBIGUITY_EVIDENCE,
+                    note=finding.evidence,
+                )
+            if resolved is not None:
+                return self._finish(
+                    written, resolved, ResolutionMethod.CONTEXT
+                )
+            return self._finish(
+                written, None, ResolutionMethod.UNRESOLVED, ambiguous=True
+            )
+        # Context-collapsed bare names ('temperature' on a CTD) resolve
+        # by source context even when the bare name happens to exist in
+        # the vocabulary as an abstract concept.
+        if written in self.context_rules.bare_names():
+            contextual = self.context_rules.resolve_for_platform(
+                written, platform
+            )
+            if contextual is not None:
+                return self._finish(
+                    written, contextual, ResolutionMethod.CONTEXT
+                )
+        if written in VOCABULARY:
+            return self._finish(written, written, ResolutionMethod.EXACT)
+        preferred = self.synonyms.resolve(written)
+        if preferred is not None:
+            method = (
+                ResolutionMethod.EXACT
+                if preferred == written
+                else ResolutionMethod.SYNONYM
+            )
+            return self._finish(written, preferred, method)
+        expansion = self.abbreviations.expand(written)
+        if expansion is not None and looks_like_abbreviation(written):
+            return self._finish(
+                written, expansion, ResolutionMethod.ABBREVIATION
+            )
+        contextual = self.context_rules.resolve_for_platform(
+            written, platform
+        )
+        if contextual is not None:
+            return self._finish(written, contextual, ResolutionMethod.CONTEXT)
+        if self.use_fuzzy and self.fuzzy is not None:
+            match = self.fuzzy.resolve(written)
+            if match is not None:
+                return self._finish(
+                    written,
+                    match.canonical,
+                    ResolutionMethod.FUZZY,
+                    note=f"{match.method} d={match.distance}",
+                )
+        return self._finish(written, None, ResolutionMethod.UNRESOLVED)
+
+    def resolve_entry(
+        self, entry: VariableEntry, platform: str, dataset_id: str = ""
+    ) -> Resolution:
+        """Resolve a catalog entry, using its unit/stats as evidence for
+        ambiguous forms."""
+        if is_ambiguous_form(entry.name):
+            finding = analyze_ambiguity(
+                dataset_id, platform, entry, self.context_rules
+            )
+            if finding is not None and finding.suggested is not None:
+                return self._finish(
+                    entry.name,
+                    finding.suggested,
+                    ResolutionMethod.AMBIGUITY_EVIDENCE,
+                    note=finding.evidence,
+                )
+            return self._finish(
+                entry.name, None, ResolutionMethod.UNRESOLVED, ambiguous=True
+            )
+        return self.resolve_name(entry.name, platform=platform)

@@ -1,0 +1,169 @@
+"""The synonym table: preferred terms and their alternates.
+
+The wrangling figure notes known transformations "often exist as a
+translation table"; validation checks that "all harvested variable names
+occur in the current synonym table as preferred or alternate terms".
+:class:`SynonymTable` is that artifact: a curated mapping, serializable
+as a two-column text file, that curators grow over iterations ("adding
+entries to a synonym table").
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from ..text import normalize_name
+
+
+class SynonymConflictError(ValueError):
+    """Raised when an alternate is claimed by two different preferreds."""
+
+
+class SynonymTable:
+    """A translation table: alternate spelling -> preferred term.
+
+    Lookup is normalization-insensitive (``Air Temperature`` and
+    ``air_temperature`` hit the same entry) but the stored spellings are
+    preserved for display and serialization.
+    """
+
+    def __init__(self) -> None:
+        self._preferred: dict[str, str] = {}  # norm(alternate) -> preferred
+        self._alternates: dict[str, list[str]] = defaultdict(list)
+        self._display: dict[str, str] = {}  # norm -> spelling as added
+
+    # -- construction --------------------------------------------------------
+
+    def add(self, preferred: str, alternate: str | None = None) -> None:
+        """Register ``preferred``, optionally with one ``alternate``.
+
+        Adding a preferred term alone makes the term self-resolving.
+
+        Raises:
+            SynonymConflictError: if the alternate already resolves to a
+                *different* preferred term.
+        """
+        pref_key = normalize_name(preferred)
+        existing = self._preferred.get(pref_key)
+        if existing is not None and existing != preferred:
+            raise SynonymConflictError(
+                f"{preferred!r} already maps to {existing!r}"
+            )
+        self._preferred[pref_key] = preferred
+        self._display.setdefault(pref_key, preferred)
+        if alternate is None:
+            return
+        alt_key = normalize_name(alternate)
+        current = self._preferred.get(alt_key)
+        if current is not None and current != preferred:
+            raise SynonymConflictError(
+                f"alternate {alternate!r} already maps to {current!r}, "
+                f"not {preferred!r}"
+            )
+        self._preferred[alt_key] = preferred
+        self._display.setdefault(alt_key, alternate)
+        if alternate not in self._alternates[preferred]:
+            self._alternates[preferred].append(alternate)
+
+    def add_many(
+        self, preferred: str, alternates: Iterable[str]
+    ) -> None:
+        """Register several alternates of one preferred term."""
+        self.add(preferred)
+        for alternate in alternates:
+            self.add(preferred, alternate)
+
+    # -- lookup ---------------------------------------------------------------
+
+    def resolve(self, name: str) -> str | None:
+        """The preferred term for ``name``, or None when unknown."""
+        return self._preferred.get(normalize_name(name))
+
+    def contains(self, name: str) -> bool:
+        """True when ``name`` occurs as preferred or alternate
+        (the validation predicate from the poster)."""
+        return normalize_name(name) in self._preferred
+
+    def preferred_terms(self) -> list[str]:
+        """Sorted distinct preferred terms."""
+        return sorted(set(self._preferred.values()))
+
+    def alternates_of(self, preferred: str) -> list[str]:
+        """Alternates registered for ``preferred`` (insertion order)."""
+        return list(self._alternates.get(preferred, ()))
+
+    def __len__(self) -> int:
+        """Number of known spellings (preferred + alternates)."""
+        return len(self._preferred)
+
+    def __iter__(self) -> Iterator[tuple[str, str]]:
+        """Yield ``(spelling_as_added, preferred)`` pairs, sorted."""
+        for key in sorted(self._preferred):
+            yield self._display[key], self._preferred[key]
+
+    def as_mapping(self) -> dict[str, str]:
+        """A plain alternate-spelling -> preferred dict (normalized keys
+        replaced by the originally-added spellings)."""
+        return {
+            spelling: preferred
+            for spelling, preferred in self
+            if spelling != preferred
+        }
+
+    # -- serialization ---------------------------------------------------------
+
+    def dumps(self) -> str:
+        """Two-column text: ``alternate<TAB>preferred`` (self rows too)."""
+        lines = ["# alternate\tpreferred"]
+        for spelling, preferred in self:
+            lines.append(f"{spelling}\t{preferred}")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def loads(cls, text: str) -> "SynonymTable":
+        """Parse the format produced by :meth:`dumps`.
+
+        Raises:
+            ValueError: on rows without exactly two columns.
+        """
+        table = cls()
+        for line in text.splitlines():
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            if len(parts) != 2:
+                raise ValueError(f"bad synonym row: {line!r}")
+            alternate, preferred = parts
+            if alternate == preferred:
+                table.add(preferred)
+            else:
+                table.add(preferred, alternate)
+        return table
+
+
+def vocabulary_synonym_table(
+    include_synonyms: bool = True,
+    include_abbreviations: bool = True,
+) -> SynonymTable:
+    """The synonym table induced by the canonical vocabulary.
+
+    Every canonical name self-resolves; listed synonyms and abbreviations
+    resolve to it.  This is the 'known transformations' translation table
+    that 'often exists' before wrangling begins — pass ``False`` flags to
+    start from a *partial* table, as the curator-loop experiments do
+    (curatorial activity 3: "adding entries to a synonym table").
+    """
+    from ..archive.vocabulary import VOCABULARY
+
+    table = SynonymTable()
+    for var in VOCABULARY.values():
+        table.add(var.name)
+        if include_synonyms:
+            for synonym in var.synonyms:
+                table.add(var.name, synonym)
+        if include_abbreviations:
+            for abbreviation in var.abbreviations:
+                table.add(var.name, abbreviation)
+    return table

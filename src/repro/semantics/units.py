@@ -1,0 +1,111 @@
+"""Unit normalization and conversion.
+
+The Table's synonym row is about units (``C``/``degC``/``Centigrade``);
+the abstract also notes "similar problems in other areas, e.g. units".
+Normalization maps any known spelling to the preferred one; conversion
+handles the deeper case where two sources report the same variable in
+*different* units (degF vs degC, mg/L vs uM oxygen).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..archive.vocabulary import UNIT_SYNONYMS, preferred_unit
+
+
+class UnknownUnitError(KeyError):
+    """Raised when a conversion between two units is not registered."""
+
+
+@dataclass(frozen=True, slots=True)
+class UnitConversion:
+    """A linear (or callable) conversion between two preferred units."""
+
+    source: str
+    target: str
+    convert: Callable[[float], float]
+
+
+def _linear(scale: float, offset: float = 0.0) -> Callable[[float], float]:
+    return lambda x: x * scale + offset
+
+
+class UnitRegistry:
+    """Normalization plus a conversion graph over preferred units."""
+
+    def __init__(self) -> None:
+        self._conversions: dict[tuple[str, str], UnitConversion] = {}
+        for conversion in _DEFAULT_CONVERSIONS:
+            self.register(conversion)
+
+    def normalize(self, unit: str) -> str:
+        """Preferred spelling for ``unit`` (unknown spellings unchanged)."""
+        return preferred_unit(unit)
+
+    def is_known(self, unit: str) -> bool:
+        """True when ``unit`` (any spelling) belongs to a known family."""
+        normalized = self.normalize(unit)
+        return normalized in UNIT_SYNONYMS
+
+    def same_family(self, a: str, b: str) -> bool:
+        """True when two spellings normalize to the same preferred unit."""
+        return self.normalize(a) == self.normalize(b)
+
+    def register(self, conversion: UnitConversion) -> None:
+        """Add a conversion (its inverse is NOT derived automatically)."""
+        self._conversions[(conversion.source, conversion.target)] = conversion
+
+    def convert(self, value: float, source: str, target: str) -> float:
+        """Convert ``value`` from ``source`` to ``target`` units.
+
+        Spellings are normalized first; same-family conversion is
+        identity.
+
+        Raises:
+            UnknownUnitError: when no conversion path is registered.
+        """
+        src = self.normalize(source)
+        dst = self.normalize(target)
+        if src == dst:
+            return value
+        conversion = self._conversions.get((src, dst))
+        if conversion is None:
+            raise UnknownUnitError(f"{source!r} -> {target!r}")
+        return conversion.convert(value)
+
+    def convertible(self, source: str, target: str) -> bool:
+        """True when :meth:`convert` would succeed."""
+        src = self.normalize(source)
+        dst = self.normalize(target)
+        return src == dst or (src, dst) in self._conversions
+
+
+_DEFAULT_CONVERSIONS: tuple[UnitConversion, ...] = (
+    UnitConversion("degF", "degC", _linear(5.0 / 9.0, -160.0 / 9.0)),
+    UnitConversion("degC", "degF", _linear(9.0 / 5.0, 32.0)),
+    UnitConversion("K", "degC", _linear(1.0, -273.15)),
+    UnitConversion("degC", "K", _linear(1.0, 273.15)),
+    # Dissolved oxygen: 1 mg/L = 31.2512 uM (O2 molar mass 31.998 g/mol
+    # ... 1000/31.998 umol per mg).
+    UnitConversion("mg/L", "uM", _linear(1000.0 / 31.998)),
+    UnitConversion("uM", "mg/L", _linear(31.998 / 1000.0)),
+    UnitConversion("dbar", "hPa", _linear(100.0)),
+    UnitConversion("hPa", "dbar", _linear(0.01)),
+    UnitConversion("m", "mm", _linear(1000.0)),
+    UnitConversion("mm", "m", _linear(0.001)),
+    UnitConversion("knots", "m/s", _linear(0.514444)),
+    UnitConversion("m/s", "knots", _linear(1.0 / 0.514444)),
+)
+
+
+def unit_normalization_mapping(units_in_use: list[str]) -> dict[str, str]:
+    """Spelling -> preferred mapping for the unit strings actually seen
+    in a catalog (identity entries dropped)."""
+    out = {}
+    for unit in units_in_use:
+        normalized = preferred_unit(unit)
+        if normalized != unit:
+            out[unit] = normalized
+    return out

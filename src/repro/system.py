@@ -1,0 +1,120 @@
+"""The end-to-end facade: wrangle an archive, then search it.
+
+:class:`DataNearHere` wires the whole poster together — the wrangling
+chain builds and publishes the metadata catalog, the search engine ranks
+over it, summaries and renderers serve the UI figures.  This is the
+entry point the examples and most downstream users want; every part
+remains individually importable for finer control.
+"""
+
+from __future__ import annotations
+
+from .archive.filesystem import VirtualArchive
+from .catalog.store import CatalogStore, MemoryCatalog
+from .core.query import Query
+from .core.scoring import ScoringConfig
+from .core.search import BooleanSearchEngine, SearchEngine, SearchResult
+from .core.summary import DatasetSummary, summarize
+from .curator.session import CuratorSession
+from .ui.render import render_search_text, render_summary_text
+from .wrangling.chain import ChainRunReport, ProcessChain, default_chain
+from .wrangling.state import WranglingState
+from .wrangling.validate import ValidationReport, validate
+
+
+class NotWrangledError(RuntimeError):
+    """Raised when search is attempted before any catalog was published."""
+
+
+class DataNearHere:
+    """Scientific-data search over a wrangled metadata catalog."""
+
+    def __init__(
+        self,
+        fs: VirtualArchive,
+        chain: ProcessChain | None = None,
+        published: CatalogStore | None = None,
+        scoring: ScoringConfig | None = None,
+    ) -> None:
+        # `published` may be an *empty* store, which is falsy — test
+        # against None, not truthiness.
+        self.state = WranglingState(
+            fs=fs,
+            published=published if published is not None else MemoryCatalog(),
+        )
+        self.chain = chain or default_chain()
+        self.scoring = scoring or ScoringConfig()
+        self._engine: SearchEngine | None = None
+
+    # -- wrangling ---------------------------------------------------------
+
+    def wrangle(self) -> ChainRunReport:
+        """Run the full wrangling chain and (re)build search indexes."""
+        report = self.chain.run(self.state)
+        self._engine = SearchEngine(
+            self.state.published,
+            hierarchy=self.state.hierarchy,
+            config=self.scoring,
+        )
+        self._engine.build_indexes()
+        return report
+
+    def validate(self) -> ValidationReport:
+        """Validation checks over the working catalog."""
+        return validate(self.state)
+
+    def curator_session(self) -> CuratorSession:
+        """A curator session sharing this system's chain and state."""
+        return CuratorSession(
+            self.state.fs, chain=self.chain, state=self.state
+        )
+
+    # -- search -------------------------------------------------------------
+
+    @property
+    def engine(self) -> SearchEngine:
+        """The ranked search engine over the published catalog.
+
+        Raises:
+            NotWrangledError: before the first :meth:`wrangle`.
+        """
+        if self._engine is None:
+            raise NotWrangledError("call wrangle() before searching")
+        return self._engine
+
+    def search(self, query: Query, limit: int = 10) -> list[SearchResult]:
+        """Ranked search over the published catalog."""
+        return self.engine.search(query, limit=limit)
+
+    def search_page(self, query: Query, limit: int = 10) -> str:
+        """The rendered search-results page (text)."""
+        return render_search_text(query, self.search(query, limit=limit))
+
+    def baseline_engine(self) -> BooleanSearchEngine:
+        """The unranked boolean baseline over the same catalog."""
+        return BooleanSearchEngine(
+            self.engine.catalog, hierarchy=self.state.hierarchy
+        )
+
+    def similar(self, dataset_id: str, limit: int = 5):
+        """'More datasets like this one' over the published catalog."""
+        from .core.similar import similar_datasets
+
+        return similar_datasets(
+            self.engine.catalog,
+            dataset_id,
+            limit=limit,
+            hierarchy=self.state.hierarchy,
+            config=self.scoring,
+        )
+
+    # -- summaries -----------------------------------------------------------
+
+    def summary(self, dataset_id: str) -> DatasetSummary:
+        """The dataset-summary content for one published dataset."""
+        feature = self.engine.catalog.get(dataset_id)
+        return summarize(feature, taxonomy_links=self.state.taxonomy_links)
+
+    def summary_page(self, dataset_id: str) -> str:
+        """The rendered dataset-summary page (text)."""
+        return render_summary_text(self.summary(dataset_id))

@@ -1,0 +1,47 @@
+"""Google Refine's clustering keys, reimplemented.
+
+The poster's discovery step exports catalog variable names to Google
+Refine and clusters them.  Refine's *key collision* methods bucket values
+whose key functions collide; this module implements the two keyers Refine
+ships (fingerprint and n-gram fingerprint) so ``repro.refine.clustering``
+can reproduce that behaviour exactly.
+"""
+
+from __future__ import annotations
+
+from .tokenize import ngrams, split_identifier, strip_accents
+
+
+def fingerprint(value: str) -> str:
+    """Refine's classic fingerprint key.
+
+    Lowercase, strip accents and punctuation, split into tokens, drop
+    duplicates, sort, rejoin with single spaces.  Values differing only in
+    case, token order, duplication or punctuation collide::
+
+        >>> fingerprint('Air_Temperature') == fingerprint('temperature air')
+        True
+    """
+    tokens = split_identifier(strip_accents(value))
+    return " ".join(sorted(set(tokens)))
+
+
+def ngram_fingerprint(value: str, n: int = 2) -> str:
+    """Refine's n-gram fingerprint key.
+
+    Lowercase, strip everything but alphanumerics, take the sorted set of
+    character n-grams, concatenate.  More aggressive than ``fingerprint``:
+    it also collides small internal typos and missing separators
+    (``airtemp`` vs ``air_temp``).
+
+    Raises:
+        ValueError: if ``n`` is not positive.
+    """
+    if n <= 0:
+        raise ValueError(f"ngram size must be positive, got {n}")
+    cleaned = "".join(
+        ch for ch in strip_accents(value).lower() if ch.isalnum()
+    )
+    if len(cleaned) < n:
+        return cleaned
+    return "".join(sorted(set(ngrams(cleaned, n))))

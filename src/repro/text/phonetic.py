@@ -1,0 +1,170 @@
+"""Phonetic keys: Soundex and a compact Metaphone.
+
+Google Refine offers Metaphone as a key-collision method; variable-name
+misspellings that survive fingerprinting (``temperatoor``) often collide
+phonetically.  Both functions key the *alphabetic* part of a token; digits
+are preserved verbatim at the end so ``fluores375`` and ``fluores400``
+do not collide.
+"""
+
+from __future__ import annotations
+
+_SOUNDEX_CODES = {
+    "b": "1", "f": "1", "p": "1", "v": "1",
+    "c": "2", "g": "2", "j": "2", "k": "2",
+    "q": "2", "s": "2", "x": "2", "z": "2",
+    "d": "3", "t": "3",
+    "l": "4",
+    "m": "5", "n": "5",
+    "r": "6",
+}
+
+_VOWELS = set("aeiou")
+
+
+def _split_alpha_digits(value: str) -> tuple[str, str]:
+    letters = "".join(ch for ch in value.lower() if ch.isalpha())
+    digits = "".join(ch for ch in value if ch.isdigit())
+    return letters, digits
+
+
+def soundex(value: str) -> str:
+    """American Soundex code, with trailing digits appended verbatim.
+
+    Returns the empty string for input with no letters or digits.
+    """
+    letters, digits = _split_alpha_digits(value)
+    if not letters:
+        return digits
+    first = letters[0]
+    encoded = [first.upper()]
+    previous = _SOUNDEX_CODES.get(first, "")
+    for ch in letters[1:]:
+        code = _SOUNDEX_CODES.get(ch, "")
+        if code and code != previous:
+            encoded.append(code)
+        if ch not in "hw":  # h/w do not reset the previous code
+            previous = code
+        if len(encoded) == 4:
+            break
+    key = "".join(encoded).ljust(4, "0")
+    return key + digits
+
+
+def metaphone(value: str) -> str:
+    """A compact Metaphone variant, with trailing digits appended verbatim.
+
+    Implements the major Metaphone rules (silent letters, digraphs such as
+    PH->F, TH->0, SH->X, CK->K, vowel dropping after the first letter).
+    This is deliberately the *classic* Metaphone shape rather than Double
+    Metaphone: it matches what Refine's keyer produces closely enough to
+    collide the same misspelling families.
+    """
+    letters, digits = _split_alpha_digits(value)
+    if not letters:
+        return digits
+    word = letters
+    # Initial-letter exceptions.
+    for prefix in ("ae", "gn", "kn", "pn", "wr"):
+        if word.startswith(prefix):
+            word = word[1:]
+            break
+    if word.startswith("x"):
+        word = "s" + word[1:]
+    if word.startswith("wh"):
+        word = "w" + word[2:]
+
+    out: list[str] = []
+    i = 0
+    n = len(word)
+    while i < n:
+        ch = word[i]
+        nxt = word[i + 1] if i + 1 < n else ""
+        prev = word[i - 1] if i > 0 else ""
+        # Skip doubled letters (except c).
+        if ch == prev and ch != "c":
+            i += 1
+            continue
+        if ch in _VOWELS:
+            if i == 0:
+                out.append(ch.upper())
+            i += 1
+            continue
+        if ch == "b":
+            # Silent terminal b after m ("dumb").
+            if not (i == n - 1 and prev == "m"):
+                out.append("B")
+        elif ch == "c":
+            if nxt == "h":
+                out.append("X")
+                i += 1
+            elif nxt in "iey":
+                out.append("S")
+            else:
+                out.append("K")
+        elif ch == "d":
+            if nxt == "g" and i + 2 < n and word[i + 2] in "iey":
+                out.append("J")
+                i += 2
+            else:
+                out.append("T")
+        elif ch == "g":
+            if nxt == "h":
+                # gh silent unless terminal or before a vowel.
+                if i + 2 >= n or word[i + 2] in _VOWELS:
+                    out.append("K")
+                i += 1
+            elif nxt == "n":
+                pass  # silent g in "gn"
+            elif nxt in "iey":
+                out.append("J")
+            else:
+                out.append("K")
+        elif ch == "h":
+            if prev in _VOWELS and nxt not in _VOWELS:
+                pass  # silent h
+            else:
+                out.append("H")
+        elif ch == "k":
+            if prev != "c":
+                out.append("K")
+        elif ch == "p":
+            if nxt == "h":
+                out.append("F")
+                i += 1
+            else:
+                out.append("P")
+        elif ch == "q":
+            out.append("K")
+        elif ch == "s":
+            if nxt == "h":
+                out.append("X")
+                i += 1
+            elif nxt == "i" and i + 2 < n and word[i + 2] in "oa":
+                out.append("X")
+            else:
+                out.append("S")
+        elif ch == "t":
+            if nxt == "h":
+                out.append("0")
+                i += 1
+            elif nxt == "i" and i + 2 < n and word[i + 2] in "oa":
+                out.append("X")
+            else:
+                out.append("T")
+        elif ch == "v":
+            out.append("F")
+        elif ch == "w":
+            if nxt in _VOWELS:
+                out.append("W")
+        elif ch == "x":
+            out.append("KS")
+        elif ch == "y":
+            if nxt in _VOWELS:
+                out.append("Y")
+        elif ch == "z":
+            out.append("S")
+        else:
+            out.append(ch.upper())
+        i += 1
+    return "".join(out) + digits

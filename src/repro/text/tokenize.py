@@ -1,0 +1,73 @@
+"""Tokenization of variable names and free text.
+
+Scientific variable names arrive in every convention at once —
+``air_temperature``, ``airTemp``, ``AIR-TEMP``, ``fluores375`` — and the
+mess-taming machinery (fingerprinting, clustering, abbreviation expansion)
+needs a single canonical token stream for each.
+"""
+
+from __future__ import annotations
+
+import re
+import unicodedata
+
+_PUNCT_RE = re.compile(r"[\s_\-./:,;|()\[\]{}]+")
+_CAMEL_RE = re.compile(
+    r"(?<=[a-z0-9])(?=[A-Z])|(?<=[A-Z])(?=[A-Z][a-z])"
+)
+_ALNUM_SPLIT_RE = re.compile(r"(?<=[a-zA-Z])(?=\d)|(?<=\d)(?=[a-zA-Z])")
+_NON_WORD_RE = re.compile(r"[^0-9a-z ]+")
+
+
+def strip_accents(text: str) -> str:
+    """Remove diacritics: ``'Température' -> 'Temperature'``."""
+    decomposed = unicodedata.normalize("NFKD", text)
+    return "".join(ch for ch in decomposed if not unicodedata.combining(ch))
+
+
+def split_identifier(name: str) -> list[str]:
+    """Split a variable identifier into lowercase word tokens.
+
+    Handles snake_case, kebab-case, camelCase, dotted paths and
+    letter/digit boundaries::
+
+        >>> split_identifier('airTemp_2m')
+        ['air', 'temp', '2', 'm']
+        >>> split_identifier('fluores375')
+        ['fluores', '375']
+    """
+    if not name:
+        return []
+    # Insert spaces at camelCase boundaries first, then at punctuation.
+    spaced = _CAMEL_RE.sub(" ", name)
+    spaced = _PUNCT_RE.sub(" ", spaced)
+    spaced = _ALNUM_SPLIT_RE.sub(" ", spaced)
+    return [tok.lower() for tok in spaced.split() if tok]
+
+
+def normalize_name(name: str) -> str:
+    """Canonical single-string form of an identifier: tokens joined by '_'.
+
+    ``normalize_name('Air Temperature') == normalize_name('airTemperature')``.
+    """
+    return "_".join(split_identifier(strip_accents(name)))
+
+
+def words(text: str) -> list[str]:
+    """Lowercased alphanumeric word tokens of free text."""
+    lowered = strip_accents(text).lower()
+    cleaned = _NON_WORD_RE.sub(" ", lowered)
+    return cleaned.split()
+
+
+def ngrams(text: str, n: int) -> list[str]:
+    """Character n-grams of ``text`` (empty list when shorter than n).
+
+    Raises:
+        ValueError: if ``n`` is not positive.
+    """
+    if n <= 0:
+        raise ValueError(f"ngram size must be positive, got {n}")
+    if len(text) < n:
+        return []
+    return [text[i : i + n] for i in range(len(text) - n + 1)]

@@ -1,0 +1,19 @@
+"""Renderers for the search-results, dataset-summary and health pages."""
+
+from .health import CatalogHealth, measure_health, render_health_report
+from .render import (
+    render_search_html,
+    render_search_text,
+    render_summary_html,
+    render_summary_text,
+)
+
+__all__ = [
+    "CatalogHealth",
+    "measure_health",
+    "render_health_report",
+    "render_search_html",
+    "render_search_text",
+    "render_summary_html",
+    "render_summary_text",
+]

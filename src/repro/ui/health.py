@@ -1,0 +1,130 @@
+"""The catalog health report: the curator's dashboard.
+
+One page that answers "how tamed is this archive?": dataset counts by
+platform and format, spatial/temporal coverage hulls, name-resolution
+progress (how much of the mess is left), exclusion/ambiguity counts and
+the validation summary — the numbers a curator watches fall across
+run-improve-rerun iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..archive.vocabulary import VOCABULARY
+from ..catalog.store import CatalogStore
+from ..geo import BoundingBox, TimeInterval
+
+
+@dataclass(frozen=True, slots=True)
+class CatalogHealth:
+    """The measured state of one catalog."""
+
+    dataset_count: int
+    datasets_by_platform: dict[str, int]
+    datasets_by_format: dict[str, int]
+    spatial_hull: BoundingBox | None
+    temporal_hull: TimeInterval | None
+    variable_entries: int
+    resolved_entries: int
+    excluded_entries: int
+    ambiguous_entries: int
+    unresolved_names: tuple[str, ...]
+
+    @property
+    def resolved_fraction(self) -> float:
+        """Share of variable entries carrying a canonical name (or
+        deliberately excluded)."""
+        if self.variable_entries == 0:
+            return 1.0
+        return self.resolved_entries / self.variable_entries
+
+
+def measure_health(catalog: CatalogStore) -> CatalogHealth:
+    """Compute the health numbers in one pass over the catalog."""
+    platforms: dict[str, int] = {}
+    formats: dict[str, int] = {}
+    hull_box: BoundingBox | None = None
+    hull_time: TimeInterval | None = None
+    entries = resolved = excluded = ambiguous = 0
+    unresolved: set[str] = set()
+    for feature in catalog:
+        platforms[feature.platform] = platforms.get(feature.platform, 0) + 1
+        formats[feature.file_format] = (
+            formats.get(feature.file_format, 0) + 1
+        )
+        hull_box = (
+            feature.bbox if hull_box is None else hull_box.union(feature.bbox)
+        )
+        hull_time = (
+            feature.interval
+            if hull_time is None
+            else hull_time.union_hull(feature.interval)
+        )
+        for entry in feature.variables:
+            entries += 1
+            if entry.excluded:
+                excluded += 1
+                resolved += 1  # deliberately handled
+            elif entry.name in VOCABULARY:
+                resolved += 1
+            else:
+                unresolved.add(entry.name)
+            if entry.ambiguous:
+                ambiguous += 1
+    return CatalogHealth(
+        dataset_count=len(catalog),
+        datasets_by_platform=platforms,
+        datasets_by_format=formats,
+        spatial_hull=hull_box,
+        temporal_hull=hull_time,
+        variable_entries=entries,
+        resolved_entries=resolved,
+        excluded_entries=excluded,
+        ambiguous_entries=ambiguous,
+        unresolved_names=tuple(sorted(unresolved)),
+    )
+
+
+def render_health_report(
+    catalog: CatalogStore, validation_summary: str | None = None
+) -> str:
+    """The curator-facing health page (terminal text)."""
+    health = measure_health(catalog)
+    lines = [
+        "Catalog health report",
+        "=" * 60,
+        f"datasets: {health.dataset_count}",
+    ]
+    for platform, count in sorted(health.datasets_by_platform.items()):
+        lines.append(f"  {platform:10s} {count:5d}")
+    lines.append("formats:")
+    for file_format, count in sorted(health.datasets_by_format.items()):
+        lines.append(f"  {file_format:10s} {count:5d}")
+    if health.spatial_hull is not None:
+        b = health.spatial_hull
+        lines.append(
+            f"spatial coverage: [{b.min_lat:.3f}, {b.min_lon:.3f}] .. "
+            f"[{b.max_lat:.3f}, {b.max_lon:.3f}]"
+        )
+    if health.temporal_hull is not None:
+        lines.append(f"temporal coverage: {health.temporal_hull}")
+    lines.append(
+        f"variables: {health.variable_entries} entries, "
+        f"{health.resolved_fraction:.1%} tamed "
+        f"({health.excluded_entries} excluded, "
+        f"{health.ambiguous_entries} ambiguous)"
+    )
+    if health.unresolved_names:
+        shown = ", ".join(health.unresolved_names[:10])
+        more = (
+            f" (+{len(health.unresolved_names) - 10} more)"
+            if len(health.unresolved_names) > 10
+            else ""
+        )
+        lines.append(f"unresolved names: {shown}{more}")
+    else:
+        lines.append("unresolved names: none")
+    if validation_summary is not None:
+        lines.append("validation: " + validation_summary.splitlines()[0])
+    return "\n".join(lines)

@@ -1,0 +1,164 @@
+"""Text and HTML renderers for the two poster UI figures.
+
+The figures show information content — the "Data Near Here" search
+results page and the dataset summary page — which these renderers
+reproduce as terminal text and minimal HTML.
+"""
+
+from __future__ import annotations
+
+import html
+
+from ..core.query import Query
+from ..core.search import SearchResult
+from ..core.summary import DatasetSummary
+
+
+# -- search results (the "Data Near Here" interface figure) -------------------
+
+def render_search_text(query: Query, results: list[SearchResult]) -> str:
+    """The search-results page as terminal text."""
+    lines = [
+        "Data Near Here — search results",
+        f"query: {query.describe()}",
+        "-" * 72,
+    ]
+    if not results:
+        lines.append("(no results)")
+    for rank, result in enumerate(results, start=1):
+        feature = result.feature
+        lines.append(
+            f"{rank:2d}. [{result.score:5.3f}] {feature.title}"
+        )
+        lines.append(
+            f"      {result.dataset_id}  ({feature.platform}, "
+            f"{feature.row_count} rows)"
+        )
+        lines.append(f"      where: {feature.bbox.center}")
+        lines.append(f"      when:  {feature.interval}")
+        lines.append(f"      why:   {result.breakdown.explain()}")
+    return "\n".join(lines)
+
+
+def render_search_html(query: Query, results: list[SearchResult]) -> str:
+    """The search-results page as minimal HTML."""
+    rows = []
+    for rank, result in enumerate(results, start=1):
+        feature = result.feature
+        rows.append(
+            "<tr>"
+            f"<td>{rank}</td>"
+            f"<td>{result.score:.3f}</td>"
+            f"<td><a href='#{html.escape(result.dataset_id)}'>"
+            f"{html.escape(feature.title)}</a></td>"
+            f"<td>{html.escape(str(feature.bbox.center))}</td>"
+            f"<td>{html.escape(str(feature.interval))}</td>"
+            f"<td>{html.escape(result.breakdown.explain())}</td>"
+            "</tr>"
+        )
+    return (
+        "<html><head><title>Data Near Here</title></head><body>"
+        f"<h1>Data Near Here</h1>"
+        f"<p>Query: {html.escape(query.describe())}</p>"
+        "<table border='1'>"
+        "<tr><th>#</th><th>score</th><th>dataset</th>"
+        "<th>where</th><th>when</th><th>why</th></tr>"
+        + "".join(rows)
+        + "</table></body></html>"
+    )
+
+
+# -- dataset summary (the summary-page figure) --------------------------------
+
+def _variable_line(v) -> str:
+    flags = []
+    if v.excluded:
+        flags.append("excluded")
+    if v.ambiguous:
+        flags.append("ambiguous")
+    flag_text = f" [{', '.join(flags)}]" if flags else ""
+    origin = (
+        f" (was {v.written_name!r})" if v.written_name != v.name else ""
+    )
+    return (
+        f"  {v.name:28s} {v.unit:10s} n={v.count:6d} "
+        f"[{v.minimum:10.3f}, {v.maximum:10.3f}] mean={v.mean:10.3f}"
+        f"{origin}{flag_text}"
+    )
+
+
+def render_summary_text(summary: DatasetSummary) -> str:
+    """The dataset-summary page as terminal text."""
+    lines = [
+        f"Dataset summary: {summary.title}",
+        f"id:        {summary.dataset_id}",
+        f"platform:  {summary.platform}  ({summary.file_format})",
+        f"location:  {summary.location_text}",
+        f"time:      {summary.time_text}",
+        f"rows:      {summary.row_count}",
+        f"directory: {summary.source_directory}",
+    ]
+    if summary.attributes:
+        lines.append("attributes:")
+        for key, value in summary.attributes:
+            lines.append(f"  {key}: {value}")
+    lines.append(f"variables ({len(summary.searchable)} searchable):")
+    for v in summary.searchable:
+        lines.append(_variable_line(v))
+        for link in v.taxonomy_links:
+            lines.append(f"      -> {link}")
+    if summary.detail_only:
+        lines.append(
+            f"detail-only variables ({len(summary.detail_only)}, "
+            "excluded from search):"
+        )
+        for v in summary.detail_only:
+            lines.append(_variable_line(v))
+    return "\n".join(lines)
+
+
+def render_summary_html(summary: DatasetSummary) -> str:
+    """The dataset-summary page as minimal HTML."""
+
+    def table_for(variables) -> str:
+        rows = []
+        for v in variables:
+            rows.append(
+                "<tr>"
+                f"<td>{html.escape(v.name)}</td>"
+                f"<td>{html.escape(v.written_name)}</td>"
+                f"<td>{html.escape(v.unit)}</td>"
+                f"<td>{v.count}</td>"
+                f"<td>{v.minimum:.3f}</td>"
+                f"<td>{v.maximum:.3f}</td>"
+                f"<td>{v.mean:.3f}</td>"
+                "</tr>"
+            )
+        return (
+            "<table border='1'><tr><th>name</th><th>as written</th>"
+            "<th>unit</th><th>n</th><th>min</th><th>max</th><th>mean</th>"
+            "</tr>" + "".join(rows) + "</table>"
+        )
+
+    attr_items = "".join(
+        f"<li><b>{html.escape(k)}</b>: {html.escape(v)}</li>"
+        for k, v in summary.attributes
+    )
+    parts = [
+        "<html><head><title>",
+        html.escape(summary.title),
+        "</title></head><body>",
+        f"<h1>{html.escape(summary.title)}</h1>",
+        f"<p>{html.escape(summary.dataset_id)} — "
+        f"{html.escape(summary.platform)}, {summary.row_count} rows</p>",
+        f"<p>Where: {html.escape(summary.location_text)}<br>",
+        f"When: {html.escape(summary.time_text)}</p>",
+        f"<ul>{attr_items}</ul>",
+        "<h2>Variables</h2>",
+        table_for(summary.searchable),
+    ]
+    if summary.detail_only:
+        parts.append("<h2>Detail-only variables (excluded from search)</h2>")
+        parts.append(table_for(summary.detail_only))
+    parts.append("</body></html>")
+    return "".join(parts)

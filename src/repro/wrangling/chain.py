@@ -1,0 +1,148 @@
+"""The metadata processing chain: compose, run, re-run.
+
+"Creating metadata wrangling process for archive from composable
+components" (curatorial activity 1) and "running & rerunning process"
+(activity 2).  A chain is an ordered component list; each run yields a
+:class:`ChainRunReport` with per-component provenance, and the chain
+keeps run history so experiments can compare cold runs with re-runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from .component import Component, ComponentReport
+from .discover import (
+    DiscoverTransformations,
+    PerformDiscoveredTransformations,
+)
+from .external import AddExternalMetadata
+from .hierarchy_gen import GenerateHierarchies
+from .known import PerformKnownTransformations
+from .publish import Publish
+from .scan import ScanArchive
+from .state import WranglingState
+
+
+class ChainCompositionError(ValueError):
+    """Raised for invalid chain edits."""
+
+
+@dataclass(slots=True)
+class ChainRunReport:
+    """Provenance of one chain run."""
+
+    run_number: int
+    component_reports: list[ComponentReport] = field(default_factory=list)
+    duration_seconds: float = 0.0
+
+    @property
+    def total_changes(self) -> int:
+        """Sum of changes across components."""
+        return sum(r.changes for r in self.component_reports)
+
+    def report_for(self, component_name: str) -> ComponentReport:
+        """The report of one component.
+
+        Raises:
+            KeyError: when the component did not run.
+        """
+        for report in self.component_reports:
+            if report.component == component_name:
+                return report
+        raise KeyError(component_name)
+
+    def summary(self) -> str:
+        """A one-line-per-component text summary."""
+        lines = [f"run #{self.run_number} ({self.duration_seconds:.3f}s)"]
+        for r in self.component_reports:
+            lines.append(
+                f"  {r.component:28s} changes={r.changes:5d} "
+                f"seen={r.items_seen:5d} skipped={r.items_skipped:5d} "
+                f"{r.duration_seconds:.3f}s"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(slots=True)
+class ProcessChain:
+    """An ordered, editable list of components."""
+
+    components: list[Component] = field(default_factory=list)
+    history: list[ChainRunReport] = field(default_factory=list)
+
+    def append(self, component: Component) -> None:
+        """Add a component at the end."""
+        self.components.append(component)
+
+    def insert_before(self, name: str, component: Component) -> None:
+        """Insert ``component`` before the component called ``name``.
+
+        Raises:
+            ChainCompositionError: when ``name`` is not in the chain.
+        """
+        for i, existing in enumerate(self.components):
+            if existing.name == name:
+                self.components.insert(i, component)
+                return
+        raise ChainCompositionError(f"no component named {name!r}")
+
+    def remove(self, name: str) -> Component:
+        """Remove and return the first component called ``name``.
+
+        Raises:
+            ChainCompositionError: when absent.
+        """
+        for i, existing in enumerate(self.components):
+            if existing.name == name:
+                return self.components.pop(i)
+        raise ChainCompositionError(f"no component named {name!r}")
+
+    def component(self, name: str) -> Component:
+        """The first component called ``name``.
+
+        Raises:
+            ChainCompositionError: when absent.
+        """
+        for existing in self.components:
+            if existing.name == name:
+                return existing
+        raise ChainCompositionError(f"no component named {name!r}")
+
+    def names(self) -> list[str]:
+        """Component names in order."""
+        return [c.name for c in self.components]
+
+    def run(self, state: WranglingState) -> ChainRunReport:
+        """Execute every component in order (activity 2)."""
+        run_report = ChainRunReport(run_number=len(self.history) + 1)
+        started = time.perf_counter()
+        for component in self.components:
+            run_report.component_reports.append(component.execute(state))
+        run_report.duration_seconds = time.perf_counter() - started
+        self.history.append(run_report)
+        return run_report
+
+    @property
+    def last_run(self) -> ChainRunReport | None:
+        """The most recent run report, if any."""
+        return self.history[-1] if self.history else None
+
+
+def default_chain(
+    scan: ScanArchive | None = None,
+    discovery: DiscoverTransformations | None = None,
+) -> ProcessChain:
+    """The poster's seven-box chain, in figure order."""
+    return ProcessChain(
+        components=[
+            scan or ScanArchive(),
+            PerformKnownTransformations(),
+            AddExternalMetadata(),
+            discovery or DiscoverTransformations(),
+            PerformDiscoveredTransformations(),
+            GenerateHierarchies(),
+            Publish(),
+        ]
+    )

@@ -1,0 +1,60 @@
+"""The composable component protocol and run reporting.
+
+"Set of composable components; compose into 'metadata processing chain';
+details of process different for each archive."  A component is a named,
+configured unit of work over :class:`~repro.wrangling.state.WranglingState`;
+running one yields a :class:`ComponentReport` (the provenance the
+curator's validation step reads).
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from .state import WranglingState
+
+
+@dataclass(slots=True)
+class ComponentReport:
+    """What one component did during one run."""
+
+    component: str
+    changes: int = 0
+    items_seen: int = 0
+    items_skipped: int = 0
+    duration_seconds: float = 0.0
+    messages: list[str] = field(default_factory=list)
+
+    def add(self, message: str) -> None:
+        """Attach a provenance message."""
+        self.messages.append(message)
+
+    @property
+    def was_noop(self) -> bool:
+        """True when the run changed nothing."""
+        return self.changes == 0
+
+
+class Component(ABC):
+    """One box of the wrangling figure."""
+
+    #: Human-readable component name (the figure's box label).
+    name: str = "component"
+
+    @abstractmethod
+    def run(self, state: WranglingState, report: ComponentReport) -> None:
+        """Do the work, mutating ``state`` and filling ``report``."""
+
+    def execute(self, state: WranglingState) -> ComponentReport:
+        """Run with timing; returns the filled report."""
+        report = ComponentReport(component=self.name)
+        started = time.perf_counter()
+        self.run(state, report)
+        report.duration_seconds = time.perf_counter() - started
+        return report
+
+    def describe(self) -> str:
+        """One-line description (used in chain listings)."""
+        return self.name

@@ -1,0 +1,186 @@
+"""Process-configuration serialization.
+
+"Details of process different for each archive" — the chain composition,
+scan targets, curated tables, context rules, ambiguity decisions and
+discovered rules *are* the process.  Serializing them as one JSON
+document lets curators version-control their process and reproduce a
+wrangle on a fresh machine, which is what makes the poster's
+run-improve-rerun loop durable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..refine.history import RuleSet
+from ..semantics import (
+    AbbreviationTable,
+    AmbiguityAction,
+    AmbiguityDecision,
+    ContextRules,
+    ExclusionPolicy,
+    SynonymTable,
+    TermResolver,
+)
+from .chain import ProcessChain, default_chain
+from .scan import ScanArchive, ScanTarget
+from .state import WranglingState
+
+CONFIG_VERSION = 1
+
+
+class ProcessConfigError(ValueError):
+    """Raised when a process-configuration document is malformed."""
+
+
+def dump_process_config(
+    chain: ProcessChain, state: WranglingState, indent: int | None = 2
+) -> str:
+    """Serialize the process (chain config + curated knowledge) to JSON."""
+    scan_targets: list[dict[str, Any]] = []
+    try:
+        scan = chain.component("scan-archive")
+        if isinstance(scan, ScanArchive):
+            scan_targets = [
+                {
+                    "directory": target.directory,
+                    "pattern": target.pattern,
+                    "recursive": target.recursive,
+                }
+                for target in scan.targets
+            ]
+    except Exception:
+        pass
+    resolver = state.resolver
+    payload = {
+        "format": "repro-process-config",
+        "version": CONFIG_VERSION,
+        "components": chain.names(),
+        "scan_targets": scan_targets,
+        "synonyms": [
+            [spelling, preferred] for spelling, preferred in resolver.synonyms
+        ],
+        "abbreviations": resolver.abbreviations.items(),
+        "context_rules": [
+            [bare, context, canonical]
+            for (bare, context), canonical in sorted(
+                resolver.context_rules.rules.items()
+            )
+        ],
+        "exclusion_patterns": list(resolver.exclusion.patterns),
+        "decisions": [
+            {
+                "name": d.name,
+                "action": d.action.value,
+                "canonical": d.canonical,
+                "scope": d.scope,
+            }
+            for d in state.decisions
+        ],
+        "discovered_rules": (
+            state.discovered_rules.to_json()
+            if state.discovered_rules is not None
+            else []
+        ),
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def load_process_config(
+    text: str, fs=None
+) -> tuple[ProcessChain, WranglingState]:
+    """Rebuild (chain, state) from a configuration document.
+
+    ``fs`` is the archive filesystem the new state should wrangle; pass
+    the target archive (it is not part of the configuration).
+
+    Raises:
+        ProcessConfigError: on wrong markers, versions or content.
+    """
+    from ..archive.filesystem import VirtualArchive
+
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ProcessConfigError(f"not JSON: {exc}")
+    if not isinstance(payload, dict) or payload.get("format") != (
+        "repro-process-config"
+    ):
+        raise ProcessConfigError("missing process-config format marker")
+    if payload.get("version") != CONFIG_VERSION:
+        raise ProcessConfigError(
+            f"unsupported config version {payload.get('version')!r}"
+        )
+
+    synonyms = SynonymTable()
+    for row in payload.get("synonyms", []):
+        if not isinstance(row, list) or len(row) != 2:
+            raise ProcessConfigError(f"bad synonym row {row!r}")
+        spelling, preferred = row
+        if spelling == preferred:
+            synonyms.add(preferred)
+        else:
+            synonyms.add(preferred, spelling)
+
+    abbreviations = AbbreviationTable()
+    for row in payload.get("abbreviations", []):
+        if not isinstance(row, list) or len(row) != 2:
+            raise ProcessConfigError(f"bad abbreviation row {row!r}")
+        abbreviations.add(row[0], row[1])
+
+    context_rules = ContextRules(rules={})
+    for row in payload.get("context_rules", []):
+        if not isinstance(row, list) or len(row) != 3:
+            raise ProcessConfigError(f"bad context rule {row!r}")
+        context_rules.add(row[0], row[1], row[2])
+
+    exclusion = ExclusionPolicy(
+        patterns=list(payload.get("exclusion_patterns", []))
+    )
+    resolver = TermResolver(
+        synonyms=synonyms,
+        abbreviations=abbreviations,
+        context_rules=context_rules,
+        exclusion=exclusion,
+    )
+
+    decisions = [
+        AmbiguityDecision(
+            name=d["name"],
+            action=AmbiguityAction(d["action"]),
+            canonical=d.get("canonical"),
+            scope=d.get("scope", ""),
+        )
+        for d in payload.get("decisions", [])
+    ]
+
+    rules_json = payload.get("discovered_rules", [])
+    discovered = RuleSet.from_json(rules_json) if rules_json else None
+
+    state = WranglingState(
+        fs=fs if fs is not None else VirtualArchive(),
+        resolver=resolver,
+        decisions=decisions,
+        discovered_rules=discovered,
+    )
+
+    scan = ScanArchive(
+        targets=[
+            ScanTarget(
+                directory=t["directory"],
+                pattern=t.get("pattern", "*"),
+                recursive=bool(t.get("recursive", True)),
+            )
+            for t in payload.get("scan_targets", [])
+        ]
+        or [ScanTarget(directory="")]
+    )
+    chain = default_chain(scan=scan)
+    # Honour the recorded component order where it names known
+    # components; unknown names are a config error.
+    known = {c.name for c in chain.components}
+    for name in payload.get("components", []):
+        if name not in known:
+            raise ProcessConfigError(f"unknown component {name!r}")
+    return chain, state

@@ -1,0 +1,81 @@
+"""Discover-transformations and perform-discovered-transformations.
+
+The figure splits discovery ("Discover transformations", feeding Google
+Refine) from application ("Perform discovered transformations") — rules
+are reviewed between the two.  :class:`DiscoverTransformations` runs the
+Refine session over the *unresolved* names left in the working catalog
+and stores the rule set on the state; :class:`PerformDiscoveredTransformations`
+replays whatever rules the state carries (discovered here, or imported
+from a real Refine export).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..archive.vocabulary import VOCABULARY
+from ..refine.bridge import (
+    DiscoverySession,
+    apply_rules_to_catalog,
+    catalog_to_table,
+    make_canonical_chooser,
+)
+from ..refine.history import RuleSet
+from .component import Component, ComponentReport
+from .state import WranglingState
+
+
+def _default_session() -> DiscoverySession:
+    return DiscoverySession(
+        method="nn-levenshtein",
+        radius=2.0,
+        chooser=make_canonical_chooser(set(VOCABULARY)),
+        seed_values={name: 1 for name in VOCABULARY},
+    )
+
+
+@dataclass(slots=True)
+class DiscoverTransformations(Component):
+    """The figure's discovery box (Refine round-trip, export side)."""
+
+    session: DiscoverySession = field(default_factory=_default_session)
+    only_unresolved: bool = True
+
+    name = "discover-transformations"
+
+    def run(self, state: WranglingState, report: ComponentReport) -> None:
+        table = catalog_to_table(state.working)
+        if self.only_unresolved:
+            # Names already in the vocabulary need no discovery; keep the
+            # mess that's left.
+            table.rows = [
+                row for row in table.rows if row["field"] not in VOCABULARY
+            ]
+        report.items_seen = len(table)
+        rules = self.session.discover(table)
+        state.discovered_rules = rules
+        mapping = rules.rename_mapping()
+        report.changes = len(mapping)
+        report.add(
+            f"{len(mapping)} discovered renames via {self.session.method}"
+        )
+
+
+@dataclass(slots=True)
+class PerformDiscoveredTransformations(Component):
+    """The figure's apply box (Refine round-trip, replay side)."""
+
+    rules: RuleSet | None = None  # overrides state.discovered_rules
+
+    name = "discovered-transformations"
+
+    def run(self, state: WranglingState, report: ComponentReport) -> None:
+        rules = self.rules or state.discovered_rules
+        if rules is None or not len(rules):
+            report.add("no discovered rules to perform")
+            return
+        report.items_seen = len(rules.rename_mapping())
+        report.changes = apply_rules_to_catalog(
+            rules, state.working, resolution="discovered"
+        )
+        report.add(f"replayed {len(rules)} operations")

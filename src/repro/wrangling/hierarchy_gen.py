@@ -1,0 +1,91 @@
+"""Generate-hierarchies component.
+
+"Generate hierarchies — configure: levels, aggregation."  Builds the
+concept hierarchy the search UI's menus and query expansion use: the
+vocabulary's parent links, restricted to variables actually present in
+the working catalog, with still-unresolved names parked under an
+"unresolved" branch so the curator sees them, and taxonomy links
+attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..archive.vocabulary import VOCABULARY
+from ..hierarchy import (
+    ConceptHierarchy,
+    default_taxonomy_links,
+    vocabulary_hierarchy,
+)
+from .component import Component, ComponentReport
+from .state import WranglingState
+
+UNRESOLVED_BRANCH = "unresolved"
+
+
+@dataclass(slots=True)
+class GenerateHierarchies(Component):
+    """The figure's hierarchy box."""
+
+    include_unresolved_branch: bool = True
+    prune_absent: bool = True
+    attach_taxonomies: bool = True
+    max_depth: int | None = None  # "configure: levels"
+
+    name = "generate-hierarchies"
+
+    def run(self, state: WranglingState, report: ComponentReport) -> None:
+        present = set(state.working.variable_name_counts())
+        report.items_seen = len(present)
+        full = vocabulary_hierarchy()
+        hierarchy = ConceptHierarchy()
+        # Add vocabulary names present in the catalog, with their
+        # ancestor chains (ancestors kept even when absent: they are the
+        # menu's grouping levels).
+        for name, __ in full.walk():
+            if name in hierarchy:
+                continue
+            if self.prune_absent and name in present:
+                chain = list(reversed(full.ancestors(name))) + [name]
+                for link in chain:
+                    if link not in hierarchy:
+                        node = full.node(link)
+                        hierarchy.add(
+                            link,
+                            parent=node.parent,
+                            measurable=node.measurable,
+                            description=node.description,
+                        )
+                        report.changes += 1
+            elif not self.prune_absent:
+                node = full.node(name)
+                hierarchy.add(
+                    name,
+                    parent=node.parent,
+                    measurable=node.measurable,
+                    description=node.description,
+                )
+                report.changes += 1
+        if self.max_depth is not None:
+            hierarchy = hierarchy.flattened(self.max_depth)
+        # Park unresolved names where the curator can find them.
+        unresolved = sorted(
+            name for name in present if name not in VOCABULARY
+        )
+        if unresolved and self.include_unresolved_branch:
+            hierarchy.add(
+                UNRESOLVED_BRANCH,
+                parent=None,
+                measurable=False,
+                description="Names the wrangling process has not tamed",
+            )
+            for name in unresolved:
+                hierarchy.add(name, parent=UNRESOLVED_BRANCH)
+                report.changes += 1
+        state.hierarchy = hierarchy
+        if self.attach_taxonomies:
+            state.taxonomy_links = default_taxonomy_links()
+        report.add(
+            f"{len(hierarchy)} nodes, {len(unresolved)} unresolved parked"
+        )

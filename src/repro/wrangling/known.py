@@ -1,0 +1,150 @@
+"""Perform-known-transformations component.
+
+"Perform known transformations — often exists as a translation table."
+Applies the curated knowledge to the working catalog:
+
+* synonym/abbreviation translation (the tables),
+* unit-spelling normalization,
+* source-context resolution of bare names,
+* evidence-based clarification of ambiguous forms,
+* curator ambiguity decisions (clarify/hide/leave),
+* excessive-variable marking (exclude from search).
+
+Everything the resolver cannot tame stays as written — "the mess that's
+left" that discovery then attacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..archive.vocabulary import VOCABULARY, preferred_unit
+from ..semantics import AmbiguityAction, ResolutionMethod, UnitRegistry
+from .component import Component, ComponentReport
+from .state import WranglingState
+
+
+@dataclass(slots=True)
+class PerformKnownTransformations(Component):
+    """The figure's translation-table box."""
+
+    normalize_units: bool = True
+    convert_units: bool = True  # cross-family conversion (degF -> degC)
+    mark_excessive: bool = True
+    apply_decisions: bool = True
+
+    name = "known-transformations"
+
+    @staticmethod
+    def _convert_entry_units(entry, units: UnitRegistry) -> bool:
+        """Convert an entry's statistics to its canonical unit when the
+        source reported a convertible foreign unit (degF temperatures,
+        knots wind).  Returns True when a conversion was applied."""
+        var = VOCABULARY.get(entry.name)
+        if var is None or entry.count == 0:
+            return False
+        current = units.normalize(entry.unit)
+        target = var.unit
+        if current == target or not units.convertible(current, target):
+            return False
+        lo = units.convert(entry.minimum, current, target)
+        hi = units.convert(entry.maximum, current, target)
+        entry.minimum, entry.maximum = min(lo, hi), max(lo, hi)
+        entry.mean = units.convert(entry.mean, current, target)
+        scale = abs(
+            units.convert(1.0, current, target)
+            - units.convert(0.0, current, target)
+        )
+        entry.stddev = entry.stddev * scale
+        entry.unit = target
+        return True
+
+    def run(self, state: WranglingState, report: ComponentReport) -> None:
+        resolver = state.resolver
+        units = UnitRegistry()
+        for dataset_id in state.working.dataset_ids():
+            feature = state.working.get(dataset_id)
+            touched = False
+            for entry in feature.variables:
+                report.items_seen += 1
+                # Evidence-based resolution runs first; curator decisions
+                # are the fallback for what evidence cannot tame.  This
+                # ordering makes re-runs deterministic no matter *when*
+                # a decision was added (a global HIDE never swallows
+                # entries the evidence would have clarified anyway).
+                resolution = resolver.resolve_entry(
+                    entry, feature.platform, dataset_id
+                )
+                if resolution.resolved and resolution.canonical != entry.name:
+                    entry.name = resolution.canonical
+                    entry.resolution = resolution.method.value
+                    report.changes += 1
+                    touched = True
+                elif not resolution.resolved and self.apply_decisions:
+                    decision = self._decision_for(
+                        state, dataset_id, entry.name
+                    )
+                    if decision is not None:
+                        if decision.action is AmbiguityAction.CLARIFY:
+                            if entry.name != decision.canonical:
+                                entry.name = (
+                                    decision.canonical or entry.name
+                                )
+                                entry.resolution = (
+                                    ResolutionMethod.CURATOR.value
+                                )
+                                entry.ambiguous = False
+                                touched = True
+                                report.changes += 1
+                        elif decision.action is AmbiguityAction.HIDE:
+                            if not entry.excluded:
+                                entry.excluded = True
+                                entry.ambiguous = False
+                                touched = True
+                                report.changes += 1
+                        else:  # LEAVE: flagged but untouched
+                            if not entry.ambiguous:
+                                entry.ambiguous = True
+                                touched = True
+                        resolution = None  # decision handled the entry
+                if resolution is not None and resolution.ambiguous and not (
+                    entry.ambiguous or entry.excluded
+                ):
+                    entry.ambiguous = True
+                    touched = True
+                if self.mark_excessive and resolution is not None:
+                    auxiliary = resolution.auxiliary or (
+                        resolution.canonical is None
+                        and resolver.exclusion.is_auxiliary(entry.name)
+                    )
+                    if auxiliary and not entry.excluded:
+                        entry.excluded = True
+                        report.changes += 1
+                        touched = True
+                if self.normalize_units:
+                    normalized = preferred_unit(entry.unit)
+                    if normalized != entry.unit:
+                        entry.unit = normalized
+                        report.changes += 1
+                        touched = True
+                if self.convert_units and self._convert_entry_units(
+                    entry, units
+                ):
+                    report.changes += 1
+                    touched = True
+                context = resolver.context_rules.context_of_platform(
+                    feature.platform
+                )
+                if entry.context != context:
+                    entry.context = context
+                    touched = True
+            if touched:
+                state.working.upsert(feature)
+        report.add(f"resolved entries across {len(state.working)} datasets")
+
+    @staticmethod
+    def _decision_for(state: WranglingState, dataset_id: str, name: str):
+        for decision in state.decisions:
+            if decision.name == name and decision.applies_to(dataset_id):
+                return decision
+        return None

@@ -1,0 +1,168 @@
+"""A provenance journal for the wrangling process.
+
+Curators must be able to answer "why is this variable called that?" —
+especially after several run-improve-rerun iterations.  The journal
+records every rename, exclusion and decision with the component and run
+that produced it, and renders per-variable audit trails.
+
+Events are reconstructed from the catalog itself (written vs current
+name plus the stored ``resolution`` method) and accumulated across runs
+by :func:`snapshot`, so components need no extra wiring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..catalog.store import CatalogStore
+
+
+@dataclass(frozen=True, slots=True)
+class ProvenanceEvent:
+    """One observed transformation of one variable."""
+
+    run_number: int
+    dataset_id: str
+    written_name: str
+    old_name: str
+    new_name: str
+    method: str  # resolution label ('synonym', 'fuzzy', 'curator', ...)
+    kind: str = "rename"  # 'rename' | 'exclude' | 'include' | 'flag'
+
+    def describe(self) -> str:
+        """One audit-trail line."""
+        if self.kind == "rename":
+            return (
+                f"run {self.run_number}: {self.old_name!r} -> "
+                f"{self.new_name!r} via {self.method or 'unknown'}"
+            )
+        if self.kind == "exclude":
+            return (
+                f"run {self.run_number}: {self.new_name!r} excluded "
+                "from search"
+            )
+        if self.kind == "include":
+            return (
+                f"run {self.run_number}: {self.new_name!r} restored "
+                "to search"
+            )
+        return f"run {self.run_number}: {self.new_name!r} flagged ambiguous"
+
+
+@dataclass(slots=True)
+class _VariableState:
+    name: str
+    excluded: bool
+    ambiguous: bool
+
+
+@dataclass(slots=True)
+class ProvenanceJournal:
+    """Accumulates events by diffing successive catalog snapshots."""
+
+    events: list[ProvenanceEvent] = field(default_factory=list)
+    _last: dict[tuple[str, str], _VariableState] = field(
+        default_factory=dict, repr=False
+    )
+    runs_seen: int = 0
+
+    def snapshot(self, catalog: CatalogStore) -> int:
+        """Diff the catalog against the previous snapshot; returns the
+        number of new events recorded."""
+        self.runs_seen += 1
+        new_events = 0
+        current: dict[tuple[str, str], _VariableState] = {}
+        methods: dict[tuple[str, str], str] = {}
+        for dataset_id, entry in catalog.iter_variables():
+            key = (dataset_id, entry.written_name)
+            current[key] = _VariableState(
+                name=entry.name,
+                excluded=entry.excluded,
+                ambiguous=entry.ambiguous,
+            )
+            methods[key] = entry.resolution
+        for key, state in current.items():
+            dataset_id, written = key
+            previous = self._last.get(key)
+            old_name = previous.name if previous is not None else written
+            if state.name != old_name:
+                self.events.append(
+                    ProvenanceEvent(
+                        run_number=self.runs_seen,
+                        dataset_id=dataset_id,
+                        written_name=written,
+                        old_name=old_name,
+                        new_name=state.name,
+                        method=methods[key],
+                        kind="rename",
+                    )
+                )
+                new_events += 1
+            was_excluded = previous.excluded if previous else False
+            if state.excluded != was_excluded:
+                self.events.append(
+                    ProvenanceEvent(
+                        run_number=self.runs_seen,
+                        dataset_id=dataset_id,
+                        written_name=written,
+                        old_name=state.name,
+                        new_name=state.name,
+                        method=methods[key],
+                        kind="exclude" if state.excluded else "include",
+                    )
+                )
+                new_events += 1
+            was_ambiguous = previous.ambiguous if previous else False
+            if state.ambiguous and not was_ambiguous:
+                self.events.append(
+                    ProvenanceEvent(
+                        run_number=self.runs_seen,
+                        dataset_id=dataset_id,
+                        written_name=written,
+                        old_name=state.name,
+                        new_name=state.name,
+                        method=methods[key],
+                        kind="flag",
+                    )
+                )
+                new_events += 1
+        self._last = current
+        return new_events
+
+    # -- queries ---------------------------------------------------------------
+
+    def events_for(
+        self, dataset_id: str, written_name: str
+    ) -> list[ProvenanceEvent]:
+        """All events of one variable, in order."""
+        return [
+            e
+            for e in self.events
+            if e.dataset_id == dataset_id and e.written_name == written_name
+        ]
+
+    def events_by_method(self) -> dict[str, int]:
+        """rename-method -> count (the 'who tamed what' breakdown)."""
+        out: dict[str, int] = {}
+        for event in self.events:
+            if event.kind == "rename":
+                method = event.method or "unknown"
+                out[method] = out.get(method, 0) + 1
+        return out
+
+    def audit_trail(self, dataset_id: str, written_name: str) -> str:
+        """Human-readable history of one variable."""
+        events = self.events_for(dataset_id, written_name)
+        header = f"{dataset_id} :: {written_name!r}"
+        if not events:
+            return f"{header}\n  (no transformations recorded)"
+        lines = [header]
+        lines.extend(f"  {event.describe()}" for event in events)
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[ProvenanceEvent]:
+        return iter(self.events)

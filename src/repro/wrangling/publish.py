@@ -1,0 +1,76 @@
+"""Publish component.
+
+"Publish" — the final box: the working catalog, now wrangled, replaces
+the published metadata catalog that search runs against.  The
+two-catalog design means every destructive transformation so far has
+only ever touched the working copy.
+
+Publication is incremental by default: each dataset's feature is
+digested, and only datasets whose digest changed since the last publish
+are rewritten (vanished datasets are removed).  A full re-publish of an
+unchanged working catalog is therefore free — which matters when the
+published store is SQLite on disk and the chain re-runs often.  Set
+``incremental=False`` to force the clear-and-copy behaviour.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from ..catalog.io import feature_to_dict
+from ..catalog.store import DatasetNotFoundError
+from .component import Component, ComponentReport
+from .state import WranglingState
+
+
+def feature_digest(feature) -> str:
+    """A stable digest of everything search can observe of a feature."""
+    payload = json.dumps(
+        feature_to_dict(feature), sort_keys=True, allow_nan=True
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass(slots=True)
+class Publish(Component):
+    """The figure's final box."""
+
+    require_nonempty: bool = True
+    incremental: bool = True
+
+    name = "publish"
+
+    def run(self, state: WranglingState, report: ComponentReport) -> None:
+        if self.require_nonempty and len(state.working) == 0:
+            report.add("refusing to publish an empty working catalog")
+            return
+        report.items_seen = len(state.working)
+        if not self.incremental:
+            report.changes = state.working.copy_into(state.published)
+            report.add(f"published {report.changes} datasets (full copy)")
+            return
+        published_ids = set(state.published.dataset_ids())
+        working_ids = set(state.working.dataset_ids())
+        for dataset_id in sorted(working_ids):
+            feature = state.working.get(dataset_id)
+            digest = feature_digest(feature)
+            if dataset_id in published_ids:
+                current = state.published.get(dataset_id)
+                if feature_digest(current) == digest:
+                    report.items_skipped += 1
+                    continue
+            state.published.upsert(feature.copy())
+            report.changes += 1
+        for dataset_id in sorted(published_ids - working_ids):
+            try:
+                state.published.remove(dataset_id)
+            except DatasetNotFoundError:  # pragma: no cover
+                continue
+            report.changes += 1
+            report.add(f"withdrew vanished dataset {dataset_id}")
+        report.add(
+            f"published {report.changes} changed datasets, "
+            f"{report.items_skipped} unchanged"
+        )

@@ -1,0 +1,92 @@
+"""Scan-archive component.
+
+"Scan archive — configure: directories, file types, naming conventions."
+Parses every matching file once, extracts its feature and upserts it into
+the working catalog.  Incremental by content hash: a re-run skips files
+whose content is unchanged (this is what makes the poster's "running &
+re-running process" cheap) and drops catalog entries whose files
+disappeared from the scanned directories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..archive.filesystem import ArchiveFile
+from ..archive.formats import FormatError, parse_file
+from ..catalog.store import DatasetNotFoundError
+from ..core.features import extract_feature
+from .component import Component, ComponentReport
+from .state import WranglingState
+
+
+@dataclass(frozen=True, slots=True)
+class ScanTarget:
+    """One configured directory to scan."""
+
+    directory: str
+    pattern: str = "*"
+    recursive: bool = True
+
+
+@dataclass(slots=True)
+class ScanArchive(Component):
+    """The figure's first box."""
+
+    targets: list[ScanTarget] = field(
+        default_factory=lambda: [ScanTarget(directory="")]
+    )
+    extensions: tuple[str, ...] = ("csv", "cdl")
+    remove_missing: bool = True
+
+    name = "scan-archive"
+
+    def add_target(self, directory: str, pattern: str = "*") -> None:
+        """Curator action: 'specifying an additional directory to scan'."""
+        self.targets.append(
+            ScanTarget(directory=directory, pattern=pattern, recursive=True)
+        )
+
+    def _matching_files(self, state: WranglingState) -> list[ArchiveFile]:
+        seen: dict[str, ArchiveFile] = {}
+        for target in self.targets:
+            for record in state.fs.list_directory(
+                target.directory, target.pattern, recursive=target.recursive
+            ):
+                if record.extension in self.extensions:
+                    seen[record.path] = record
+        return [seen[path] for path in sorted(seen)]
+
+    def run(self, state: WranglingState, report: ComponentReport) -> None:
+        files = self._matching_files(state)
+        present = set()
+        for record in files:
+            present.add(record.path)
+            report.items_seen += 1
+            content_hash = record.content_hash()
+            if state.scanned_hashes.get(record.path) == content_hash:
+                report.items_skipped += 1
+                continue
+            try:
+                dataset = parse_file(record.content, record.path)
+            except FormatError as exc:
+                report.add(f"parse error: {exc}")
+                continue
+            feature = extract_feature(dataset, content_hash=content_hash)
+            state.working.upsert(feature)
+            state.scanned_hashes[record.path] = content_hash
+            report.changes += 1
+        if self.remove_missing:
+            for dataset_id in state.working.dataset_ids():
+                if dataset_id not in present:
+                    try:
+                        state.working.remove(dataset_id)
+                    except DatasetNotFoundError:  # pragma: no cover
+                        continue
+                    state.scanned_hashes.pop(dataset_id, None)
+                    report.changes += 1
+                    report.add(f"removed vanished dataset {dataset_id}")
+        report.add(
+            f"scanned {report.items_seen} files, "
+            f"{report.items_skipped} unchanged"
+        )

@@ -1,0 +1,43 @@
+"""Shared state threaded through a metadata processing chain.
+
+The wrangling figure's boxes all read and write the same artifacts: the
+archive filesystem, the *working catalog*, external metadata, curated
+knowledge tables, discovered rules, the generated hierarchy, and the
+published *metadata catalog*.  :class:`WranglingState` carries them, so
+components stay small and composable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..archive.filesystem import VirtualArchive
+from ..archive.generator import StationRecord
+from ..catalog.store import CatalogStore, MemoryCatalog
+from ..hierarchy import ConceptHierarchy, TaxonomyLinks
+from ..refine.history import RuleSet
+from ..semantics import (
+    AmbiguityDecision,
+    TermResolver,
+)
+
+
+@dataclass(slots=True)
+class WranglingState:
+    """Everything a processing chain reads and writes."""
+
+    fs: VirtualArchive
+    working: CatalogStore = field(default_factory=MemoryCatalog)
+    published: CatalogStore = field(default_factory=MemoryCatalog)
+    resolver: TermResolver = field(default_factory=TermResolver)
+    decisions: list[AmbiguityDecision] = field(default_factory=list)
+    discovered_rules: RuleSet | None = None
+    hierarchy: ConceptHierarchy | None = None
+    taxonomy_links: TaxonomyLinks | None = None
+    stations: list[StationRecord] = field(default_factory=list)
+    scanned_hashes: dict[str, str] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def note(self, message: str) -> None:
+        """Record a free-form provenance note."""
+        self.notes.append(message)

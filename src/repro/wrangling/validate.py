@@ -1,0 +1,234 @@
+"""Validation checks: curatorial activity 4.
+
+The poster's examples, verbatim: "verifying that all files in a
+directory are of the same type; checking that all harvested variable
+names occur in the current synonym table as preferred or alternate
+terms; determining that expected datasets show up" — plus the checks a
+production catalog needs (unresolved names, lingering ambiguity, unknown
+units, empty footprints).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from ..archive.vocabulary import UNIT_SYNONYMS, VOCABULARY, preferred_unit
+from .state import WranglingState
+
+
+@dataclass(frozen=True, slots=True)
+class ValidationFailure:
+    """One failed expectation."""
+
+    check: str
+    subject: str  # directory / dataset / variable the failure is about
+    message: str
+
+
+@dataclass(slots=True)
+class ValidationReport:
+    """All failures from one validation pass."""
+
+    failures: list[ValidationFailure] = field(default_factory=list)
+    checks_run: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing failed."""
+        return not self.failures
+
+    def failures_for(self, check: str) -> list[ValidationFailure]:
+        """Failures of one named check."""
+        return [f for f in self.failures if f.check == check]
+
+    def count_by_check(self) -> dict[str, int]:
+        """check name -> failure count."""
+        out: dict[str, int] = {}
+        for failure in self.failures:
+            out[failure.check] = out.get(failure.check, 0) + 1
+        return out
+
+    def summary(self) -> str:
+        """One line per check with failures; 'all checks passed' if none."""
+        if self.ok:
+            return f"all {self.checks_run} checks passed"
+        lines = [f"{len(self.failures)} failures:"]
+        for check, count in sorted(self.count_by_check().items()):
+            lines.append(f"  {check}: {count}")
+        return "\n".join(lines)
+
+
+class ValidationCheck(ABC):
+    """One validation rule over the wrangled state."""
+
+    name: str = "check"
+
+    @abstractmethod
+    def run(self, state: WranglingState, report: ValidationReport) -> None:
+        """Append failures to ``report``."""
+
+
+class DirectoryFormatConsistency(ValidationCheck):
+    """'Verifying that all files in a directory are of the same type.'"""
+
+    name = "directory-format-consistency"
+
+    def run(self, state: WranglingState, report: ValidationReport) -> None:
+        by_directory: dict[str, set[str]] = {}
+        for feature in state.working:
+            by_directory.setdefault(feature.source_directory, set()).add(
+                feature.file_format
+            )
+        for directory, formats in sorted(by_directory.items()):
+            if len(formats) > 1:
+                report.failures.append(
+                    ValidationFailure(
+                        check=self.name,
+                        subject=directory,
+                        message=(
+                            f"mixed formats {sorted(formats)} in "
+                            f"{directory!r}"
+                        ),
+                    )
+                )
+
+
+class SynonymCoverage(ValidationCheck):
+    """'All harvested variable names occur in the current synonym table
+    as preferred or alternate terms.'
+
+    Runs against the *written* names (the harvest), since current names
+    may already be translated.
+    """
+
+    name = "synonym-coverage"
+
+    def run(self, state: WranglingState, report: ValidationReport) -> None:
+        missing: set[str] = set()
+        for __, entry in state.working.iter_variables():
+            if not state.resolver.synonyms.contains(entry.written_name):
+                missing.add(entry.written_name)
+        for name in sorted(missing):
+            report.failures.append(
+                ValidationFailure(
+                    check=self.name,
+                    subject=name,
+                    message=f"harvested name {name!r} not in synonym table",
+                )
+            )
+
+
+@dataclass(slots=True)
+class ExpectedDatasets(ValidationCheck):
+    """'Determining that expected datasets show up.'"""
+
+    expected_ids: list[str] = field(default_factory=list)
+    minimum_count: int = 0
+
+    name = "expected-datasets"
+
+    def run(self, state: WranglingState, report: ValidationReport) -> None:
+        present = set(state.working.dataset_ids())
+        for dataset_id in self.expected_ids:
+            if dataset_id not in present:
+                report.failures.append(
+                    ValidationFailure(
+                        check=self.name,
+                        subject=dataset_id,
+                        message=f"expected dataset {dataset_id!r} missing",
+                    )
+                )
+        if len(present) < self.minimum_count:
+            report.failures.append(
+                ValidationFailure(
+                    check=self.name,
+                    subject="(count)",
+                    message=(
+                        f"only {len(present)} datasets, expected at least "
+                        f"{self.minimum_count}"
+                    ),
+                )
+            )
+
+
+class UnresolvedNames(ValidationCheck):
+    """Current names that are still not canonical vocabulary terms."""
+
+    name = "unresolved-names"
+
+    def run(self, state: WranglingState, report: ValidationReport) -> None:
+        unresolved: set[str] = set()
+        for __, entry in state.working.iter_variables():
+            if entry.name not in VOCABULARY and not entry.excluded:
+                unresolved.add(entry.name)
+        for name in sorted(unresolved):
+            report.failures.append(
+                ValidationFailure(
+                    check=self.name,
+                    subject=name,
+                    message=f"{name!r} is not a canonical variable",
+                )
+            )
+
+
+class AmbiguousRemaining(ValidationCheck):
+    """Variables still flagged ambiguous (await a curator decision)."""
+
+    name = "ambiguous-remaining"
+
+    def run(self, state: WranglingState, report: ValidationReport) -> None:
+        for dataset_id, entry in state.working.iter_variables():
+            if entry.ambiguous:
+                report.failures.append(
+                    ValidationFailure(
+                        check=self.name,
+                        subject=f"{dataset_id}:{entry.name}",
+                        message=f"{entry.name!r} needs clarification",
+                    )
+                )
+
+
+class UnknownUnits(ValidationCheck):
+    """Unit strings outside every known unit family."""
+
+    name = "unknown-units"
+
+    def run(self, state: WranglingState, report: ValidationReport) -> None:
+        seen: set[str] = set()
+        for __, entry in state.working.iter_variables():
+            unit = entry.unit
+            if unit in seen:
+                continue
+            seen.add(unit)
+            if preferred_unit(unit) not in UNIT_SYNONYMS:
+                report.failures.append(
+                    ValidationFailure(
+                        check=self.name,
+                        subject=unit,
+                        message=f"unit {unit!r} not in any known family",
+                    )
+                )
+
+
+DEFAULT_CHECKS: tuple[type[ValidationCheck], ...] = (
+    DirectoryFormatConsistency,
+    SynonymCoverage,
+    UnresolvedNames,
+    AmbiguousRemaining,
+    UnknownUnits,
+)
+
+
+def validate(
+    state: WranglingState,
+    checks: list[ValidationCheck] | None = None,
+) -> ValidationReport:
+    """Run validation checks (defaults cover the poster's examples)."""
+    if checks is None:
+        checks = [cls() for cls in DEFAULT_CHECKS]
+    report = ValidationReport()
+    for check in checks:
+        check.run(state, report)
+        report.checks_run += 1
+    return report

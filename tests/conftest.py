@@ -1,0 +1,65 @@
+"""Shared fixtures: small deterministic archives and catalogs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.archive import (
+    ArchiveSpec,
+    MessSpec,
+    generate_archive,
+    inject_mess,
+    render_archive,
+)
+from repro.catalog import MemoryCatalog
+from repro.core import extract_feature
+
+SMALL_SPEC = ArchiveSpec(
+    stations=3,
+    cruises=2,
+    casts=3,
+    gliders=1,
+    met_stations=1,
+    samples_per_station=60,
+    samples_per_cruise=40,
+    samples_per_cast=25,
+    samples_per_glider=50,
+    samples_per_met=40,
+    years=3.0,
+    seed=42,
+)
+
+
+@pytest.fixture(scope="session")
+def clean_archive():
+    """A small clean synthetic archive (session-scoped, do not mutate)."""
+    return generate_archive(SMALL_SPEC)
+
+
+@pytest.fixture()
+def messy_archive():
+    """A small messy archive, regenerated per test (safe to mutate)."""
+    archive = generate_archive(SMALL_SPEC)
+    return inject_mess(archive, MessSpec(seed=99))
+
+
+@pytest.fixture()
+def messy_fs(messy_archive):
+    """(filesystem, truth) for the messy archive."""
+    return render_archive(messy_archive)
+
+
+@pytest.fixture()
+def raw_catalog(messy_fs):
+    """A MemoryCatalog of raw (unwrangled) features from the messy fs."""
+    from repro.archive import parse_file
+
+    fs, __ = messy_fs
+    catalog = MemoryCatalog()
+    for record in fs:
+        if record.extension in ("csv", "cdl"):
+            dataset = parse_file(record.content, record.path)
+            catalog.upsert(
+                extract_feature(dataset, content_hash=record.content_hash())
+            )
+    return catalog

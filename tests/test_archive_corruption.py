@@ -1,0 +1,117 @@
+"""Failure-injection tests: the pipeline must degrade gracefully."""
+
+import math
+
+import pytest
+
+from repro.archive import FormatError, parse_file
+from repro.archive.corruption import (
+    add_stray_files,
+    corrupt_archive,
+    garble_numbers,
+    remove_header,
+    truncate_file,
+)
+from repro.wrangling import ScanArchive, WranglingState, default_chain
+
+
+class TestInjectors:
+    def test_truncate_shrinks_file(self, messy_fs):
+        fs, truth = messy_fs
+        path = next(iter(truth))
+        before = len(fs.get(path).content)
+        truncate_file(fs, path, keep_fraction=0.3)
+        assert len(fs.get(path).content) < before
+
+    def test_truncate_bad_fraction(self, messy_fs):
+        fs, truth = messy_fs
+        with pytest.raises(ValueError):
+            truncate_file(fs, next(iter(truth)), keep_fraction=1.5)
+
+    def test_garble_introduces_junk(self, messy_fs):
+        fs, truth = messy_fs
+        path = next(p for p in truth if p.endswith(".csv"))
+        garble_numbers(fs, path, rate=0.5, seed=1)
+        assert "###" in fs.get(path).content
+
+    def test_remove_header_strips_comments(self, messy_fs):
+        fs, truth = messy_fs
+        path = next(p for p in truth if p.endswith(".csv"))
+        remove_header(fs, path)
+        content = fs.get(path).content
+        assert not content.startswith("#")
+        with pytest.raises(FormatError):
+            parse_file(content, path)
+
+    def test_stray_files_added(self, messy_fs):
+        fs, __ = messy_fs
+        before = len(fs)
+        strays = add_stray_files(fs, count=4)
+        assert len(fs) == before + 4
+        assert all(fs.exists(p) for p in strays)
+
+    def test_corrupt_archive_deterministic(self, messy_fs):
+        fs, __ = messy_fs
+        report = corrupt_archive(fs, seed=9)
+        fs2, __ = __, None  # placeholder to appease readability
+        assert report.total > 0
+
+
+class TestPipelineRobustness:
+    def test_scan_survives_corruption(self, messy_fs):
+        fs, truth = messy_fs
+        report = corrupt_archive(fs, seed=9)
+        state = WranglingState(fs=fs)
+        scan_report = ScanArchive().execute(state)
+        # Broken datasets are reported, not fatal.
+        assert any("parse error" in m for m in scan_report.messages)
+        # Healthy datasets still catalog.
+        healthy = set(truth) - report.broken_datasets
+        cataloged = set(state.working.dataset_ids())
+        missing_healthy = healthy - cataloged
+        # Garbled files may still parse (NaN-tolerant) — but nothing
+        # healthy may be lost.
+        assert not missing_healthy
+
+    def test_garbled_values_become_nan_or_error(self, messy_fs):
+        fs, truth = messy_fs
+        path = next(p for p in truth if p.endswith(".csv"))
+        garble_numbers(fs, path, rate=0.3, seed=2)
+        try:
+            dataset = parse_file(fs.get(path).content, path)
+        except FormatError:
+            return  # rejecting the file outright is acceptable
+        values = [
+            v for col in dataset.table.columns for v in col.values
+        ]
+        assert any(math.isnan(v) for v in values) or values
+
+    def test_stray_files_never_cataloged(self, messy_fs):
+        fs, __ = messy_fs
+        strays = add_stray_files(fs, count=4)
+        state = WranglingState(fs=fs)
+        ScanArchive().execute(state)
+        cataloged = set(state.working.dataset_ids())
+        assert not (set(strays) & cataloged)
+
+    def test_full_chain_on_corrupted_archive(self, messy_fs):
+        fs, truth = messy_fs
+        report = corrupt_archive(fs, seed=9)
+        state = WranglingState(fs=fs)
+        chain = default_chain()
+        run_report = chain.run(state)
+        assert len(state.published) >= len(truth) - report.total
+        assert run_report.total_changes > 0
+
+    def test_repairing_file_recatalogs_it(self, messy_fs):
+        fs, truth = messy_fs
+        path = next(p for p in truth if p.endswith(".csv"))
+        original = fs.get(path).content
+        remove_header(fs, path)
+        state = WranglingState(fs=fs)
+        scan = ScanArchive()
+        scan.execute(state)
+        assert path not in state.working.dataset_ids()
+        fs.put(path, original)  # curator repairs the file
+        scan.execute(state)
+        assert path in state.working.dataset_ids()

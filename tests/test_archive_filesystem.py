@@ -1,0 +1,109 @@
+"""Unit tests for repro.archive.filesystem."""
+
+import pytest
+
+from repro.archive import ArchivePathError, VirtualArchive
+
+
+@pytest.fixture()
+def fs():
+    archive = VirtualArchive()
+    archive.put("stations/saturn01/data_2009.csv", "a")
+    archive.put("stations/saturn01/data_2010.csv", "b")
+    archive.put("stations/jetta/data_2009.csv", "c")
+    archive.put("cruises/c1/transect.cdl", "d")
+    archive.put("readme.txt", "e")
+    return archive
+
+
+class TestBasicOps:
+    def test_put_get(self, fs):
+        assert fs.get("readme.txt").content == "e"
+
+    def test_put_normalizes_path(self, fs):
+        fs.put("/x/./y.csv", "z")
+        assert fs.exists("x/y.csv")
+
+    def test_put_overwrites(self, fs):
+        fs.put("readme.txt", "new")
+        assert fs.get("readme.txt").content == "new"
+        assert len(fs) == 5
+
+    def test_get_missing_raises(self, fs):
+        with pytest.raises(ArchivePathError):
+            fs.get("nope.csv")
+
+    def test_remove(self, fs):
+        fs.remove("readme.txt")
+        assert not fs.exists("readme.txt")
+
+    def test_remove_missing_raises(self, fs):
+        with pytest.raises(ArchivePathError):
+            fs.remove("nope.csv")
+
+    def test_empty_path_raises(self, fs):
+        with pytest.raises(ArchivePathError):
+            fs.put("", "x")
+
+    def test_len(self, fs):
+        assert len(fs) == 5
+
+    def test_iteration_sorted(self, fs):
+        paths = [f.path for f in fs]
+        assert paths == sorted(paths)
+
+
+class TestFileRecord:
+    def test_directory(self, fs):
+        assert fs.get("stations/saturn01/data_2009.csv").directory == (
+            "stations/saturn01"
+        )
+        assert fs.get("readme.txt").directory == ""
+
+    def test_extension(self, fs):
+        assert fs.get("cruises/c1/transect.cdl").extension == "cdl"
+        fs.put("noext", "x")
+        assert fs.get("noext").extension == ""
+
+    def test_content_hash_stable_and_sensitive(self, fs):
+        record = fs.get("readme.txt")
+        assert record.content_hash() == record.content_hash()
+        fs.put("other.txt", "different")
+        assert record.content_hash() != fs.get("other.txt").content_hash()
+
+
+class TestListing:
+    def test_non_recursive(self, fs):
+        files = fs.list_directory("stations/saturn01")
+        assert [f.path for f in files] == [
+            "stations/saturn01/data_2009.csv",
+            "stations/saturn01/data_2010.csv",
+        ]
+
+    def test_recursive(self, fs):
+        files = fs.list_directory("stations", recursive=True)
+        assert len(files) == 3
+
+    def test_pattern(self, fs):
+        files = fs.list_directory("stations", "*_2009.csv", recursive=True)
+        assert len(files) == 2
+
+    def test_root_recursive_sees_all(self, fs):
+        assert len(fs.list_directory("", recursive=True)) == 5
+
+    def test_root_non_recursive_sees_top_level_only(self, fs):
+        assert [f.path for f in fs.list_directory("")] == ["readme.txt"]
+
+    def test_directories(self, fs):
+        dirs = fs.directories()
+        assert "stations/saturn01" in dirs
+        assert "" in dirs
+
+
+class TestRealFilesystemInterop:
+    def test_export_import_roundtrip(self, fs, tmp_path):
+        count = fs.export_to(str(tmp_path))
+        assert count == 5
+        loaded = VirtualArchive.import_from(str(tmp_path))
+        assert len(loaded) == 5
+        assert loaded.get("cruises/c1/transect.cdl").content == "d"

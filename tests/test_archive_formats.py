@@ -1,0 +1,140 @@
+"""Unit tests for repro.archive.formats (CSV / CDL round-trips)."""
+
+import math
+
+import pytest
+
+from repro.archive import (
+    Dataset,
+    FileFormat,
+    FormatError,
+    ObservationColumn,
+    ObservationTable,
+    Platform,
+    parse_cdl,
+    parse_csv,
+    parse_file,
+    write_cdl,
+    write_csv,
+    write_dataset,
+)
+
+
+def make_dataset(fmt: FileFormat, with_nan: bool = False) -> Dataset:
+    values = [10.5, float("nan") if with_nan else 11.0, 12.25]
+    return Dataset(
+        path=f"test/sample.{fmt.value}",
+        platform=Platform.STATION,
+        file_format=fmt,
+        attributes={"title": "Test dataset", "platform": "station",
+                    "station": "saturn01"},
+        table=ObservationTable(
+            times=[0.0, 900.0, 1800.0],
+            lats=[46.1, 46.1, 46.1],
+            lons=[-123.9, -123.9, -123.9],
+            columns=[
+                ObservationColumn("salinity", "PSU", values),
+                ObservationColumn("depth", "m", [1.0, 2.0, 3.0]),
+            ],
+        ),
+    )
+
+
+class TestCsvRoundTrip:
+    def test_roundtrip_preserves_everything(self):
+        original = make_dataset(FileFormat.CSV)
+        parsed = parse_csv(write_csv(original), path=original.path)
+        assert parsed.attributes == original.attributes
+        assert parsed.variable_names() == original.variable_names()
+        assert parsed.table.times == original.table.times
+        assert parsed.table.columns[0].values == (
+            original.table.columns[0].values
+        )
+        assert parsed.table.columns[0].unit == "PSU"
+        assert parsed.platform is Platform.STATION
+
+    def test_nan_roundtrip(self):
+        original = make_dataset(FileFormat.CSV, with_nan=True)
+        parsed = parse_csv(write_csv(original))
+        assert math.isnan(parsed.table.columns[0].values[1])
+
+    def test_header_comment_block(self):
+        text = write_csv(make_dataset(FileFormat.CSV))
+        assert text.startswith("# title: Test dataset")
+
+    def test_missing_header_raises(self):
+        with pytest.raises(FormatError):
+            parse_csv("# title: x\n")
+
+    def test_ragged_row_raises(self):
+        text = (
+            "time [s],latitude [degrees],longitude [degrees],x [m]\n"
+            "0,46,-123\n"
+        )
+        with pytest.raises(FormatError):
+            parse_csv(text)
+
+    def test_non_numeric_cell_raises(self):
+        text = (
+            "time [s],latitude [degrees],longitude [degrees],x [m]\n"
+            "0,46,-123,abc\n"
+        )
+        with pytest.raises(FormatError):
+            parse_csv(text)
+
+    def test_unitless_column(self):
+        original = make_dataset(FileFormat.CSV)
+        original.table.columns[0].unit = ""
+        parsed = parse_csv(write_csv(original))
+        assert parsed.table.columns[0].unit == ""
+
+
+class TestCdlRoundTrip:
+    def test_roundtrip_preserves_everything(self):
+        original = make_dataset(FileFormat.CDL)
+        parsed = parse_cdl(write_cdl(original), path=original.path)
+        assert parsed.attributes == original.attributes
+        assert parsed.variable_names() == original.variable_names()
+        assert parsed.table.lats == original.table.lats
+        assert parsed.table.columns[1].values == [1.0, 2.0, 3.0]
+        assert parsed.table.columns[0].unit == "PSU"
+
+    def test_missing_coordinate_raises(self):
+        text = "netcdf x {\ndata:\n time = 1 ;\n}"
+        with pytest.raises(FormatError):
+            parse_cdl(text)
+
+    def test_header_contains_dimensions(self):
+        text = write_cdl(make_dataset(FileFormat.CDL))
+        assert "row = 3 ;" in text
+        assert 'salinity:units = "PSU"' in text
+
+
+class TestDispatch:
+    def test_write_dataset_dispatches(self):
+        assert write_dataset(make_dataset(FileFormat.CSV)).startswith("#")
+        assert write_dataset(make_dataset(FileFormat.CDL)).startswith(
+            "netcdf"
+        )
+
+    def test_parse_file_by_extension(self):
+        csv_ds = make_dataset(FileFormat.CSV)
+        parsed = parse_file(write_csv(csv_ds), "a/b.csv")
+        assert parsed.path == "a/b.csv"
+        cdl_ds = make_dataset(FileFormat.CDL)
+        parsed = parse_file(write_cdl(cdl_ds), "a/b.cdl")
+        assert parsed.file_format is FileFormat.CDL
+
+    def test_unknown_extension_raises(self):
+        with pytest.raises(FormatError):
+            parse_file("whatever", "a/b.xyz")
+
+
+class TestGeneratedArchiveRoundTrip:
+    def test_every_generated_dataset_roundtrips(self, clean_archive):
+        for original in clean_archive.datasets:
+            text = write_dataset(original)
+            parsed = parse_file(text, original.path)
+            assert parsed.variable_names() == original.variable_names()
+            assert parsed.table.row_count == original.table.row_count
+            assert parsed.platform == original.platform

@@ -1,0 +1,136 @@
+"""Unit tests for repro.archive.mess (the semantic-mess injector)."""
+
+import pytest
+
+from repro.archive import (
+    CATEGORIES,
+    CONTEXT_COLLAPSE,
+    VOCABULARY,
+    ArchiveSpec,
+    MessSpec,
+    Platform,
+    category_counts,
+    generate_archive,
+    inject_mess,
+    truth_index,
+    uniform_mess_spec,
+)
+
+
+class TestMessSpec:
+    def test_uniform_spec_rates(self):
+        spec = uniform_mess_spec(0.3)
+        assert spec.clean == pytest.approx(0.7)
+        assert spec.misspelling == pytest.approx(0.05)
+
+    def test_uniform_spec_bad_rate_raises(self):
+        with pytest.raises(ValueError):
+            uniform_mess_spec(1.5)
+        with pytest.raises(ValueError):
+            uniform_mess_spec(-0.1)
+
+    def test_rename_weights_cover_categories(self):
+        weights = dict(MessSpec().rename_weights())
+        assert set(weights) == {
+            "clean", "misspelling", "synonym", "abbreviation",
+            "ambiguous", "context", "multilevel",
+        }
+
+
+class TestInjection:
+    def test_deterministic(self):
+        spec = ArchiveSpec(stations=3, cruises=2, casts=3, gliders=1,
+                           met_stations=1, seed=42)
+        a = inject_mess(generate_archive(spec), MessSpec(seed=7))
+        b = inject_mess(generate_archive(spec), MessSpec(seed=7))
+        assert [d.variable_names() for d in a.datasets] == [
+            d.variable_names() for d in b.datasets
+        ]
+
+    def test_truth_covers_every_column(self, messy_archive):
+        for ds in messy_archive.datasets:
+            truth_names = {vt.written_name for vt in ds.truth.variables}
+            assert truth_names == set(ds.variable_names())
+
+    def test_truth_canonicals_valid(self, messy_archive):
+        for __, vt in truth_index(messy_archive).items():
+            if vt.canonical is not None:
+                assert vt.canonical in VOCABULARY
+
+    def test_categories_from_known_set(self, messy_archive):
+        for __, vt in truth_index(messy_archive).items():
+            assert vt.category in CATEGORIES
+
+    def test_no_duplicate_names_within_dataset(self, messy_archive):
+        for ds in messy_archive.datasets:
+            names = ds.variable_names()
+            assert len(names) == len(set(names)), ds.path
+
+    def test_misspellings_differ_from_canonical(self, messy_archive):
+        for __, vt in truth_index(messy_archive).items():
+            if vt.category == "misspelling":
+                assert vt.written_name != vt.canonical
+
+    def test_context_collapse_uses_bare_names(self, messy_archive):
+        for __, vt in truth_index(messy_archive).items():
+            if vt.category == "context":
+                assert vt.written_name == CONTEXT_COLLAPSE[vt.canonical]
+
+    def test_excessive_marked_auxiliary(self, messy_archive):
+        for __, vt in truth_index(messy_archive).items():
+            if vt.category == "excessive":
+                assert vt.auxiliary
+
+    def test_phantom_temp_has_no_canonical(self, messy_archive):
+        phantoms = [
+            vt
+            for __, vt in truth_index(messy_archive).items()
+            if vt.category == "ambiguous" and vt.canonical is None
+        ]
+        for vt in phantoms:
+            assert vt.written_name == "temp"
+
+    def test_zero_rate_keeps_everything_clean(self):
+        spec = ArchiveSpec(stations=2, cruises=1, casts=1, gliders=1,
+                           met_stations=1, seed=3)
+        archive = inject_mess(generate_archive(spec), uniform_mess_spec(0.0))
+        counts = category_counts(archive)
+        renamed = sum(
+            counts[c] for c in counts if c not in ("clean", "excessive")
+        )
+        assert renamed == 0
+        assert counts["excessive"] == 0
+
+    def test_high_rate_messes_most_columns(self):
+        spec = ArchiveSpec(stations=4, cruises=2, casts=3, gliders=1,
+                           met_stations=2, seed=3)
+        archive = inject_mess(generate_archive(spec), uniform_mess_spec(0.9))
+        counts = category_counts(archive)
+        total = sum(counts.values())
+        assert counts["clean"] < total * 0.5
+
+    def test_category_counts_sums_to_column_count(self, messy_archive):
+        counts = category_counts(messy_archive)
+        total_columns = sum(
+            len(ds.table.columns) for ds in messy_archive.datasets
+        )
+        assert sum(counts.values()) == total_columns
+
+
+class TestMetPlatformContext:
+    def test_met_context_collapse_is_air_variable(self):
+        spec = ArchiveSpec(stations=0, cruises=0, casts=0, gliders=0,
+                           met_stations=8, seed=11)
+        # Heavy context rate to guarantee at least one collapse.
+        mess = MessSpec(clean=0.0, misspelling=0.0, synonym=0.0,
+                        abbreviation=0.0, ambiguous=0.0, context=1.0,
+                        multilevel=0.0, seed=11)
+        archive = inject_mess(generate_archive(spec), mess)
+        collapsed = [
+            vt
+            for __, vt in truth_index(archive).items()
+            if vt.category == "context"
+        ]
+        assert collapsed, "expected at least one context collapse"
+        for vt in collapsed:
+            assert vt.canonical.startswith(("air_", "wind_"))

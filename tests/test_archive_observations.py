@@ -1,0 +1,94 @@
+"""Unit tests for repro.archive.observations."""
+
+import math
+
+import pytest
+
+from repro.archive import (
+    ColumnStats,
+    InconsistentLengthError,
+    ObservationColumn,
+    ObservationTable,
+)
+
+
+class TestColumnStats:
+    def test_basic_statistics(self):
+        stats = ColumnStats.from_values([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.stddev == pytest.approx(math.sqrt(1.25))
+
+    def test_nan_values_ignored(self):
+        stats = ColumnStats.from_values([1.0, float("nan"), 3.0])
+        assert stats.count == 2
+        assert stats.mean == pytest.approx(2.0)
+
+    def test_all_nan_raises(self):
+        with pytest.raises(ValueError):
+            ColumnStats.from_values([float("nan"), float("nan")])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ColumnStats.from_values([])
+
+    def test_single_value(self):
+        stats = ColumnStats.from_values([5.0])
+        assert stats.stddev == 0.0
+        assert stats.minimum == stats.maximum == 5.0
+
+    def test_overlaps_range(self):
+        stats = ColumnStats.from_values([5.0, 10.0])
+        assert stats.overlaps_range(8.0, 20.0)
+        assert stats.overlaps_range(0.0, 5.0)  # touching
+        assert not stats.overlaps_range(11.0, 20.0)
+
+
+class TestObservationTable:
+    def _table(self):
+        return ObservationTable(
+            times=[0.0, 60.0, 120.0],
+            lats=[46.1] * 3,
+            lons=[-123.9] * 3,
+            columns=[
+                ObservationColumn("salinity", "PSU", [10.0, 11.0, 12.0]),
+                ObservationColumn("depth", "m", [1.0, 2.0, 3.0]),
+            ],
+        )
+
+    def test_row_count(self):
+        assert self._table().row_count == 3
+
+    def test_mismatched_coordinate_lengths_raise(self):
+        with pytest.raises(InconsistentLengthError):
+            ObservationTable(
+                times=[0.0, 1.0], lats=[46.0], lons=[-124.0, -124.0],
+                columns=[],
+            )
+
+    def test_mismatched_column_length_raises(self):
+        with pytest.raises(InconsistentLengthError):
+            ObservationTable(
+                times=[0.0, 1.0],
+                lats=[46.0, 46.0],
+                lons=[-124.0, -124.0],
+                columns=[ObservationColumn("x", "m", [1.0])],
+            )
+
+    def test_column_named(self):
+        table = self._table()
+        assert table.column_named("depth").unit == "m"
+
+    def test_column_named_missing_raises(self):
+        with pytest.raises(KeyError):
+            self._table().column_named("nope")
+
+    def test_column_names_in_order(self):
+        assert self._table().column_names() == ["salinity", "depth"]
+
+    def test_column_stats(self):
+        stats = self._table().column_named("salinity").stats()
+        assert stats.minimum == 10.0
+        assert stats.maximum == 12.0

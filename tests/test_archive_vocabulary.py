@@ -1,0 +1,114 @@
+"""Unit tests for repro.archive.vocabulary."""
+
+from repro.archive import (
+    AMBIGUOUS_FORMS,
+    UNIT_SYNONYMS,
+    VOCABULARY,
+    Context,
+    auxiliary_variables,
+    concept_children,
+    preferred_unit,
+    searchable_variables,
+)
+
+
+class TestVocabularyStructure:
+    def test_keyed_by_name(self):
+        for name, var in VOCABULARY.items():
+            assert var.name == name
+
+    def test_parents_exist(self):
+        for var in VOCABULARY.values():
+            if var.parent is not None:
+                assert var.parent in VOCABULARY, var.name
+
+    def test_no_self_parenting(self):
+        for var in VOCABULARY.values():
+            assert var.parent != var.name
+
+    def test_units_are_preferred_spellings(self):
+        for var in VOCABULARY.values():
+            assert preferred_unit(var.unit) == var.unit, var.name
+
+    def test_synonyms_do_not_shadow_canonicals(self):
+        for var in VOCABULARY.values():
+            for synonym in var.synonyms:
+                assert synonym not in VOCABULARY, (var.name, synonym)
+
+    def test_paper_examples_present(self):
+        # The Table's concrete examples must exist in the vocabulary.
+        assert "air_temperature" in VOCABULARY
+        assert "qa_level" in VOCABULARY
+        assert "MWHLA" in VOCABULARY["wave_height"].abbreviations
+        assert "fluores375" in VOCABULARY["fluorescence_375nm"].synonyms
+
+    def test_poster_mass_edit_example(self):
+        # 'ATastn' -> sea surface temperature, verbatim from the figure.
+        assert "ATastn" in VOCABULARY["sea_surface_temperature"].abbreviations
+
+
+class TestPreferredUnit:
+    def test_temperature_family(self):
+        # The Table's synonyms row: C, degC, Centigrade.
+        assert preferred_unit("C") == "degC"
+        assert preferred_unit("Centigrade") == "degC"
+        assert preferred_unit("degC") == "degC"
+
+    def test_case_insensitive(self):
+        assert preferred_unit("PSU") == preferred_unit("psu")
+
+    def test_unknown_unchanged(self):
+        assert preferred_unit("furlongs") == "furlongs"
+
+    def test_empty_is_dimensionless(self):
+        assert preferred_unit("") == "1"
+
+    def test_every_family_maps_to_itself(self):
+        for preferred, spellings in UNIT_SYNONYMS.items():
+            for spelling in spellings:
+                assert preferred_unit(spelling) == preferred
+
+
+class TestPartitions:
+    def test_searchable_excludes_auxiliary(self):
+        names = {v.name for v in searchable_variables()}
+        assert "qa_level" not in names
+        assert "water_temperature" in names
+
+    def test_searchable_excludes_abstract(self):
+        names = {v.name for v in searchable_variables()}
+        assert "temperature" not in names
+        assert "fluorescence" not in names
+
+    def test_auxiliary_all_flagged(self):
+        for var in auxiliary_variables():
+            assert var.auxiliary
+
+    def test_partitions_disjoint(self):
+        searchable = {v.name for v in searchable_variables()}
+        auxiliary = {v.name for v in auxiliary_variables()}
+        assert not searchable & auxiliary
+
+
+class TestAmbiguousForms:
+    def test_temp_includes_non_variable(self):
+        # 'temp: temporary or temperature?' — None is the temporary case.
+        assert None in AMBIGUOUS_FORMS["temp"]
+        assert "water_temperature" in AMBIGUOUS_FORMS["temp"]
+
+    def test_all_real_candidates_in_vocabulary(self):
+        for form, candidates in AMBIGUOUS_FORMS.items():
+            for candidate in candidates:
+                if candidate is not None:
+                    assert candidate in VOCABULARY, (form, candidate)
+
+
+class TestConceptChildren:
+    def test_fluorescence_children(self):
+        children = concept_children("fluorescence")
+        assert "fluorescence_375nm" in children
+        assert "fluorescence_400nm" in children
+        assert "chlorophyll" in children
+
+    def test_leaf_has_no_children(self):
+        assert concept_children("salinity") == []

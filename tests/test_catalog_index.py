@@ -1,0 +1,150 @@
+"""Unit tests for repro.catalog.index."""
+
+import random
+
+import pytest
+
+from repro.catalog import (
+    CatalogIndexes,
+    IntervalIndex,
+    SpatialGridIndex,
+)
+from repro.geo import BoundingBox, GeoPoint, TimeInterval
+
+
+class TestSpatialGridIndex:
+    def test_insert_and_find(self):
+        index = SpatialGridIndex()
+        index.insert("a", BoundingBox(46.0, -124.0, 46.1, -123.9))
+        hits = index.candidates_near(GeoPoint(46.05, -123.95), 10.0)
+        assert "a" in hits
+
+    def test_far_point_misses(self):
+        index = SpatialGridIndex()
+        index.insert("a", BoundingBox(46.0, -124.0, 46.1, -123.9))
+        hits = index.candidates_near(GeoPoint(0.0, 0.0), 10.0)
+        assert hits == set()
+
+    def test_conservative_never_misses(self):
+        # Against a brute-force distance check, the index may return
+        # extra candidates but must include every true hit.
+        rng = random.Random(4)
+        index = SpatialGridIndex(cell_degrees=0.5)
+        boxes = {}
+        for i in range(200):
+            lat = rng.uniform(40.0, 50.0)
+            lon = rng.uniform(-130.0, -120.0)
+            box = BoundingBox(lat, lon, lat + rng.uniform(0, 0.5),
+                              lon + rng.uniform(0, 0.5))
+            boxes[f"d{i}"] = box
+            index.insert(f"d{i}", box)
+        for __ in range(20):
+            point = GeoPoint(rng.uniform(41, 49), rng.uniform(-129, -121))
+            radius = rng.uniform(5, 200)
+            candidates = index.candidates_near(point, radius)
+            for dataset_id, box in boxes.items():
+                if box.distance_km_to_point(point) <= radius:
+                    assert dataset_id in candidates, (dataset_id, radius)
+
+    def test_remove(self):
+        index = SpatialGridIndex()
+        index.insert("a", BoundingBox(46.0, -124.0, 46.1, -123.9))
+        index.remove("a")
+        assert len(index) == 0
+        assert index.candidates_near(GeoPoint(46.05, -123.95), 50.0) == set()
+
+    def test_remove_absent_is_noop(self):
+        SpatialGridIndex().remove("ghost")
+
+    def test_reinsert_moves(self):
+        index = SpatialGridIndex()
+        index.insert("a", BoundingBox(46.0, -124.0, 46.0, -124.0))
+        index.insert("a", BoundingBox(10.0, 10.0, 10.0, 10.0))
+        assert index.candidates_near(GeoPoint(46.0, -124.0), 5.0) == set()
+        assert "a" in index.candidates_near(GeoPoint(10.0, 10.0), 5.0)
+
+    def test_box_spanning_many_cells(self):
+        index = SpatialGridIndex(cell_degrees=0.25)
+        index.insert("wide", BoundingBox(44.0, -126.0, 48.0, -120.0))
+        assert "wide" in index.candidates_near(GeoPoint(46.0, -123.0), 1.0)
+        assert "wide" in index.candidates_near(GeoPoint(44.1, -125.9), 1.0)
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(ValueError):
+            SpatialGridIndex().candidates_near(GeoPoint(0, 0), -1.0)
+
+    def test_bad_cell_size_raises(self):
+        with pytest.raises(ValueError):
+            SpatialGridIndex(cell_degrees=0.0)
+
+
+class TestIntervalIndex:
+    def test_overlap_found(self):
+        index = IntervalIndex()
+        index.insert("a", TimeInterval(100, 200))
+        assert "a" in index.candidates_overlapping(TimeInterval(150, 300))
+
+    def test_disjoint_missed(self):
+        index = IntervalIndex()
+        index.insert("a", TimeInterval(100, 200))
+        assert index.candidates_overlapping(TimeInterval(300, 400)) == set()
+
+    def test_margin_widens(self):
+        index = IntervalIndex()
+        index.insert("a", TimeInterval(100, 200))
+        assert index.candidates_overlapping(
+            TimeInterval(300, 400), margin_seconds=100
+        ) == {"a"}
+
+    def test_matches_brute_force(self):
+        rng = random.Random(9)
+        index = IntervalIndex()
+        intervals = {}
+        for i in range(300):
+            start = rng.uniform(0, 10000)
+            iv = TimeInterval(start, start + rng.uniform(0, 500))
+            intervals[f"d{i}"] = iv
+            index.insert(f"d{i}", iv)
+        for __ in range(25):
+            start = rng.uniform(0, 10000)
+            query = TimeInterval(start, start + rng.uniform(0, 800))
+            margin = rng.choice([0.0, 50.0])
+            got = index.candidates_overlapping(query, margin_seconds=margin)
+            expected = {
+                did
+                for did, iv in intervals.items()
+                if iv.gap_seconds(query) <= margin
+            }
+            assert got == expected
+
+    def test_remove(self):
+        index = IntervalIndex()
+        index.insert("a", TimeInterval(0, 10))
+        index.remove("a")
+        assert len(index) == 0
+
+    def test_reinsert_updates(self):
+        index = IntervalIndex()
+        index.insert("a", TimeInterval(0, 10))
+        index.insert("a", TimeInterval(1000, 1010))
+        assert index.candidates_overlapping(TimeInterval(0, 10)) == set()
+        assert index.candidates_overlapping(TimeInterval(1005, 1006)) == {"a"}
+
+    def test_negative_margin_raises(self):
+        index = IntervalIndex()
+        with pytest.raises(ValueError):
+            index.candidates_overlapping(TimeInterval(0, 1), -5.0)
+
+
+class TestCatalogIndexes:
+    def test_build_from_features(self, raw_catalog):
+        indexes = CatalogIndexes.build(list(raw_catalog))
+        assert len(indexes) == len(raw_catalog)
+
+    def test_insert_remove_lockstep(self, raw_catalog):
+        indexes = CatalogIndexes()
+        feature = next(iter(raw_catalog))
+        indexes.insert(feature)
+        assert len(indexes) == 1
+        indexes.remove(feature.dataset_id)
+        assert len(indexes) == 0

@@ -1,0 +1,95 @@
+"""Unit tests for repro.catalog.records."""
+
+import pytest
+
+from repro.catalog import DatasetFeature, VariableEntry
+from repro.geo import BoundingBox, TimeInterval
+
+
+def make_entry(name="salinity", **overrides):
+    defaults = dict(
+        written_name=name,
+        written_unit="PSU",
+        count=10,
+        minimum=5.0,
+        maximum=20.0,
+        mean=12.0,
+        stddev=3.0,
+    )
+    defaults.update(overrides)
+    return VariableEntry.from_written(**defaults) if not overrides else (
+        VariableEntry(
+            written_name=defaults["written_name"],
+            written_unit=defaults["written_unit"],
+            name=defaults.get("name", defaults["written_name"]),
+            unit=defaults.get("unit", defaults["written_unit"]),
+            count=defaults["count"],
+            minimum=defaults["minimum"],
+            maximum=defaults["maximum"],
+            mean=defaults["mean"],
+            stddev=defaults["stddev"],
+            excluded=defaults.get("excluded", False),
+        )
+    )
+
+
+def make_feature(variables=None):
+    return DatasetFeature(
+        dataset_id="stations/x/x_2009.csv",
+        title="Station X 2009",
+        platform="station",
+        file_format="csv",
+        bbox=BoundingBox(46.0, -124.0, 46.0, -124.0),
+        interval=TimeInterval(0.0, 86400.0),
+        row_count=100,
+        source_directory="stations/x",
+        attributes={"station": "x"},
+        variables=variables if variables is not None else [make_entry()],
+    )
+
+
+class TestVariableEntry:
+    def test_from_written_current_equals_written(self):
+        entry = VariableEntry.from_written("SAL", "psu", 5, 1, 2, 1.5, 0.2)
+        assert entry.name == "SAL"
+        assert entry.unit == "psu"
+        assert entry.written_name == "SAL"
+
+    def test_copy_is_independent(self):
+        entry = make_entry()
+        clone = entry.copy()
+        clone.name = "renamed"
+        assert entry.name == "salinity"
+
+    def test_rename_preserves_written(self):
+        entry = make_entry()
+        entry.name = "salinity_canonical"
+        assert entry.written_name == "salinity"
+
+
+class TestDatasetFeature:
+    def test_variable_lookup_by_current_name(self):
+        feature = make_feature()
+        assert feature.variable("salinity").unit == "PSU"
+
+    def test_variable_lookup_missing_raises(self):
+        with pytest.raises(KeyError):
+            make_feature().variable("nope")
+
+    def test_searchable_excludes_excluded(self):
+        entries = [
+            make_entry(),
+            make_entry(written_name="qa_level", excluded=True),
+        ]
+        feature = make_feature(entries)
+        names = [v.name for v in feature.searchable_variables()]
+        assert names == ["salinity"]
+        assert len(feature.variable_names()) == 2
+
+    def test_copy_deep_enough(self):
+        feature = make_feature()
+        clone = feature.copy()
+        clone.variables[0].name = "changed"
+        clone.attributes["station"] = "y"
+        assert feature.variables[0].name == "salinity"
+        assert feature.attributes["station"] == "x"

@@ -1,0 +1,191 @@
+"""Unit tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def archive_dir(tmp_path):
+    directory = str(tmp_path / "archive")
+    code = main(["generate", directory, "--datasets", "12", "--seed", "3"])
+    assert code == 0
+    return directory
+
+
+@pytest.fixture()
+def catalog_path(archive_dir, tmp_path):
+    path = str(tmp_path / "catalog.db")
+    code = main(["wrangle", archive_dir, "--catalog", path])
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_creates_files(self, archive_dir, capsys):
+        files = []
+        for root, __, names in os.walk(archive_dir):
+            files.extend(names)
+        assert len(files) > 10
+
+    def test_mess_rate_flag(self, tmp_path, capsys):
+        directory = str(tmp_path / "clean")
+        assert main(["generate", directory, "--mess", "0.0"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+
+    def test_bad_mess_rate(self, tmp_path, capsys):
+        assert main(
+            ["generate", str(tmp_path / "x"), "--mess", "1.5"]
+        ) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestWrangle:
+    def test_publishes_catalog(self, catalog_path, capsys):
+        assert os.path.exists(catalog_path)
+        assert os.path.getsize(catalog_path) > 0
+
+    def test_empty_directory_errors(self, tmp_path, capsys):
+        empty = str(tmp_path / "empty")
+        os.makedirs(empty)
+        assert main(["wrangle", empty]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_reports_validation(self, archive_dir, tmp_path, capsys):
+        path = str(tmp_path / "cat2.db")
+        main(["wrangle", archive_dir, "--catalog", path])
+        out = capsys.readouterr().out
+        assert "validation:" in out
+        assert "published" in out
+
+
+class TestSearch:
+    def test_query_returns_page(self, catalog_path, capsys):
+        code = main([
+            "search", catalog_path,
+            "near 46.1, -123.9 with salinity", "--limit", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Data Near Here" in out
+        assert "score" in out or "1." in out
+
+    def test_paper_query_text(self, catalog_path, capsys):
+        code = main([
+            "search", catalog_path,
+            "near 45.5, -124.4 in mid-2010 with temperature "
+            "between 5 and 10",
+        ])
+        assert code == 0
+
+    def test_bad_query_errors(self, catalog_path, capsys):
+        assert main(["search", catalog_path, "gibberish text"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_empty_catalog_errors(self, tmp_path, capsys):
+        empty = str(tmp_path / "empty.db")
+        assert main(["search", empty, "with salinity"]) == 2
+
+
+class TestSummary:
+    def test_shows_dataset(self, catalog_path, capsys):
+        from repro.catalog import SqliteCatalog
+
+        with SqliteCatalog(catalog_path) as catalog:
+            dataset_id = catalog.dataset_ids()[0]
+        assert main(["summary", catalog_path, dataset_id]) == 0
+        out = capsys.readouterr().out
+        assert "Dataset summary:" in out
+
+    def test_unknown_dataset_errors(self, catalog_path, capsys):
+        assert main(["summary", catalog_path, "ghost.csv"]) == 2
+
+
+class TestValidate:
+    def test_messy_archive_fails_validation(self, archive_dir, capsys):
+        code = main(["validate", archive_dir])
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        assert "failures" in out or "passed" in out
+
+
+class TestMenu:
+    def test_prints_hierarchy(self, catalog_path, capsys):
+        assert main(["menu", catalog_path]) == 0
+        out = capsys.readouterr().out
+        assert "- " in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+
+class TestExport:
+    def test_export_to_file(self, catalog_path, tmp_path, capsys):
+        out = str(tmp_path / "catalog.json")
+        assert main(["export", catalog_path, out]) == 0
+        import json
+
+        with open(out) as fh:
+            payload = json.load(fh)
+        assert payload["format"] == "repro-metadata-catalog"
+        assert payload["datasets"]
+
+    def test_export_stdout(self, catalog_path, capsys):
+        assert main(["export", catalog_path, "-"]) == 0
+        assert "repro-metadata-catalog" in capsys.readouterr().out
+
+    def test_export_roundtrip_via_load(self, catalog_path, tmp_path):
+        from repro.catalog import MemoryCatalog, SqliteCatalog, load_catalog
+
+        out = str(tmp_path / "catalog.json")
+        main(["export", catalog_path, out])
+        restored = MemoryCatalog()
+        with open(out) as fh:
+            count = load_catalog(fh.read(), restored)
+        with SqliteCatalog(catalog_path) as original:
+            assert count == len(original)
+
+
+class TestFacets:
+    def test_facets_output(self, catalog_path, capsys):
+        assert main(["facets", catalog_path]) == 0
+        out = capsys.readouterr().out
+        assert "platforms:" in out
+        assert "variable menu:" in out
+
+
+class TestWrangleConfig:
+    def test_save_and_reload_config(self, archive_dir, tmp_path, capsys):
+        config = str(tmp_path / "process.json")
+        cat1 = str(tmp_path / "c1.db")
+        cat2 = str(tmp_path / "c2.db")
+        assert main(["wrangle", archive_dir, "--catalog", cat1,
+                     "--save-config", config]) == 0
+        assert os.path.exists(config)
+        assert main(["wrangle", archive_dir, "--catalog", cat2,
+                     "--config", config]) == 0
+        out = capsys.readouterr().out
+        assert "loaded process config" in out
+        from repro.catalog import SqliteCatalog
+
+        with SqliteCatalog(cat1) as a, SqliteCatalog(cat2) as b:
+            assert a.variable_name_counts() == b.variable_name_counts()
+
+    def test_bad_config_path_errors(self, archive_dir, tmp_path, capsys):
+        assert main([
+            "wrangle", archive_dir,
+            "--catalog", str(tmp_path / "c.db"),
+            "--config", str(tmp_path / "missing.json"),
+        ]) == 2
+        assert "cannot load config" in capsys.readouterr().err

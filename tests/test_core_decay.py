@@ -1,0 +1,119 @@
+"""Unit tests for the decay-shape machinery in repro.core.scoring."""
+
+import math
+
+import pytest
+
+from repro.catalog import MemoryCatalog
+from repro.core import (
+    DECAY_SHAPES,
+    Query,
+    ScoringConfig,
+    SearchEngine,
+    decay,
+    decay_horizon,
+    score_feature,
+)
+from repro.geo import GeoPoint, TimeInterval
+
+from tests.test_core_search import feature
+
+
+class TestDecayFunctions:
+    @pytest.mark.parametrize("shape", DECAY_SHAPES)
+    def test_zero_distance_is_one(self, shape):
+        assert decay(0.0, shape) == 1.0
+
+    @pytest.mark.parametrize("shape", DECAY_SHAPES)
+    def test_monotone_non_increasing(self, shape):
+        values = [decay(d, shape) for d in (0.0, 0.5, 1.0, 2.0, 5.0)]
+        assert values == sorted(values, reverse=True)
+
+    @pytest.mark.parametrize("shape", DECAY_SHAPES)
+    def test_in_unit_interval(self, shape):
+        for d in (0.0, 0.1, 1.0, 10.0, 100.0):
+            assert 0.0 <= decay(d, shape) <= 1.0
+
+    def test_linear_cuts_off(self):
+        assert decay(1.0, "linear") == 0.0
+        assert decay(2.0, "linear") == 0.0
+
+    def test_reciprocal_heavy_tail(self):
+        assert decay(10.0, "reciprocal") > decay(10.0, "exponential")
+
+    def test_negative_distance_raises(self):
+        with pytest.raises(ValueError):
+            decay(-1.0, "exponential")
+
+    def test_unknown_shape_raises(self):
+        with pytest.raises(ValueError):
+            decay(1.0, "sinusoidal")
+
+
+class TestDecayHorizon:
+    @pytest.mark.parametrize("shape", DECAY_SHAPES)
+    @pytest.mark.parametrize("epsilon", [1e-1, 1e-3, 1e-6])
+    def test_horizon_is_correct_inverse(self, shape, epsilon):
+        horizon = decay_horizon(epsilon, shape)
+        assert decay(horizon, shape) <= epsilon + 1e-12
+        # Just inside the horizon the similarity exceeds epsilon
+        # (except linear at its hard cutoff boundary).
+        if shape != "linear":
+            assert decay(horizon * 0.99, shape) > epsilon
+
+    def test_bad_epsilon_raises(self):
+        with pytest.raises(ValueError):
+            decay_horizon(0.0, "exponential")
+        with pytest.raises(ValueError):
+            decay_horizon(1.0, "exponential")
+
+    def test_unknown_shape_raises(self):
+        with pytest.raises(ValueError):
+            decay_horizon(0.1, "sinusoidal")
+
+
+class TestShapedScoring:
+    def test_config_rejects_unknown_shape(self):
+        with pytest.raises(ValueError):
+            ScoringConfig(decay_shape="bogus")
+
+    @pytest.mark.parametrize("shape", DECAY_SHAPES)
+    def test_scores_stay_in_unit_interval(self, shape):
+        config = ScoringConfig(decay_shape=shape)
+        f = feature("d", 46.0, -124.0, 0, 1000,
+                    [("salinity", 0, 30)])
+        query = Query(
+            location=GeoPoint(40.0, -124.0),
+            interval=TimeInterval(1e6, 2e6),
+        )
+        total = score_feature(query, f, config=config).total
+        assert 0.0 <= total <= 1.0
+
+    def test_linear_zeroes_far_datasets(self):
+        config = ScoringConfig(decay_shape="linear",
+                               location_decay_km=100.0)
+        f = feature("d", 46.0, -124.0, 0, 1000, [("salinity", 0, 30)])
+        far = Query(location=GeoPoint(20.0, -124.0))  # thousands of km
+        assert score_feature(far, f, config=config).total == 0.0
+
+    @pytest.mark.parametrize("shape", DECAY_SHAPES)
+    def test_indexed_search_exact_for_every_shape(self, shape):
+        catalog = MemoryCatalog()
+        for i in range(40):
+            catalog.upsert(
+                feature(f"d{i:02d}", 44.0 + i * 0.1, -124.0,
+                        i * 1e5, i * 1e5 + 1e4, [("salinity", 0, 30)])
+            )
+        config = ScoringConfig(decay_shape=shape)
+        indexed = SearchEngine(catalog, config=config)
+        indexed.build_indexes()
+        plain = SearchEngine(catalog, config=config)
+        query = Query(
+            location=GeoPoint(45.0, -124.0),
+            interval=TimeInterval(2e5, 4e5),
+        )
+        a = [(r.dataset_id, round(r.score, 12))
+             for r in indexed.search(query, limit=10)]
+        b = [(r.dataset_id, round(r.score, 12))
+             for r in plain.search(query, limit=10)]
+        assert a == b

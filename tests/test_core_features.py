@@ -1,0 +1,100 @@
+"""Unit tests for repro.core.features (scan-once summarization)."""
+
+import math
+
+import pytest
+
+from repro.archive import (
+    Dataset,
+    FileFormat,
+    ObservationColumn,
+    ObservationTable,
+    Platform,
+)
+from repro.core import EmptyDatasetError, extract_feature
+
+
+def make_dataset(times=None, lats=None, lons=None, columns=None):
+    times = times if times is not None else [0.0, 60.0, 120.0]
+    n = len(times)
+    return Dataset(
+        path="stations/s/s_2009.csv",
+        platform=Platform.STATION,
+        file_format=FileFormat.CSV,
+        attributes={"title": "S 2009", "station": "s"},
+        table=ObservationTable(
+            times=times,
+            lats=lats if lats is not None else [46.1] * n,
+            lons=lons if lons is not None else [-123.9] * n,
+            columns=columns
+            if columns is not None
+            else [ObservationColumn("salinity", "PSU", [10.0, 12.0, 11.0])],
+        ),
+    )
+
+
+class TestExtractFeature:
+    def test_bbox_covers_positions(self):
+        feature = extract_feature(
+            make_dataset(lats=[46.0, 46.2, 46.1], lons=[-124.0, -123.8, -123.9])
+        )
+        assert feature.bbox.as_tuple() == (46.0, -124.0, 46.2, -123.8)
+
+    def test_fixed_station_bbox_is_point(self):
+        feature = extract_feature(make_dataset())
+        assert feature.bbox.is_point
+
+    def test_interval_covers_times(self):
+        feature = extract_feature(make_dataset(times=[50.0, 10.0, 90.0]))
+        assert feature.interval.as_tuple() == (10.0, 90.0)
+
+    def test_variable_stats(self):
+        feature = extract_feature(make_dataset())
+        entry = feature.variable("salinity")
+        assert entry.count == 3
+        assert entry.minimum == 10.0
+        assert entry.maximum == 12.0
+        assert entry.mean == pytest.approx(11.0)
+
+    def test_written_name_and_unit_preserved(self):
+        feature = extract_feature(make_dataset())
+        entry = feature.variables[0]
+        assert entry.written_name == "salinity"
+        assert entry.written_unit == "PSU"
+        assert entry.name == entry.written_name
+
+    def test_all_nan_column_kept_with_zero_count(self):
+        nan = float("nan")
+        feature = extract_feature(
+            make_dataset(
+                columns=[ObservationColumn("dead", "m", [nan, nan, nan])]
+            )
+        )
+        entry = feature.variable("dead")
+        assert entry.count == 0
+        assert math.isnan(entry.minimum)
+
+    def test_empty_dataset_raises(self):
+        with pytest.raises(EmptyDatasetError):
+            extract_feature(make_dataset(times=[], lats=[], lons=[],
+                                         columns=[]))
+
+    def test_metadata_fields(self):
+        feature = extract_feature(make_dataset(), content_hash="abc123")
+        assert feature.dataset_id == "stations/s/s_2009.csv"
+        assert feature.source_directory == "stations/s"
+        assert feature.title == "S 2009"
+        assert feature.platform == "station"
+        assert feature.content_hash == "abc123"
+        assert feature.row_count == 3
+
+    def test_title_falls_back_to_name(self):
+        ds = make_dataset()
+        del ds.attributes["title"]
+        assert extract_feature(ds).title == "s_2009"
+
+    def test_raw_data_not_in_feature(self):
+        # The feature is a summary: no attribute should hold sample lists.
+        feature = extract_feature(make_dataset())
+        for entry in feature.variables:
+            assert not hasattr(entry, "values")

@@ -1,0 +1,81 @@
+"""Unit tests for repro.core.metrics."""
+
+import pytest
+
+from repro.core import (
+    average_precision,
+    dcg_at_k,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+)
+
+RANKING = ["a", "b", "c", "d", "e"]
+
+
+class TestPrecisionRecall:
+    def test_precision_perfect(self):
+        assert precision_at_k(RANKING, {"a", "b", "c"}, 3) == 1.0
+
+    def test_precision_half(self):
+        assert precision_at_k(RANKING, {"a", "c"}, 4) == 0.5
+
+    def test_precision_empty_ranking(self):
+        assert precision_at_k([], {"a"}, 5) == 0.0
+
+    def test_precision_bad_k(self):
+        with pytest.raises(ValueError):
+            precision_at_k(RANKING, {"a"}, 0)
+
+    def test_recall(self):
+        assert recall_at_k(RANKING, {"a", "z"}, 5) == 0.5
+
+    def test_recall_nothing_relevant(self):
+        assert recall_at_k(RANKING, set(), 5) == 1.0
+
+    def test_recall_all_found(self):
+        assert recall_at_k(RANKING, {"a", "e"}, 5) == 1.0
+
+
+class TestAveragePrecision:
+    def test_perfect(self):
+        assert average_precision(["a", "b"], {"a", "b"}) == 1.0
+
+    def test_interleaved(self):
+        # relevant at ranks 1 and 3: (1/1 + 2/3) / 2
+        ap = average_precision(["a", "x", "b"], {"a", "b"})
+        assert ap == pytest.approx((1.0 + 2.0 / 3.0) / 2.0)
+
+    def test_nothing_relevant(self):
+        assert average_precision(RANKING, set()) == 1.0
+
+    def test_missing_relevant_penalized(self):
+        assert average_precision(["x"], {"a"}) == 0.0
+
+
+class TestNdcg:
+    def test_perfect_order(self):
+        relevance = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert ndcg_at_k(["a", "b", "c"], relevance, 3) == pytest.approx(1.0)
+
+    def test_reversed_order_lower(self):
+        relevance = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert ndcg_at_k(["c", "b", "a"], relevance, 3) < 1.0
+
+    def test_in_unit_interval(self):
+        relevance = {"a": 1.0, "q": 3.0}
+        value = ndcg_at_k(RANKING, relevance, 5)
+        assert 0.0 <= value <= 1.0
+
+    def test_no_relevance_is_one(self):
+        assert ndcg_at_k(RANKING, {}, 5) == 1.0
+
+    def test_dcg_bad_k(self):
+        with pytest.raises(ValueError):
+            dcg_at_k(RANKING, {}, 0)
+
+    def test_graded_beats_binary_placement(self):
+        relevance = {"a": 3.0, "b": 1.0}
+        good = ndcg_at_k(["a", "b"], relevance, 2)
+        bad = ndcg_at_k(["b", "a"], relevance, 2)
+        assert good > bad

@@ -1,0 +1,154 @@
+"""Unit tests for repro.core.qparser (the textual query language)."""
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.core.qparser import QueryParseError, parse_query
+from repro.geo import GeoPoint
+
+
+def utc(*args):
+    return datetime(*args, tzinfo=timezone.utc).timestamp()
+
+
+class TestPosterExample:
+    def test_paper_information_need(self):
+        query = parse_query(
+            "near 45.5, -124.4 in mid-2010 with temperature between 5 and 10"
+        )
+        assert query.location == GeoPoint(45.5, -124.4)
+        assert query.interval.start == utc(2010, 5, 1)
+        assert query.interval.end == pytest.approx(
+            utc(2010, 8, 31, 23, 59, 59)
+        )
+        term = query.variables[0]
+        assert term.name == "temperature"
+        assert (term.low, term.high) == (5.0, 10.0)
+
+    def test_lat_lon_prefixes_allowed(self):
+        query = parse_query("near lat=45.5, lon=-124.4")
+        assert query.location == GeoPoint(45.5, -124.4)
+
+
+class TestLocation:
+    def test_near(self):
+        assert parse_query("near 46.1, -123.9").location == GeoPoint(
+            46.1, -123.9
+        )
+
+    def test_within_radius(self):
+        query = parse_query("near 46, -124 within 10 km")
+        assert query.radius_km == 10.0
+
+    def test_region(self):
+        query = parse_query("in region 45, -125 to 47, -124")
+        assert query.region.as_tuple() == (45.0, -125.0, 47.0, -124.0)
+
+    def test_region_corner_order_normalized(self):
+        query = parse_query("in region 47, -124 to 45, -125")
+        assert query.region.as_tuple() == (45.0, -125.0, 47.0, -124.0)
+
+    def test_near_and_region_conflict(self):
+        with pytest.raises(QueryParseError):
+            parse_query("near 45, -124 in region 45, -125 to 47, -124")
+
+    def test_out_of_range_latitude(self):
+        with pytest.raises(QueryParseError):
+            parse_query("near 95, -124")
+
+
+class TestTime:
+    def test_from_to_days(self):
+        query = parse_query("from 2010-05-01 to 2010-08-31")
+        assert query.interval.start == utc(2010, 5, 1)
+
+    def test_from_to_months(self):
+        query = parse_query("from 2010-05 to 2010-06")
+        assert query.interval.end == pytest.approx(
+            utc(2010, 6, 30, 23, 59, 59)
+        )
+
+    def test_from_to_years(self):
+        query = parse_query("from 2009 to 2010")
+        assert query.interval.start == utc(2009, 1, 1)
+
+    def test_during_year(self):
+        query = parse_query("during 2010")
+        assert query.interval.start == utc(2010, 1, 1)
+        assert query.interval.end == pytest.approx(
+            utc(2010, 12, 31, 23, 59, 59)
+        )
+
+    def test_during_month(self):
+        query = parse_query("during 2010-02")
+        assert query.interval.end == pytest.approx(
+            utc(2010, 2, 28, 23, 59, 59)
+        )
+
+    @pytest.mark.parametrize(
+        "season,start_month,end_month",
+        [("early", 1, 4), ("mid", 5, 8), ("late", 9, 12)],
+    )
+    def test_seasons(self, season, start_month, end_month):
+        query = parse_query(f"in {season}-2011")
+        assert query.interval.start == utc(2011, start_month, 1)
+
+    def test_reversed_window_raises(self):
+        with pytest.raises(QueryParseError):
+            parse_query("from 2011 to 2010")
+
+    def test_bad_date_raises(self):
+        with pytest.raises(QueryParseError):
+            parse_query("from 2010-13 to 2010-14")
+
+
+class TestVariables:
+    def test_bare_variable(self):
+        query = parse_query("with salinity")
+        assert query.variables[0].name == "salinity"
+        assert not query.variables[0].has_range
+
+    def test_multiple_variables(self):
+        query = parse_query("with salinity, turbidity below 20")
+        assert [t.name for t in query.variables] == [
+            "salinity", "turbidity",
+        ]
+        assert query.variables[1].high == 20.0
+
+    def test_above(self):
+        term = parse_query("with depth above 50").variables[0]
+        assert term.low == 50.0 and term.high is None
+
+    def test_below(self):
+        term = parse_query("with ph below 8").variables[0]
+        assert term.high == 8.0 and term.low is None
+
+    def test_equals(self):
+        term = parse_query("with qa_level = 2").variables[0]
+        assert term.low == term.high == 2.0
+
+    def test_name_normalized(self):
+        term = parse_query("with Water Temperature between 5 and 10")
+        assert term.variables[0].name == "water_temperature"
+
+    def test_empty_clause_raises(self):
+        with pytest.raises(QueryParseError):
+            parse_query("with salinity, , turbidity")
+
+
+class TestErrors:
+    def test_empty_text(self):
+        with pytest.raises(QueryParseError):
+            parse_query("   ")
+
+    def test_gibberish(self):
+        with pytest.raises(QueryParseError):
+            parse_query("fetch me the comfy chair")
+
+    def test_clause_order_free(self):
+        a = parse_query("with salinity near 46, -124 during 2010")
+        b = parse_query("near 46, -124 during 2010 with salinity")
+        assert a.location == b.location
+        assert a.interval == b.interval
+        assert a.variables == b.variables

@@ -1,0 +1,98 @@
+"""Unit tests for repro.core.query."""
+
+import pytest
+
+from repro.core import Query, VariableTerm
+from repro.geo import BoundingBox, GeoPoint, TimeInterval
+
+
+class TestVariableTerm:
+    def test_plain_term(self):
+        term = VariableTerm("salinity")
+        assert not term.has_range
+
+    def test_range_term(self):
+        term = VariableTerm("water_temperature", low=5.0, high=10.0)
+        assert term.has_range
+
+    def test_half_open_counts_as_range(self):
+        assert VariableTerm("depth", low=10.0).has_range
+        assert VariableTerm("depth", high=10.0).has_range
+
+    def test_inverted_range_raises(self):
+        with pytest.raises(ValueError):
+            VariableTerm("x", low=10.0, high=5.0)
+
+    def test_non_positive_weight_raises(self):
+        with pytest.raises(ValueError):
+            VariableTerm("x", weight=0.0)
+
+
+class TestQuery:
+    def test_empty_query(self):
+        query = Query()
+        assert query.is_empty
+        assert not query.has_spatial
+        assert not query.has_temporal
+
+    def test_point_query(self):
+        query = Query(location=GeoPoint(45.5, -124.4))
+        assert query.has_spatial
+        assert not query.is_empty
+
+    def test_region_query(self):
+        query = Query(region=BoundingBox(45.0, -125.0, 46.0, -124.0))
+        assert query.has_spatial
+
+    def test_point_and_region_conflict(self):
+        with pytest.raises(ValueError):
+            Query(
+                location=GeoPoint(45.5, -124.4),
+                region=BoundingBox(45.0, -125.0, 46.0, -124.0),
+            )
+
+    def test_bad_radius_raises(self):
+        with pytest.raises(ValueError):
+            Query(location=GeoPoint(0, 0), radius_km=0)
+
+    def test_variables_coerced_to_tuple(self):
+        query = Query(variables=[VariableTerm("salinity")])
+        assert isinstance(query.variables, tuple)
+
+    def test_variable_names(self):
+        query = Query(
+            variables=(VariableTerm("a"), VariableTerm("b"))
+        )
+        assert query.variable_names() == ["a", "b"]
+
+    def test_frozen(self):
+        query = Query()
+        with pytest.raises(AttributeError):
+            query.radius_km = 10
+
+
+class TestDescribe:
+    def test_paper_example_description(self):
+        query = Query(
+            location=GeoPoint(45.5, -124.4),
+            interval=TimeInterval(0, 86400),
+            variables=(VariableTerm("temperature", low=5, high=10),),
+        )
+        text = query.describe()
+        assert "near" in text
+        assert "temperature in [5, 10]" in text
+
+    def test_empty_description(self):
+        assert Query().describe() == "(match all)"
+
+    def test_half_open_descriptions(self):
+        assert ">= 5" in Query(
+            variables=(VariableTerm("depth", low=5),)
+        ).describe()
+        assert "<= 5" in Query(
+            variables=(VariableTerm("depth", high=5),)
+        ).describe()
+
+    def test_region_description(self):
+        query = Query(region=BoundingBox(45.0, -125.0, 46.0, -124.0))
+        assert "region" in query.describe()

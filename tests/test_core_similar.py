@@ -1,0 +1,100 @@
+"""Unit tests for repro.core.similar (search by example)."""
+
+import pytest
+
+from repro.catalog import DatasetNotFoundError, MemoryCatalog
+from repro.core.similar import feature_similarity, similar_datasets
+from repro.hierarchy import vocabulary_hierarchy
+
+from tests.test_core_search import feature
+
+
+@pytest.fixture()
+def catalog():
+    cat = MemoryCatalog()
+    # seed: estuary station, summer, temperature+salinity
+    cat.upsert(feature("seed", 46.1, -123.9, 0, 1000,
+                       [("water_temperature", 5, 15), ("salinity", 0, 30)]))
+    # twin: same place/time/variables
+    cat.upsert(feature("twin", 46.1, -123.9, 500, 1500,
+                       [("water_temperature", 6, 14), ("salinity", 5, 28)]))
+    # same place, different season
+    cat.upsert(feature("later", 46.1, -123.9, 5e7, 5.1e7,
+                       [("water_temperature", 5, 15), ("salinity", 0, 30)]))
+    # same time, far away
+    cat.upsert(feature("far", 30.0, -140.0, 0, 1000,
+                       [("water_temperature", 5, 15), ("salinity", 0, 30)]))
+    # same place/time, unrelated variables
+    cat.upsert(feature("othervars", 46.1, -123.9, 0, 1000,
+                       [("wind_speed", 0, 20)]))
+    return cat
+
+
+class TestSimilarDatasets:
+    def test_twin_ranks_first(self, catalog):
+        results = similar_datasets(catalog, "seed", limit=4)
+        assert results[0].dataset_id == "twin"
+        assert results[0].score > results[-1].score
+
+    def test_seed_excluded(self, catalog):
+        results = similar_datasets(catalog, "seed", limit=10)
+        assert all(r.dataset_id != "seed" for r in results)
+
+    def test_limit(self, catalog):
+        assert len(similar_datasets(catalog, "seed", limit=2)) == 2
+
+    def test_bad_limit_raises(self, catalog):
+        with pytest.raises(ValueError):
+            similar_datasets(catalog, "seed", limit=0)
+
+    def test_unknown_seed_raises(self, catalog):
+        with pytest.raises(DatasetNotFoundError):
+            similar_datasets(catalog, "ghost")
+
+    def test_dimension_breakdowns(self, catalog):
+        results = {r.dataset_id: r for r in
+                   similar_datasets(catalog, "seed", limit=10)}
+        assert results["far"].spatial < results["twin"].spatial
+        assert results["later"].temporal < results["twin"].temporal
+        assert results["othervars"].variables < results["twin"].variables
+
+    def test_explain(self, catalog):
+        result = similar_datasets(catalog, "seed", limit=1)[0]
+        text = result.explain()
+        assert "spatial=" in text and "temporal=" in text
+
+
+class TestFeatureSimilarity:
+    def test_self_similarity_is_one(self, catalog):
+        seed = catalog.get("seed")
+        total, spatial, temporal, variables = feature_similarity(seed, seed)
+        assert total == pytest.approx(1.0)
+        assert (spatial, temporal, variables) == (1.0, 1.0, 1.0)
+
+    def test_symmetric(self, catalog):
+        a, b = catalog.get("seed"), catalog.get("far")
+        assert feature_similarity(a, b) == feature_similarity(b, a)
+
+    def test_hierarchy_groups_related_variables(self, catalog):
+        catalog.upsert(feature("fluor1", 46.1, -123.9, 0, 1000,
+                               [("fluorescence_375nm", 0, 5)]))
+        catalog.upsert(feature("fluor2", 46.1, -123.9, 0, 1000,
+                               [("chlorophyll", 0, 20)]))
+        a, b = catalog.get("fluor1"), catalog.get("fluor2")
+        __, ___, ____, without = feature_similarity(a, b, hierarchy=None)
+        __, ___, ____, with_h = feature_similarity(
+            a, b, hierarchy=vocabulary_hierarchy()
+        )
+        assert without == 0.0
+        assert with_h == 1.0  # both roll up to 'fluorescence'
+
+    def test_in_unit_interval(self, catalog):
+        ids = catalog.dataset_ids()
+        for a_id in ids:
+            for b_id in ids:
+                total, *parts = feature_similarity(
+                    catalog.get(a_id), catalog.get(b_id)
+                )
+                assert 0.0 <= total <= 1.0
+                for part in parts:
+                    assert 0.0 <= part <= 1.0

@@ -1,0 +1,94 @@
+"""Unit tests for repro.curator.actions."""
+
+import pytest
+
+from repro.curator import (
+    AddAbbreviation,
+    AddContextRule,
+    AddExclusionPattern,
+    AddScanTarget,
+    AddSynonym,
+    CuratorActionError,
+    DecideAmbiguity,
+    MoveHierarchyNode,
+)
+from repro.semantics import AmbiguityAction
+from repro.wrangling import (
+    GenerateHierarchies,
+    ScanArchive,
+    WranglingState,
+    default_chain,
+)
+
+
+@pytest.fixture()
+def setup(messy_fs):
+    fs, __ = messy_fs
+    state = WranglingState(fs=fs)
+    chain = default_chain()
+    return chain, state
+
+
+class TestKnowledgeActions:
+    def test_add_synonym(self, setup):
+        chain, state = setup
+        message = AddSynonym("salinity", "salznity").apply(chain, state)
+        assert state.resolver.synonyms.resolve("salznity") == "salinity"
+        assert "salznity" in message
+
+    def test_add_abbreviation_syncs_synonyms(self, setup):
+        chain, state = setup
+        AddAbbreviation("XYZ", "turbidity").apply(chain, state)
+        assert state.resolver.abbreviations.expand("XYZ") == "turbidity"
+        # Synonym-coverage validation must also see it.
+        assert state.resolver.synonyms.contains("XYZ")
+
+    def test_add_context_rule(self, setup):
+        chain, state = setup
+        AddContextRule("level", "water", "depth").apply(chain, state)
+        assert state.resolver.context_rules.resolve("level", "water") == (
+            "depth"
+        )
+
+    def test_add_exclusion_pattern(self, setup):
+        chain, state = setup
+        AddExclusionPattern("diagnostic").apply(chain, state)
+        assert state.resolver.exclusion.is_auxiliary("diagnostic_x")
+
+
+class TestProcessActions:
+    def test_add_scan_target(self, setup):
+        chain, state = setup
+        scan = chain.component("scan-archive")
+        before = len(scan.targets)
+        AddScanTarget("extra_data", "*.csv").apply(chain, state)
+        assert len(scan.targets) == before + 1
+
+    def test_decide_ambiguity_records(self, setup):
+        chain, state = setup
+        DecideAmbiguity(
+            "temp", AmbiguityAction.CLARIFY, canonical="water_temperature"
+        ).apply(chain, state)
+        assert len(state.decisions) == 1
+        assert state.decisions[0].canonical == "water_temperature"
+
+    def test_decide_hide(self, setup):
+        chain, state = setup
+        message = DecideAmbiguity("temp", AmbiguityAction.HIDE).apply(
+            chain, state
+        )
+        assert "hide" in message
+
+
+class TestHierarchyActions:
+    def test_move_requires_hierarchy(self, setup):
+        chain, state = setup
+        with pytest.raises(CuratorActionError):
+            MoveHierarchyNode("salinity", None).apply(chain, state)
+
+    def test_move_reparents(self, setup):
+        chain, state = setup
+        ScanArchive().execute(state)
+        GenerateHierarchies(prune_absent=False).execute(state)
+        MoveHierarchyNode("chlorophyll", None).apply(chain, state)
+        assert "chlorophyll" in state.hierarchy.roots()

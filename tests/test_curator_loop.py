@@ -1,0 +1,98 @@
+"""Closed-loop tests: the poster's implied claim that run-improve-rerun
+converges (benchmark C1's correctness backstop)."""
+
+import pytest
+
+from repro.archive import truth_index
+from repro.curator import (
+    CuratorSession,
+    SimulatedCurator,
+    run_curator_loop,
+)
+
+
+def make_oracle(archive):
+    oracle = {}
+    for (__, written), vt in truth_index(archive).items():
+        oracle[written] = vt.canonical
+    return oracle
+
+
+class TestLoopConvergence:
+    def test_converges_with_oracle(self, messy_archive, messy_fs):
+        fs, __ = messy_fs
+        session = CuratorSession(fs)
+        curator = SimulatedCurator(
+            actions_per_iteration=20, oracle=make_oracle(messy_archive)
+        )
+        result = run_curator_loop(session, curator, max_iterations=15)
+        assert result.converged
+        assert result.failure_counts[-1] == 0
+
+    def test_failures_monotone_nonincreasing(self, messy_archive, messy_fs):
+        fs, __ = messy_fs
+        session = CuratorSession(fs)
+        curator = SimulatedCurator(
+            actions_per_iteration=10, oracle=make_oracle(messy_archive)
+        )
+        result = run_curator_loop(session, curator, max_iterations=15)
+        for before, after in zip(
+            result.failure_counts, result.failure_counts[1:]
+        ):
+            assert after <= before
+
+    def test_capped_actions_slow_convergence(self, messy_archive, messy_fs):
+        fs, truth = messy_fs
+        oracle = make_oracle(messy_archive)
+        fast = run_curator_loop(
+            CuratorSession(fs),
+            SimulatedCurator(actions_per_iteration=50, oracle=oracle),
+            max_iterations=15,
+        )
+        # Fresh filesystem state for the slow run.
+        slow = run_curator_loop(
+            CuratorSession(fs),
+            SimulatedCurator(actions_per_iteration=3, oracle=oracle),
+            max_iterations=30,
+        )
+        assert fast.iterations_run <= slow.iterations_run
+
+    def test_without_oracle_still_improves(self, messy_fs):
+        fs, __ = messy_fs
+        session = CuratorSession(fs)
+        curator = SimulatedCurator(actions_per_iteration=20, oracle=None)
+        result = run_curator_loop(session, curator, max_iterations=10)
+        assert result.failure_counts[-1] < result.failure_counts[0]
+
+    def test_loop_stops_when_actions_dry_up(self, messy_fs):
+        fs, __ = messy_fs
+        session = CuratorSession(fs)
+        # A curator that can do nothing.
+        curator = SimulatedCurator(
+            actions_per_iteration=0, oracle=None, hide_phantoms=False
+        )
+        result = run_curator_loop(session, curator, max_iterations=10)
+        assert result.iterations_run == 1
+        assert not result.converged
+
+
+class TestLoopQuality:
+    def test_final_catalog_matches_truth(self, messy_archive, messy_fs):
+        fs, truth = messy_fs
+        session = CuratorSession(fs)
+        curator = SimulatedCurator(
+            actions_per_iteration=30, oracle=make_oracle(messy_archive)
+        )
+        run_curator_loop(session, curator, max_iterations=15)
+        ti = truth_index(messy_archive)
+        correct = total = 0
+        for feature in session.state.working:
+            for entry in feature.variables:
+                vt = ti.get((feature.dataset_id, entry.written_name))
+                if vt is None or vt.canonical is None:
+                    continue
+                total += 1
+                if entry.name == vt.canonical:
+                    correct += 1
+        assert total > 0
+        assert correct / total > 0.95

@@ -1,0 +1,65 @@
+"""Unit tests for repro.curator.session."""
+
+import pytest
+
+from repro.curator import AddSynonym, CuratorSession
+from repro.wrangling import ProcessChain, Publish, ScanArchive
+
+
+@pytest.fixture()
+def session(messy_fs):
+    fs, __ = messy_fs
+    return CuratorSession(fs)
+
+
+class TestActivities:
+    def test_run_records_iteration(self, session):
+        record = session.run()
+        assert record.iteration == 1
+        assert record.run_report.total_changes > 0
+        assert session.iterations == [record]
+
+    def test_compose_replaces_chain(self, session):
+        session.compose(ProcessChain(components=[ScanArchive(), Publish()]))
+        record = session.run()
+        assert len(record.run_report.component_reports) == 2
+
+    def test_improve_logs_actions(self, session):
+        session.run()
+        messages = session.improve(
+            [AddSynonym("salinity", "salznity")]
+        )
+        assert len(messages) == 1
+        assert session.action_log == messages
+        assert session.iterations[-1].actions_applied == messages
+
+    def test_validate_standalone(self, session):
+        session.run()
+        report = session.validate()
+        assert report.checks_run > 0
+
+    def test_failure_history(self, session):
+        session.run()
+        session.run()
+        assert len(session.failure_history) == 2
+
+
+class TestInspection:
+    def test_unresolved_names_drop_after_run(self, session):
+        session.run()
+        unresolved = session.unresolved_names()
+        # After a full chain run only the genuinely hard names remain.
+        assert all(name == "temp" or name for name in unresolved)
+
+    def test_ambiguous_findings(self, session):
+        session.run()
+        findings = session.ambiguous_findings()
+        for finding in findings:
+            assert finding.candidates
+
+    def test_uncovered_written_names(self, session):
+        session.run()
+        uncovered = session.uncovered_written_names()
+        table = session.state.resolver.synonyms
+        for written, __ in uncovered:
+            assert not table.contains(written)

@@ -1,0 +1,149 @@
+"""Unit tests for repro.experiments (the harness must be trustworthy,
+since every benchmark claim rests on it)."""
+
+import pytest
+
+from repro.core import BooleanSearchEngine, SearchEngine
+from repro.experiments import (
+    CategoryAccuracy,
+    clean_archive_of_size,
+    evaluate_engine,
+    generate_workload,
+    make_resolver,
+    messy_archive_of_size,
+    raw_catalog_from,
+    resolution_accuracy,
+    spec_for_size,
+    wrangled_system,
+)
+
+
+class TestBuilders:
+    def test_spec_scales(self):
+        small = spec_for_size(15)
+        large = spec_for_size(120)
+        assert small.dataset_count < large.dataset_count
+        assert abs(small.dataset_count - 15) <= 4
+        assert abs(large.dataset_count - 120) <= 8
+
+    def test_spec_bad_size(self):
+        with pytest.raises(ValueError):
+            spec_for_size(0)
+
+    def test_messy_and_clean_twins_align(self):
+        fs, truth, messy = messy_archive_of_size(15, seed=3)
+        clean = clean_archive_of_size(15, seed=3)
+        assert [d.path for d in messy.datasets] == [
+            d.path for d in clean.datasets
+        ]
+
+    def test_raw_catalog_counts(self):
+        fs, truth, __ = messy_archive_of_size(15, seed=3)
+        catalog = raw_catalog_from(fs)
+        assert len(catalog) == len(truth)
+
+    def test_wrangled_system_ready(self):
+        fs, __, ___ = messy_archive_of_size(15, seed=3)
+        system = wrangled_system(fs)
+        assert len(system.engine.catalog) > 0
+
+
+class TestWorkload:
+    @pytest.fixture(scope="class")
+    def clean(self):
+        return clean_archive_of_size(15, seed=3)
+
+    def test_workload_size(self, clean):
+        assert len(generate_workload(clean, n_queries=7, seed=1)) == 7
+
+    def test_bad_size_raises(self, clean):
+        with pytest.raises(ValueError):
+            generate_workload(clean, n_queries=0)
+
+    def test_deterministic(self, clean):
+        a = generate_workload(clean, n_queries=5, seed=9)
+        b = generate_workload(clean, n_queries=5, seed=9)
+        assert [s.query.describe() for s in a] == [
+            s.query.describe() for s in b
+        ]
+
+    def test_seed_dataset_strongly_relevant(self, clean):
+        for spec in generate_workload(clean, n_queries=10, seed=2):
+            assert spec.seed_dataset in spec.relevance
+            assert spec.relevance[spec.seed_dataset] >= 3.0
+
+    def test_grades_bounded(self, clean):
+        for spec in generate_workload(clean, n_queries=10, seed=2):
+            for grade in spec.relevance.values():
+                assert 0.0 < grade <= 3.0
+
+    def test_queries_have_all_three_terms(self, clean):
+        for spec in generate_workload(clean, n_queries=5, seed=2):
+            assert spec.query.has_spatial
+            assert spec.query.has_temporal
+            assert spec.query.variables
+
+
+class TestEvaluateEngine:
+    def test_wrangled_engine_scores_high(self):
+        fs, __, ___ = messy_archive_of_size(15, seed=3)
+        clean = clean_archive_of_size(15, seed=3)
+        workload = generate_workload(clean, n_queries=8, seed=5)
+        system = wrangled_system(fs)
+        summary = evaluate_engine(system.engine, workload, label="x")
+        assert summary.ndcg > 0.6
+        assert summary.queries == 8
+        assert "nDCG" in summary.row()
+
+    def test_empty_workload_raises(self):
+        fs, __, ___ = messy_archive_of_size(15, seed=3)
+        system = wrangled_system(fs)
+        with pytest.raises(ValueError):
+            evaluate_engine(system.engine, [])
+
+    def test_ranked_beats_boolean_on_harness(self):
+        fs, __, ___ = messy_archive_of_size(15, seed=3)
+        clean = clean_archive_of_size(15, seed=3)
+        workload = generate_workload(clean, n_queries=8, seed=5)
+        catalog = raw_catalog_from(fs)
+        ranked = evaluate_engine(
+            SearchEngine(catalog), workload, label="ranked"
+        )
+        boolean = evaluate_engine(
+            BooleanSearchEngine(catalog), workload, label="boolean"
+        )
+        assert ranked.ndcg > boolean.ndcg
+
+
+class TestTable1Harness:
+    def test_accuracy_fields(self):
+        bucket = CategoryAccuracy(category="x", correct=3, wrong=1,
+                                  unresolved=0)
+        assert bucket.total == 4
+        assert bucket.accuracy == 0.75
+
+    def test_empty_bucket_accuracy_one(self):
+        assert CategoryAccuracy(category="x").accuracy == 1.0
+
+    def test_make_resolver_configurations(self):
+        for name in ("none", "tables", "discovery", "full"):
+            assert make_resolver(name) is not None
+        with pytest.raises(ValueError):
+            make_resolver("quantum")
+
+    def test_full_beats_none_overall(self):
+        __, ___, archive = messy_archive_of_size(15, seed=3)
+        full = resolution_accuracy(archive, "full")
+        none = resolution_accuracy(archive, "none")
+        full_total = sum(b.correct for b in full.values())
+        none_total = sum(b.correct for b in none.values())
+        assert full_total > none_total
+
+    def test_buckets_cover_all_columns(self):
+        __, ___, archive = messy_archive_of_size(15, seed=3)
+        from repro.archive import truth_index
+
+        results = resolution_accuracy(archive, "full")
+        assert sum(b.total for b in results.values()) == len(
+            truth_index(archive)
+        )

@@ -1,0 +1,123 @@
+"""Unit tests for repro.geo.bbox."""
+
+import pytest
+
+from repro.geo import BoundingBox, EmptyBoundingBoxError, GeoPoint
+
+
+@pytest.fixture()
+def estuary_box():
+    return BoundingBox(46.0, -124.2, 46.3, -123.5)
+
+
+class TestConstruction:
+    def test_invalid_order_raises(self):
+        with pytest.raises(ValueError):
+            BoundingBox(46.3, -124.2, 46.0, -123.5)
+        with pytest.raises(ValueError):
+            BoundingBox(46.0, -123.5, 46.3, -124.2)
+
+    def test_from_point_is_degenerate(self):
+        box = BoundingBox.from_point(GeoPoint(45.5, -124.4))
+        assert box.is_point
+        assert box.center == GeoPoint(45.5, -124.4)
+
+    def test_from_points_tightest(self):
+        box = BoundingBox.from_points(
+            [GeoPoint(45.0, -125.0), GeoPoint(46.0, -124.0),
+             GeoPoint(45.5, -124.5)]
+        )
+        assert box.as_tuple() == (45.0, -125.0, 46.0, -124.0)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(EmptyBoundingBoxError):
+            BoundingBox.from_points([])
+
+    def test_from_points_accepts_generator(self):
+        box = BoundingBox.from_points(
+            GeoPoint(44.0 + i, -120.0) for i in range(3)
+        )
+        assert box.max_lat == 46.0
+
+
+class TestGeometry:
+    def test_contains_point_inside(self, estuary_box):
+        assert estuary_box.contains_point(GeoPoint(46.1, -124.0))
+
+    def test_contains_point_on_border(self, estuary_box):
+        assert estuary_box.contains_point(GeoPoint(46.0, -124.2))
+
+    def test_contains_point_outside(self, estuary_box):
+        assert not estuary_box.contains_point(GeoPoint(45.0, -124.0))
+
+    def test_intersects_overlapping(self, estuary_box):
+        other = BoundingBox(46.2, -123.8, 46.5, -123.0)
+        assert estuary_box.intersects(other)
+        assert other.intersects(estuary_box)
+
+    def test_intersects_touching_border(self, estuary_box):
+        other = BoundingBox(46.3, -123.5, 46.6, -123.0)
+        assert estuary_box.intersects(other)
+
+    def test_intersects_disjoint(self, estuary_box):
+        other = BoundingBox(47.0, -123.0, 47.5, -122.0)
+        assert not estuary_box.intersects(other)
+
+    def test_union_covers_both(self, estuary_box):
+        other = BoundingBox(47.0, -123.0, 47.5, -122.0)
+        union = estuary_box.union(other)
+        assert union.as_tuple() == (46.0, -124.2, 47.5, -122.0)
+
+    def test_expand_grows_every_side(self, estuary_box):
+        grown = estuary_box.expand(0.1)
+        assert grown.min_lat == pytest.approx(45.9)
+        assert grown.max_lon == pytest.approx(-123.4)
+
+    def test_expand_clamps_at_poles(self):
+        box = BoundingBox(89.5, 0.0, 89.9, 1.0)
+        assert box.expand(1.0).max_lat == 90.0
+
+    def test_expand_negative_raises(self, estuary_box):
+        with pytest.raises(ValueError):
+            estuary_box.expand(-0.1)
+
+
+class TestDistance:
+    def test_distance_zero_inside(self, estuary_box):
+        assert estuary_box.distance_km_to_point(GeoPoint(46.1, -124.0)) == 0.0
+
+    def test_distance_positive_outside(self, estuary_box):
+        assert estuary_box.distance_km_to_point(GeoPoint(45.0, -124.0)) > 0
+
+    def test_closest_point_clamps(self, estuary_box):
+        nearest = estuary_box.closest_point_to(GeoPoint(45.0, -125.0))
+        assert nearest == GeoPoint(46.0, -124.2)
+
+    def test_distance_south_of_box_is_latitude_gap(self, estuary_box):
+        d = estuary_box.distance_km_to_point(GeoPoint(45.0, -124.0))
+        assert d == pytest.approx(111.2, abs=1.0)  # 1 degree latitude
+
+    def test_box_to_box_zero_when_intersecting(self, estuary_box):
+        assert estuary_box.distance_km_to_box(estuary_box) == 0.0
+
+    def test_box_to_box_positive_when_disjoint(self, estuary_box):
+        other = BoundingBox(48.0, -124.0, 48.5, -123.5)
+        d = estuary_box.distance_km_to_box(other)
+        assert d == pytest.approx(111.2 * 1.7, rel=0.05)
+
+    def test_box_to_box_symmetric(self, estuary_box):
+        other = BoundingBox(48.0, -124.0, 48.5, -123.5)
+        assert estuary_box.distance_km_to_box(other) == pytest.approx(
+            other.distance_km_to_box(estuary_box)
+        )
+
+
+class TestAccessors:
+    def test_center(self, estuary_box):
+        center = estuary_box.center
+        assert center.lat == pytest.approx(46.15)
+        assert center.lon == pytest.approx(-123.85)
+
+    def test_width_height(self, estuary_box):
+        assert estuary_box.width_degrees == pytest.approx(0.7)
+        assert estuary_box.height_degrees == pytest.approx(0.3)

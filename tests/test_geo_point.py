@@ -1,0 +1,107 @@
+"""Unit tests for repro.geo.point."""
+
+import math
+
+import pytest
+
+from repro.geo import (
+    EARTH_RADIUS_KM,
+    GeoPoint,
+    InvalidCoordinateError,
+    haversine_km,
+    normalize_longitude,
+    validate_latitude,
+    validate_longitude,
+)
+
+
+class TestValidation:
+    def test_latitude_in_range_passes(self):
+        assert validate_latitude(45.5) == 45.5
+
+    def test_latitude_bounds_inclusive(self):
+        assert validate_latitude(90.0) == 90.0
+        assert validate_latitude(-90.0) == -90.0
+
+    @pytest.mark.parametrize("lat", [90.01, -90.01, float("nan"), float("inf")])
+    def test_latitude_out_of_range_raises(self, lat):
+        with pytest.raises(InvalidCoordinateError):
+            validate_latitude(lat)
+
+    def test_longitude_bounds_inclusive(self):
+        assert validate_longitude(180.0) == 180.0
+        assert validate_longitude(-180.0) == -180.0
+
+    @pytest.mark.parametrize("lon", [180.5, -181.0, float("nan")])
+    def test_longitude_out_of_range_raises(self, lon):
+        with pytest.raises(InvalidCoordinateError):
+            validate_longitude(lon)
+
+
+class TestNormalizeLongitude:
+    @pytest.mark.parametrize(
+        "given,expected",
+        [(0.0, 0.0), (190.0, -170.0), (-190.0, 170.0), (360.0, 0.0),
+         (540.0, -180.0), (-124.4, -124.4)],
+    )
+    def test_wrapping(self, given, expected):
+        assert normalize_longitude(given) == pytest.approx(expected)
+
+    def test_non_finite_raises(self):
+        with pytest.raises(InvalidCoordinateError):
+            normalize_longitude(float("inf"))
+
+
+class TestGeoPoint:
+    def test_construction_validates(self):
+        with pytest.raises(InvalidCoordinateError):
+            GeoPoint(91.0, 0.0)
+
+    def test_is_frozen(self):
+        point = GeoPoint(45.5, -124.4)
+        with pytest.raises(AttributeError):
+            point.lat = 0.0
+
+    def test_as_tuple(self):
+        assert GeoPoint(45.5, -124.4).as_tuple() == (45.5, -124.4)
+
+    def test_str_hemispheres(self):
+        assert "N" in str(GeoPoint(45.5, -124.4))
+        assert "W" in str(GeoPoint(45.5, -124.4))
+        assert "S" in str(GeoPoint(-10.0, 20.0))
+        assert "E" in str(GeoPoint(-10.0, 20.0))
+
+    def test_equality_and_hash(self):
+        assert GeoPoint(1.0, 2.0) == GeoPoint(1.0, 2.0)
+        assert hash(GeoPoint(1.0, 2.0)) == hash(GeoPoint(1.0, 2.0))
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_km(45.5, -124.4, 45.5, -124.4) == 0.0
+
+    def test_symmetry(self):
+        d1 = haversine_km(45.5, -124.4, 46.2, -123.8)
+        d2 = haversine_km(46.2, -123.8, 45.5, -124.4)
+        assert d1 == pytest.approx(d2)
+
+    def test_one_degree_latitude_is_about_111_km(self):
+        assert haversine_km(45.0, 0.0, 46.0, 0.0) == pytest.approx(
+            111.2, abs=0.5
+        )
+
+    def test_longitude_shrinks_with_latitude(self):
+        at_equator = haversine_km(0.0, 0.0, 0.0, 1.0)
+        at_60 = haversine_km(60.0, 0.0, 60.0, 1.0)
+        assert at_60 == pytest.approx(at_equator * 0.5, rel=0.01)
+
+    def test_antipodal_is_half_circumference(self):
+        d = haversine_km(0.0, 0.0, 0.0, 180.0)
+        assert d == pytest.approx(math.pi * EARTH_RADIUS_KM, rel=1e-6)
+
+    def test_point_distance_method_matches_function(self):
+        a = GeoPoint(45.5, -124.4)
+        b = GeoPoint(46.2, -123.8)
+        assert a.distance_km(b) == pytest.approx(
+            haversine_km(45.5, -124.4, 46.2, -123.8)
+        )

@@ -1,0 +1,124 @@
+"""Unit tests for repro.geo.timeinterval."""
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.geo import (
+    EmptyIntervalSetError,
+    TimeInterval,
+    from_epoch,
+    to_epoch,
+)
+
+
+@pytest.fixture()
+def summer_2010():
+    return TimeInterval.from_datetimes(
+        datetime(2010, 6, 1), datetime(2010, 8, 31)
+    )
+
+
+class TestConstruction:
+    def test_reversed_endpoints_raise(self):
+        with pytest.raises(ValueError):
+            TimeInterval(100.0, 50.0)
+
+    def test_non_finite_raises(self):
+        with pytest.raises(ValueError):
+            TimeInterval(float("nan"), 0.0)
+
+    def test_instant_is_legal(self):
+        instant = TimeInterval.instant(1000.0)
+        assert instant.duration_seconds == 0.0
+
+    def test_from_datetimes_naive_is_utc(self):
+        interval = TimeInterval.from_datetimes(
+            datetime(2010, 1, 1), datetime(2010, 1, 2)
+        )
+        assert interval.duration_days == pytest.approx(1.0)
+
+    def test_hull(self):
+        hull = TimeInterval.hull(
+            [TimeInterval(10, 20), TimeInterval(5, 12), TimeInterval(18, 30)]
+        )
+        assert hull.as_tuple() == (5, 30)
+
+    def test_hull_empty_raises(self):
+        with pytest.raises(EmptyIntervalSetError):
+            TimeInterval.hull([])
+
+
+class TestEpochConversion:
+    def test_roundtrip(self):
+        dt = datetime(2010, 7, 15, 12, 30, tzinfo=timezone.utc)
+        assert from_epoch(to_epoch(dt)) == dt
+
+    def test_start_end_datetimes(self, summer_2010):
+        assert summer_2010.start_datetime.year == 2010
+        assert summer_2010.end_datetime.month == 8
+
+
+class TestAlgebra:
+    def test_contains(self, summer_2010):
+        july = to_epoch(datetime(2010, 7, 1))
+        assert summer_2010.contains(july)
+        assert not summer_2010.contains(to_epoch(datetime(2011, 7, 1)))
+
+    def test_contains_endpoints(self):
+        interval = TimeInterval(10, 20)
+        assert interval.contains(10)
+        assert interval.contains(20)
+
+    def test_overlaps_true(self):
+        assert TimeInterval(0, 10).overlaps(TimeInterval(5, 15))
+
+    def test_overlaps_touching(self):
+        assert TimeInterval(0, 10).overlaps(TimeInterval(10, 20))
+
+    def test_overlaps_false(self):
+        assert not TimeInterval(0, 10).overlaps(TimeInterval(11, 20))
+
+    def test_overlap_seconds(self):
+        assert TimeInterval(0, 10).overlap_seconds(TimeInterval(5, 15)) == 5
+
+    def test_overlap_seconds_disjoint_is_zero(self):
+        assert TimeInterval(0, 10).overlap_seconds(TimeInterval(20, 30)) == 0
+
+    def test_gap_zero_when_overlapping(self):
+        assert TimeInterval(0, 10).gap_seconds(TimeInterval(5, 15)) == 0
+
+    def test_gap_when_before(self):
+        assert TimeInterval(0, 10).gap_seconds(TimeInterval(15, 20)) == 5
+
+    def test_gap_when_after(self):
+        assert TimeInterval(15, 20).gap_seconds(TimeInterval(0, 10)) == 5
+
+    def test_gap_symmetric(self):
+        a, b = TimeInterval(0, 10), TimeInterval(25, 30)
+        assert a.gap_seconds(b) == b.gap_seconds(a)
+
+    def test_intersection(self):
+        inter = TimeInterval(0, 10).intersection(TimeInterval(5, 15))
+        assert inter is not None
+        assert inter.as_tuple() == (5, 10)
+
+    def test_intersection_disjoint_none(self):
+        assert TimeInterval(0, 10).intersection(TimeInterval(20, 30)) is None
+
+    def test_union_hull_covers_gap(self):
+        hull = TimeInterval(0, 10).union_hull(TimeInterval(20, 30))
+        assert hull.as_tuple() == (0, 30)
+
+    def test_expand(self):
+        assert TimeInterval(10, 20).expand(5).as_tuple() == (5, 25)
+
+    def test_expand_negative_raises(self):
+        with pytest.raises(ValueError):
+            TimeInterval(10, 20).expand(-1)
+
+    def test_midpoint(self):
+        assert TimeInterval(10, 20).midpoint == 15
+
+    def test_str_contains_dates(self, summer_2010):
+        assert "2010-06-01" in str(summer_2010)

@@ -1,0 +1,64 @@
+"""Unit tests for repro.hierarchy.taxonomy."""
+
+import pytest
+
+from repro.archive import VOCABULARY
+from repro.hierarchy import TaxonomyLinks, default_taxonomy_links
+
+
+class TestTaxonomyLinks:
+    def test_add_and_lookup(self):
+        links = TaxonomyLinks()
+        links.add("water_temperature", "cf", ("water", "temperature"))
+        found = links.links_for("water_temperature")
+        assert len(found) == 1
+        assert found[0].leaf == "temperature"
+        assert str(found[0]) == "cf:water > temperature"
+
+    def test_empty_path_raises(self):
+        with pytest.raises(ValueError):
+            TaxonomyLinks().add("x", "cf", ())
+
+    def test_duplicate_link_raises(self):
+        links = TaxonomyLinks()
+        links.add("x", "cf", ("a",))
+        with pytest.raises(ValueError):
+            links.add("x", "cf", ("a",))
+
+    def test_multiple_taxonomies_per_variable(self):
+        links = TaxonomyLinks()
+        links.add("x", "cf", ("a",))
+        links.add("x", "gcmd", ("b", "c"))
+        assert links.taxonomies() == ["cf", "gcmd"]
+        assert len(links.links_for("x")) == 2
+
+    def test_unlinked_variable_empty(self):
+        assert TaxonomyLinks().links_for("ghost") == []
+
+    def test_variables_under_prefix(self):
+        links = TaxonomyLinks()
+        links.add("a", "gcmd", ("Earth Science", "Oceans", "a"))
+        links.add("b", "gcmd", ("Earth Science", "Atmosphere", "b"))
+        under = links.variables_under("gcmd", ("Earth Science", "Oceans"))
+        assert under == ["a"]
+
+    def test_len_counts_links(self):
+        links = TaxonomyLinks()
+        links.add("x", "cf", ("a",))
+        links.add("y", "cf", ("b",))
+        assert len(links) == 2
+
+
+class TestDefaultLinks:
+    def test_every_canonical_variable_linked_twice(self):
+        links = default_taxonomy_links()
+        for name in VOCABULARY:
+            assert len(links.links_for(name)) == 2, name
+
+    def test_air_variables_under_atmosphere(self):
+        links = default_taxonomy_links()
+        under = links.variables_under(
+            "gcmd", ("Earth Science", "Atmosphere")
+        )
+        assert "air_temperature" in under
+        assert "water_temperature" not in under

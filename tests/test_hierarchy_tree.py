@@ -1,0 +1,210 @@
+"""Unit tests for repro.hierarchy.tree."""
+
+import pytest
+
+from repro.hierarchy import (
+    ConceptHierarchy,
+    HierarchyError,
+    vocabulary_hierarchy,
+)
+
+
+@pytest.fixture()
+def small():
+    h = ConceptHierarchy()
+    h.add("fluorescence", measurable=False)
+    h.add("fluores375", parent="fluorescence")
+    h.add("fluores400", parent="fluorescence")
+    h.add("chlorophyll", parent="fluorescence")
+    h.add("salinity")
+    return h
+
+
+class TestConstruction:
+    def test_duplicate_raises(self, small):
+        with pytest.raises(HierarchyError):
+            small.add("salinity")
+
+    def test_self_parent_raises(self):
+        h = ConceptHierarchy()
+        with pytest.raises(HierarchyError):
+            h.add("x", parent="x")
+
+    def test_missing_parent_auto_created_as_concept(self):
+        h = ConceptHierarchy()
+        h.add("child", parent="auto_parent")
+        assert "auto_parent" in h
+        assert not h.node("auto_parent").measurable
+
+    def test_remove_leaf(self, small):
+        small.remove("fluores375")
+        assert "fluores375" not in small
+        assert "fluores375" not in small.children("fluorescence")
+
+    def test_remove_inner_raises(self, small):
+        with pytest.raises(HierarchyError):
+            small.remove("fluorescence")
+
+    def test_remove_missing_raises(self, small):
+        with pytest.raises(HierarchyError):
+            small.remove("nope")
+
+
+class TestQueries:
+    def test_roots(self, small):
+        assert small.roots() == ["fluorescence", "salinity"]
+
+    def test_children_sorted(self, small):
+        assert small.children("fluorescence") == [
+            "chlorophyll", "fluores375", "fluores400",
+        ]
+
+    def test_ancestors(self, small):
+        assert small.ancestors("fluores375") == ["fluorescence"]
+        assert small.ancestors("salinity") == []
+
+    def test_descendants(self, small):
+        assert small.descendants("fluorescence") == {
+            "fluores375", "fluores400", "chlorophyll",
+        }
+
+    def test_expand_inner_concept(self, small):
+        # The Table row 7: query 'fluorescence' matches the leaf variables.
+        assert small.expand("fluorescence") == {
+            "fluores375", "fluores400", "chlorophyll",
+        }
+
+    def test_expand_leaf_is_self(self, small):
+        assert small.expand("fluores375") == {"fluores375"}
+
+    def test_expand_unknown_is_self(self, small):
+        assert small.expand("mystery") == {"mystery"}
+
+    def test_depth(self, small):
+        assert small.depth("fluorescence") == 0
+        assert small.depth("fluores375") == 1
+
+    def test_distance(self, small):
+        assert small.distance("fluores375", "fluores400") == 2
+        assert small.distance("fluores375", "fluorescence") == 1
+        assert small.distance("fluores375", "salinity") is None
+        assert small.distance("fluores375", "fluores375") == 0
+
+    def test_group_of(self, small):
+        assert small.group_of("fluores375") == "fluorescence"
+        assert small.group_of("salinity") == "salinity"
+
+
+class TestMove:
+    def test_move_reparents(self, small):
+        small.move("chlorophyll", None)
+        assert "chlorophyll" in small.roots()
+        assert "chlorophyll" not in small.children("fluorescence")
+
+    def test_move_under_new_parent(self, small):
+        small.move("salinity", "fluorescence")
+        assert "salinity" in small.children("fluorescence")
+
+    def test_move_cycle_raises(self, small):
+        with pytest.raises(HierarchyError):
+            small.move("fluorescence", "fluores375")
+
+    def test_move_unknown_raises(self, small):
+        with pytest.raises(HierarchyError):
+            small.move("nope", None)
+
+
+class TestMenuAndWalk:
+    def test_walk_depth_first(self, small):
+        names = [name for name, __ in small.walk()]
+        assert names[0] == "fluorescence"
+        assert names.index("fluores375") < names.index("salinity")
+
+    def test_menu_indentation(self, small):
+        menu = small.menu()
+        assert "- fluorescence *" in menu  # concept marker
+        assert "  - fluores375" in menu
+
+
+class TestVocabularyHierarchy:
+    def test_builds_without_cycles(self):
+        h = vocabulary_hierarchy()
+        assert len(h) > 20
+
+    def test_abstract_concepts_not_measurable(self):
+        h = vocabulary_hierarchy()
+        assert not h.node("temperature").measurable
+        assert not h.node("fluorescence").measurable
+        assert h.node("salinity").measurable
+
+    def test_temperature_expansion(self):
+        h = vocabulary_hierarchy()
+        expanded = h.expand("temperature")
+        assert "air_temperature" in expanded
+        assert "water_temperature" in expanded
+        assert "sea_surface_temperature" in expanded
+        assert "temperature" not in expanded  # abstract
+
+    def test_sst_under_water_temperature(self):
+        h = vocabulary_hierarchy()
+        assert "sea_surface_temperature" in h.expand("water_temperature")
+
+
+class TestFlattened:
+    def _deep(self):
+        h = ConceptHierarchy()
+        h.add("a", measurable=False)
+        h.add("b", parent="a", measurable=False)
+        h.add("c", parent="b")
+        h.add("d", parent="c")
+        h.add("solo")
+        return h
+
+    def test_depth_capped(self):
+        flat = self._deep().flattened(1)
+        assert max(depth for __, depth in flat.walk()) == 1
+        assert set(flat.roots()) == {"a", "solo"}
+
+    def test_deep_nodes_reattach_to_allowed_ancestor(self):
+        flat = self._deep().flattened(2)
+        assert flat.node("c").parent == "b"
+        assert flat.node("d").parent == "b"  # was under c (depth 3)
+
+    def test_all_nodes_preserved(self):
+        original = self._deep()
+        flat = original.flattened(1)
+        assert len(flat) == len(original)
+        assert flat.node("d").measurable
+
+    def test_identity_when_already_shallow(self):
+        original = self._deep()
+        flat = original.flattened(10)
+        assert [n for n, __ in flat.walk()] == [
+            n for n, __ in original.walk()
+        ]
+
+    def test_bad_depth_raises(self):
+        with pytest.raises(HierarchyError):
+            self._deep().flattened(0)
+
+    def test_vocabulary_flatten_keeps_expansion_targets(self):
+        full = vocabulary_hierarchy()
+        flat = full.flattened(1)
+        # SST (depth 2 under temperature>water_temperature) stays
+        # reachable from the root concept.
+        assert "sea_surface_temperature" in flat.expand("temperature")
+
+    def test_generate_hierarchies_respects_max_depth(self, messy_fs):
+        from repro.wrangling import (
+            GenerateHierarchies,
+            PerformKnownTransformations,
+            ScanArchive,
+            WranglingState,
+        )
+
+        fs, __ = messy_fs
+        state = WranglingState(fs=fs)
+        ScanArchive().execute(state)
+        PerformKnownTransformations().execute(state)
+        GenerateHierarchies(max_depth=1).execute(state)
+        assert max(d for __, d in state.hierarchy.walk()) <= 1

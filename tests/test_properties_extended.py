@@ -1,0 +1,209 @@
+"""Property-based tests over the Refine, synonym, catalog-IO and
+hierarchy machinery added on top of the core."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import (
+    DatasetFeature,
+    MemoryCatalog,
+    VariableEntry,
+    dump_catalog,
+    load_catalog,
+)
+from repro.geo import BoundingBox, TimeInterval
+from repro.hierarchy import ConceptHierarchy
+from repro.refine import (
+    MassEditEdit,
+    MassEditOperation,
+    RefineTable,
+    RuleSet,
+)
+from repro.semantics import SynonymTable
+
+value_text = st.text(
+    alphabet="abcdefghij_0123456789 ", min_size=1, max_size=16
+).map(str.strip).filter(bool)
+
+
+@st.composite
+def mass_edit_mappings(draw):
+    """A from->to mapping with disjoint sources and targets."""
+    sources = draw(
+        st.lists(value_text, min_size=1, max_size=6, unique=True)
+    )
+    target = draw(value_text)
+    return {s: target for s in sources if s != target}
+
+
+class TestRuleSetProperties:
+    @given(st.lists(mass_edit_mappings(), min_size=1, max_size=4))
+    @settings(max_examples=50)
+    def test_json_roundtrip_preserves_mapping(self, mappings):
+        rules = RuleSet()
+        for mapping in mappings:
+            if not mapping:
+                continue
+            rules.append(
+                MassEditOperation(
+                    column="field",
+                    edits=[
+                        MassEditEdit((old,), new)
+                        for old, new in mapping.items()
+                    ],
+                )
+            )
+        reloaded = RuleSet.loads(rules.dumps())
+        assert reloaded.rename_mapping() == rules.rename_mapping()
+
+    @given(mass_edit_mappings())
+    @settings(max_examples=50)
+    def test_apply_realizes_mapping(self, mapping):
+        if not mapping:
+            return
+        table = RefineTable(
+            columns=["field"],
+            rows=[{"field": value} for value in mapping],
+        )
+        rules = RuleSet(
+            [
+                MassEditOperation(
+                    column="field",
+                    edits=[
+                        MassEditEdit((old,), new)
+                        for old, new in mapping.items()
+                    ],
+                )
+            ]
+        )
+        rules.apply(table)
+        for row, (old, new) in zip(table.rows, mapping.items()):
+            assert row["field"] == new
+
+
+class TestSynonymTableProperties:
+    @given(st.dictionaries(
+        st.text(alphabet="abcdef_", min_size=1, max_size=10),
+        st.text(alphabet="ghijkl_", min_size=1, max_size=10),
+        min_size=0, max_size=8,
+    ))
+    @settings(max_examples=50)
+    def test_dumps_loads_identity(self, pairs):
+        table = SynonymTable()
+        from repro.text import normalize_name
+
+        for alternate, preferred in pairs.items():
+            # Skip pairs whose normalized forms collide with earlier
+            # entries (the table rejects genuine conflicts by design).
+            if table.resolve(alternate) not in (None, preferred):
+                continue
+            if normalize_name(alternate) == normalize_name(preferred):
+                continue
+            try:
+                table.add(preferred, alternate)
+            except Exception:
+                continue
+        reloaded = SynonymTable.loads(table.dumps())
+        assert list(reloaded) == list(table)
+
+    @given(st.text(alphabet="abc_ ", min_size=1, max_size=12))
+    @settings(max_examples=50)
+    def test_contains_after_add(self, name):
+        from repro.text import normalize_name
+
+        if not normalize_name(name):
+            return
+        table = SynonymTable()
+        table.add(name)
+        assert table.contains(name)
+
+
+def _feature(dataset_id, lat, lon, t0, duration, names):
+    return DatasetFeature(
+        dataset_id=dataset_id,
+        title=dataset_id,
+        platform="station",
+        file_format="csv",
+        bbox=BoundingBox(lat, lon, lat, lon),
+        interval=TimeInterval(t0, t0 + duration),
+        row_count=3,
+        source_directory="",
+        variables=[
+            VariableEntry.from_written(name, "m", 3, 0.0, 1.0, 0.5, 0.1)
+            for name in names
+        ],
+    )
+
+
+class TestCatalogIoProperties:
+    @given(st.lists(
+        st.tuples(
+            st.floats(min_value=-89, max_value=89, allow_nan=False),
+            st.floats(min_value=-179, max_value=179, allow_nan=False),
+            st.floats(min_value=0, max_value=1e9, allow_nan=False),
+            st.floats(min_value=0, max_value=1e7, allow_nan=False),
+            st.lists(
+                st.text(alphabet="abcdef_", min_size=1, max_size=8),
+                min_size=1, max_size=4, unique=True,
+            ),
+        ),
+        min_size=0, max_size=6,
+    ))
+    @settings(max_examples=40)
+    def test_roundtrip_any_catalog(self, specs):
+        catalog = MemoryCatalog()
+        for i, (lat, lon, t0, duration, names) in enumerate(specs):
+            catalog.upsert(
+                _feature(f"d{i}", lat, lon, t0, duration, names)
+            )
+        restored = MemoryCatalog()
+        count = load_catalog(dump_catalog(catalog), restored)
+        assert count == len(catalog)
+        for dataset_id in catalog.dataset_ids():
+            a, b = catalog.get(dataset_id), restored.get(dataset_id)
+            assert a.bbox == b.bbox
+            assert a.interval == b.interval
+            assert a.variable_names() == b.variable_names()
+
+
+@st.composite
+def random_forests(draw):
+    """A random parent assignment that is guaranteed acyclic."""
+    size = draw(st.integers(min_value=1, max_value=12))
+    names = [f"n{i}" for i in range(size)]
+    parents = {}
+    for i, name in enumerate(names):
+        if i == 0:
+            parents[name] = None
+        else:
+            parent_index = draw(
+                st.one_of(st.none(), st.integers(min_value=0, max_value=i - 1))
+            )
+            parents[name] = (
+                None if parent_index is None else names[parent_index]
+            )
+    return names, parents
+
+
+class TestHierarchyProperties:
+    @given(random_forests(), st.integers(min_value=1, max_value=5))
+    @settings(max_examples=50)
+    def test_flattened_caps_depth_and_keeps_nodes(self, forest, max_depth):
+        names, parents = forest
+        hierarchy = ConceptHierarchy()
+        for name in names:
+            hierarchy.add(name, parent=parents[name])
+        flat = hierarchy.flattened(max_depth)
+        assert len(flat) == len(hierarchy)
+        assert all(depth <= max_depth for __, depth in flat.walk())
+
+    @given(random_forests())
+    @settings(max_examples=50)
+    def test_expand_contains_only_measurable(self, forest):
+        names, parents = forest
+        hierarchy = ConceptHierarchy()
+        for i, name in enumerate(names):
+            hierarchy.add(name, parent=parents[name], measurable=i % 2 == 0)
+        for name in names:
+            for expanded in hierarchy.expand(name):
+                assert hierarchy.node(expanded).measurable

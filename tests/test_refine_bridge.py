@@ -1,0 +1,156 @@
+"""Unit tests for repro.refine.bridge (catalog <-> Refine round-trip)."""
+
+import pytest
+
+from repro.archive import VOCABULARY
+from repro.refine import (
+    FIELD_COLUMN,
+    DiscoverySession,
+    apply_rules_to_catalog,
+    catalog_to_table,
+    make_canonical_chooser,
+)
+
+
+class TestCatalogExport:
+    def test_one_row_per_variable(self, raw_catalog):
+        table = catalog_to_table(raw_catalog)
+        expected = sum(
+            len(f.variables) for f in raw_catalog
+        )
+        assert len(table) == expected
+
+    def test_columns(self, raw_catalog):
+        table = catalog_to_table(raw_catalog)
+        assert FIELD_COLUMN in table.columns
+        assert "dataset_id" in table.columns
+        assert "platform" in table.columns
+
+    def test_platform_filled(self, raw_catalog):
+        table = catalog_to_table(raw_catalog)
+        platforms = set(table.column_values("platform"))
+        assert "" not in platforms
+
+
+class TestDiscoverySession:
+    def test_fingerprint_session_finds_variants(self, raw_catalog):
+        session = DiscoverySession(
+            method="fingerprint",
+            seed_values={name: 1 for name in VOCABULARY},
+            chooser=make_canonical_chooser(
+                set(VOCABULARY), fallback_to_most_common=False
+            ),
+        )
+        rules = session.discover_from_catalog(raw_catalog)
+        mapping = rules.rename_mapping()
+        for target in mapping.values():
+            assert target in VOCABULARY
+
+    def test_nn_session_finds_typos(self, raw_catalog):
+        session = DiscoverySession(
+            method="nn-levenshtein",
+            radius=2.0,
+            seed_values={name: 1 for name in VOCABULARY},
+            chooser=make_canonical_chooser(
+                set(VOCABULARY), fallback_to_most_common=False
+            ),
+        )
+        rules = session.discover_from_catalog(raw_catalog)
+        mapping = rules.rename_mapping()
+        assert mapping, "nearest-neighbour should discover something"
+        for target in mapping.values():
+            assert target in VOCABULARY
+
+    def test_apply_rules_renames_catalog(self, raw_catalog):
+        session = DiscoverySession(
+            method="nn-levenshtein",
+            seed_values={name: 1 for name in VOCABULARY},
+            chooser=make_canonical_chooser(
+                set(VOCABULARY), fallback_to_most_common=False
+            ),
+        )
+        rules = session.discover_from_catalog(raw_catalog)
+        mapping = rules.rename_mapping()
+        before = raw_catalog.variable_name_counts()
+        renamed = apply_rules_to_catalog(rules, raw_catalog)
+        after = raw_catalog.variable_name_counts()
+        assert renamed == sum(before[old] for old in mapping if old in before)
+        for old in mapping:
+            assert old not in after
+
+    def test_empty_rules_apply_zero(self, raw_catalog):
+        from repro.refine import RuleSet
+
+        assert apply_rules_to_catalog(RuleSet(), raw_catalog) == 0
+
+    def test_provenance_recorded(self, raw_catalog):
+        session = DiscoverySession(
+            method="nn-levenshtein",
+            seed_values={name: 1 for name in VOCABULARY},
+            chooser=make_canonical_chooser(
+                set(VOCABULARY), fallback_to_most_common=False
+            ),
+        )
+        rules = session.discover_from_catalog(raw_catalog)
+        mapping = rules.rename_mapping()
+        if not mapping:
+            pytest.skip("no discoveries on this fixture")
+        apply_rules_to_catalog(rules, raw_catalog, resolution="refine")
+        resolutions = {
+            entry.resolution
+            for __, entry in raw_catalog.iter_variables()
+            if entry.name in set(mapping.values())
+            and entry.written_name in mapping
+        }
+        assert "refine" in resolutions
+
+
+class TestChoosers:
+    def test_canonical_chooser_prefers_vocabulary(self):
+        from repro.refine import ValueCluster
+
+        cluster = ValueCluster(
+            values=("salinty", "salinity"), counts=(5, 2), method="nn"
+        )
+        chooser = make_canonical_chooser({"salinity"})
+        assert chooser(cluster) == "salinity"
+
+    def test_canonical_chooser_fallback(self):
+        from repro.refine import ValueCluster
+
+        cluster = ValueCluster(
+            values=("varA", "varB"), counts=(5, 2), method="nn"
+        )
+        assert make_canonical_chooser(set())(cluster) == "varA"
+        assert make_canonical_chooser(
+            set(), fallback_to_most_common=False
+        )(cluster) is None
+
+
+class TestCanonicalCollisionGuard:
+    def test_two_canonicals_never_merged(self):
+        from repro.refine import ValueCluster
+
+        cluster = ValueCluster(
+            values=("ph", "par"), counts=(5, 3), method="nn-levenshtein"
+        )
+        chooser = make_canonical_chooser({"ph", "par"})
+        assert chooser(cluster) is None
+
+    def test_chain_never_renames_one_canonical_into_another(
+        self, messy_fs
+    ):
+        from repro.archive import VALUE_RANGES, VOCABULARY
+        from repro.wrangling import WranglingState, default_chain
+
+        fs, __ = messy_fs
+        state = WranglingState(fs=fs)
+        default_chain().run(state)
+        for __, entry in state.working.iter_variables():
+            var = VOCABULARY.get(entry.name)
+            if var is None or entry.count == 0:
+                continue
+            assert entry.unit == var.unit, (entry.name, entry.unit)
+            lo, hi = VALUE_RANGES[entry.name]
+            assert entry.minimum >= lo - 1.0, (entry.name, entry.minimum)
+            assert entry.maximum <= hi + 1.0, (entry.name, entry.maximum)

@@ -1,0 +1,130 @@
+"""Unit tests for repro.refine.clustering."""
+
+import pytest
+
+from repro.refine import (
+    clusters_to_mass_edits,
+    key_collision_clusters,
+    nearest_neighbour_clusters,
+)
+
+
+@pytest.fixture()
+def counts():
+    # A mess family around air temperature plus singletons.
+    return {
+        "air_temperature": 10,
+        "Air Temperature": 3,
+        "air-temperature": 2,
+        "air_temperatrue": 1,
+        "salinity": 8,
+        "turbidity": 4,
+    }
+
+
+class TestKeyCollision:
+    def test_fingerprint_clusters_variants(self, counts):
+        clusters = key_collision_clusters(counts, keyer="fingerprint")
+        assert len(clusters) == 1
+        cluster = clusters[0]
+        assert set(cluster.values) == {
+            "air_temperature", "Air Temperature", "air-temperature",
+        }
+        assert cluster.suggested_value == "air_temperature"  # most common
+
+    def test_typo_not_caught_by_fingerprint(self, counts):
+        clusters = key_collision_clusters(counts, keyer="fingerprint")
+        for cluster in clusters:
+            assert "air_temperatrue" not in cluster.values
+
+    def test_metaphone_keyer(self):
+        counts = {"temperature": 5, "temperatoor": 1, "salinity": 2}
+        clusters = key_collision_clusters(counts, keyer="metaphone")
+        assert any(
+            set(c.values) == {"temperature", "temperatoor"}
+            for c in clusters
+        )
+
+    def test_min_size_filters_singletons(self, counts):
+        clusters = key_collision_clusters(counts, min_size=1)
+        singles = [c for c in clusters if c.size == 1]
+        assert singles  # with min_size=1 singletons appear
+        clusters = key_collision_clusters(counts, min_size=2)
+        assert all(c.size >= 2 for c in clusters)
+
+    def test_unknown_keyer_raises(self, counts):
+        with pytest.raises(KeyError):
+            key_collision_clusters(counts, keyer="quantum")
+
+    def test_cluster_counts_ordering(self, counts):
+        cluster = key_collision_clusters(counts)[0]
+        assert list(cluster.counts) == sorted(cluster.counts, reverse=True)
+        assert cluster.total_count == 15
+
+
+class TestNearestNeighbour:
+    def test_levenshtein_catches_typo(self, counts):
+        clusters = nearest_neighbour_clusters(
+            counts, distance="levenshtein", radius=2.0
+        )
+        family = [c for c in clusters if "air_temperatrue" in c.values]
+        assert family
+        assert "air_temperature" in family[0].values
+
+    def test_radius_controls_recall(self):
+        counts = {"salinity": 3, "salinXXX": 1}
+        tight = nearest_neighbour_clusters(counts, radius=1.0)
+        loose = nearest_neighbour_clusters(counts, radius=3.0)
+        assert not tight
+        assert loose
+
+    def test_jaro_winkler_distance(self, counts):
+        clusters = nearest_neighbour_clusters(
+            counts, distance="jaro-winkler", radius=0.15
+        )
+        assert any("air_temperatrue" in c.values for c in clusters)
+
+    def test_blocking_prefix(self):
+        # Values with different first characters are never compared when
+        # block_chars=1, even within radius.
+        counts = {"abc": 1, "xbc": 1}
+        clusters = nearest_neighbour_clusters(
+            counts, radius=1.0, block_chars=1
+        )
+        assert clusters == []
+
+    def test_unknown_distance_raises(self, counts):
+        with pytest.raises(ValueError):
+            nearest_neighbour_clusters(counts, distance="cosine")
+
+    def test_bad_radius_raises(self, counts):
+        with pytest.raises(ValueError):
+            nearest_neighbour_clusters(counts, radius=0.0)
+
+    def test_deterministic(self, counts):
+        a = nearest_neighbour_clusters(counts)
+        b = nearest_neighbour_clusters(counts)
+        assert [c.values for c in a] == [c.values for c in b]
+
+
+class TestClustersToMassEdits:
+    def test_default_merges_to_most_common(self, counts):
+        clusters = key_collision_clusters(counts)
+        edits = clusters_to_mass_edits(clusters)
+        assert len(edits) == 1
+        assert edits[0].to_value == "air_temperature"
+        assert "Air Temperature" in edits[0].from_values
+        assert "air_temperature" not in edits[0].from_values
+
+    def test_chooser_can_skip(self, counts):
+        clusters = key_collision_clusters(counts)
+        edits = clusters_to_mass_edits(clusters, target_for=lambda c: None)
+        assert edits == []
+
+    def test_chooser_picks_target(self, counts):
+        clusters = key_collision_clusters(counts)
+        edits = clusters_to_mass_edits(
+            clusters, target_for=lambda c: "AIR_T"
+        )
+        assert edits[0].to_value == "AIR_T"
+        assert len(edits[0].from_values) == 3

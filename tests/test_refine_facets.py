@@ -1,0 +1,106 @@
+"""Unit tests for repro.refine.facets."""
+
+import pytest
+
+from repro.refine import (
+    EngineConfig,
+    FacetConfigError,
+    ListFacet,
+    TextFacet,
+    facet_from_json,
+)
+
+
+class TestListFacet:
+    def test_matches_selection(self):
+        facet = ListFacet(column="field", selection=("airtemp", "salinity"))
+        assert facet.matches({"field": "airtemp"})
+        assert not facet.matches({"field": "depth"})
+
+    def test_invert(self):
+        facet = ListFacet(column="field", selection=("airtemp",), invert=True)
+        assert not facet.matches({"field": "airtemp"})
+        assert facet.matches({"field": "depth"})
+
+    def test_missing_column_no_match(self):
+        facet = ListFacet(column="field", selection=("x",))
+        assert not facet.matches({"other": "x"})
+
+    def test_json_roundtrip(self):
+        facet = ListFacet(column="field", selection=("a", "b"))
+        parsed = facet_from_json(facet.to_json())
+        assert parsed == facet
+
+
+class TestTextFacet:
+    def test_substring_case_insensitive(self):
+        facet = TextFacet(column="field", query="TEMP")
+        assert facet.matches({"field": "airtemp"})
+
+    def test_case_sensitive(self):
+        facet = TextFacet(column="field", query="TEMP", case_sensitive=True)
+        assert not facet.matches({"field": "airtemp"})
+        assert facet.matches({"field": "AIRTEMP"})
+
+    def test_regex_mode(self):
+        facet = TextFacet(column="field", query=r"^qa_", mode="regex")
+        assert facet.matches({"field": "qa_level"})
+        assert not facet.matches({"field": "aqua"})
+
+    def test_bad_mode_raises(self):
+        with pytest.raises(FacetConfigError):
+            TextFacet(column="f", query="x", mode="fuzzy")
+
+    def test_none_value_no_match(self):
+        facet = TextFacet(column="field", query="x")
+        assert not facet.matches({"field": None})
+
+    def test_json_roundtrip(self):
+        facet = TextFacet(column="field", query="qa", mode="regex")
+        parsed = facet_from_json(facet.to_json())
+        assert parsed == facet
+
+
+class TestEngineConfig:
+    def test_empty_matches_all(self):
+        assert EngineConfig().matches({"anything": 1})
+
+    def test_all_facets_must_match(self):
+        config = EngineConfig(
+            facets=(
+                ListFacet(column="field", selection=("airtemp",)),
+                TextFacet(column="unit", query="deg"),
+            )
+        )
+        assert config.matches({"field": "airtemp", "unit": "degC"})
+        assert not config.matches({"field": "airtemp", "unit": "PSU"})
+
+    def test_from_json_none(self):
+        assert EngineConfig.from_json(None).facets == ()
+
+    def test_from_json_poster_shape(self):
+        config = EngineConfig.from_json(
+            {"facets": [], "mode": "row-based"}
+        )
+        assert config.mode == "row-based"
+
+    def test_json_roundtrip(self):
+        config = EngineConfig(
+            facets=(ListFacet(column="field", selection=("a",)),)
+        )
+        parsed = EngineConfig.from_json(config.to_json())
+        assert parsed == config
+
+    def test_facet_without_column_raises(self):
+        with pytest.raises(FacetConfigError):
+            facet_from_json({"type": "list"})
+
+    def test_unknown_facet_type_raises(self):
+        with pytest.raises(FacetConfigError):
+            facet_from_json({"type": "timeline", "columnName": "x"})
+
+    def test_plain_selection_values_accepted(self):
+        facet = facet_from_json(
+            {"type": "list", "columnName": "f", "selection": ["a", "b"]}
+        )
+        assert facet.selection == ("a", "b")

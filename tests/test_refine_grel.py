@@ -1,0 +1,112 @@
+"""Unit tests for repro.refine.grel (the GREL-like expressions)."""
+
+import pytest
+
+from repro.refine import (
+    GrelEvalError,
+    GrelExpression,
+    GrelSyntaxError,
+    evaluate,
+)
+
+
+class TestLiteralsAndVariables:
+    def test_value_identity(self):
+        assert evaluate("value", "abc") == "abc"
+
+    def test_string_literal(self):
+        assert evaluate("'hello'", None) == "hello"
+        assert evaluate('"hello"', None) == "hello"
+
+    def test_number_literals(self):
+        assert evaluate("42", None) == 42
+        assert evaluate("3.5", None) == 3.5
+
+    def test_escaped_quote(self):
+        assert evaluate(r"'it\'s'", None) == "it's"
+
+    def test_unknown_variable_raises(self):
+        with pytest.raises(GrelEvalError):
+            evaluate("nonexistent", "x")
+
+    def test_cells_access(self):
+        assert evaluate("cells['unit']", "x", unit="degC") == "degC"
+
+
+class TestMethodsAndFunctions:
+    def test_chaining(self):
+        result = evaluate("value.trim().toLowercase()", "  AirTemp  ")
+        assert result == "airtemp"
+
+    def test_replace(self):
+        assert evaluate("value.replace('-', '_')", "air-temp") == "air_temp"
+
+    def test_function_call_style(self):
+        assert evaluate("toUppercase(value)", "abc") == "ABC"
+
+    def test_length(self):
+        assert evaluate("value.length()", "abcd") == 4
+
+    def test_split_and_index(self):
+        assert evaluate("value.split('_')[1]", "air_temp") == "temp"
+
+    def test_substring(self):
+        assert evaluate("value.substring(0, 3)", "salinity") == "sal"
+        assert evaluate("value.substring(3)", "salinity") == "inity"
+
+    def test_predicates(self):
+        assert evaluate("value.startsWith('air')", "air_temp") is True
+        assert evaluate("value.endsWith('temp')", "air_temp") is True
+        assert evaluate("value.contains('r_t')", "air_temp") is True
+
+    def test_fingerprint_function(self):
+        assert evaluate("value.fingerprint()", "Air-Temperature") == (
+            "air temperature"
+        )
+
+    def test_to_number(self):
+        assert evaluate("value.toNumber()", "3.5") == 3.5
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(GrelEvalError):
+            evaluate("value.frobnicate()", "x")
+
+    def test_type_error_raises(self):
+        with pytest.raises(GrelEvalError):
+            evaluate("value.toLowercase()", 42)
+
+
+class TestConcat:
+    def test_string_concat(self):
+        assert evaluate("value + '_fixed'", "name") == "name_fixed"
+
+    def test_number_addition(self):
+        assert evaluate("1 + 2", None) == 3
+
+    def test_mixed_concat_stringifies(self):
+        assert evaluate("value + 1", "v") == "v1"
+
+
+class TestParsing:
+    def test_grel_prefix_stripped(self):
+        assert evaluate("grel:value.trim()", " x ") == "x"
+
+    def test_reusable_expression(self):
+        expr = GrelExpression("value.toLowercase()")
+        assert expr.evaluate("ABC") == "abc"
+        assert expr.evaluate("DeF") == "def"
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["value.", "value..x()", "('unclosed'", "value.replace('a',)",
+         "value @ 2", "value extra"],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(GrelSyntaxError):
+            GrelExpression(bad)
+
+    def test_repr(self):
+        assert "value" in repr(GrelExpression("value"))
+
+    def test_parenthesized(self):
+        assert evaluate("(value)", "x") == "x"

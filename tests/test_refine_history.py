@@ -1,0 +1,87 @@
+"""Unit tests for repro.refine.history (rule sets and JSON round-trips)."""
+
+import json
+
+import pytest
+
+from repro.refine import (
+    MassEditEdit,
+    MassEditOperation,
+    OperationError,
+    RefineTable,
+    RuleSet,
+    TextTransformOperation,
+)
+
+
+def mass_edit(mapping: dict[str, str]) -> MassEditOperation:
+    return MassEditOperation(
+        column="field",
+        edits=[
+            MassEditEdit((old,), new) for old, new in mapping.items()
+        ],
+    )
+
+
+class TestRuleSet:
+    def test_apply_in_order(self):
+        rules = RuleSet()
+        rules.append(mass_edit({"a": "b"}))
+        rules.append(mass_edit({"b": "c"}))
+        table = RefineTable(columns=["field"], rows=[{"field": "a"}])
+        rules.apply(table)
+        assert table.rows[0]["field"] == "c"
+
+    def test_len_and_extend(self):
+        rules = RuleSet()
+        rules.extend([mass_edit({"a": "b"}), mass_edit({"c": "d"})])
+        assert len(rules) == 2
+
+    def test_dumps_loads_roundtrip(self):
+        rules = RuleSet()
+        rules.append(mass_edit({"ATastn": "sea surface temperature"}))
+        rules.append(
+            TextTransformOperation(
+                column="field", expression="value.trim()"
+            )
+        )
+        loaded = RuleSet.loads(rules.dumps())
+        assert len(loaded) == 2
+        assert loaded.rename_mapping() == rules.rename_mapping()
+
+    def test_loads_single_object(self):
+        text = json.dumps(mass_edit({"a": "b"}).to_json())
+        assert len(RuleSet.loads(text)) == 1
+
+    def test_loads_non_history_raises(self):
+        with pytest.raises(OperationError):
+            RuleSet.loads('"just a string"')
+
+    def test_dumps_is_valid_json_array(self):
+        rules = RuleSet([mass_edit({"a": "b"})])
+        data = json.loads(rules.dumps())
+        assert isinstance(data, list)
+        assert data[0]["op"] == "core/mass-edit"
+
+
+class TestRenameMapping:
+    def test_simple(self):
+        rules = RuleSet([mass_edit({"a": "b", "x": "y"})])
+        assert rules.rename_mapping() == {"a": "b", "x": "y"}
+
+    def test_composition_across_operations(self):
+        rules = RuleSet([mass_edit({"a": "b"}), mass_edit({"b": "c"})])
+        mapping = rules.rename_mapping()
+        assert mapping["a"] == "c"
+        assert mapping["b"] == "c"
+
+    def test_identity_dropped(self):
+        rules = RuleSet([mass_edit({"a": "b"}), mass_edit({"b": "a"})])
+        mapping = rules.rename_mapping()
+        assert "a" not in mapping  # a->b->a collapses to identity
+
+    def test_non_mass_edit_ops_ignored(self):
+        rules = RuleSet(
+            [TextTransformOperation(column="f", expression="value")]
+        )
+        assert rules.rename_mapping() == {}

@@ -1,0 +1,187 @@
+"""Unit tests for repro.refine.ops."""
+
+import pytest
+
+from repro.refine import (
+    ColumnRemovalOperation,
+    ColumnRenameOperation,
+    EngineConfig,
+    ListFacet,
+    MassEditEdit,
+    MassEditOperation,
+    OperationError,
+    RefineTable,
+    RowRemovalOperation,
+    TextTransformOperation,
+    operation_from_json,
+)
+
+POSTER_MASS_EDIT = {
+    "op": "core/mass-edit",
+    "description": "Mass edit cells in column field",
+    "engineConfig": {"facets": [], "mode": "row-based"},
+    "columnName": "field",
+    "expression": "value",
+    "edits": [
+        {
+            "fromBlank": False,
+            "fromError": False,
+            "from": ["ATastn"],
+            "to": "sea surface temperature",
+        }
+    ],
+}
+
+
+@pytest.fixture()
+def table():
+    t = RefineTable(columns=["field", "unit"])
+    for field, unit in [
+        ("ATastn", "degC"), ("salinity", "PSU"), ("AirTemp", "C"),
+        ("qa_level", "1"),
+    ]:
+        t.append_row({"field": field, "unit": unit})
+    return t
+
+
+class TestMassEdit:
+    def test_poster_example_verbatim(self, table):
+        op = operation_from_json(POSTER_MASS_EDIT)
+        changed = op.apply(table)
+        assert changed == 1
+        assert table.rows[0]["field"] == "sea surface temperature"
+        assert table.rows[1]["field"] == "salinity"
+
+    def test_multiple_from_values(self, table):
+        op = MassEditOperation(
+            column="field",
+            edits=[MassEditEdit(("ATastn", "AirTemp"), "temperature")],
+        )
+        assert op.apply(table) == 2
+
+    def test_keyed_expression(self, table):
+        # Matching after lowercasing: 'AirTemp' -> keyed 'airtemp'.
+        op = MassEditOperation(
+            column="field",
+            edits=[MassEditEdit(("airtemp",), "air_temperature")],
+            expression="value.toLowercase()",
+        )
+        assert op.apply(table) == 1
+        assert table.rows[2]["field"] == "air_temperature"
+
+    def test_engine_config_filters(self, table):
+        op = MassEditOperation(
+            column="field",
+            edits=[MassEditEdit(("ATastn",), "sst")],
+            engine_config=EngineConfig(
+                facets=(ListFacet(column="unit", selection=("PSU",)),)
+            ),
+        )
+        assert op.apply(table) == 0  # ATastn row has unit degC
+
+    def test_rename_mapping(self):
+        op = MassEditOperation(
+            column="field",
+            edits=[
+                MassEditEdit(("a", "b"), "c"),
+                MassEditEdit(("d",), "e"),
+            ],
+        )
+        assert op.rename_mapping() == {"a": "c", "b": "c", "d": "e"}
+
+    def test_json_roundtrip(self):
+        op = operation_from_json(POSTER_MASS_EDIT)
+        again = operation_from_json(op.to_json())
+        assert again.rename_mapping() == op.rename_mapping()
+
+    def test_missing_column_name_raises(self):
+        with pytest.raises(OperationError):
+            operation_from_json({"op": "core/mass-edit", "edits": []})
+
+
+class TestTextTransform:
+    def test_apply(self, table):
+        op = TextTransformOperation(
+            column="field", expression="value.toLowercase()"
+        )
+        changed = op.apply(table)
+        assert changed == 2  # ATastn, AirTemp
+        assert table.rows[0]["field"] == "atastn"
+
+    def test_on_error_keep_original(self, table):
+        table.append_row({"field": None, "unit": "x"})
+        op = TextTransformOperation(
+            column="field", expression="value.toLowercase()"
+        )
+        op.apply(table)
+        assert table.rows[-1]["field"] is None
+
+    def test_on_error_set_to_blank(self, table):
+        table.rows[0]["field"] = 42
+        op = TextTransformOperation(
+            column="field",
+            expression="value.toLowercase()",
+            on_error="set-to-blank",
+        )
+        op.apply(table)
+        assert table.rows[0]["field"] is None
+
+    def test_repeat_until_fixpoint(self):
+        t = RefineTable(columns=["field"])
+        t.append_row({"field": "a__b__c"})
+        op = TextTransformOperation(
+            column="field",
+            expression="value.replace('__', '_')",
+            repeat=True,
+        )
+        op.apply(t)
+        assert t.rows[0]["field"] == "a_b_c"
+
+    def test_json_roundtrip_adds_grel_prefix(self):
+        op = TextTransformOperation(column="f", expression="value.trim()")
+        data = op.to_json()
+        assert data["expression"].startswith("grel:")
+        again = operation_from_json(data)
+        assert again.expression == "grel:value.trim()"
+
+
+class TestColumnOps:
+    def test_rename(self, table):
+        ColumnRenameOperation("field", "name").apply(table)
+        assert "name" in table.columns
+
+    def test_removal(self, table):
+        ColumnRemovalOperation("unit").apply(table)
+        assert table.columns == ["field"]
+
+    def test_rename_json_roundtrip(self):
+        op = ColumnRenameOperation("a", "b")
+        again = operation_from_json(op.to_json())
+        assert (again.old_name, again.new_name) == ("a", "b")
+
+    def test_removal_json_roundtrip(self):
+        op = ColumnRemovalOperation("x")
+        assert operation_from_json(op.to_json()).column == "x"
+
+
+class TestRowRemoval:
+    def test_removes_faceted_rows(self, table):
+        op = RowRemovalOperation(
+            engine_config=EngineConfig(
+                facets=(ListFacet(column="field", selection=("qa_level",)),)
+            )
+        )
+        assert op.apply(table) == 1
+        assert len(table) == 3
+
+    def test_json_roundtrip(self):
+        op = RowRemovalOperation()
+        assert isinstance(
+            operation_from_json(op.to_json()), RowRemovalOperation
+        )
+
+
+class TestUnknownOp:
+    def test_raises(self):
+        with pytest.raises(OperationError):
+            operation_from_json({"op": "core/blink-detection"})

@@ -1,0 +1,114 @@
+"""Unit tests for the column-addition and fill-down Refine operations."""
+
+import pytest
+
+from repro.refine import (
+    ColumnAdditionOperation,
+    EngineConfig,
+    FillDownOperation,
+    ListFacet,
+    OperationError,
+    RefineTable,
+    operation_from_json,
+)
+
+
+@pytest.fixture()
+def table():
+    t = RefineTable(columns=["field", "unit"])
+    for field, unit in [
+        ("Air-Temp", "degC"), ("salinity", None), ("TURB", ""),
+    ]:
+        t.append_row({"field": field, "unit": unit})
+    return t
+
+
+class TestColumnAddition:
+    def test_adds_derived_column(self, table):
+        op = ColumnAdditionOperation(
+            base_column="field",
+            new_column="key",
+            expression="value.fingerprint()",
+        )
+        op.apply(table)
+        assert table.columns == ["field", "unit", "key"]
+        assert table.rows[0]["key"] == "air temp"
+
+    def test_error_cells_blank(self, table):
+        table.rows[1]["field"] = 42  # not a string
+        op = ColumnAdditionOperation(
+            base_column="field",
+            new_column="lower",
+            expression="value.toLowercase()",
+        )
+        op.apply(table)
+        assert table.rows[1]["lower"] is None
+        assert table.rows[0]["lower"] == "air-temp"
+
+    def test_faceted_rows_only(self, table):
+        op = ColumnAdditionOperation(
+            base_column="field",
+            new_column="marked",
+            expression="'x'",
+            engine_config=EngineConfig(
+                facets=(ListFacet(column="unit", selection=("degC",)),)
+            ),
+        )
+        op.apply(table)
+        assert table.rows[0]["marked"] == "x"
+        assert table.rows[1]["marked"] is None
+
+    def test_json_roundtrip(self):
+        op = ColumnAdditionOperation(
+            base_column="field", new_column="key",
+            expression="value.fingerprint()",
+        )
+        data = op.to_json()
+        assert data["expression"].startswith("grel:")
+        again = operation_from_json(data)
+        assert isinstance(again, ColumnAdditionOperation)
+        assert again.new_column == "key"
+
+    def test_missing_expression_raises(self):
+        with pytest.raises(OperationError):
+            operation_from_json(
+                {"op": "core/column-addition", "baseColumnName": "a",
+                 "newColumnName": "b"}
+            )
+
+    def test_duplicate_target_raises(self, table):
+        op = ColumnAdditionOperation(
+            base_column="field", new_column="unit", expression="value"
+        )
+        with pytest.raises(ValueError):
+            op.apply(table)
+
+
+class TestFillDown:
+    def test_fills_blanks(self, table):
+        changed = FillDownOperation(column="unit").apply(table)
+        assert changed == 2
+        assert [row["unit"] for row in table.rows] == [
+            "degC", "degC", "degC",
+        ]
+
+    def test_leading_blank_stays(self):
+        t = RefineTable(columns=["unit"])
+        t.append_row({"unit": None})
+        t.append_row({"unit": "m"})
+        t.append_row({"unit": None})
+        FillDownOperation(column="unit").apply(t)
+        assert [row["unit"] for row in t.rows] == [None, "m", "m"]
+
+    def test_json_roundtrip(self):
+        op = FillDownOperation(column="unit")
+        again = operation_from_json(op.to_json())
+        assert isinstance(again, FillDownOperation)
+        assert again.column == "unit"
+
+    def test_in_ruleset(self, table):
+        from repro.refine import RuleSet
+
+        rules = RuleSet([FillDownOperation(column="unit")])
+        loaded = RuleSet.loads(rules.dumps())
+        assert loaded.apply(table) == 2

@@ -1,0 +1,119 @@
+"""Unit tests for repro.refine.table."""
+
+import pytest
+
+from repro.refine import ColumnError, RefineTable
+
+
+@pytest.fixture()
+def table():
+    t = RefineTable(columns=["field", "unit"])
+    t.append_row({"field": "airtemp", "unit": "C"})
+    t.append_row({"field": "salinity", "unit": "PSU"})
+    t.append_row({"field": "airtemp", "unit": "degC"})
+    return t
+
+
+class TestStructure:
+    def test_duplicate_columns_raise(self):
+        with pytest.raises(ValueError):
+            RefineTable(columns=["a", "a"])
+
+    def test_add_column(self, table):
+        table.add_column("source", values=["a", "b", "c"])
+        assert table.rows[0]["source"] == "a"
+
+    def test_add_column_defaults_none(self, table):
+        table.add_column("flag")
+        assert table.rows[0]["flag"] is None
+
+    def test_add_column_duplicate_raises(self, table):
+        with pytest.raises(ValueError):
+            table.add_column("field")
+
+    def test_add_column_wrong_length_raises(self, table):
+        with pytest.raises(ValueError):
+            table.add_column("x", values=["only-one"])
+
+    def test_remove_column(self, table):
+        table.remove_column("unit")
+        assert table.columns == ["field"]
+        assert "unit" not in table.rows[0]
+
+    def test_remove_missing_raises(self, table):
+        with pytest.raises(ColumnError):
+            table.remove_column("ghost")
+
+    def test_rename_column(self, table):
+        table.rename_column("field", "name")
+        assert table.columns == ["name", "unit"]
+        assert table.rows[0]["name"] == "airtemp"
+
+    def test_rename_to_existing_raises(self, table):
+        with pytest.raises(ValueError):
+            table.rename_column("field", "unit")
+
+
+class TestRows:
+    def test_append_fills_missing(self, table):
+        table.append_row({"field": "x"})
+        assert table.rows[-1]["unit"] is None
+
+    def test_append_unknown_column_raises(self, table):
+        with pytest.raises(ValueError):
+            table.append_row({"ghost": 1})
+
+    def test_column_values(self, table):
+        assert table.column_values("field") == [
+            "airtemp", "salinity", "airtemp",
+        ]
+
+    def test_distinct_values(self, table):
+        assert table.distinct_values("field") == {
+            "airtemp": 2, "salinity": 1,
+        }
+
+    def test_remove_rows(self, table):
+        removed = table.remove_rows(lambda r: r["field"] == "airtemp")
+        assert removed == 2
+        assert len(table) == 1
+
+
+class TestTransform:
+    def test_transform_column(self, table):
+        changed = table.transform_column(
+            "field", lambda v, row: v.upper()
+        )
+        assert changed == 3
+        assert table.rows[0]["field"] == "AIRTEMP"
+
+    def test_transform_counts_only_changes(self, table):
+        changed = table.transform_column(
+            "field", lambda v, row: v  # identity
+        )
+        assert changed == 0
+
+    def test_transform_with_filter(self, table):
+        changed = table.transform_column(
+            "field",
+            lambda v, row: "renamed",
+            row_filter=lambda row: row["unit"] == "PSU",
+        )
+        assert changed == 1
+        assert table.rows[1]["field"] == "renamed"
+
+    def test_transform_missing_column_raises(self, table):
+        with pytest.raises(ColumnError):
+            table.transform_column("ghost", lambda v, r: v)
+
+
+class TestCopy:
+    def test_copy_independent(self, table):
+        clone = table.copy()
+        clone.rows[0]["field"] = "mutated"
+        clone.columns.append("extra")
+        assert table.rows[0]["field"] == "airtemp"
+        assert "extra" not in table.columns
+
+    def test_iteration(self, table):
+        assert len(list(table)) == 3

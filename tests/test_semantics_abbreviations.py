@@ -1,0 +1,103 @@
+"""Unit tests for repro.semantics.abbreviations."""
+
+import pytest
+
+from repro.semantics import (
+    AbbreviationConflictError,
+    AbbreviationTable,
+    acronym_candidates,
+    looks_like_abbreviation,
+    vocabulary_abbreviation_table,
+)
+
+
+class TestAbbreviationTable:
+    def test_add_and_expand(self):
+        table = AbbreviationTable()
+        table.add("MWHLA", "wave_height")
+        assert table.expand("MWHLA") == "wave_height"
+
+    def test_case_insensitive_lookup(self):
+        table = AbbreviationTable()
+        table.add("SST", "sea_surface_temperature")
+        assert table.expand("sst") == "sea_surface_temperature"
+
+    def test_unknown_none(self):
+        assert AbbreviationTable().expand("XYZ") is None
+
+    def test_conflict_raises(self):
+        table = AbbreviationTable()
+        table.add("DO", "dissolved_oxygen")
+        with pytest.raises(AbbreviationConflictError):
+            table.add("DO", "depth")
+
+    def test_idempotent_rebind_same(self):
+        table = AbbreviationTable()
+        table.add("DO", "dissolved_oxygen")
+        table.add("DO", "dissolved_oxygen")
+        assert len(table) == 1
+
+    def test_contains(self):
+        table = AbbreviationTable()
+        table.add("SAL", "salinity")
+        assert "SAL" in table
+        assert "sal" in table
+        assert "XYZ" not in table
+
+    def test_items_sorted(self):
+        table = AbbreviationTable()
+        table.add("WT", "water_temperature")
+        table.add("AT", "air_temperature")
+        assert [a for a, __ in table.items()] == ["AT", "WT"]
+
+
+class TestLooksLikeAbbreviation:
+    @pytest.mark.parametrize("name", ["SST", "MWHLA", "DO", "QA"])
+    def test_positive(self, name):
+        assert looks_like_abbreviation(name)
+
+    @pytest.mark.parametrize(
+        "name", ["salinity", "fluores375", "Temp", "x", "TOOLONGABBREV"]
+    )
+    def test_negative(self, name):
+        assert not looks_like_abbreviation(name)
+
+
+class TestAcronymCandidates:
+    NAMES = [
+        "sea_surface_temperature",
+        "salinity",
+        "wind_speed",
+        "water_temperature",
+        "wave_height",
+    ]
+
+    def test_sst_matches_sea_surface_temperature(self):
+        candidates = acronym_candidates("SST", self.NAMES)
+        assert candidates
+        assert candidates[0].canonical == "sea_surface_temperature"
+
+    def test_wspd_matches_wind_speed(self):
+        candidates = acronym_candidates("WSPD", self.NAMES)
+        names = [c.canonical for c in candidates]
+        assert "wind_speed" in names
+
+    def test_first_letter_must_match(self):
+        candidates = acronym_candidates("XST", self.NAMES)
+        assert candidates == []
+
+    def test_empty_abbreviation(self):
+        assert acronym_candidates("123", self.NAMES) == []
+
+    def test_deterministic_ordering(self):
+        a = acronym_candidates("WT", self.NAMES)
+        b = acronym_candidates("WT", self.NAMES)
+        assert [c.canonical for c in a] == [c.canonical for c in b]
+
+
+class TestVocabularyTable:
+    def test_paper_abbreviations_present(self):
+        table = vocabulary_abbreviation_table()
+        assert table.expand("MWHLA") == "wave_height"
+        assert table.expand("SST") == "sea_surface_temperature"
+        assert table.expand("DO") == "dissolved_oxygen"

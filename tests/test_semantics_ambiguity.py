@@ -1,0 +1,108 @@
+"""Unit tests for repro.semantics.ambiguity."""
+
+import pytest
+
+from repro.catalog import VariableEntry
+from repro.semantics import (
+    AmbiguityAction,
+    AmbiguityDecision,
+    analyze_ambiguity,
+    is_ambiguous_form,
+)
+
+
+def entry(name, unit, lo, hi, count=10):
+    return VariableEntry.from_written(
+        name, unit, count, lo, hi, (lo + hi) / 2, 1.0
+    )
+
+
+class TestDetection:
+    @pytest.mark.parametrize("name", ["temp", "pres", "do", "dir", "speed"])
+    def test_known_forms(self, name):
+        assert is_ambiguous_form(name)
+
+    @pytest.mark.parametrize("name", ["temperature", "salinity", "qa_level"])
+    def test_non_forms(self, name):
+        assert not is_ambiguous_form(name)
+
+    def test_non_form_returns_none(self):
+        assert analyze_ambiguity(
+            "d", "station", entry("salinity", "PSU", 0, 30)
+        ) is None
+
+
+class TestEvidence:
+    def test_unit_plus_context_clarifies_temp(self):
+        # 'temp' with degC on a met platform: air_temperature.
+        finding = analyze_ambiguity(
+            "d", "met", entry("temp", "degC", 2.0, 25.0)
+        )
+        assert finding is not None
+        assert finding.suggested == "air_temperature"
+
+    def test_unit_plus_water_context(self):
+        finding = analyze_ambiguity(
+            "d", "station", entry("temp", "C", 8.0, 15.0)
+        )
+        assert finding.suggested == "water_temperature"
+
+    def test_unit_synonym_spelling_counts(self):
+        # 'Centigrade' must be recognized as degC evidence.
+        finding = analyze_ambiguity(
+            "d", "station", entry("temp", "Centigrade", 8.0, 15.0)
+        )
+        assert finding.suggested == "water_temperature"
+
+    def test_phantom_temp_stays_unresolved(self):
+        # Dimensionless saw-tooth values: could be 'temporary'; range fits
+        # several temperature candidates -> no auto-clarification.
+        finding = analyze_ambiguity(
+            "d", "station", entry("temp", "1", 0.0, 16.0)
+        )
+        assert finding is not None
+        assert finding.suggested is None
+        assert None in finding.candidates
+
+    def test_context_resolves_dir(self):
+        finding = analyze_ambiguity(
+            "d", "met", entry("dir", "degrees", 0.0, 360.0)
+        )
+        assert finding.suggested == "wind_direction"
+        finding = analyze_ambiguity(
+            "d", "glider", entry("dir", "degrees", 0.0, 360.0)
+        )
+        assert finding.suggested == "current_direction"
+
+    def test_pres_by_unit(self):
+        finding = analyze_ambiguity(
+            "d", "cast", entry("pres", "dbar", 0.0, 150.0)
+        )
+        assert finding.suggested == "water_pressure"
+        finding = analyze_ambiguity(
+            "d", "met", entry("pres", "mbar", 990.0, 1030.0)
+        )
+        assert finding.suggested == "air_pressure"
+
+    def test_do_with_unit(self):
+        finding = analyze_ambiguity(
+            "d", "station", entry("do", "mg/L", 4.0, 10.0)
+        )
+        assert finding.suggested == "dissolved_oxygen"
+
+
+class TestDecision:
+    def test_clarify_needs_canonical(self):
+        with pytest.raises(ValueError):
+            AmbiguityDecision(name="temp", action=AmbiguityAction.CLARIFY)
+
+    def test_scope_matching(self):
+        decision = AmbiguityDecision(
+            name="temp", action=AmbiguityAction.HIDE, scope="stations/"
+        )
+        assert decision.applies_to("stations/x/x.csv")
+        assert not decision.applies_to("cruises/c/c.csv")
+
+    def test_global_scope(self):
+        decision = AmbiguityDecision(name="temp", action=AmbiguityAction.LEAVE)
+        assert decision.applies_to("anything")

@@ -1,0 +1,34 @@
+"""Unit tests for repro.semantics.categories (Table 1 as data)."""
+
+import pytest
+
+from repro.semantics import DiversityCategory, TABLE_ROWS, row_for
+
+
+class TestTableRows:
+    def test_seven_rows(self):
+        assert len(TABLE_ROWS) == 7
+
+    def test_all_categories_covered(self):
+        assert {row.category for row in TABLE_ROWS} == set(DiversityCategory)
+
+    def test_paper_examples_verbatim(self):
+        assert "air_temperatrue" in row_for("misspelling").example
+        assert "Centigrade" in row_for("synonym").example
+        assert "MWHLA" in row_for("abbreviation").example
+        assert "qa_level" in row_for("excessive").example
+        assert "temporary or temperature" in row_for("ambiguous").example
+        assert "fluores375" in row_for("multilevel").example
+
+    def test_row_for_enum_and_string(self):
+        assert row_for(DiversityCategory.SYNONYM) is row_for("synonym")
+
+    def test_row_for_unknown_raises(self):
+        with pytest.raises(KeyError):
+            row_for("nonsense")
+
+    def test_every_row_has_approach(self):
+        for row in TABLE_ROWS:
+            assert row.approach
+            assert row.desired_result
+            assert row.title

@@ -1,0 +1,82 @@
+"""Unit tests for repro.semantics.context."""
+
+import pytest
+
+from repro.semantics import (
+    ContextRules,
+    UnknownContextError,
+    default_context_rules,
+)
+
+
+@pytest.fixture()
+def rules():
+    return ContextRules()
+
+
+class TestDefaultRules:
+    def test_temperature_by_context(self, rules):
+        # The Table row 6 example, both readings.
+        assert rules.resolve("temperature", "air") == "air_temperature"
+        assert rules.resolve("temperature", "water") == "water_temperature"
+
+    def test_pressure_by_context(self, rules):
+        assert rules.resolve("pressure", "air") == "air_pressure"
+        assert rules.resolve("pressure", "water") == "water_pressure"
+
+    def test_speed_and_direction(self, rules):
+        assert rules.resolve("speed", "air") == "wind_speed"
+        assert rules.resolve("speed", "water") == "current_speed"
+        assert rules.resolve("direction", "water") == "current_direction"
+
+    def test_unknown_pair_raises(self, rules):
+        with pytest.raises(UnknownContextError):
+            rules.resolve("temperature", "vacuum")
+
+    def test_bare_names(self, rules):
+        bare = rules.bare_names()
+        assert {"temperature", "pressure", "speed", "direction"} <= bare
+
+
+class TestPlatformResolution:
+    def test_met_station_is_air(self, rules):
+        assert rules.resolve_for_platform("temperature", "met") == (
+            "air_temperature"
+        )
+
+    def test_ctd_cast_is_water(self, rules):
+        assert rules.resolve_for_platform("temperature", "cast") == (
+            "water_temperature"
+        )
+
+    def test_cruise_specific_rule_wins(self, rules):
+        # Underway cruise temperature is sea-surface temperature.
+        assert rules.resolve_for_platform("temperature", "cruise") == (
+            "sea_surface_temperature"
+        )
+
+    def test_unknown_platform_defaults_to_water(self, rules):
+        assert rules.resolve_for_platform("temperature", "rover") == (
+            "water_temperature"
+        )
+
+    def test_no_rule_returns_none(self, rules):
+        assert rules.resolve_for_platform("mystery", "met") is None
+
+
+class TestCuratorExtension:
+    def test_add_rule(self, rules):
+        rules.add("flux", "water", "par")
+        assert rules.resolve("flux", "water") == "par"
+
+    def test_override_rule(self, rules):
+        rules.add("temperature", "water", "sea_surface_temperature")
+        assert rules.resolve("temperature", "water") == (
+            "sea_surface_temperature"
+        )
+
+    def test_default_rules_factory_fresh(self):
+        a = default_context_rules()
+        b = default_context_rules()
+        a[("new", "water")] = "salinity"
+        assert ("new", "water") not in b

@@ -1,0 +1,58 @@
+"""Unit tests for repro.semantics.exclusion."""
+
+import pytest
+
+from repro.semantics import ExclusionPolicy
+
+
+@pytest.fixture()
+def policy():
+    return ExclusionPolicy()
+
+
+class TestDefaults:
+    @pytest.mark.parametrize(
+        "name",
+        ["qa_level", "qc_flag", "battery_voltage", "sample_number",
+         "instrument_tilt", "QA_status", "sensor_qc_1"],
+    )
+    def test_auxiliary_names(self, policy, name):
+        assert policy.is_auxiliary(name)
+
+    @pytest.mark.parametrize(
+        "name",
+        ["salinity", "water_temperature", "turbidity", "nitrate",
+         "qanat_flow"],  # 'qanat' must not trip the qa pattern
+    )
+    def test_environmental_names(self, policy, name):
+        assert not policy.is_auxiliary(name)
+
+    def test_vocabulary_flag_wins_for_known_names(self, policy):
+        # 'ph' has no pattern but is environmental by vocabulary.
+        assert not policy.is_auxiliary("ph")
+        assert policy.is_auxiliary("qa_level")
+
+
+class TestCustomization:
+    def test_add_pattern(self, policy):
+        assert not policy.is_auxiliary("internal_diagnostic")
+        policy.add_pattern("diagnostic")
+        assert policy.is_auxiliary("internal_diagnostic")
+
+    def test_add_bad_pattern_raises(self, policy):
+        import re
+
+        with pytest.raises(re.error):
+            policy.add_pattern("([unclosed")
+
+    def test_without_vocabulary(self):
+        policy = ExclusionPolicy(use_vocabulary=False)
+        # Pattern still catches it even without vocabulary knowledge.
+        assert policy.is_auxiliary("qa_level")
+
+    def test_partition(self, policy):
+        searchable, auxiliary = policy.partition(
+            ["salinity", "qa_level", "depth", "qc_flag"]
+        )
+        assert searchable == ["salinity", "depth"]
+        assert auxiliary == ["qa_level", "qc_flag"]

@@ -1,0 +1,131 @@
+"""Unit tests for repro.semantics.resolver (the combined pipeline)."""
+
+import math
+
+import pytest
+
+from repro.catalog import VariableEntry
+from repro.semantics import (
+    MisspellingResolver,
+    ResolutionMethod,
+    SynonymTable,
+    TermResolver,
+    vocabulary_synonym_table,
+)
+
+
+@pytest.fixture()
+def resolver():
+    return TermResolver()
+
+
+class TestMethodOrder:
+    def test_exact(self, resolver):
+        res = resolver.resolve_name("salinity")
+        assert res.canonical == "salinity"
+        assert res.method is ResolutionMethod.EXACT
+
+    def test_synonym(self, resolver):
+        res = resolver.resolve_name("salt")
+        assert res.canonical == "salinity"
+        assert res.method is ResolutionMethod.SYNONYM
+
+    def test_abbreviation_table_via_synonyms(self, resolver):
+        # Vocabulary abbreviations live in the synonym table too; either
+        # method is acceptable as long as the target is right.
+        res = resolver.resolve_name("MWHLA")
+        assert res.canonical == "wave_height"
+        assert res.method in (
+            ResolutionMethod.SYNONYM, ResolutionMethod.ABBREVIATION,
+        )
+
+    def test_context_beats_abstract_vocabulary_entry(self, resolver):
+        res = resolver.resolve_name("temperature", platform="met")
+        assert res.canonical == "air_temperature"
+        assert res.method is ResolutionMethod.CONTEXT
+
+    def test_context_water_platform(self, resolver):
+        res = resolver.resolve_name("temperature", platform="cast")
+        assert res.canonical == "water_temperature"
+
+    def test_fuzzy_last(self, resolver):
+        res = resolver.resolve_name("air_temperatrue")
+        assert res.canonical == "air_temperature"
+        assert res.method is ResolutionMethod.FUZZY
+
+    def test_unresolvable(self, resolver):
+        res = resolver.resolve_name("completely_unknown_thing_xyz")
+        assert res.canonical is None
+        assert res.method is ResolutionMethod.UNRESOLVED
+
+    def test_auxiliary_flagged(self, resolver):
+        res = resolver.resolve_name("qa_level")
+        assert res.auxiliary
+        res = resolver.resolve_name("salinity")
+        assert not res.auxiliary
+
+
+class TestAmbiguousNames:
+    def test_bare_temp_without_evidence_stays_flagged(self, resolver):
+        # 'temp' could be 'temporary': with no unit/value evidence the
+        # Table's answer is to expose it to the curator, and it must
+        # never fall through to fuzzy matching.
+        res = resolver.resolve_name("temp", platform="station")
+        assert res.canonical is None
+        assert res.ambiguous
+        assert res.method is ResolutionMethod.UNRESOLVED
+
+    def test_entry_evidence_used(self, resolver):
+        ok = VariableEntry.from_written(
+            "temp", "degC", 10, 5.0, 15.0, 10.0, 1.0
+        )
+        res = resolver.resolve_entry(ok, "met", "d1")
+        assert res.canonical == "air_temperature"
+        assert res.method is ResolutionMethod.AMBIGUITY_EVIDENCE
+
+    def test_phantom_entry_stays_flagged(self, resolver):
+        phantom = VariableEntry.from_written(
+            "temp", "1", 10, 0.0, 16.0, 8.0, 5.0
+        )
+        res = resolver.resolve_entry(phantom, "station", "d1")
+        assert res.canonical is None
+        assert res.ambiguous
+
+
+class TestAblation:
+    def test_empty_synonym_table_breaks_synonyms_only(self):
+        resolver = TermResolver(
+            synonyms=SynonymTable(),
+        )
+        assert resolver.resolve_name("salt").canonical is None
+        # Misspellings still resolve via fuzzy.
+        assert resolver.resolve_name("salinty").canonical == "salinity"
+
+    def test_no_fuzzy(self):
+        resolver = TermResolver(use_fuzzy=False)
+        assert resolver.resolve_name("salinty").canonical is None
+
+    def test_partial_table_without_abbreviations(self):
+        resolver = TermResolver(
+            synonyms=vocabulary_synonym_table(include_abbreviations=False),
+        )
+        # The dedicated abbreviation table still expands it.
+        res = resolver.resolve_name("MWHLA")
+        assert res.canonical == "wave_height"
+        assert res.method is ResolutionMethod.ABBREVIATION
+
+    def test_custom_fuzzy_resolver(self):
+        resolver = TermResolver(
+            fuzzy=MisspellingResolver(["salinity"], max_distance=1)
+        )
+        assert resolver.resolve_name("salinit").canonical == "salinity"
+
+
+class TestResolutionRecord:
+    def test_resolved_property(self, resolver):
+        assert resolver.resolve_name("salinity").resolved
+        assert not resolver.resolve_name("zzz_unknown").resolved
+
+    def test_note_for_fuzzy(self, resolver):
+        res = resolver.resolve_name("air_temperatrue")
+        assert "d=" in res.note or res.note

@@ -1,0 +1,170 @@
+"""Unit tests for repro.semantics.review (the semi-curated queue)."""
+
+import pytest
+
+from repro.semantics import (
+    Resolution,
+    ResolutionMethod,
+    SynonymTable,
+    TermResolver,
+)
+from repro.semantics.review import (
+    ReviewQueue,
+    ReviewVerdict,
+    queue_from_catalog,
+)
+
+
+def fuzzy(written="salinty", canonical="salinity"):
+    return Resolution(
+        written=written,
+        canonical=canonical,
+        method=ResolutionMethod.FUZZY,
+        note="edit d=1",
+    )
+
+
+def exact(written="salinity"):
+    return Resolution(
+        written=written, canonical=written, method=ResolutionMethod.EXACT
+    )
+
+
+class TestIntake:
+    def test_fuzzy_is_queued(self):
+        queue = ReviewQueue()
+        assert queue.offer(fuzzy())
+        assert len(queue) == 1
+
+    def test_exact_passes_through(self):
+        queue = ReviewQueue()
+        assert not queue.offer(exact())
+        assert len(queue) == 0
+
+    def test_unresolved_not_queued(self):
+        queue = ReviewQueue()
+        assert not queue.offer(
+            Resolution(written="x", canonical=None,
+                       method=ResolutionMethod.UNRESOLVED)
+        )
+
+    def test_duplicates_bump_occurrences(self):
+        queue = ReviewQueue()
+        queue.offer(fuzzy())
+        queue.offer(fuzzy())
+        assert len(queue) == 1
+        assert queue.pending()[0].occurrences == 2
+
+    def test_evidence_method_queued(self):
+        queue = ReviewQueue()
+        assert queue.offer(
+            Resolution(written="temp", canonical="water_temperature",
+                       method=ResolutionMethod.AMBIGUITY_EVIDENCE)
+        )
+
+
+class TestDisposal:
+    def test_approve_learns_synonym(self):
+        queue = ReviewQueue()
+        queue.offer(fuzzy())
+        table = SynonymTable()
+        table.add("salinity")
+        item = queue.approve("salinty", "salinity", synonyms=table)
+        assert item.verdict is ReviewVerdict.APPROVED
+        assert table.resolve("salinty") == "salinity"
+        assert queue.pending() == []
+
+    def test_reject_blocks_requeue(self):
+        queue = ReviewQueue()
+        queue.offer(fuzzy())
+        queue.reject("salinty", "salinity")
+        assert not queue.offer(fuzzy())
+        assert queue.counts()["rejected"] == 1
+
+    def test_unknown_pair_raises(self):
+        with pytest.raises(KeyError):
+            ReviewQueue().approve("a", "b")
+
+    def test_approve_all(self):
+        queue = ReviewQueue()
+        queue.offer(fuzzy())
+        queue.offer(fuzzy("turbididy", "turbidity"))
+        table = SynonymTable()
+        assert queue.approve_all(synonyms=table) == 2
+        assert table.resolve("turbididy") == "turbidity"
+
+    def test_pending_ordering_by_frequency(self):
+        queue = ReviewQueue()
+        queue.offer(fuzzy("a_typo", "salinity"))
+        for __ in range(3):
+            queue.offer(fuzzy("b_typo", "turbidity"))
+        assert queue.pending()[0].written == "b_typo"
+
+
+class TestRendering:
+    def test_render_lists_items(self):
+        queue = ReviewQueue()
+        queue.offer(fuzzy())
+        text = queue.render()
+        assert "'salinty' -> 'salinity'" in text
+        assert "fuzzy" in text
+
+    def test_render_empty(self):
+        assert "(empty)" in ReviewQueue().render()
+
+
+class TestQueueFromCatalog:
+    def test_catalog_fuzzy_resolutions_queued(self, raw_catalog):
+        queue = queue_from_catalog(raw_catalog, TermResolver())
+        # The messy fixture contains misspellings -> fuzzy proposals.
+        assert len(queue) > 0
+        for item in queue.pending():
+            assert item.method in ("fuzzy", "ambiguity-evidence")
+
+    def test_approving_queue_makes_resolutions_known(self, raw_catalog):
+        resolver = TermResolver()
+        queue = queue_from_catalog(raw_catalog, resolver)
+        # Pick a fuzzy proposal: those are safe to learn globally
+        # (ambiguity-evidence items are context-dependent by design).
+        sample = next(
+            item for item in queue.pending() if item.method == "fuzzy"
+        )
+        queue.approve(
+            sample.written, sample.proposed, synonyms=resolver.synonyms
+        )
+        res = resolver.resolve_name(sample.written)
+        assert res.method in (
+            ResolutionMethod.SYNONYM, ResolutionMethod.EXACT,
+        )
+        assert res.canonical == sample.proposed
+
+
+class TestAmbiguousFormsNotLearned:
+    def test_ambiguous_approval_skips_synonym_table(self):
+        queue = ReviewQueue()
+        queue.offer(
+            Resolution(written="pres", canonical="water_pressure",
+                       method=ResolutionMethod.AMBIGUITY_EVIDENCE)
+        )
+        table = SynonymTable()
+        item = queue.approve("pres", "water_pressure", synonyms=table)
+        assert item.verdict is ReviewVerdict.APPROVED
+        assert not table.contains("pres")
+        assert "context-dependent" in item.note
+
+    def test_mixed_context_approvals_do_not_conflict(self):
+        # 'pres' proposed as water_pressure on a CTD and air_pressure on
+        # a met station: both approvals succeed, neither poisons the
+        # table (the original motivating failure).
+        queue = ReviewQueue()
+        queue.offer(
+            Resolution(written="pres", canonical="water_pressure",
+                       method=ResolutionMethod.AMBIGUITY_EVIDENCE)
+        )
+        queue.offer(
+            Resolution(written="pres", canonical="air_pressure",
+                       method=ResolutionMethod.AMBIGUITY_EVIDENCE)
+        )
+        table = SynonymTable()
+        assert queue.approve_all(synonyms=table) == 2
+        assert not table.contains("pres")

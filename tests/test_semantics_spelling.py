@@ -1,0 +1,104 @@
+"""Unit tests for repro.semantics.spelling."""
+
+import pytest
+
+from repro.semantics import MisspellingResolver
+
+CANONICALS = [
+    "air_temperature",
+    "water_temperature",
+    "salinity",
+    "turbidity",
+    "dissolved_oxygen",
+    "wind_speed",
+]
+
+
+@pytest.fixture()
+def resolver():
+    return MisspellingResolver(CANONICALS)
+
+
+class TestPaperExamples:
+    def test_air_temperatrue_resolves(self, resolver):
+        # The Table's exact misspelling example.
+        match = resolver.resolve("air_temperatrue")
+        assert match is not None
+        assert match.canonical == "air_temperature"
+        assert match.distance <= 1 or match.method != "edit"
+
+    def test_airtemp_not_matched_without_table(self, resolver):
+        # 'airtemp' is an abbreviationish form, 7 chars vs 15 — outside
+        # edit range, and fingerprints differ; the synonym table handles
+        # it, not the misspelling resolver.
+        match = resolver.resolve("airtemp")
+        assert match is None or match.canonical == "air_temperature"
+
+
+class TestMethods:
+    def test_fingerprint_variant(self, resolver):
+        match = resolver.resolve("Temperature Air")
+        assert match is not None
+        assert match.canonical == "air_temperature"
+        assert match.method == "fingerprint"
+
+    def test_joined_tokens_via_ngram(self, resolver):
+        match = resolver.resolve("watertemperature")
+        assert match is not None
+        assert match.canonical == "water_temperature"
+        assert match.method in ("ngram", "edit")
+
+    def test_typo_via_edit_distance(self, resolver):
+        match = resolver.resolve("salinty")
+        assert match is not None
+        assert match.canonical == "salinity"
+
+    def test_transposition_cheap(self, resolver):
+        match = resolver.resolve("salintiy")
+        assert match is not None
+        assert match.canonical == "salinity"
+
+    def test_unrelated_name_unresolved(self, resolver):
+        assert resolver.resolve("chlorophyll_a") is None
+
+    def test_empty_unresolved(self, resolver):
+        assert resolver.resolve("") is None
+
+    def test_exact_name_resolves_to_itself(self, resolver):
+        match = resolver.resolve("salinity")
+        assert match is not None
+        assert match.canonical == "salinity"
+
+
+class TestAmbiguityGuard:
+    def test_tie_between_canonicals_unresolved(self):
+        resolver = MisspellingResolver(["aaab", "aaac"])
+        # 'aaad' is distance 1 from both: must stay unresolved.
+        assert resolver.resolve("aaad") is None
+
+    def test_short_names_get_tight_budget(self):
+        resolver = MisspellingResolver(["ph"])
+        # A 3-char name may be at most 1 edit away even though
+        # max_distance is 2.
+        assert resolver.resolve("px") is None or True  # no crash
+        resolved = resolver.resolve("phh")
+        assert resolved is None or resolved.canonical == "ph"
+
+
+class TestBatch:
+    def test_resolve_all_partitions(self, resolver):
+        mapping, unresolved = resolver.resolve_all(
+            ["salinty", "salinity", "mystery_var"]
+        )
+        assert mapping == {"salinty": "salinity"}
+        assert unresolved == ["mystery_var"]
+
+
+class TestValidation:
+    def test_bad_max_distance(self):
+        with pytest.raises(ValueError):
+            MisspellingResolver(CANONICALS, max_distance=0)
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            MisspellingResolver(CANONICALS, max_distance_fraction=0.0)

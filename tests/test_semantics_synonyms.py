@@ -1,0 +1,109 @@
+"""Unit tests for repro.semantics.synonyms."""
+
+import pytest
+
+from repro.semantics import (
+    SynonymConflictError,
+    SynonymTable,
+    vocabulary_synonym_table,
+)
+
+
+class TestSynonymTable:
+    def test_add_and_resolve(self):
+        table = SynonymTable()
+        table.add("salinity", "salt")
+        assert table.resolve("salt") == "salinity"
+        assert table.resolve("salinity") == "salinity"
+
+    def test_resolve_unknown_none(self):
+        assert SynonymTable().resolve("mystery") is None
+
+    def test_normalization_insensitive_lookup(self):
+        table = SynonymTable()
+        table.add("air_temperature", "atmospheric temperature")
+        assert table.resolve("Atmospheric-Temperature") == "air_temperature"
+        assert table.resolve("atmosphericTemperature") == "air_temperature"
+
+    def test_contains_is_poster_validation_predicate(self):
+        table = SynonymTable()
+        table.add("salinity", "salt")
+        assert table.contains("salinity")  # preferred
+        assert table.contains("salt")  # alternate
+        assert not table.contains("turbidity")
+
+    def test_conflict_raises(self):
+        table = SynonymTable()
+        table.add("salinity", "sal")
+        with pytest.raises(SynonymConflictError):
+            table.add("turbidity", "sal")
+
+    def test_re_adding_same_pair_is_idempotent(self):
+        table = SynonymTable()
+        table.add("salinity", "salt")
+        table.add("salinity", "salt")
+        assert table.alternates_of("salinity") == ["salt"]
+
+    def test_add_many(self):
+        table = SynonymTable()
+        table.add_many("degC", ["C", "Centigrade"])
+        assert table.resolve("C") == "degC"
+        assert table.resolve("Centigrade") == "degC"
+
+    def test_preferred_terms(self):
+        table = SynonymTable()
+        table.add("b", "b_alt")
+        table.add("a")
+        assert table.preferred_terms() == ["a", "b"]
+
+    def test_as_mapping_drops_identities(self):
+        table = SynonymTable()
+        table.add("salinity", "salt")
+        mapping = table.as_mapping()
+        assert mapping == {"salt": "salinity"}
+
+    def test_len_counts_spellings(self):
+        table = SynonymTable()
+        table.add("salinity", "salt")
+        assert len(table) == 2
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        table = SynonymTable()
+        table.add("salinity", "salt")
+        table.add("degC", "Centigrade")
+        loaded = SynonymTable.loads(table.dumps())
+        assert loaded.resolve("salt") == "salinity"
+        assert loaded.resolve("Centigrade") == "degC"
+        assert loaded.preferred_terms() == table.preferred_terms()
+
+    def test_loads_ignores_comments_and_blanks(self):
+        text = "# comment\n\nsalt\tsalinity\n"
+        table = SynonymTable.loads(text)
+        assert table.resolve("salt") == "salinity"
+
+    def test_loads_bad_row_raises(self):
+        with pytest.raises(ValueError):
+            SynonymTable.loads("one_column_only\n")
+
+
+class TestVocabularyTable:
+    def test_full_table_resolves_paper_examples(self):
+        table = vocabulary_synonym_table()
+        assert table.resolve("MWHLA") == "wave_height"
+        assert table.resolve("ATastn") == "sea_surface_temperature"
+        assert table.resolve("fluores375") == "fluorescence_375nm"
+
+    def test_partial_table_flags(self):
+        bare = vocabulary_synonym_table(
+            include_synonyms=False, include_abbreviations=False
+        )
+        assert bare.resolve("salinity") == "salinity"
+        assert bare.resolve("MWHLA") is None
+        assert bare.resolve("salt") is None
+
+    def test_partial_synonyms_only(self):
+        table = vocabulary_synonym_table(include_abbreviations=False)
+        assert table.resolve("salt") == "salinity"
+        assert table.resolve("MWHLA") is None

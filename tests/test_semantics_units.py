@@ -1,0 +1,78 @@
+"""Unit tests for repro.semantics.units."""
+
+import pytest
+
+from repro.semantics import (
+    UnitRegistry,
+    UnknownUnitError,
+    unit_normalization_mapping,
+)
+
+
+@pytest.fixture()
+def registry():
+    return UnitRegistry()
+
+
+class TestNormalization:
+    def test_paper_synonyms(self, registry):
+        assert registry.normalize("C") == "degC"
+        assert registry.normalize("Centigrade") == "degC"
+
+    def test_same_family(self, registry):
+        assert registry.same_family("C", "degC")
+        assert registry.same_family("mbar", "hPa")
+        assert not registry.same_family("degC", "PSU")
+
+    def test_is_known(self, registry):
+        assert registry.is_known("psu")
+        assert not registry.is_known("furlongs")
+
+
+class TestConversion:
+    def test_identity_within_family(self, registry):
+        assert registry.convert(12.5, "C", "degC") == 12.5
+
+    def test_fahrenheit_to_celsius(self, registry):
+        assert registry.convert(32.0, "degF", "degC") == pytest.approx(0.0)
+        assert registry.convert(212.0, "degF", "degC") == pytest.approx(100.0)
+
+    def test_celsius_to_fahrenheit_inverse(self, registry):
+        assert registry.convert(
+            registry.convert(18.5, "degC", "degF"), "degF", "degC"
+        ) == pytest.approx(18.5)
+
+    def test_kelvin(self, registry):
+        assert registry.convert(273.15, "K", "degC") == pytest.approx(0.0)
+
+    def test_oxygen_mg_per_l_to_micromolar(self, registry):
+        assert registry.convert(1.0, "mg/L", "uM") == pytest.approx(
+            31.25, abs=0.05
+        )
+
+    def test_pressure(self, registry):
+        assert registry.convert(1.0, "dbar", "hPa") == pytest.approx(100.0)
+
+    def test_unknown_pair_raises(self, registry):
+        with pytest.raises(UnknownUnitError):
+            registry.convert(1.0, "degC", "PSU")
+
+    def test_convertible(self, registry):
+        assert registry.convertible("degF", "degC")
+        assert registry.convertible("C", "Centigrade")  # same family
+        assert not registry.convertible("PSU", "m")
+
+    def test_spelling_normalized_before_convert(self, registry):
+        # 'millibar' is an hPa spelling; decibar is a dbar spelling.
+        assert registry.convert(10.0, "decibar", "millibar") == (
+            pytest.approx(1000.0)
+        )
+
+
+class TestNormalizationMapping:
+    def test_identity_entries_dropped(self):
+        mapping = unit_normalization_mapping(["degC", "C", "psu", "weird"])
+        assert mapping == {"C": "degC", "psu": "PSU"}
+
+    def test_empty(self):
+        assert unit_normalization_mapping([]) == {}

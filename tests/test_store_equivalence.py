@@ -1,0 +1,102 @@
+"""Property test: the two catalog stores are observably identical.
+
+Random operation sequences applied to a MemoryCatalog and a SqliteCatalog
+must leave both in the same observable state — ids, features, variable
+names, exclusion flags.  This is what lets the rest of the system treat
+``CatalogStore`` as one thing.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import (
+    DatasetFeature,
+    MemoryCatalog,
+    SqliteCatalog,
+    VariableEntry,
+)
+from repro.geo import BoundingBox, TimeInterval
+
+ids = st.sampled_from(["a", "b", "c", "d"])
+names = st.sampled_from(["salinity", "temp", "turbidity", "qa_level"])
+
+
+def make_feature(dataset_id: str, variable_names: tuple[str, ...]):
+    return DatasetFeature(
+        dataset_id=dataset_id,
+        title=f"T {dataset_id}",
+        platform="station",
+        file_format="csv",
+        bbox=BoundingBox(46.0, -124.0, 46.2, -123.8),
+        interval=TimeInterval(0.0, 100.0),
+        row_count=5,
+        source_directory="d",
+        attributes={"k": dataset_id},
+        variables=[
+            VariableEntry.from_written(n, "u", 5, 0.0, 1.0, 0.5, 0.1)
+            for n in variable_names
+        ],
+    )
+
+
+operations = st.one_of(
+    st.tuples(st.just("upsert"), ids,
+              st.lists(names, min_size=1, max_size=3, unique=True)),
+    st.tuples(st.just("remove"), ids),
+    st.tuples(st.just("rename"), names, names),
+    st.tuples(st.just("exclude"), names),
+    st.tuples(st.just("unexclude"), names),
+    st.tuples(st.just("ambiguous"), names),
+    st.tuples(st.just("rename_units"), st.just("u"), st.just("v")),
+)
+
+
+def apply(store, op):
+    kind = op[0]
+    if kind == "upsert":
+        store.upsert(make_feature(op[1], tuple(op[2])))
+    elif kind == "remove":
+        try:
+            store.remove(op[1])
+        except KeyError:
+            return "missing"
+    elif kind == "rename":
+        return store.rename_variables({op[1]: op[2]}, resolution="p")
+    elif kind == "exclude":
+        return store.set_excluded([op[1]], True)
+    elif kind == "unexclude":
+        return store.set_excluded([op[1]], False)
+    elif kind == "ambiguous":
+        return store.set_ambiguous([op[1]], True)
+    elif kind == "rename_units":
+        return store.rename_units({op[1]: op[2]})
+    return None
+
+
+def observable(store):
+    state = {}
+    for dataset_id in store.dataset_ids():
+        feature = store.get(dataset_id)
+        state[dataset_id] = [
+            (v.written_name, v.name, v.unit, v.excluded, v.ambiguous,
+             v.resolution)
+            for v in feature.variables
+        ]
+    return state
+
+
+class TestStoreEquivalence:
+    @given(st.lists(operations, min_size=0, max_size=15))
+    @settings(max_examples=40, deadline=None)
+    def test_memory_and_sqlite_agree(self, ops):
+        memory = MemoryCatalog()
+        with SqliteCatalog() as sqlite:
+            for op in ops:
+                result_m = apply(memory, op)
+                result_s = apply(sqlite, op)
+                assert result_m == result_s, op
+            assert observable(memory) == observable(sqlite)
+            assert (
+                memory.variable_name_counts()
+                == sqlite.variable_name_counts()
+            )

@@ -1,0 +1,125 @@
+"""Unit tests for repro.text.distance."""
+
+import pytest
+
+from repro.text import (
+    damerau_levenshtein,
+    damerau_similarity,
+    dice_coefficient,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    levenshtein_similarity,
+    ngram_jaccard,
+)
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("", "", 0),
+            ("abc", "abc", 0),
+            ("abc", "", 3),
+            ("", "abc", 3),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("air_temperature", "air_temperatrue", 2),
+        ],
+    )
+    def test_known_distances(self, a, b, expected):
+        assert levenshtein(a, b) == expected
+
+    def test_symmetry(self):
+        assert levenshtein("abcdef", "azced") == levenshtein(
+            "azced", "abcdef"
+        )
+
+    def test_triangle_inequality(self):
+        a, b, c = "salinity", "salinty", "salt"
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+
+class TestDamerau:
+    def test_transposition_costs_one(self):
+        # The paper's canonical misspelling.
+        assert damerau_levenshtein("air_temperature", "air_temperatrue") == 1
+        assert levenshtein("air_temperature", "air_temperatrue") == 2
+
+    def test_equal_strings(self):
+        assert damerau_levenshtein("abc", "abc") == 0
+
+    def test_never_exceeds_levenshtein(self):
+        pairs = [("abcd", "acbd"), ("water", "wtaer"), ("temp", "tmep")]
+        for a, b in pairs:
+            assert damerau_levenshtein(a, b) <= levenshtein(a, b)
+
+    def test_empty_cases(self):
+        assert damerau_levenshtein("", "abc") == 3
+        assert damerau_levenshtein("abc", "") == 3
+
+
+class TestSimilarities:
+    def test_identical_is_one(self):
+        assert levenshtein_similarity("abc", "abc") == 1.0
+        assert damerau_similarity("abc", "abc") == 1.0
+
+    def test_empty_pair_is_one(self):
+        assert levenshtein_similarity("", "") == 1.0
+
+    def test_disjoint_is_low(self):
+        assert levenshtein_similarity("abc", "xyz") == 0.0
+
+    def test_in_unit_range(self):
+        for a, b in [("air", "temp"), ("sal", "salinity"), ("x", "")]:
+            assert 0.0 <= levenshtein_similarity(a, b) <= 1.0
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro("salinity", "salinity") == 1.0
+
+    def test_empty(self):
+        assert jaro("", "abc") == 0.0
+
+    def test_known_value(self):
+        # Classic Winkler example.
+        assert jaro("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_winkler_boosts_shared_prefix(self):
+        base = jaro("air_temp", "air_tmep")
+        assert jaro_winkler("air_temp", "air_tmep") >= base
+
+    def test_winkler_identical(self):
+        assert jaro_winkler("same", "same") == 1.0
+
+    def test_winkler_bad_scale_raises(self):
+        with pytest.raises(ValueError):
+            jaro_winkler("a", "b", prefix_scale=0.5)
+
+    def test_winkler_in_unit_range(self):
+        for a, b in [("temperature", "temperatrue"), ("a", "ab"), ("x", "y")]:
+            assert 0.0 <= jaro_winkler(a, b) <= 1.0
+
+
+class TestNgramMeasures:
+    def test_jaccard_identical(self):
+        assert ngram_jaccard("salinity", "salinity") == 1.0
+
+    def test_jaccard_disjoint(self):
+        assert ngram_jaccard("aaaa", "bbbb") == 0.0
+
+    def test_jaccard_short_strings(self):
+        assert ngram_jaccard("a", "a") == 1.0
+        assert ngram_jaccard("a", "b") == 0.0
+
+    def test_dice_identical(self):
+        assert dice_coefficient("water", "water") == 1.0
+
+    def test_dice_at_least_jaccard(self):
+        pairs = [("salinity", "salinty"), ("water_temp", "watertemp")]
+        for a, b in pairs:
+            assert dice_coefficient(a, b) >= ngram_jaccard(a, b)
+
+    def test_dice_one_empty(self):
+        assert dice_coefficient("", "water") == 0.0

@@ -1,0 +1,68 @@
+"""Unit tests for repro.text.fingerprint (Refine keyers)."""
+
+import pytest
+
+from repro.text import fingerprint, ngram_fingerprint
+
+
+class TestFingerprint:
+    def test_case_insensitive(self):
+        assert fingerprint("Air_Temperature") == fingerprint(
+            "air_temperature"
+        )
+
+    def test_token_order_insensitive(self):
+        assert fingerprint("temperature air") == fingerprint(
+            "air temperature"
+        )
+
+    def test_punctuation_insensitive(self):
+        assert fingerprint("air-temperature") == fingerprint(
+            "air.temperature"
+        )
+
+    def test_duplicate_tokens_collapse(self):
+        assert fingerprint("air air temperature") == fingerprint(
+            "air temperature"
+        )
+
+    def test_accents_stripped(self):
+        assert fingerprint("Température") == fingerprint("temperature")
+
+    def test_different_words_differ(self):
+        assert fingerprint("air_temperature") != fingerprint(
+            "water_temperature"
+        )
+
+    def test_idempotent(self):
+        key = fingerprint("Air-Temperature")
+        assert fingerprint(key) == key
+
+    def test_empty(self):
+        assert fingerprint("") == ""
+
+
+class TestNgramFingerprint:
+    def test_collides_joined_tokens(self):
+        assert ngram_fingerprint("airtemp") == ngram_fingerprint("air_temp")
+
+    def test_case_insensitive(self):
+        assert ngram_fingerprint("AirTemp") == ngram_fingerprint("airtemp")
+
+    def test_short_value_returned_cleaned(self):
+        assert ngram_fingerprint("A") == "a"
+
+    def test_distinguishes_unrelated(self):
+        assert ngram_fingerprint("salinity") != ngram_fingerprint(
+            "turbidity"
+        )
+
+    def test_bad_n_raises(self):
+        with pytest.raises(ValueError):
+            ngram_fingerprint("abc", n=0)
+
+    def test_ngram_size_matters(self):
+        # Larger n is stricter: values colliding at n=1 may split at n=3.
+        a, b = "abc", "acb"
+        assert ngram_fingerprint(a, n=1) == ngram_fingerprint(b, n=1)
+        assert ngram_fingerprint(a, n=3) != ngram_fingerprint(b, n=3)

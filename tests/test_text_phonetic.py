@@ -1,0 +1,55 @@
+"""Unit tests for repro.text.phonetic."""
+
+from repro.text import metaphone, soundex
+
+
+class TestSoundex:
+    def test_classic_examples(self):
+        assert soundex("Robert") == "R163"
+        assert soundex("Rupert") == "R163"
+        assert soundex("Tymczak") == "T522"
+
+    def test_same_code_for_similar(self):
+        assert soundex("salinity") == soundex("salinitee")
+
+    def test_padded_to_four(self):
+        assert len(soundex("ray")) == 4
+
+    def test_digits_preserved(self):
+        assert soundex("fluores375").endswith("375")
+        assert soundex("fluores375") != soundex("fluores400")
+
+    def test_empty(self):
+        assert soundex("") == ""
+
+    def test_only_digits(self):
+        assert soundex("375") == "375"
+
+
+class TestMetaphone:
+    def test_misspelling_family_collides(self):
+        assert metaphone("temperature") == metaphone("temperatoor")
+
+    def test_ph_is_f(self):
+        assert metaphone("phosphate") == metaphone("fosfate")
+
+    def test_kn_silent_k(self):
+        assert metaphone("knight")[0] == "N"
+
+    def test_ck_single_k(self):
+        assert metaphone("back") == metaphone("bak")
+
+    def test_digits_preserved_and_distinguish(self):
+        assert metaphone("fluores375") != metaphone("fluores400")
+
+    def test_empty(self):
+        assert metaphone("") == ""
+
+    def test_doubled_letters_collapse(self):
+        assert metaphone("fall") == metaphone("fal")
+
+    def test_distinct_words_differ(self):
+        assert metaphone("salinity") != metaphone("turbidity")
+
+    def test_deterministic(self):
+        assert metaphone("conductivity") == metaphone("conductivity")

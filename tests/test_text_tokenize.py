@@ -1,0 +1,83 @@
+"""Unit tests for repro.text.tokenize."""
+
+import pytest
+
+from repro.text import (
+    ngrams,
+    normalize_name,
+    split_identifier,
+    strip_accents,
+    words,
+)
+
+
+class TestSplitIdentifier:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("air_temperature", ["air", "temperature"]),
+            ("airTemp", ["air", "temp"]),
+            ("AIR-TEMP", ["air", "temp"]),
+            ("air.temp", ["air", "temp"]),
+            ("fluores375", ["fluores", "375"]),
+            ("airTemp_2m", ["air", "temp", "2", "m"]),
+            ("HTTPServer", ["http", "server"]),
+            ("", []),
+            ("   ", []),
+            ("a", ["a"]),
+        ],
+    )
+    def test_cases(self, name, expected):
+        assert split_identifier(name) == expected
+
+    def test_multiple_separators_collapse(self):
+        assert split_identifier("air__temp--2") == ["air", "temp", "2"]
+
+
+class TestNormalizeName:
+    def test_conventions_converge(self):
+        assert (
+            normalize_name("Air Temperature")
+            == normalize_name("airTemperature")
+            == normalize_name("AIR_TEMPERATURE")
+            == "air_temperature"
+        )
+
+    def test_accents_removed(self):
+        assert normalize_name("Température") == "temperature"
+
+    def test_empty(self):
+        assert normalize_name("") == ""
+
+
+class TestStripAccents:
+    def test_basic(self):
+        assert strip_accents("Salinité") == "Salinite"
+
+    def test_no_accents_unchanged(self):
+        assert strip_accents("salinity") == "salinity"
+
+
+class TestWords:
+    def test_splits_and_lowers(self):
+        assert words("Observations near the Columbia River!") == [
+            "observations", "near", "the", "columbia", "river",
+        ]
+
+    def test_keeps_digits(self):
+        assert words("mid-2010 data") == ["mid", "2010", "data"]
+
+
+class TestNgrams:
+    def test_bigrams(self):
+        assert ngrams("abcd", 2) == ["ab", "bc", "cd"]
+
+    def test_too_short_returns_empty(self):
+        assert ngrams("a", 2) == []
+
+    def test_exact_length(self):
+        assert ngrams("ab", 2) == ["ab"]
+
+    def test_zero_n_raises(self):
+        with pytest.raises(ValueError):
+            ngrams("abc", 0)

@@ -1,0 +1,108 @@
+"""Unit tests for the catalog health report."""
+
+import pytest
+
+from repro.catalog import MemoryCatalog
+from repro.ui import measure_health, render_health_report
+from repro.wrangling import (
+    PerformKnownTransformations,
+    ScanArchive,
+    WranglingState,
+)
+
+
+@pytest.fixture()
+def wrangled_state(messy_fs):
+    fs, __ = messy_fs
+    state = WranglingState(fs=fs)
+    ScanArchive().execute(state)
+    PerformKnownTransformations().execute(state)
+    return state
+
+
+class TestMeasureHealth:
+    def test_counts(self, wrangled_state):
+        health = measure_health(wrangled_state.working)
+        assert health.dataset_count == len(wrangled_state.working)
+        assert sum(health.datasets_by_platform.values()) == (
+            health.dataset_count
+        )
+        assert sum(health.datasets_by_format.values()) == (
+            health.dataset_count
+        )
+
+    def test_hulls_cover_everything(self, wrangled_state):
+        health = measure_health(wrangled_state.working)
+        for feature in wrangled_state.working:
+            assert health.spatial_hull.intersects(feature.bbox)
+            assert health.temporal_hull.overlaps(feature.interval)
+
+    def test_resolution_fraction_improves_with_wrangling(self, messy_fs):
+        fs, __ = messy_fs
+        raw_state = WranglingState(fs=fs)
+        ScanArchive().execute(raw_state)
+        raw = measure_health(raw_state.working)
+        PerformKnownTransformations().execute(raw_state)
+        tamed = measure_health(raw_state.working)
+        assert tamed.resolved_fraction > raw.resolved_fraction
+
+    def test_empty_catalog(self):
+        health = measure_health(MemoryCatalog())
+        assert health.dataset_count == 0
+        assert health.spatial_hull is None
+        assert health.resolved_fraction == 1.0
+
+    def test_excluded_counts_as_tamed(self, wrangled_state):
+        health = measure_health(wrangled_state.working)
+        assert health.excluded_entries > 0
+        # Excluded names never appear in the unresolved list.
+        for feature in wrangled_state.working:
+            for entry in feature.variables:
+                if entry.excluded:
+                    assert entry.name not in health.unresolved_names or any(
+                        e.name == entry.name and not e.excluded
+                        for f in wrangled_state.working
+                        for e in f.variables
+                    )
+
+
+class TestRenderReport:
+    def test_sections_present(self, wrangled_state):
+        page = render_health_report(wrangled_state.working)
+        assert "Catalog health report" in page
+        assert "datasets:" in page
+        assert "spatial coverage:" in page
+        assert "temporal coverage:" in page
+        assert "tamed" in page
+
+    def test_validation_line(self, wrangled_state):
+        from repro.wrangling import validate
+
+        summary = validate(wrangled_state).summary()
+        page = render_health_report(
+            wrangled_state.working, validation_summary=summary
+        )
+        assert "validation:" in page
+
+    def test_unresolved_listing_truncated(self):
+        from tests.test_core_search import feature
+
+        catalog = MemoryCatalog()
+        catalog.upsert(
+            feature("d", 46.0, -124.0, 0, 1,
+                    [(f"mystery_{i:02d}", 0, 1) for i in range(15)])
+        )
+        page = render_health_report(catalog)
+        assert "+5 more" in page
+
+    def test_cli_report_command(self, messy_fs, tmp_path, capsys):
+        from repro.cli import main
+
+        fs, __ = messy_fs
+        archive_dir = str(tmp_path / "arch")
+        fs.export_to(archive_dir)
+        catalog_path = str(tmp_path / "cat.db")
+        main(["wrangle", archive_dir, "--catalog", catalog_path])
+        capsys.readouterr()
+        assert main(["report", catalog_path]) == 0
+        assert "Catalog health report" in capsys.readouterr().out

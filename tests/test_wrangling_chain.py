@@ -1,0 +1,125 @@
+"""Unit tests for repro.wrangling.chain."""
+
+import pytest
+
+from repro.wrangling import (
+    ChainCompositionError,
+    ProcessChain,
+    Publish,
+    ScanArchive,
+    WranglingState,
+    default_chain,
+)
+
+
+@pytest.fixture()
+def state(messy_fs):
+    fs, __ = messy_fs
+    return WranglingState(fs=fs)
+
+
+class TestComposition:
+    def test_default_chain_order_matches_figure(self):
+        names = default_chain().names()
+        assert names == [
+            "scan-archive",
+            "known-transformations",
+            "external-metadata",
+            "discover-transformations",
+            "discovered-transformations",
+            "generate-hierarchies",
+            "publish",
+        ]
+
+    def test_insert_before(self):
+        chain = default_chain()
+        chain.insert_before("publish", ScanArchive())
+        assert chain.names()[-2] == "scan-archive"
+
+    def test_insert_before_missing_raises(self):
+        with pytest.raises(ChainCompositionError):
+            default_chain().insert_before("nope", Publish())
+
+    def test_remove(self):
+        chain = default_chain()
+        removed = chain.remove("external-metadata")
+        assert removed.name == "external-metadata"
+        assert "external-metadata" not in chain.names()
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(ChainCompositionError):
+            default_chain().remove("nope")
+
+    def test_component_lookup(self):
+        chain = default_chain()
+        assert chain.component("publish").name == "publish"
+        with pytest.raises(ChainCompositionError):
+            chain.component("nope")
+
+    def test_custom_minimal_chain(self, state):
+        chain = ProcessChain(components=[ScanArchive(), Publish()])
+        chain.run(state)
+        assert len(state.published) == len(state.working) > 0
+
+
+class TestRunning:
+    def test_run_produces_report_per_component(self, state):
+        chain = default_chain()
+        report = chain.run(state)
+        assert len(report.component_reports) == len(chain.components)
+        assert report.run_number == 1
+
+    def test_history_accumulates(self, state):
+        chain = default_chain()
+        chain.run(state)
+        chain.run(state)
+        assert len(chain.history) == 2
+        assert chain.last_run.run_number == 2
+
+    def test_rerun_is_cheaper(self, state):
+        chain = default_chain()
+        first = chain.run(state)
+        second = chain.run(state)
+        scan_first = first.report_for("scan-archive")
+        scan_second = second.report_for("scan-archive")
+        assert scan_second.changes == 0
+        assert scan_second.items_skipped == scan_first.changes
+
+    def test_rerun_converges_to_noop_transforms(self, state):
+        chain = default_chain()
+        chain.run(state)
+        second = chain.run(state)
+        assert second.report_for("known-transformations").changes == 0
+        assert second.report_for("discovered-transformations").changes == 0
+
+    def test_report_for_missing_raises(self, state):
+        chain = default_chain()
+        report = chain.run(state)
+        with pytest.raises(KeyError):
+            report.report_for("nonexistent")
+
+    def test_summary_text(self, state):
+        chain = default_chain()
+        report = chain.run(state)
+        text = report.summary()
+        assert "run #1" in text
+        assert "scan-archive" in text
+
+    def test_total_changes(self, state):
+        chain = default_chain()
+        report = chain.run(state)
+        assert report.total_changes == sum(
+            r.changes for r in report.component_reports
+        )
+
+    def test_end_to_end_names_mostly_canonical(self, state, messy_fs):
+        from repro.archive import VOCABULARY
+
+        chain = default_chain()
+        chain.run(state)
+        names = state.published.variable_name_counts()
+        canonical = sum(
+            count for name, count in names.items() if name in VOCABULARY
+        )
+        total = sum(names.values())
+        assert canonical / total > 0.9

@@ -1,0 +1,118 @@
+"""Unit tests for process-configuration serialization."""
+
+import json
+
+import pytest
+
+from repro.curator import AddScanTarget, AddSynonym, DecideAmbiguity
+from repro.semantics import AmbiguityAction
+from repro.wrangling import WranglingState, default_chain
+from repro.wrangling.config_io import (
+    ProcessConfigError,
+    dump_process_config,
+    load_process_config,
+)
+
+
+@pytest.fixture()
+def configured(messy_fs):
+    """A chain+state after a run and some curator improvements."""
+    fs, __ = messy_fs
+    state = WranglingState(fs=fs)
+    chain = default_chain()
+    chain.run(state)
+    AddSynonym("salinity", "salznity").apply(chain, state)
+    AddScanTarget("extra_dir", "*.csv").apply(chain, state)
+    DecideAmbiguity(
+        "temp", AmbiguityAction.HIDE
+    ).apply(chain, state)
+    return chain, state, fs
+
+
+class TestDump:
+    def test_valid_json_with_marker(self, configured):
+        chain, state, __ = configured
+        payload = json.loads(dump_process_config(chain, state))
+        assert payload["format"] == "repro-process-config"
+        assert payload["components"] == chain.names()
+
+    def test_contains_curated_knowledge(self, configured):
+        chain, state, __ = configured
+        payload = json.loads(dump_process_config(chain, state))
+        assert ["salznity", "salinity"] in payload["synonyms"]
+        assert any(
+            t["directory"] == "extra_dir" for t in payload["scan_targets"]
+        )
+        assert any(d["name"] == "temp" for d in payload["decisions"])
+
+    def test_discovered_rules_included(self, configured):
+        chain, state, __ = configured
+        payload = json.loads(dump_process_config(chain, state))
+        assert isinstance(payload["discovered_rules"], list)
+
+
+class TestLoad:
+    def test_roundtrip_restores_knowledge(self, configured):
+        chain, state, fs = configured
+        text = dump_process_config(chain, state)
+        chain2, state2 = load_process_config(text, fs=fs)
+        assert state2.resolver.synonyms.resolve("salznity") == "salinity"
+        assert any(d.name == "temp" for d in state2.decisions)
+        scan = chain2.component("scan-archive")
+        assert any(t.directory == "extra_dir" for t in scan.targets)
+
+    def test_roundtrip_reproduces_published_catalog(self, configured):
+        chain, state, fs = configured
+        # Re-run the original to settle post-improvement state.
+        chain.run(state)
+        text = dump_process_config(chain, state)
+        chain2, state2 = load_process_config(text, fs=fs)
+        chain2.run(state2)
+        names1 = state.published.variable_name_counts()
+        names2 = state2.published.variable_name_counts()
+        assert names2 == names1
+
+    def test_not_json(self):
+        with pytest.raises(ProcessConfigError):
+            load_process_config("nope")
+
+    def test_missing_marker(self):
+        with pytest.raises(ProcessConfigError):
+            load_process_config('{"version": 1}')
+
+    def test_wrong_version(self):
+        text = json.dumps(
+            {"format": "repro-process-config", "version": 42}
+        )
+        with pytest.raises(ProcessConfigError):
+            load_process_config(text)
+
+    def test_unknown_component_rejected(self):
+        text = json.dumps(
+            {
+                "format": "repro-process-config",
+                "version": 1,
+                "components": ["quantum-dedup"],
+            }
+        )
+        with pytest.raises(ProcessConfigError):
+            load_process_config(text)
+
+    def test_bad_synonym_row(self):
+        text = json.dumps(
+            {
+                "format": "repro-process-config",
+                "version": 1,
+                "synonyms": ["not-a-pair"],
+            }
+        )
+        with pytest.raises(ProcessConfigError):
+            load_process_config(text)
+
+    def test_empty_config_gives_default_chain(self):
+        text = json.dumps(
+            {"format": "repro-process-config", "version": 1}
+        )
+        chain, state = load_process_config(text)
+        assert chain.names()[0] == "scan-archive"
+        assert len(state.decisions) == 0

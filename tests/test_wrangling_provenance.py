@@ -1,0 +1,98 @@
+"""Unit tests for repro.wrangling.provenance."""
+
+import pytest
+
+from repro.wrangling import (
+    PerformKnownTransformations,
+    ScanArchive,
+    WranglingState,
+)
+from repro.wrangling.provenance import ProvenanceJournal
+
+
+@pytest.fixture()
+def state(messy_fs):
+    fs, __ = messy_fs
+    s = WranglingState(fs=fs)
+    ScanArchive().execute(s)
+    return s
+
+
+class TestSnapshot:
+    def test_first_snapshot_records_nothing_for_raw(self, state):
+        journal = ProvenanceJournal()
+        new = journal.snapshot(state.working)
+        # Raw catalog: names equal written names, nothing excluded.
+        renames = [e for e in journal if e.kind == "rename"]
+        assert renames == []
+        assert new == len(journal)
+
+    def test_known_transforms_produce_events(self, state):
+        journal = ProvenanceJournal()
+        journal.snapshot(state.working)
+        PerformKnownTransformations().execute(state)
+        new = journal.snapshot(state.working)
+        assert new > 0
+        renames = [e for e in journal if e.kind == "rename"]
+        assert renames
+        for event in renames:
+            assert event.old_name != event.new_name
+            assert event.run_number == 2
+
+    def test_exclusion_events(self, state):
+        journal = ProvenanceJournal()
+        journal.snapshot(state.working)
+        PerformKnownTransformations().execute(state)
+        journal.snapshot(state.working)
+        excludes = [e for e in journal if e.kind == "exclude"]
+        assert excludes  # QA columns were excluded
+
+    def test_stable_rerun_adds_no_events(self, state):
+        journal = ProvenanceJournal()
+        journal.snapshot(state.working)
+        PerformKnownTransformations().execute(state)
+        journal.snapshot(state.working)
+        before = len(journal)
+        assert journal.snapshot(state.working) == 0
+        assert len(journal) == before
+
+    def test_methods_recorded(self, state):
+        journal = ProvenanceJournal()
+        journal.snapshot(state.working)
+        PerformKnownTransformations().execute(state)
+        journal.snapshot(state.working)
+        methods = journal.events_by_method()
+        assert methods
+        known = {"exact", "synonym", "abbreviation", "context",
+                 "ambiguity-evidence", "fuzzy", "curator", "unknown"}
+        assert set(methods) <= known
+
+
+class TestQueries:
+    @pytest.fixture()
+    def journal(self, state):
+        journal = ProvenanceJournal()
+        journal.snapshot(state.working)
+        PerformKnownTransformations().execute(state)
+        journal.snapshot(state.working)
+        return journal
+
+    def test_events_for_variable(self, journal):
+        event = next(e for e in journal if e.kind == "rename")
+        events = journal.events_for(event.dataset_id, event.written_name)
+        assert event in events
+
+    def test_audit_trail_text(self, journal):
+        event = next(e for e in journal if e.kind == "rename")
+        trail = journal.audit_trail(event.dataset_id, event.written_name)
+        assert event.dataset_id in trail
+        assert "->" in trail
+
+    def test_audit_trail_untouched_variable(self, journal):
+        trail = journal.audit_trail("no/such.csv", "ghost")
+        assert "no transformations" in trail
+
+    def test_describe_kinds(self, journal):
+        for event in journal:
+            text = event.describe()
+            assert f"run {event.run_number}" in text
