@@ -30,7 +30,12 @@ Quickstart::
 from .core.qparser import QueryParseError, parse_query
 from .core.query import Query, VariableTerm
 from .core.scoring import ScoringConfig
-from .core.search import BooleanSearchEngine, SearchEngine, SearchResult
+from .core.search import (
+    BooleanSearchEngine,
+    SearchEngine,
+    SearchResult,
+    SearchResults,
+)
 from .geo import BoundingBox, GeoPoint, TimeInterval
 from .system import DataNearHere, NotWrangledError
 
@@ -47,6 +52,7 @@ __all__ = [
     "ScoringConfig",
     "SearchEngine",
     "SearchResult",
+    "SearchResults",
     "TimeInterval",
     "VariableTerm",
     "__version__",

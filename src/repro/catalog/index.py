@@ -12,6 +12,7 @@ from __future__ import annotations
 import bisect
 import math
 from collections import defaultdict
+from typing import Iterable
 
 from ..geo import BoundingBox, GeoPoint, TimeInterval
 from .records import DatasetFeature
@@ -125,6 +126,11 @@ class IntervalIndex:
     Supports "all intervals overlapping [a, b] expanded by ``margin``"
     via two bisections over sorted start/end lists plus one set
     subtraction — O(log n + answer).
+
+    The endpoint lists are built lazily (one O(n log n) sort on the
+    first query after a bulk load) and then maintained *incrementally*:
+    a later insert or remove costs two bisections per list instead of a
+    full re-sort, so catalog edits update the index in O(changed).
     """
 
     def __init__(self) -> None:
@@ -135,13 +141,32 @@ class IntervalIndex:
 
     def insert(self, dataset_id: str, interval: TimeInterval) -> None:
         """Register (or re-register) a dataset's time interval."""
+        old = self._intervals.get(dataset_id)
         self._intervals[dataset_id] = interval
-        self._dirty = True
+        if self._dirty:
+            return
+        if old is not None:
+            self._discard_endpoints(dataset_id, old)
+        bisect.insort(self._starts, (interval.start, dataset_id))
+        bisect.insort(self._ends, (interval.end, dataset_id))
 
     def remove(self, dataset_id: str) -> None:
         """Drop a dataset (no-op when absent)."""
-        if self._intervals.pop(dataset_id, None) is not None:
-            self._dirty = True
+        old = self._intervals.pop(dataset_id, None)
+        if old is not None and not self._dirty:
+            self._discard_endpoints(dataset_id, old)
+
+    def _discard_endpoints(
+        self, dataset_id: str, interval: TimeInterval
+    ) -> None:
+        start_key = (interval.start, dataset_id)
+        i = bisect.bisect_left(self._starts, start_key)
+        if i < len(self._starts) and self._starts[i] == start_key:
+            self._starts.pop(i)
+        end_key = (interval.end, dataset_id)
+        j = bisect.bisect_left(self._ends, end_key)
+        if j < len(self._ends) and self._ends[j] == end_key:
+            self._ends.pop(j)
 
     def __len__(self) -> int:
         return len(self._intervals)
@@ -179,20 +204,39 @@ class IntervalIndex:
         return set(self._intervals)
 
 
-class CatalogIndexes:
-    """Both indexes, kept in lockstep, built from a catalog store."""
+#: Above this fraction of the indexed size, :meth:`CatalogIndexes.apply`
+#: prefers a full rebuild over item-by-item incremental updates.
+REBUILD_CHURN_FRACTION = 0.5
 
-    def __init__(self, cell_degrees: float = 0.5) -> None:
+
+class CatalogIndexes:
+    """Both indexes, kept in lockstep, built from a catalog store.
+
+    ``catalog_version`` remembers the :attr:`CatalogStore.version` these
+    indexes reflect; search engines compare it against the live catalog
+    to detect staleness without scanning (``None`` means unknown — the
+    engine falls back to a size comparison).
+    """
+
+    def __init__(
+        self,
+        cell_degrees: float = 0.5,
+        catalog_version: int | None = None,
+    ) -> None:
         self.spatial = SpatialGridIndex(cell_degrees=cell_degrees)
         self.temporal = IntervalIndex()
+        self.catalog_version = catalog_version
 
     @classmethod
     def build(
         cls, features: list[DatasetFeature] | None = None,
         cell_degrees: float = 0.5,
+        catalog_version: int | None = None,
     ) -> "CatalogIndexes":
         """Construct and bulk-load from ``features``."""
-        indexes = cls(cell_degrees=cell_degrees)
+        indexes = cls(
+            cell_degrees=cell_degrees, catalog_version=catalog_version
+        )
         for feature in features or []:
             indexes.insert(feature)
         return indexes
@@ -206,6 +250,51 @@ class CatalogIndexes:
         """Drop a dataset from both indexes."""
         self.spatial.remove(dataset_id)
         self.temporal.remove(dataset_id)
+
+    def apply(
+        self,
+        added: Iterable[DatasetFeature] = (),
+        removed: Iterable[str] = (),
+        updated: Iterable[DatasetFeature] = (),
+        *,
+        catalog_version: int | None = None,
+        rebuild_from: Iterable[DatasetFeature] | None = None,
+    ) -> "CatalogIndexes":
+        """Fold a catalog delta into both indexes in O(changed).
+
+        ``added``/``updated`` carry the new feature states, ``removed``
+        the withdrawn dataset ids.  When the churn exceeds
+        ``REBUILD_CHURN_FRACTION`` of the indexed size and
+        ``rebuild_from`` (an iterable of the *full* current catalog) is
+        given, the indexes are rebuilt from scratch instead — beyond
+        that point a bulk rebuild is cheaper than item-by-item updates.
+        ``catalog_version`` stamps the store version this delta brings
+        the indexes up to.
+        """
+        added = tuple(added)
+        removed = tuple(removed)
+        updated = tuple(updated)
+        churn = len(added) + len(removed) + len(updated)
+        if (
+            rebuild_from is not None
+            and churn > REBUILD_CHURN_FRACTION * max(len(self), 1)
+        ):
+            self.spatial = SpatialGridIndex(
+                cell_degrees=self.spatial.cell_degrees
+            )
+            self.temporal = IntervalIndex()
+            for feature in rebuild_from:
+                self.insert(feature)
+        else:
+            for dataset_id in removed:
+                self.remove(dataset_id)
+            for feature in added:
+                self.insert(feature)
+            for feature in updated:
+                self.insert(feature)
+        if catalog_version is not None:
+            self.catalog_version = catalog_version
+        return self
 
     def __len__(self) -> int:
         return len(self.temporal)

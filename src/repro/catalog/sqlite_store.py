@@ -58,6 +58,11 @@ CREATE INDEX IF NOT EXISTS idx_datasets_bbox
     ON datasets(min_lat, max_lat, min_lon, max_lon);
 CREATE INDEX IF NOT EXISTS idx_datasets_time
     ON datasets(time_start, time_end);
+CREATE TABLE IF NOT EXISTS catalog_meta (
+    key   TEXT PRIMARY KEY,
+    value INTEGER NOT NULL
+);
+INSERT OR IGNORE INTO catalog_meta (key, value) VALUES ('version', 0);
 """
 
 
@@ -73,6 +78,26 @@ class SqliteCatalog(CatalogStore):
         self._conn.execute("PRAGMA foreign_keys = ON")
         self._conn.executescript(_SCHEMA)
         self._conn.commit()
+
+    # -- versioning ----------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Mutation counter, persisted with the catalog.
+
+        Read from the database on every access so staleness checks see
+        mutations made through *other* connections to the same file.
+        """
+        (value,) = self._conn.execute(
+            "SELECT value FROM catalog_meta WHERE key = 'version'"
+        ).fetchone()
+        return value
+
+    def _bump_version(self) -> None:
+        """Bump inside the caller's transaction."""
+        self._conn.execute(
+            "UPDATE catalog_meta SET value = value + 1 WHERE key = 'version'"
+        )
 
     def close(self) -> None:
         """Close the underlying connection."""
@@ -135,6 +160,7 @@ class SqliteCatalog(CatalogStore):
                     for position, v in enumerate(feature.variables)
                 ],
             )
+            self._bump_version()
 
     def get(self, dataset_id: str) -> DatasetFeature:
         row = self._conn.execute(
@@ -192,6 +218,8 @@ class SqliteCatalog(CatalogStore):
             cursor = self._conn.execute(
                 "DELETE FROM datasets WHERE dataset_id = ?", (dataset_id,)
             )
+            if cursor.rowcount:
+                self._bump_version()
         if cursor.rowcount == 0:
             raise DatasetNotFoundError(dataset_id)
 
@@ -211,6 +239,7 @@ class SqliteCatalog(CatalogStore):
         with self._conn:
             self._conn.execute("DELETE FROM variables")
             self._conn.execute("DELETE FROM datasets")
+            self._bump_version()
 
     # -- bulk operations pushed into SQL --------------------------------------
 
@@ -228,6 +257,8 @@ class SqliteCatalog(CatalogStore):
                     (new, resolution, old),
                 )
                 changed += cursor.rowcount
+            if changed:
+                self._bump_version()
         return changed
 
     def rename_units(self, mapping: dict[str, str]) -> int:
@@ -241,6 +272,8 @@ class SqliteCatalog(CatalogStore):
                     (new, old),
                 )
                 changed += cursor.rowcount
+            if changed:
+                self._bump_version()
         return changed
 
     def set_excluded(self, names: Iterable[str], excluded: bool = True) -> int:
@@ -253,6 +286,8 @@ class SqliteCatalog(CatalogStore):
                     (int(excluded), name, int(excluded)),
                 )
                 changed += cursor.rowcount
+            if changed:
+                self._bump_version()
         return changed
 
     def set_ambiguous(self, names: Iterable[str], flag: bool = True) -> int:
@@ -265,4 +300,6 @@ class SqliteCatalog(CatalogStore):
                     (int(flag), name, int(flag)),
                 )
                 changed += cursor.rowcount
+            if changed:
+                self._bump_version()
         return changed

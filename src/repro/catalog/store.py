@@ -22,6 +22,29 @@ class DatasetNotFoundError(KeyError):
 class CatalogStore(ABC):
     """Abstract catalog of dataset features."""
 
+    #: Backing field of :attr:`version` (instance attribute once bumped).
+    _version: int = 0
+
+    # -- versioning ----------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonically increasing mutation counter.
+
+        Every mutating operation — :meth:`upsert`, :meth:`remove`,
+        :meth:`clear` and the bulk variable operations when they change
+        at least one entry — bumps this counter, so index and cache
+        layers can detect staleness in O(1).  Comparing catalog *sizes*
+        is not sufficient: a same-size replacement (remove + upsert, or
+        an in-place upsert of an existing id) changes content without
+        changing the length.
+        """
+        return self._version
+
+    def _bump_version(self) -> None:
+        """Record one mutation (subclasses call this from every mutator)."""
+        self._version += 1
+
     # -- dataset-level -------------------------------------------------------
 
     @abstractmethod
@@ -166,6 +189,7 @@ class MemoryCatalog(CatalogStore):
 
     def upsert(self, feature: DatasetFeature) -> None:
         self._features[feature.dataset_id] = feature.copy()
+        self._bump_version()
 
     def get(self, dataset_id: str) -> DatasetFeature:
         try:
@@ -177,6 +201,7 @@ class MemoryCatalog(CatalogStore):
         if dataset_id not in self._features:
             raise DatasetNotFoundError(dataset_id)
         del self._features[dataset_id]
+        self._bump_version()
 
     def dataset_ids(self) -> list[str]:
         return sorted(self._features)
@@ -186,6 +211,7 @@ class MemoryCatalog(CatalogStore):
 
     def clear(self) -> None:
         self._features.clear()
+        self._bump_version()
 
     # Bulk operations work on internal objects directly; re-upserting a
     # copy per dataset (the ABC default) would double the work.
@@ -201,6 +227,8 @@ class MemoryCatalog(CatalogStore):
                     if resolution:
                         entry.resolution = resolution
                     changed += 1
+        if changed:
+            self._bump_version()
         return changed
 
     def rename_units(self, mapping: dict[str, str]) -> int:
@@ -211,6 +239,8 @@ class MemoryCatalog(CatalogStore):
                 if new_unit is not None and new_unit != entry.unit:
                     entry.unit = new_unit
                     changed += 1
+        if changed:
+            self._bump_version()
         return changed
 
     def set_excluded(self, names: Iterable[str], excluded: bool = True) -> int:
@@ -221,6 +251,8 @@ class MemoryCatalog(CatalogStore):
                 if entry.name in target and entry.excluded != excluded:
                     entry.excluded = excluded
                     changed += 1
+        if changed:
+            self._bump_version()
         return changed
 
     def set_ambiguous(self, names: Iterable[str], flag: bool = True) -> int:
@@ -231,4 +263,6 @@ class MemoryCatalog(CatalogStore):
                 if entry.name in target and entry.ambiguous != flag:
                     entry.ambiguous = flag
                     changed += 1
+        if changed:
+            self._bump_version()
         return changed

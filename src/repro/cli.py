@@ -83,6 +83,14 @@ def _build_parser() -> argparse.ArgumentParser:
     search.add_argument("query", help="query text, e.g. "
                         "'near 45.5, -124.4 with salinity'")
     search.add_argument("--limit", type=int, default=10)
+    search.add_argument(
+        "--repeat", type=int, default=1,
+        help="issue the query N times (exercises the query cache)",
+    )
+    search.add_argument(
+        "--stats", action="store_true",
+        help="print engine statistics (cache hits/misses, index state)",
+    )
 
     summary = sub.add_parser(
         "summary", help="show one dataset's summary page"
@@ -205,8 +213,25 @@ def _cmd_search(args: argparse.Namespace) -> int:
         return 2
     engine = SearchEngine(catalog, hierarchy=vocabulary_hierarchy())
     engine.build_indexes()
-    results = engine.search(query, limit=args.limit)
+    repeats = max(1, args.repeat)
+    for __ in range(repeats):
+        results = engine.search(query, limit=args.limit)
     print(render_search_text(query, results))
+    if args.stats:
+        stats = engine.stats()
+        cache = stats["cache"]
+        print()
+        print(
+            f"engine: catalog v{stats['catalog_version']} "
+            f"({stats['catalog_size']} datasets), "
+            f"indexes {'current' if stats['indexes_current'] else 'stale'}"
+        )
+        print(
+            f"cache:  {cache['hits']} hits / {cache['misses']} misses "
+            f"/ {cache['evictions']} evictions "
+            f"(hit rate {cache['hit_rate']:.2f}, "
+            f"{cache['size']}/{cache['maxsize']} entries)"
+        )
     catalog.close()
     return 0
 

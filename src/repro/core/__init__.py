@@ -15,10 +15,12 @@ from .metrics import (
     precision_at_k,
     recall_at_k,
 )
+from .cache import QueryCache
 from .qparser import QueryParseError, parse_query
 from .query import EmptyQueryError, Query, VariableTerm
 from .scoring import (
     DECAY_SHAPES,
+    QueryScorer,
     ScoreBreakdown,
     ScoringConfig,
     decay,
@@ -30,7 +32,12 @@ from .scoring import (
     time_similarity,
     variable_term_similarity,
 )
-from .search import BooleanSearchEngine, SearchEngine, SearchResult
+from .search import (
+    BooleanSearchEngine,
+    SearchEngine,
+    SearchResult,
+    SearchResults,
+)
 from .similar import SimilarResult, feature_similarity, similar_datasets
 from .summary import DatasetSummary, VariableSummary, summarize
 
@@ -41,11 +48,14 @@ __all__ = [
     "EmptyDatasetError",
     "EmptyQueryError",
     "Query",
+    "QueryCache",
     "QueryParseError",
+    "QueryScorer",
     "ScoreBreakdown",
     "ScoringConfig",
     "SearchEngine",
     "SearchResult",
+    "SearchResults",
     "SimilarResult",
     "VariableSummary",
     "VariableTerm",

@@ -1,0 +1,71 @@
+"""A version-keyed LRU cache for ranked-search results.
+
+Refinement sessions "run & rerun": a scientist tweaks one term, re-issues
+the query, compares, and backtracks — producing streams of identical and
+near-identical queries.  This cache makes the repeats effectively free.
+
+Entries are keyed by the caller on a tuple that includes the catalog's
+monotonic :attr:`~repro.catalog.store.CatalogStore.version`, so *any*
+catalog mutation makes every older entry unreachable without an explicit
+invalidation sweep; unreachable entries simply age out of the LRU order.
+Values are returned as-is — callers must treat cached results as
+immutable.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable
+
+
+class QueryCache:
+    """A bounded LRU mapping with hit/miss/eviction accounting."""
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Hashable) -> Any | None:
+        """The cached value, freshened to most-recently-used; None on miss."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Store ``value``, evicting the least-recently-used on overflow."""
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+        entries[key] = value
+        if len(entries) > self.maxsize:
+            entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict[str, float | int]:
+        """Operational counters for monitoring and the CLI."""
+        lookups = self.hits + self.misses
+        return {
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+        }

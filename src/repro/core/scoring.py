@@ -213,6 +213,148 @@ def variable_term_similarity(
     return best
 
 
+class QueryScorer:
+    """Per-query scoring context for scoring many features.
+
+    Hoists the work that :func:`score_feature` would redo per feature —
+    hierarchy expansion and name normalization of each variable term —
+    and memoizes the (term, entry-name) string-similarity pairs, which
+    archives repeat across thousands of datasets.  All paths produce
+    bit-identical scores to :func:`score_feature` (which delegates
+    here), so engines may mix bounded and unbounded scoring freely.
+    """
+
+    __slots__ = (
+        "query", "config", "_expansions", "_name_sims",
+        "_use_location", "_use_time", "_use_variables",
+        "_variables_weight", "_total_weight",
+    )
+
+    def __init__(
+        self,
+        query: Query,
+        hierarchy: ConceptHierarchy | None = None,
+        config: ScoringConfig | None = None,
+    ) -> None:
+        self.query = query
+        self.config = config = config or ScoringConfig()
+        self._use_location = query.has_spatial and config.use_location
+        self._use_time = query.has_temporal and config.use_time
+        self._use_variables = bool(query.variables) and config.use_variables
+        self._expansions = [
+            hierarchy.expand(term.name) if hierarchy is not None
+            else {term.name}
+            for term in query.variables
+        ]
+        self._name_sims: dict[tuple[int, str], float] = {}
+        # Accumulate the weights in the exact order score() adds terms so
+        # the precomputed divisor is bit-identical to a running total.
+        weight = 0.0
+        variables_weight = 0.0
+        if self._use_location:
+            weight += config.location_weight
+        if self._use_time:
+            weight += config.time_weight
+        if self._use_variables:
+            for term in query.variables:
+                w = config.variable_weight * term.weight
+                weight += w
+                variables_weight += w
+        self._variables_weight = variables_weight
+        self._total_weight = weight
+
+    def _name_similarity(self, term_index: int, entry_name: str) -> float:
+        key = (term_index, entry_name)
+        sim = self._name_sims.get(key)
+        if sim is None:
+            term = self.query.variables[term_index]
+            sim = name_similarity(
+                term.name, entry_name, self._expansions[term_index],
+                self.config,
+            )
+            self._name_sims[key] = sim
+        return sim
+
+    def _variable_term_similarity(
+        self, term_index: int, feature: DatasetFeature
+    ) -> float:
+        term = self.query.variables[term_index]
+        best = 0.0
+        for entry in feature.searchable_variables():
+            n_sim = self._name_similarity(term_index, entry.name)
+            if n_sim == 0.0:
+                continue
+            sim = n_sim * range_similarity(term, entry, self.config)
+            best = max(best, sim)
+            if best >= 1.0:
+                break
+        return best
+
+    def score(self, feature: DatasetFeature) -> ScoreBreakdown:
+        """Score one feature (same contract as :func:`score_feature`)."""
+        breakdown, __ = self.score_bounded(feature, None)
+        return breakdown
+
+    def score_bounded(
+        self,
+        feature: DatasetFeature,
+        floor: tuple[float, str] | None,
+    ) -> tuple[ScoreBreakdown | None, bool]:
+        """Score with an optional top-k floor of ``(score, dataset_id)``.
+
+        The cheap terms (location, time) are computed first; when even a
+        perfect similarity on every variable term could not beat the
+        floor under the ``(-score, dataset_id)`` result ordering, the
+        expensive variable-name scoring is skipped and ``None`` is
+        returned instead of a breakdown.  The second element reports
+        whether the feature is *known* to score above zero (exact for a
+        full breakdown; for a skipped feature it is True when the cheap
+        partial alone is already positive).
+        """
+        config = self.config
+        query = self.query
+        weighted_sum = 0.0
+        loc_sim: float | None = None
+        time_sim: float | None = None
+        var_sims: list[tuple[str, float]] = []
+
+        if self._use_location:
+            loc_sim = location_similarity(query, feature, config)
+            weighted_sum += config.location_weight * loc_sim
+        if self._use_time:
+            time_sim = time_similarity(query.interval, feature, config)
+            weighted_sum += config.time_weight * time_sim
+        if self._use_variables:
+            if floor is not None and self._total_weight > 0:
+                # Best possible total: every variable term scores 1.0.
+                best_total = (
+                    weighted_sum + self._variables_weight
+                ) / self._total_weight
+                floor_score, floor_id = floor
+                if best_total < floor_score or (
+                    best_total == floor_score
+                    and feature.dataset_id > floor_id
+                ):
+                    return None, weighted_sum > 0.0
+            for index, term in enumerate(query.variables):
+                sim = self._variable_term_similarity(index, feature)
+                var_sims.append((term.name, sim))
+                w = config.variable_weight * term.weight
+                weighted_sum += w * sim
+
+        total = (
+            weighted_sum / self._total_weight
+            if self._total_weight > 0 else 1.0
+        )
+        breakdown = ScoreBreakdown(
+            total=total,
+            location=loc_sim,
+            time=time_sim,
+            variables=tuple(var_sims),
+        )
+        return breakdown, total > 0.0
+
+
 def score_feature(
     query: Query,
     feature: DatasetFeature,
@@ -223,34 +365,10 @@ def score_feature(
 
     Returns the weighted-mean similarity over the terms present in the
     query, with the per-term breakdown.  An empty query scores 1.0.
+    Scoring many features against one query?  Build a
+    :class:`QueryScorer` once and reuse it — identical results, without
+    re-deriving the per-term context per feature.
     """
-    config = config or ScoringConfig()
-    weighted_sum = 0.0
-    weight_total = 0.0
-    loc_sim: float | None = None
-    time_sim: float | None = None
-    var_sims: list[tuple[str, float]] = []
-
-    if query.has_spatial and config.use_location:
-        loc_sim = location_similarity(query, feature, config)
-        weighted_sum += config.location_weight * loc_sim
-        weight_total += config.location_weight
-    if query.has_temporal and config.use_time:
-        time_sim = time_similarity(query.interval, feature, config)
-        weighted_sum += config.time_weight * time_sim
-        weight_total += config.time_weight
-    if query.variables and config.use_variables:
-        for term in query.variables:
-            sim = variable_term_similarity(term, feature, hierarchy, config)
-            var_sims.append((term.name, sim))
-            w = config.variable_weight * term.weight
-            weighted_sum += w * sim
-            weight_total += w
-
-    total = weighted_sum / weight_total if weight_total > 0 else 1.0
-    return ScoreBreakdown(
-        total=total,
-        location=loc_sim,
-        time=time_sim,
-        variables=tuple(var_sims),
+    return QueryScorer(query, hierarchy=hierarchy, config=config).score(
+        feature
     )

@@ -15,20 +15,23 @@ partial matches motivates ranked search.
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass
+from typing import Iterable
 
 from ..catalog.index import CatalogIndexes
 from ..catalog.records import DatasetFeature
 from ..catalog.store import CatalogStore
 from ..geo import SECONDS_PER_DAY
 from ..hierarchy import ConceptHierarchy
+from .cache import QueryCache
 from .query import Query
 from .scoring import (
+    QueryScorer,
     ScoreBreakdown,
     ScoringConfig,
     decay_horizon,
-    score_feature,
 )
 
 
@@ -45,6 +48,90 @@ class SearchResult:
         return f"{self.score:.3f}  {self.dataset_id}"
 
 
+class SearchResults(list):
+    """A page of results plus match-count metadata.
+
+    Behaves exactly like ``list[SearchResult]`` (existing callers keep
+    working) but additionally carries ``total_matches`` — how many
+    datasets are *known* to match beyond the page — and ``truncated``,
+    so a UI can render "showing 10 of N" instead of guessing from
+    ``len(results) == limit``.
+
+    For the boolean engine the count is exact, as it is for ranked
+    search whenever the page is not full.  Once pruning kicks in (the
+    top-k floor, or index candidate pruning) it is a lower bound:
+    skipped datasets are counted only when their score is provably
+    positive from the cheap terms alone.
+    """
+
+    __slots__ = ("total_matches", "truncated")
+
+    def __init__(
+        self,
+        items: Iterable[SearchResult] = (),
+        total_matches: int | None = None,
+        truncated: bool | None = None,
+    ) -> None:
+        super().__init__(items)
+        if total_matches is None:
+            total_matches = len(self)
+        self.total_matches = total_matches
+        if truncated is None:
+            truncated = total_matches > len(self)
+        self.truncated = truncated
+
+
+class _HeapItem:
+    """Min-heap entry ordered worst-first under ``(-score, id)`` ranking."""
+
+    __slots__ = ("result",)
+
+    def __init__(self, result: SearchResult) -> None:
+        self.result = result
+
+    def __lt__(self, other: "_HeapItem") -> bool:
+        a, b = self.result, other.result
+        if a.score != b.score:
+            return a.score < b.score
+        return a.dataset_id > b.dataset_id
+
+
+class _TopK:
+    """A fixed-size min-heap keeping the best ``limit`` results.
+
+    Replaces score-all-then-sort: O(n log k) instead of O(n log n), and
+    its floor feeds the scorer's upper-bound pruning.  The ordering
+    matches the final ``(-score, dataset_id)`` sort exactly, ties
+    included, so the kept set is identical to the naive path's.
+    """
+
+    __slots__ = ("limit", "_heap")
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self._heap: list[_HeapItem] = []
+
+    def floor(self) -> tuple[float, str] | None:
+        """The current kth ``(score, dataset_id)``; None until full."""
+        if len(self._heap) < self.limit:
+            return None
+        worst = self._heap[0].result
+        return worst.score, worst.dataset_id
+
+    def push(self, result: SearchResult) -> None:
+        item = _HeapItem(result)
+        if len(self._heap) < self.limit:
+            heapq.heappush(self._heap, item)
+        elif self._heap[0] < item:
+            heapq.heapreplace(self._heap, item)
+
+    def sorted_results(self) -> list[SearchResult]:
+        return sorted(
+            (item.result for item in self._heap),
+            key=lambda r: (-r.score, r.dataset_id),
+        )
+
+
 class SearchEngine:
     """Ranked similarity search over a catalog store."""
 
@@ -55,6 +142,7 @@ class SearchEngine:
         indexes: CatalogIndexes | None = None,
         config: ScoringConfig | None = None,
         epsilon: float = 1e-3,
+        cache: QueryCache | bool = True,
     ) -> None:
         if not 0.0 < epsilon < 1.0:
             raise ValueError("epsilon must lie in (0, 1)")
@@ -63,13 +151,68 @@ class SearchEngine:
         self.indexes = indexes
         self.config = config or ScoringConfig()
         self.epsilon = epsilon
+        # True: engine-private cache; False: no caching; or pass a
+        # QueryCache instance to share one across engines.
+        if cache is True:
+            cache = QueryCache()
+        self.cache = cache if isinstance(cache, QueryCache) else None
+        self._horizons: dict[tuple[float, str], float] = {}
 
     def build_indexes(self, cell_degrees: float = 0.5) -> CatalogIndexes:
         """Build (and attach) fresh indexes over the current catalog."""
         self.indexes = CatalogIndexes.build(
-            list(self.catalog), cell_degrees=cell_degrees
+            list(self.catalog),
+            cell_degrees=cell_degrees,
+            catalog_version=self.catalog.version,
         )
         return self.indexes
+
+    def refresh_indexes(
+        self,
+        added: Iterable[DatasetFeature] = (),
+        removed: Iterable[str] = (),
+        updated: Iterable[DatasetFeature] = (),
+    ) -> CatalogIndexes:
+        """Fold a known catalog delta into the attached indexes.
+
+        O(changed) instead of the O(catalog) full rebuild (above a churn
+        threshold :meth:`~repro.catalog.index.CatalogIndexes.apply`
+        rebuilds anyway, which is then the cheaper move).  Builds fresh
+        indexes when none are attached yet.
+        """
+        if self.indexes is None:
+            return self.build_indexes()
+        return self.indexes.apply(
+            added=added,
+            removed=removed,
+            updated=updated,
+            catalog_version=self.catalog.version,
+            rebuild_from=self.catalog,
+        )
+
+    def _indexes_current(self) -> bool:
+        """Whether the attached indexes reflect the live catalog.
+
+        Compares the catalog's monotonic mutation counter against the
+        version the indexes were stamped with — a same-size replacement
+        bumps the counter, so (unlike a length comparison) it cannot
+        silently serve stale candidates.  Indexes built without a
+        version stamp fall back to the length comparison.
+        """
+        if self.indexes is None:
+            return False
+        if self.indexes.catalog_version is None:
+            return len(self.indexes) == len(self.catalog)
+        return self.indexes.catalog_version == self.catalog.version
+
+    def _decay_horizon(self, shape: str) -> float:
+        """Memoized ``decay_horizon(self.epsilon, shape)``."""
+        key = (self.epsilon, shape)
+        horizon = self._horizons.get(key)
+        if horizon is None:
+            horizon = decay_horizon(self.epsilon, shape)
+            self._horizons[key] = horizon
+        return horizon
 
     def _term_weights(self, query: Query) -> tuple[float, float, float]:
         """(location, time, variables) total weights present in the query
@@ -104,17 +247,21 @@ class SearchEngine:
         through its other terms.  :meth:`search` uses the bound to decide
         whether the pruned remainder must be scanned after all.
         """
-        if self.indexes is None or len(self.indexes) != len(self.catalog):
+        if not self._indexes_current():
             return self.catalog.dataset_ids(), None
         w_loc, w_time, w_vars = self._term_weights(query)
         total_weight = w_loc + w_time + w_vars
+        if total_weight <= 0.0:
+            # Every weight disabled or zero: all scores are equal, no
+            # term can prune (and the bound below would divide by zero).
+            return self.catalog.dataset_ids(), None
         candidates: set[str] | None = None
         excluded_bound = 0.0
         if query.location is not None and self.config.use_location:
             # Distance beyond which the location term alone is below
             # epsilon: the query radius plus the decay horizon.
-            horizon_km = self.config.location_decay_km * decay_horizon(
-                self.epsilon, self.config.decay_shape
+            horizon_km = self.config.location_decay_km * self._decay_horizon(
+                self.config.decay_shape
             )
             candidates = self.indexes.spatial.candidates_near(
                 query.location, query.radius_km + horizon_km
@@ -127,7 +274,7 @@ class SearchEngine:
             margin = (
                 self.config.time_decay_days
                 * SECONDS_PER_DAY
-                * decay_horizon(self.epsilon, self.config.decay_shape)
+                * self._decay_horizon(self.config.decay_shape)
             )
             temporal = self.indexes.temporal.candidates_overlapping(
                 query.interval, margin_seconds=margin
@@ -147,16 +294,25 @@ class SearchEngine:
             return all_ids, None
         return sorted(candidates), excluded_bound
 
-    def _score_ids(self, query: Query, ids) -> list[SearchResult]:
-        results = []
+    def _score_into(
+        self, scorer: QueryScorer, query: Query, ids, top: _TopK
+    ) -> int:
+        """Score ``ids`` into the top-k heap; returns known matches."""
+        matches = 0
+        get = self.catalog.get
+        is_empty = query.is_empty
         for dataset_id in ids:
-            feature = self.catalog.get(dataset_id)
-            breakdown = score_feature(
-                query, feature, hierarchy=self.hierarchy, config=self.config
+            feature = get(dataset_id)
+            breakdown, known_positive = scorer.score_bounded(
+                feature, top.floor()
             )
-            if breakdown.total <= 0.0 and not query.is_empty:
+            if known_positive:
+                matches += 1
+            if breakdown is None:
+                continue  # provably below the current top-k floor
+            if breakdown.total <= 0.0 and not is_empty:
                 continue
-            results.append(
+            top.push(
                 SearchResult(
                     dataset_id=dataset_id,
                     score=breakdown.total,
@@ -164,42 +320,84 @@ class SearchEngine:
                     feature=feature,
                 )
             )
-        return results
+        return matches
 
-    def search(self, query: Query, limit: int = 10) -> list[SearchResult]:
+    def _cache_key(self, query: Query, limit: int):
+        # Everything the result depends on.  The hierarchy has no cheap
+        # content fingerprint, so its identity stands in: replacing it
+        # turns into misses (safe), mutating it in place requires an
+        # explicit cache.clear().
+        return (
+            self.catalog.version,
+            query,
+            limit,
+            self.config,
+            self.epsilon,
+            id(self.hierarchy) if self.hierarchy is not None else None,
+        )
+
+    def search(self, query: Query, limit: int = 10) -> SearchResults:
         """Top-``limit`` datasets by similarity to ``query``.
 
         Exact: index pruning is verified against the excluded-score upper
-        bound, and the pruned remainder is scanned whenever an excluded
-        dataset could still reach the top-``limit``.  Results are sorted
-        by descending score, ties broken by dataset id for determinism.
+        bound, the pruned remainder is scanned whenever an excluded
+        dataset could still reach the top-``limit``, and the bounded
+        top-k heap keeps precisely the datasets a full score-and-sort
+        would.  Results are sorted by descending score, ties broken by
+        dataset id for determinism.
+
+        Repeated queries are served from the version-keyed LRU cache
+        (when enabled); any catalog mutation bumps the store version and
+        misses past entries.  Treat returned results as immutable.
 
         Raises:
             ValueError: if ``limit`` is not positive.
         """
         if limit <= 0:
             raise ValueError("limit must be positive")
+        key = self._cache_key(query, limit)
+        if self.cache is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
+        scorer = QueryScorer(
+            query, hierarchy=self.hierarchy, config=self.config
+        )
         candidate_ids, excluded_bound = self._candidate_ids(query)
-        results = self._score_ids(query, candidate_ids)
-        results.sort(key=lambda r: (-r.score, r.dataset_id))
+        top = _TopK(limit)
+        matches = self._score_into(scorer, query, candidate_ids, top)
         if excluded_bound is not None:
-            kth_score = (
-                results[limit - 1].score if len(results) >= limit else 0.0
-            )
+            floor = top.floor()
+            kth_score = floor[0] if floor is not None else 0.0
             if kth_score < excluded_bound:
                 remainder = sorted(
                     set(self.catalog.dataset_ids()) - set(candidate_ids)
                 )
-                results.extend(self._score_ids(query, remainder))
-                results.sort(key=lambda r: (-r.score, r.dataset_id))
-        return results[:limit]
+                matches += self._score_into(scorer, query, remainder, top)
+        results = SearchResults(
+            top.sorted_results(), total_matches=matches
+        )
+        if self.cache is not None:
+            self.cache.put(key, results)
+        return results
+
+    def stats(self) -> dict:
+        """Operational counters: cache hit/miss/eviction, index state."""
+        return {
+            "catalog_version": self.catalog.version,
+            "catalog_size": len(self.catalog),
+            "indexed": self.indexes is not None,
+            "indexes_current": self._indexes_current(),
+            "cache": self.cache.stats() if self.cache is not None else None,
+        }
 
     def score_all(self, query: Query) -> dict[str, float]:
         """Score of every dataset (no pruning) — used by quality metrics."""
+        scorer = QueryScorer(
+            query, hierarchy=self.hierarchy, config=self.config
+        )
         return {
-            feature.dataset_id: score_feature(
-                query, feature, hierarchy=self.hierarchy, config=self.config
-            ).total
+            feature.dataset_id: scorer.score(feature).total
             for feature in self.catalog
         }
 
@@ -263,14 +461,23 @@ class BooleanSearchEngine:
                 return False
         return True
 
-    def search(self, query: Query, limit: int = 10) -> list[SearchResult]:
-        """Datasets matching *all* terms, in dataset-id order (no ranking)."""
+    def search(self, query: Query, limit: int = 10) -> SearchResults:
+        """Datasets matching *all* terms, in dataset-id order (no ranking).
+
+        The scan continues past ``limit`` so ``total_matches`` is the
+        exact match count — ``len(results) == limit`` alone cannot tell
+        a full page from a truncated one.
+        """
         if limit <= 0:
             raise ValueError("limit must be positive")
-        out = []
+        out: list[SearchResult] = []
+        total = 0
         for dataset_id in self.catalog.dataset_ids():
             feature = self.catalog.get(dataset_id)
-            if self._matches(query, feature):
+            if not self._matches(query, feature):
+                continue
+            total += 1
+            if len(out) < limit:
                 out.append(
                     SearchResult(
                         dataset_id=dataset_id,
@@ -279,6 +486,4 @@ class BooleanSearchEngine:
                         feature=feature,
                     )
                 )
-            if len(out) >= limit:
-                break
-        return out
+        return SearchResults(out, total_matches=total)

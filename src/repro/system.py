@@ -11,9 +11,10 @@ from __future__ import annotations
 
 from .archive.filesystem import VirtualArchive
 from .catalog.store import CatalogStore, MemoryCatalog
+from .core.cache import QueryCache
 from .core.query import Query
 from .core.scoring import ScoringConfig
-from .core.search import BooleanSearchEngine, SearchEngine, SearchResult
+from .core.search import BooleanSearchEngine, SearchEngine, SearchResults
 from .core.summary import DatasetSummary, summarize
 from .curator.session import CuratorSession
 from .ui.render import render_search_text, render_summary_text
@@ -45,18 +46,50 @@ class DataNearHere:
         self.chain = chain or default_chain()
         self.scoring = scoring or ScoringConfig()
         self._engine: SearchEngine | None = None
+        # One cache for the system's lifetime: entries are keyed on the
+        # catalog version, so they survive engine rebuilds and re-runs
+        # of an unchanged archive ("run & rerun" stays warm).
+        self._cache = QueryCache(maxsize=512)
 
     # -- wrangling ---------------------------------------------------------
 
     def wrangle(self) -> ChainRunReport:
-        """Run the full wrangling chain and (re)build search indexes."""
+        """Run the full wrangling chain and refresh search indexes.
+
+        The first run builds indexes over the published catalog; later
+        runs fold the publish delta in incrementally (O(changed)), so
+        re-wrangling a lightly-edited archive does not pay an
+        O(catalog) index rebuild — and an unchanged archive keeps the
+        query cache warm.
+        """
         report = self.chain.run(self.state)
-        self._engine = SearchEngine(
-            self.state.published,
-            hierarchy=self.state.hierarchy,
-            config=self.scoring,
-        )
-        self._engine.build_indexes()
+        published = self.state.published
+        delta = self.state.published_delta
+        engine = self._engine
+        if (
+            engine is not None
+            and engine.catalog is published
+            and engine.indexes is not None
+            and delta is not None
+            and not delta.full_copy
+        ):
+            if delta.changed:
+                # The hierarchy may have been regenerated alongside the
+                # changed catalog; an unchanged publish keeps the old
+                # object so version-matched cache entries stay live.
+                engine.hierarchy = self.state.hierarchy
+                engine.refresh_indexes(
+                    updated=[published.get(i) for i in delta.upserted],
+                    removed=delta.removed,
+                )
+        else:
+            self._engine = SearchEngine(
+                published,
+                hierarchy=self.state.hierarchy,
+                config=self.scoring,
+                cache=self._cache,
+            )
+            self._engine.build_indexes()
         return report
 
     def validate(self) -> ValidationReport:
@@ -82,9 +115,13 @@ class DataNearHere:
             raise NotWrangledError("call wrangle() before searching")
         return self._engine
 
-    def search(self, query: Query, limit: int = 10) -> list[SearchResult]:
+    def search(self, query: Query, limit: int = 10) -> SearchResults:
         """Ranked search over the published catalog."""
         return self.engine.search(query, limit=limit)
+
+    def search_stats(self) -> dict:
+        """Engine counters (query-cache hits/misses, index state)."""
+        return self.engine.stats()
 
     def search_page(self, query: Query, limit: int = 10) -> str:
         """The rendered search-results page (text)."""

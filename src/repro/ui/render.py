@@ -37,6 +37,12 @@ def render_search_text(query: Query, results: list[SearchResult]) -> str:
         lines.append(f"      where: {feature.bbox.center}")
         lines.append(f"      when:  {feature.interval}")
         lines.append(f"      why:   {result.breakdown.explain()}")
+    # SearchResults carries match-count metadata; plain lists do not.
+    if getattr(results, "truncated", False):
+        lines.append(
+            f"showing {len(results)} of "
+            f"{results.total_matches} matching datasets"
+        )
     return "\n".join(lines)
 
 

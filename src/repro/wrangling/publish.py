@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from ..catalog.io import feature_to_dict
 from ..catalog.store import DatasetNotFoundError
 from .component import Component, ComponentReport
-from .state import WranglingState
+from .state import PublishDelta, WranglingState
 
 
 def feature_digest(feature) -> str:
@@ -43,14 +43,17 @@ class Publish(Component):
     name = "publish"
 
     def run(self, state: WranglingState, report: ComponentReport) -> None:
+        state.published_delta = None
         if self.require_nonempty and len(state.working) == 0:
             report.add("refusing to publish an empty working catalog")
             return
         report.items_seen = len(state.working)
         if not self.incremental:
             report.changes = state.working.copy_into(state.published)
+            state.published_delta = PublishDelta(full_copy=True)
             report.add(f"published {report.changes} datasets (full copy)")
             return
+        delta = PublishDelta()
         published_ids = set(state.published.dataset_ids())
         working_ids = set(state.working.dataset_ids())
         for dataset_id in sorted(working_ids):
@@ -62,14 +65,17 @@ class Publish(Component):
                     report.items_skipped += 1
                     continue
             state.published.upsert(feature.copy())
+            delta.upserted.append(dataset_id)
             report.changes += 1
         for dataset_id in sorted(published_ids - working_ids):
             try:
                 state.published.remove(dataset_id)
             except DatasetNotFoundError:  # pragma: no cover
                 continue
+            delta.removed.append(dataset_id)
             report.changes += 1
             report.add(f"withdrew vanished dataset {dataset_id}")
+        state.published_delta = delta
         report.add(
             f"published {report.changes} changed datasets, "
             f"{report.items_skipped} unchanged"

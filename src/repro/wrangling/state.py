@@ -23,6 +23,26 @@ from ..semantics import (
 
 
 @dataclass(slots=True)
+class PublishDelta:
+    """What the most recent publish changed in the published catalog.
+
+    Downstream consumers (search-index maintenance) use this to update
+    incrementally in O(changed) instead of rebuilding over the whole
+    catalog.  ``full_copy`` marks a non-incremental clear-and-copy
+    publish, after which only a full rebuild is sound.
+    """
+
+    upserted: list[str] = field(default_factory=list)
+    removed: list[str] = field(default_factory=list)
+    full_copy: bool = False
+
+    @property
+    def changed(self) -> int:
+        """Number of datasets touched."""
+        return len(self.upserted) + len(self.removed)
+
+
+@dataclass(slots=True)
 class WranglingState:
     """Everything a processing chain reads and writes."""
 
@@ -37,6 +57,7 @@ class WranglingState:
     stations: list[StationRecord] = field(default_factory=list)
     scanned_hashes: dict[str, str] = field(default_factory=dict)
     notes: list[str] = field(default_factory=list)
+    published_delta: PublishDelta | None = None
 
     def note(self, message: str) -> None:
         """Record a free-form provenance note."""

@@ -58,6 +58,56 @@ class TestLifecycle:
         assert victim not in second
 
 
+class TestFastPath:
+    def test_repeat_search_hits_cache(self, system):
+        system.wrangle()
+        first = system.search(paper_query(), limit=5)
+        second = system.search(paper_query(), limit=5)
+        assert [r.dataset_id for r in first] == [
+            r.dataset_id for r in second
+        ]
+        assert system.search_stats()["cache"]["hits"] >= 1
+
+    def test_mutation_after_wrangle_invalidates_everything(self, system):
+        """Editing the published catalog must stale both the indexes and
+        the query cache — no stale page may be served."""
+        system.wrangle()
+        baseline = system.search(paper_query(), limit=5)
+        engine = system.engine
+        victim = baseline[0].dataset_id
+        engine.catalog.remove(victim)
+        assert not engine.stats()["indexes_current"]
+        hits_before = engine.cache.stats()["hits"]
+        after = system.search(paper_query(), limit=5)
+        assert victim not in {r.dataset_id for r in after}
+        # The post-mutation query missed: the old entry's version key no
+        # longer matches.
+        assert engine.cache.stats()["hits"] == hits_before
+
+    def test_rewrangle_is_incremental(self, system):
+        """Re-wrangling reuses the engine and folds the delta in rather
+        than rebuilding from scratch; the indexes come out current."""
+        system.wrangle()
+        engine = system.engine
+        victim = system.engine.catalog.dataset_ids()[0]
+        system.state.fs.remove(victim)
+        system.wrangle()
+        assert system.engine is engine
+        stats = system.search_stats()
+        assert stats["indexes_current"]
+        assert victim not in set(engine.catalog.dataset_ids())
+
+    def test_unchanged_rewrangle_keeps_cache_warm(self, system):
+        system.wrangle()
+        system.search(paper_query(), limit=5)
+        misses = system.engine.cache.stats()["misses"]
+        system.wrangle()  # nothing changed in the archive
+        system.search(paper_query(), limit=5)
+        stats = system.search_stats()["cache"]
+        assert stats["misses"] == misses
+        assert stats["hits"] >= 1
+
+
 class TestPages:
     def test_search_page(self, system):
         system.wrangle()
