@@ -27,10 +27,19 @@ def _normalize(path: str) -> str:
 
 @dataclass(slots=True)
 class ArchiveFile:
-    """One file in the archive: relative path plus text content."""
+    """One file in the archive: relative path plus text content.
+
+    Records are immutable in practice — :meth:`VirtualArchive.put`
+    replaces the whole record on any write — so the content hash is
+    memoized per instance; rescans of an unchanged archive skip the
+    SHA-256 work entirely.
+    """
 
     path: str
     content: str
+    _content_hash: str | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def directory(self) -> str:
@@ -49,7 +58,11 @@ class ArchiveFile:
 
     def content_hash(self) -> str:
         """Stable SHA-256 of the content — drives incremental re-runs."""
-        return hashlib.sha256(self.content.encode("utf-8")).hexdigest()
+        if self._content_hash is None:
+            self._content_hash = hashlib.sha256(
+                self.content.encode("utf-8")
+            ).hexdigest()
+        return self._content_hash
 
 
 @dataclass(slots=True)

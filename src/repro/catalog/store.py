@@ -79,9 +79,58 @@ class CatalogStore(ABC):
     def clear(self) -> None:
         """Drop all content."""
 
-    def __iter__(self) -> Iterator[DatasetFeature]:
+    # -- batch operations ----------------------------------------------------
+    #
+    # The ingest fast path publishes whole batches at a time.  Concrete
+    # stores override these with implementations that bump the version
+    # counter ONCE per non-empty batch (and, for SQLite, run in a single
+    # transaction); the defaults here are correct but pay the per-item
+    # cost, so they exist only for third-party stores that have not
+    # caught up yet.
+
+    def upsert_many(self, features: Iterable[DatasetFeature]) -> int:
+        """Insert or replace a batch of features; returns the count.
+
+        Overrides bump :attr:`version` once per non-empty batch so a
+        publish of N changed datasets invalidates version-keyed caches
+        exactly once instead of N times.
+        """
+        count = 0
+        for feature in features:
+            self.upsert(feature)
+            count += 1
+        return count
+
+    def remove_many(self, dataset_ids: Iterable[str]) -> int:
+        """Remove a batch of datasets; returns how many were present.
+
+        Unlike :meth:`remove`, ids that are absent are skipped silently —
+        batch callers (scan, publish) have already decided what should
+        vanish and only need the store to converge.
+        """
+        removed = 0
+        for dataset_id in dataset_ids:
+            try:
+                self.remove(dataset_id)
+            except DatasetNotFoundError:
+                continue
+            removed += 1
+        return removed
+
+    def features(self) -> Iterator[DatasetFeature]:
+        """Yield copies of all features in ``dataset_ids()`` order.
+
+        This is the bulk read primitive: backends that pay a per-dataset
+        lookup cost (SQLite's ``get`` issues one query for the dataset
+        row and one for its variables) override it with a grouped read,
+        so full-catalog consumers (index builds, publishes, exports)
+        avoid the 1+2N query pattern.
+        """
         for dataset_id in self.dataset_ids():
             yield self.get(dataset_id)
+
+    def __iter__(self) -> Iterator[DatasetFeature]:
+        return self.features()
 
     def contains(self, dataset_id: str) -> bool:
         """True when ``dataset_id`` is cataloged."""
@@ -172,13 +221,12 @@ class CatalogStore(ABC):
         """Replace ``other``'s content with a copy of this catalog.
 
         This is the Publish component's primitive.  Returns dataset count.
+        The copy goes through :meth:`features`/:meth:`upsert_many`, so a
+        full-copy publish into SQLite is one bulk read and one
+        transaction instead of 2N queries and N commits.
         """
         other.clear()
-        count = 0
-        for feature in self:
-            other.upsert(feature.copy())
-            count += 1
-        return count
+        return other.upsert_many(self.features())
 
 
 class MemoryCatalog(CatalogStore):
@@ -212,6 +260,28 @@ class MemoryCatalog(CatalogStore):
     def clear(self) -> None:
         self._features.clear()
         self._bump_version()
+
+    def upsert_many(self, features: Iterable[DatasetFeature]) -> int:
+        count = 0
+        for feature in features:
+            self._features[feature.dataset_id] = feature.copy()
+            count += 1
+        if count:
+            self._bump_version()
+        return count
+
+    def remove_many(self, dataset_ids: Iterable[str]) -> int:
+        removed = 0
+        for dataset_id in dataset_ids:
+            if self._features.pop(dataset_id, None) is not None:
+                removed += 1
+        if removed:
+            self._bump_version()
+        return removed
+
+    def features(self) -> Iterator[DatasetFeature]:
+        for dataset_id in sorted(self._features):
+            yield self._features[dataset_id].copy()
 
     # Bulk operations work on internal objects directly; re-upserting a
     # copy per dataset (the ABC default) would double the work.

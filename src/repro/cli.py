@@ -75,6 +75,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--save-config", default=None,
         help="write the process configuration (JSON) after wrangling",
     )
+    wrangle.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="parse/extract parallelism for the archive scan "
+        "(default: one per CPU; 1 forces the serial path)",
+    )
+    wrangle.add_argument(
+        "--timings", action="store_true",
+        help="print per-component timings for the wrangling run",
+    )
 
     search = sub.add_parser(
         "search", help="ranked search over a published catalog"
@@ -178,8 +187,23 @@ def _cmd_wrangle(args: argparse.Namespace) -> int:
         system.chain = chain
         system.state = state
         print(f"loaded process config from {args.config}")
+    if args.workers is not None:
+        if args.workers < 1:
+            print("error: --workers must be >= 1", file=sys.stderr)
+            published.close()
+            return 2
+        # After any --config load, so the flag wins over the saved value.
+        system.set_scan_workers(args.workers)
     report = system.wrangle()
-    print(report.summary())
+    if args.timings:
+        print(report.summary())
+    else:
+        print(
+            f"wrangle run #{report.run_number}: "
+            f"{report.total_changes} changes in "
+            f"{report.duration_seconds:.3f}s "
+            f"(--timings for the per-component breakdown)"
+        )
     print()
     print("validation:", system.validate().summary())
     print()

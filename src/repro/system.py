@@ -36,6 +36,7 @@ class DataNearHere:
         chain: ProcessChain | None = None,
         published: CatalogStore | None = None,
         scoring: ScoringConfig | None = None,
+        workers: int | None = None,
     ) -> None:
         # `published` may be an *empty* store, which is falsy — test
         # against None, not truthiness.
@@ -44,6 +45,8 @@ class DataNearHere:
             published=published if published is not None else MemoryCatalog(),
         )
         self.chain = chain or default_chain()
+        if workers is not None:
+            self.set_scan_workers(workers)
         self.scoring = scoring or ScoringConfig()
         self._engine: SearchEngine | None = None
         # One cache for the system's lifetime: entries are keyed on the
@@ -52,6 +55,19 @@ class DataNearHere:
         self._cache = QueryCache(maxsize=512)
 
     # -- wrangling ---------------------------------------------------------
+
+    def set_scan_workers(self, workers: int | None) -> None:
+        """Set the ingest parallelism on the chain's scan component.
+
+        ``None`` restores the default (one worker per CPU); ``1`` forces
+        the serial path.  A chain without a scan-archive component is
+        left untouched.
+        """
+        from .wrangling.scan import ScanArchive
+
+        for component in self.chain.components:
+            if isinstance(component, ScanArchive):
+                component.workers = workers
 
     def wrangle(self) -> ChainRunReport:
         """Run the full wrangling chain and refresh search indexes.

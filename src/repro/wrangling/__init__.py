@@ -23,7 +23,7 @@ from .known import PerformKnownTransformations
 from .provenance import ProvenanceEvent, ProvenanceJournal
 from .publish import Publish
 from .scan import ScanArchive, ScanTarget
-from .state import PublishDelta, WranglingState
+from .state import DigestCache, PublishDelta, WranglingState
 from .validate import (
     DEFAULT_CHECKS,
     AmbiguousRemaining,
@@ -66,6 +66,7 @@ __all__ = [
     "ValidationCheck",
     "ValidationFailure",
     "ValidationReport",
+    "DigestCache",
     "PublishDelta",
     "WranglingState",
     "default_chain",

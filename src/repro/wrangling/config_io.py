@@ -39,6 +39,7 @@ def dump_process_config(
 ) -> str:
     """Serialize the process (chain config + curated knowledge) to JSON."""
     scan_targets: list[dict[str, Any]] = []
+    scan_workers: int | None = None
     try:
         scan = chain.component("scan-archive")
         if isinstance(scan, ScanArchive):
@@ -50,6 +51,7 @@ def dump_process_config(
                 }
                 for target in scan.targets
             ]
+            scan_workers = scan.workers
     except Exception:
         pass
     resolver = state.resolver
@@ -58,6 +60,7 @@ def dump_process_config(
         "version": CONFIG_VERSION,
         "components": chain.names(),
         "scan_targets": scan_targets,
+        "scan_workers": scan_workers,
         "synonyms": [
             [spelling, preferred] for spelling, preferred in resolver.synonyms
         ],
@@ -165,6 +168,11 @@ def load_process_config(
         discovered_rules=discovered,
     )
 
+    scan_workers = payload.get("scan_workers")
+    if scan_workers is not None and (
+        not isinstance(scan_workers, int) or scan_workers < 1
+    ):
+        raise ProcessConfigError(f"bad scan_workers {scan_workers!r}")
     scan = ScanArchive(
         targets=[
             ScanTarget(
@@ -174,7 +182,8 @@ def load_process_config(
             )
             for t in payload.get("scan_targets", [])
         ]
-        or [ScanTarget(directory="")]
+        or [ScanTarget(directory="")],
+        workers=scan_workers,
     )
     chain = default_chain(scan=scan)
     # Honour the recorded component order where it names known

@@ -7,10 +7,25 @@ only ever touched the working copy.
 
 Publication is incremental by default: each dataset's feature is
 digested, and only datasets whose digest changed since the last publish
-are rewritten (vanished datasets are removed).  A full re-publish of an
-unchanged working catalog is therefore free — which matters when the
-published store is SQLite on disk and the chain re-runs often.  Set
-``incremental=False`` to force the clear-and-copy behaviour.
+are rewritten (vanished datasets are removed).  Three mechanisms keep
+the re-run loop cheap:
+
+* **Digest caching** — digests are remembered in the state's
+  :class:`~repro.wrangling.state.DigestCache`, stamped with the store
+  version they were computed at.  An unchanged re-wrangle (both store
+  versions match) computes *zero* digests and issues *zero* store
+  writes; a changed one digests each side at most once instead of the
+  2N serialize+hash passes the naive diff pays.
+* **Batched writes** — changed features go through
+  ``CatalogStore.upsert_many`` and vanished ones through
+  ``remove_many``: one transaction and ONE version bump per batch, so
+  the query-serving cache built on catalog versions invalidates once
+  per publish, not once per dataset.
+* **Bulk reads** — both catalogs are walked with the grouped
+  ``features()`` iterator, avoiding SQLite's 1+2N per-dataset query
+  pattern.
+
+Set ``incremental=False`` to force the clear-and-copy behaviour.
 """
 
 from __future__ import annotations
@@ -20,7 +35,6 @@ import json
 from dataclasses import dataclass
 
 from ..catalog.io import feature_to_dict
-from ..catalog.store import DatasetNotFoundError
 from .component import Component, ComponentReport
 from .state import PublishDelta, WranglingState
 
@@ -50,33 +64,82 @@ class Publish(Component):
         report.items_seen = len(state.working)
         if not self.incremental:
             report.changes = state.working.copy_into(state.published)
+            state.digest_cache.invalidate()
             state.published_delta = PublishDelta(full_copy=True)
             report.add(f"published {report.changes} datasets (full copy)")
             return
+
+        cache = state.digest_cache
+        digests_computed = 0
+
+        # -- working side: feature digests, reused when version matches --
+        if cache.working_version == state.working.version:
+            working_digests = cache.working
+            working_features: dict | None = None
+        else:
+            working_features = {}
+            working_digests = {}
+            for feature in state.working.features():
+                working_features[feature.dataset_id] = feature
+                working_digests[feature.dataset_id] = feature_digest(feature)
+                digests_computed += 1
+
+        # -- published side: last publish's digests, unless someone else
+        #    mutated the store since (version mismatch -> recompute) -----
+        if cache.published_version == state.published.version:
+            published_digests = cache.published
+        else:
+            published_digests = {}
+            for feature in state.published.features():
+                published_digests[feature.dataset_id] = feature_digest(
+                    feature
+                )
+                digests_computed += 1
+
         delta = PublishDelta()
-        published_ids = set(state.published.dataset_ids())
-        working_ids = set(state.working.dataset_ids())
-        for dataset_id in sorted(working_ids):
-            feature = state.working.get(dataset_id)
-            digest = feature_digest(feature)
-            if dataset_id in published_ids:
-                current = state.published.get(dataset_id)
-                if feature_digest(current) == digest:
-                    report.items_skipped += 1
-                    continue
-            state.published.upsert(feature.copy())
-            delta.upserted.append(dataset_id)
-            report.changes += 1
-        for dataset_id in sorted(published_ids - working_ids):
-            try:
-                state.published.remove(dataset_id)
-            except DatasetNotFoundError:  # pragma: no cover
-                continue
-            delta.removed.append(dataset_id)
-            report.changes += 1
-            report.add(f"withdrew vanished dataset {dataset_id}")
+        changed_ids = []
+        for dataset_id in sorted(working_digests):
+            if published_digests.get(dataset_id) == working_digests[
+                dataset_id
+            ]:
+                report.items_skipped += 1
+            else:
+                changed_ids.append(dataset_id)
+        if working_features is None:
+            changed_features = (
+                state.working.get(dataset_id) for dataset_id in changed_ids
+            )
+        else:
+            changed_features = (
+                working_features[dataset_id] for dataset_id in changed_ids
+            )
+        if changed_ids:
+            state.published.upsert_many(changed_features)
+            delta.upserted.extend(changed_ids)
+            report.changes += len(changed_ids)
+
+        vanished = sorted(set(published_digests) - set(working_digests))
+        if vanished:
+            state.published.remove_many(vanished)
+            delta.removed.extend(vanished)
+            report.changes += len(vanished)
+            for dataset_id in vanished:
+                report.add(f"withdrew vanished dataset {dataset_id}")
+
+        # -- refresh the cache to this publish's outcome ------------------
+        cache.working = dict(working_digests)
+        cache.working_version = state.working.version
+        published = dict(published_digests)
+        for dataset_id in changed_ids:
+            published[dataset_id] = working_digests[dataset_id]
+        for dataset_id in vanished:
+            published.pop(dataset_id, None)
+        cache.published = published
+        cache.published_version = state.published.version
+
         state.published_delta = delta
         report.add(
             f"published {report.changes} changed datasets, "
             f"{report.items_skipped} unchanged"
         )
+        report.add(f"computed {digests_computed} feature digests")

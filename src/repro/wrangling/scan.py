@@ -6,18 +6,46 @@ the working catalog.  Incremental by content hash: a re-run skips files
 whose content is unchanged (this is what makes the poster's "running &
 re-running process" cheap) and drops catalog entries whose files
 disappeared from the scanned directories.
+
+This is the ingest fast path's entry point: parse + feature extraction
+fan out over a chunked process pool (``workers``; ``None`` means one per
+CPU, ``1`` keeps the exact serial path — parsing is pure python, so
+threads would serialize on the GIL), while catalog writes stay ordered
+by path and go through ``upsert_many``/``remove_many`` — one batch, one
+transaction, one version bump.  Parallel and serial scans produce
+identical catalogs by construction: workers only compute, and results
+are applied in deterministic path order.  Batches smaller than
+``min_parallel_files`` skip the pool entirely — spawning workers costs
+more than parsing a handful of files.
 """
 
 from __future__ import annotations
 
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from ..archive.filesystem import ArchiveFile
 from ..archive.formats import FormatError, parse_file
-from ..catalog.store import DatasetNotFoundError
+from ..catalog.records import DatasetFeature
 from ..core.features import extract_feature
 from .component import Component, ComponentReport
 from .state import WranglingState
+
+
+def _build_feature(record: ArchiveFile, content_hash: str):
+    """Worker unit: parse + extract one file.
+
+    Returns the :class:`DatasetFeature`, or the :class:`FormatError` for
+    unparseable content (errors are data here — they must be reported in
+    path order, not raised out of an arbitrary worker).
+    """
+    try:
+        dataset = parse_file(record.content, record.path)
+    except FormatError as exc:
+        return exc
+    return extract_feature(dataset, content_hash=content_hash)
 
 
 @dataclass(frozen=True, slots=True)
@@ -38,6 +66,12 @@ class ScanArchive(Component):
     )
     extensions: tuple[str, ...] = ("csv", "cdl")
     remove_missing: bool = True
+    #: Parse/extract parallelism: ``None`` -> ``os.cpu_count()``,
+    #: ``1`` -> today's serial loop, no pool.
+    workers: int | None = None
+    #: Below this many changed files the pool is skipped even when
+    #: ``workers`` allows one — worker startup would dominate.
+    min_parallel_files: int = 32
 
     name = "scan-archive"
 
@@ -57,9 +91,39 @@ class ScanArchive(Component):
                     seen[record.path] = record
         return [seen[path] for path in sorted(seen)]
 
+    def _resolved_workers(self, pending: int) -> int:
+        if self.workers is None:
+            resolved = os.cpu_count() or 1
+        else:
+            resolved = max(1, int(self.workers))
+        return min(resolved, max(1, pending))
+
+    def _build_features(
+        self, pending: list[tuple[ArchiveFile, str]]
+    ) -> list[DatasetFeature | FormatError]:
+        """Parse + extract every pending file, preserving input order."""
+        workers = self._resolved_workers(len(pending))
+        if workers <= 1 or len(pending) < self.min_parallel_files:
+            return [_build_feature(r, h) for r, h in pending]
+        # Chunked fan-out: a handful of chunks per worker amortizes IPC
+        # per task while keeping the pool busy near the tail.  ``map``
+        # returns results in submission order, so the catalog batch
+        # below is deterministic regardless of worker scheduling.
+        chunksize = max(1, math.ceil(len(pending) / (workers * 4)))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(
+                pool.map(
+                    _build_feature,
+                    [record for record, __ in pending],
+                    [content_hash for __, content_hash in pending],
+                    chunksize=chunksize,
+                )
+            )
+
     def run(self, state: WranglingState, report: ComponentReport) -> None:
         files = self._matching_files(state)
         present = set()
+        pending: list[tuple[ArchiveFile, str]] = []
         for record in files:
             present.add(record.path)
             report.items_seen += 1
@@ -67,25 +131,32 @@ class ScanArchive(Component):
             if state.scanned_hashes.get(record.path) == content_hash:
                 report.items_skipped += 1
                 continue
-            try:
-                dataset = parse_file(record.content, record.path)
-            except FormatError as exc:
-                report.add(f"parse error: {exc}")
+            pending.append((record, content_hash))
+        outcomes = self._build_features(pending)
+        upserts: list[tuple[str, str, DatasetFeature]] = []
+        for (record, content_hash), outcome in zip(pending, outcomes):
+            if isinstance(outcome, FormatError):
+                report.add(f"parse error: {outcome}")
                 continue
-            feature = extract_feature(dataset, content_hash=content_hash)
-            state.working.upsert(feature)
-            state.scanned_hashes[record.path] = content_hash
-            report.changes += 1
+            upserts.append((record.path, content_hash, outcome))
+        if upserts:
+            # One batch in path order: one transaction, one version bump.
+            state.working.upsert_many(feature for __, __, feature in upserts)
+            for path, content_hash, __ in upserts:
+                state.scanned_hashes[path] = content_hash
+            report.changes += len(upserts)
         if self.remove_missing:
-            for dataset_id in state.working.dataset_ids():
-                if dataset_id not in present:
-                    try:
-                        state.working.remove(dataset_id)
-                    except DatasetNotFoundError:  # pragma: no cover
-                        continue
+            vanished = [
+                dataset_id
+                for dataset_id in state.working.dataset_ids()
+                if dataset_id not in present
+            ]
+            if vanished:
+                state.working.remove_many(vanished)
+                for dataset_id in vanished:
                     state.scanned_hashes.pop(dataset_id, None)
-                    report.changes += 1
                     report.add(f"removed vanished dataset {dataset_id}")
+                report.changes += len(vanished)
         report.add(
             f"scanned {report.items_seen} files, "
             f"{report.items_skipped} unchanged"

@@ -43,6 +43,33 @@ class PublishDelta:
 
 
 @dataclass(slots=True)
+class DigestCache:
+    """Feature digests remembered between publishes.
+
+    ``feature_digest`` (serialize + SHA-256) is the publish step's unit
+    of work; without a cache every re-wrangle pays 2N digests even when
+    nothing changed.  Each side (working / published) keeps the digests
+    it computed stamped with the store version they were computed at: a
+    matching version means the store has not mutated since, so the whole
+    map is still exact and an unchanged re-wrangle digests *nothing*.  A
+    mismatched version discards that side (any mutation may have touched
+    any dataset).  Versions start at -1, below any real store version.
+    """
+
+    working_version: int = -1
+    working: dict[str, str] = field(default_factory=dict)
+    published_version: int = -1
+    published: dict[str, str] = field(default_factory=dict)
+
+    def invalidate(self) -> None:
+        """Forget everything (after a non-incremental full copy)."""
+        self.working_version = -1
+        self.working.clear()
+        self.published_version = -1
+        self.published.clear()
+
+
+@dataclass(slots=True)
 class WranglingState:
     """Everything a processing chain reads and writes."""
 
@@ -56,6 +83,7 @@ class WranglingState:
     taxonomy_links: TaxonomyLinks | None = None
     stations: list[StationRecord] = field(default_factory=list)
     scanned_hashes: dict[str, str] = field(default_factory=dict)
+    digest_cache: DigestCache = field(default_factory=DigestCache)
     notes: list[str] = field(default_factory=list)
     published_delta: PublishDelta | None = None
 

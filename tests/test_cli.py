@@ -189,3 +189,47 @@ class TestWrangleConfig:
             "--config", str(tmp_path / "missing.json"),
         ]) == 2
         assert "cannot load config" in capsys.readouterr().err
+
+
+class TestWrangleWorkers:
+    def test_workers_flag_matches_serial(self, archive_dir, tmp_path,
+                                          capsys):
+        from repro.catalog import SqliteCatalog
+
+        serial = str(tmp_path / "serial.db")
+        parallel = str(tmp_path / "parallel.db")
+        assert main(["wrangle", archive_dir, "--catalog", serial,
+                     "--workers", "1"]) == 0
+        assert main(["wrangle", archive_dir, "--catalog", parallel,
+                     "--workers", "2"]) == 0
+        from repro.catalog.io import feature_to_dict
+
+        with SqliteCatalog(serial) as a, SqliteCatalog(parallel) as b:
+            assert (
+                [feature_to_dict(f) for f in a.features()]
+                == [feature_to_dict(f) for f in b.features()]
+            )
+
+    def test_bad_workers_errors(self, archive_dir, tmp_path, capsys):
+        assert main([
+            "wrangle", archive_dir,
+            "--catalog", str(tmp_path / "c.db"),
+            "--workers", "0",
+        ]) == 2
+        assert "--workers must be >= 1" in capsys.readouterr().err
+
+    def test_timings_flag(self, archive_dir, tmp_path, capsys):
+        assert main(["wrangle", archive_dir,
+                     "--catalog", str(tmp_path / "t.db"),
+                     "--timings"]) == 0
+        out = capsys.readouterr().out
+        assert "scan-archive" in out
+        assert "publish" in out
+
+    def test_default_output_is_compact(self, archive_dir, tmp_path,
+                                       capsys):
+        assert main(["wrangle", archive_dir,
+                     "--catalog", str(tmp_path / "t.db")]) == 0
+        out = capsys.readouterr().out
+        assert "wrangle run #" in out
+        assert "--timings for the per-component breakdown" in out
