@@ -1,0 +1,81 @@
+"""Transient-read fault injection for archives.
+
+The sibling :mod:`repro.archive.corruption` injectors damage file
+*content* permanently; :class:`FlakyArchive` damages *reads*
+transiently — the file is fine, but this particular ``get`` or listing
+fails the way flaky storage and torn transfers fail.  The scan
+component's retry layer is expected to absorb any fault sequence that
+stays below its budget; a sequence that outlives the budget quarantines
+the file instead of crashing the scan.
+
+Faults fire per a seeded :class:`~repro.core.faults.FaultSchedule`, so
+every test run is deterministic.  Records handed out on success are the
+wrapped archive's own (plain, picklable) records — faults only ever
+fire in the parent process, never inside pool workers, which keeps
+parallel scans exactly equal to serial ones under injection.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core.errors import TransientReadError
+from ..core.faults import FaultSchedule
+from .filesystem import ArchiveFile, VirtualArchive
+
+
+class FlakyArchive:
+    """A :class:`VirtualArchive` whose reads fail per a fault schedule.
+
+    Duck-typed drop-in: it exposes the archive surface the pipeline
+    uses, delegating everything to ``inner`` and raising
+    :class:`~repro.core.errors.TransientReadError` from ``get`` (op
+    ``"read"``) and ``list_directory`` (op ``"list"``) when the
+    schedule says so.  Mutations are never faulted — the injectors
+    model flaky *storage reads*, not lost writes.
+    """
+
+    def __init__(self, inner: VirtualArchive, schedule: FaultSchedule) -> None:
+        self.inner = inner
+        self.schedule = schedule
+
+    # -- faulted reads -----------------------------------------------------
+
+    def get(self, path: str) -> ArchiveFile:
+        if self.schedule.should_fail("read", path):
+            raise TransientReadError(f"transient read failure: {path}")
+        return self.inner.get(path)
+
+    def list_directory(
+        self, directory: str, pattern: str = "*", recursive: bool = False
+    ) -> list[ArchiveFile]:
+        if self.schedule.should_fail("list", directory):
+            raise TransientReadError(
+                f"transient listing failure: {directory!r}"
+            )
+        return self.inner.list_directory(
+            directory, pattern, recursive=recursive
+        )
+
+    # -- faithful pass-throughs --------------------------------------------
+
+    def put(self, path: str, content: str) -> ArchiveFile:
+        return self.inner.put(path, content)
+
+    def remove(self, path: str) -> None:
+        self.inner.remove(path)
+
+    def exists(self, path: str) -> bool:
+        return self.inner.exists(path)
+
+    def directories(self) -> list[str]:
+        return self.inner.directories()
+
+    def export_to(self, root: str) -> int:
+        return self.inner.export_to(root)
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def __iter__(self) -> Iterator[ArchiveFile]:
+        return iter(self.inner)

@@ -5,17 +5,36 @@ database; this store provides the same durability with the stdlib
 ``sqlite3`` module.  The schema is two tables — ``datasets`` and
 ``variables`` — with the dataset's feature fields flattened into columns
 so range predicates can run inside SQLite.
+
+Writes are hardened against contention: file-backed connections set
+``busy_timeout`` so SQLite waits out short lock windows itself, and
+every write transaction runs under a bounded busy/locked retry
+(``_WRITE_RETRY``) with deterministic backoff.  Real SQL errors are
+never retried.
 """
 
 from __future__ import annotations
 
 import json
 import sqlite3
-from typing import Iterable
+from typing import Callable, Iterable, TypeVar
 
+from ..core.retry import RetryPolicy, retry_call
 from ..geo import BoundingBox, TimeInterval
 from .records import DatasetFeature, VariableEntry
 from .store import CatalogStore, DatasetNotFoundError
+
+_T = TypeVar("_T")
+
+#: Bounded retry for write transactions that hit SQLite's transient
+#: busy/locked condition.  ``busy_timeout`` (below) already absorbs
+#: most contention inside SQLite itself; this layer covers the cases
+#: that surface anyway (e.g. a writer holding the lock across its own
+#: python work).  Non-transient ``OperationalError``s propagate
+#: immediately — see :func:`repro.core.errors.is_transient`.
+_WRITE_RETRY = RetryPolicy(
+    attempts=3, base_delay=0.01, multiplier=4.0, max_delay=0.1
+)
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS datasets (
@@ -73,9 +92,12 @@ class SqliteCatalog(CatalogStore):
     pass a filename for durability across processes.
     """
 
-    def __init__(self, path: str = ":memory:") -> None:
+    def __init__(
+        self, path: str = ":memory:", busy_timeout_ms: int = 5000
+    ) -> None:
         self._conn = sqlite3.connect(path)
         self._conn.execute("PRAGMA foreign_keys = ON")
+        self._retry = _WRITE_RETRY
         if path != ":memory:":
             # File-backed catalogs take the ingest write path: WAL keeps
             # readers unblocked during a publish transaction and
@@ -85,8 +107,22 @@ class SqliteCatalog(CatalogStore):
             # default so private scratch stores behave exactly as before.
             self._conn.execute("PRAGMA journal_mode = WAL")
             self._conn.execute("PRAGMA synchronous = NORMAL")
+            # Only file-backed databases can be contended by another
+            # connection: let SQLite itself wait out short lock windows
+            # before the busy error ever reaches the retry layer.
+            self._conn.execute(
+                f"PRAGMA busy_timeout = {int(busy_timeout_ms)}"
+            )
         self._conn.executescript(_SCHEMA)
         self._conn.commit()
+
+    def _write(self, fn: Callable[[], _T], key: str) -> _T:
+        """Run one write transaction with bounded busy/locked retry.
+
+        ``fn`` must be transactional (all-or-nothing), so a retried call
+        replays against unchanged state.
+        """
+        return retry_call(fn, self._retry, key=key)
 
     # -- versioning ----------------------------------------------------------
 
@@ -179,9 +215,12 @@ class SqliteCatalog(CatalogStore):
         )
 
     def upsert(self, feature: DatasetFeature) -> None:
-        with self._conn:
-            self._write_feature(feature)
-            self._bump_version()
+        def write() -> None:
+            with self._conn:
+                self._write_feature(feature)
+                self._bump_version()
+
+        self._write(write, f"upsert:{feature.dataset_id}")
 
     def upsert_many(self, features: Iterable[DatasetFeature]) -> int:
         """Write a whole batch in ONE transaction with ONE version bump.
@@ -190,14 +229,21 @@ class SqliteCatalog(CatalogStore):
         file-backed catalogs) instead of N, and version-keyed caches see
         a single invalidation for the batch.
         """
-        count = 0
-        with self._conn:
-            for feature in features:
-                self._write_feature(feature)
-                count += 1
-            if count:
-                self._bump_version()
-        return count
+        # Materialize so a busy-retried transaction replays the same
+        # batch even when handed a one-shot generator.
+        batch = list(features)
+
+        def write() -> int:
+            count = 0
+            with self._conn:
+                for feature in batch:
+                    self._write_feature(feature)
+                    count += 1
+                if count:
+                    self._bump_version()
+            return count
+
+        return self._write(write, "upsert_many")
 
     def get(self, dataset_id: str) -> DatasetFeature:
         row = self._conn.execute(
@@ -258,27 +304,36 @@ class SqliteCatalog(CatalogStore):
         )
 
     def remove(self, dataset_id: str) -> None:
-        with self._conn:
-            cursor = self._conn.execute(
-                "DELETE FROM datasets WHERE dataset_id = ?", (dataset_id,)
-            )
-            if cursor.rowcount:
-                self._bump_version()
-        if cursor.rowcount == 0:
-            raise DatasetNotFoundError(dataset_id)
-
-    def remove_many(self, dataset_ids: Iterable[str]) -> int:
-        removed = 0
-        with self._conn:
-            for dataset_id in dataset_ids:
+        def write() -> int:
+            with self._conn:
                 cursor = self._conn.execute(
                     "DELETE FROM datasets WHERE dataset_id = ?",
                     (dataset_id,),
                 )
-                removed += cursor.rowcount
-            if removed:
-                self._bump_version()
-        return removed
+                if cursor.rowcount:
+                    self._bump_version()
+            return cursor.rowcount
+
+        if self._write(write, f"remove:{dataset_id}") == 0:
+            raise DatasetNotFoundError(dataset_id)
+
+    def remove_many(self, dataset_ids: Iterable[str]) -> int:
+        batch = list(dataset_ids)
+
+        def write() -> int:
+            removed = 0
+            with self._conn:
+                for dataset_id in batch:
+                    cursor = self._conn.execute(
+                        "DELETE FROM datasets WHERE dataset_id = ?",
+                        (dataset_id,),
+                    )
+                    removed += cursor.rowcount
+                if removed:
+                    self._bump_version()
+            return removed
+
+        return self._write(write, "remove_many")
 
     def features(self):
         """Bulk read: the whole catalog in 2 queries instead of 1+2N.
@@ -315,70 +370,89 @@ class SqliteCatalog(CatalogStore):
         return count
 
     def clear(self) -> None:
-        with self._conn:
-            self._conn.execute("DELETE FROM variables")
-            self._conn.execute("DELETE FROM datasets")
-            self._bump_version()
+        def write() -> None:
+            with self._conn:
+                self._conn.execute("DELETE FROM variables")
+                self._conn.execute("DELETE FROM datasets")
+                self._bump_version()
+
+        self._write(write, "clear")
 
     # -- bulk operations pushed into SQL --------------------------------------
 
     def rename_variables(
         self, mapping: dict[str, str], resolution: str = ""
     ) -> int:
-        changed = 0
-        with self._conn:
-            for old, new in mapping.items():
-                if old == new:
-                    continue
-                cursor = self._conn.execute(
-                    "UPDATE variables SET name = ?, resolution = ? "
-                    "WHERE name = ?",
-                    (new, resolution, old),
-                )
-                changed += cursor.rowcount
-            if changed:
-                self._bump_version()
-        return changed
+        def write() -> int:
+            changed = 0
+            with self._conn:
+                for old, new in mapping.items():
+                    if old == new:
+                        continue
+                    cursor = self._conn.execute(
+                        "UPDATE variables SET name = ?, resolution = ? "
+                        "WHERE name = ?",
+                        (new, resolution, old),
+                    )
+                    changed += cursor.rowcount
+                if changed:
+                    self._bump_version()
+            return changed
+
+        return self._write(write, "rename_variables")
 
     def rename_units(self, mapping: dict[str, str]) -> int:
-        changed = 0
-        with self._conn:
-            for old, new in mapping.items():
-                if old == new:
-                    continue
-                cursor = self._conn.execute(
-                    "UPDATE variables SET unit = ? WHERE unit = ?",
-                    (new, old),
-                )
-                changed += cursor.rowcount
-            if changed:
-                self._bump_version()
-        return changed
+        def write() -> int:
+            changed = 0
+            with self._conn:
+                for old, new in mapping.items():
+                    if old == new:
+                        continue
+                    cursor = self._conn.execute(
+                        "UPDATE variables SET unit = ? WHERE unit = ?",
+                        (new, old),
+                    )
+                    changed += cursor.rowcount
+                if changed:
+                    self._bump_version()
+            return changed
+
+        return self._write(write, "rename_units")
 
     def set_excluded(self, names: Iterable[str], excluded: bool = True) -> int:
-        changed = 0
-        with self._conn:
-            for name in set(names):
-                cursor = self._conn.execute(
-                    "UPDATE variables SET excluded = ? "
-                    "WHERE name = ? AND excluded != ?",
-                    (int(excluded), name, int(excluded)),
-                )
-                changed += cursor.rowcount
-            if changed:
-                self._bump_version()
-        return changed
+        target = set(names)
+
+        def write() -> int:
+            changed = 0
+            with self._conn:
+                for name in target:
+                    cursor = self._conn.execute(
+                        "UPDATE variables SET excluded = ? "
+                        "WHERE name = ? AND excluded != ?",
+                        (int(excluded), name, int(excluded)),
+                    )
+                    changed += cursor.rowcount
+                if changed:
+                    self._bump_version()
+            return changed
+
+        return self._write(write, "set_excluded")
 
     def set_ambiguous(self, names: Iterable[str], flag: bool = True) -> int:
-        changed = 0
-        with self._conn:
-            for name in set(names):
-                cursor = self._conn.execute(
-                    "UPDATE variables SET ambiguous = ? "
-                    "WHERE name = ? AND ambiguous != ?",
-                    (int(flag), name, int(flag)),
-                )
-                changed += cursor.rowcount
-            if changed:
-                self._bump_version()
-        return changed
+        target = set(names)
+
+        def write() -> int:
+            changed = 0
+            with self._conn:
+                for name in target:
+                    cursor = self._conn.execute(
+                        "UPDATE variables SET ambiguous = ? "
+                        "WHERE name = ? AND ambiguous != ?",
+                        (int(flag), name, int(flag)),
+                    )
+                    changed += cursor.rowcount
+                if changed:
+                    self._bump_version()
+            return changed
+
+        return self._write(write, "set_ambiguous")

@@ -84,6 +84,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--timings", action="store_true",
         help="print per-component timings for the wrangling run",
     )
+    wrangle.add_argument(
+        "--show-quarantine", action="store_true",
+        help="print the quarantine report (files the scan set aside, "
+        "with typed reasons) after the run",
+    )
 
     search = sub.add_parser(
         "search", help="ranked search over a published catalog"
@@ -206,6 +211,15 @@ def _cmd_wrangle(args: argparse.Namespace) -> int:
         )
     print()
     print("validation:", system.validate().summary())
+    if args.show_quarantine:
+        print()
+        print(system.quarantine_report())
+    elif len(system.quarantine):
+        print()
+        print(
+            f"quarantine: {len(system.quarantine)} files set aside "
+            "(--show-quarantine for details)"
+        )
     print()
     print(f"published {len(published)} datasets to {args.catalog}")
     if args.save_config is not None:

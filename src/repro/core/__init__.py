@@ -7,6 +7,17 @@ from .facets import (
     render_facet_sidebar,
     render_menu_with_counts,
 )
+from .errors import (
+    ErrorCode,
+    ErrorRecord,
+    StoreBusyError,
+    TransientError,
+    TransientReadError,
+    WorkerFailure,
+    classify_exception,
+    is_transient,
+)
+from .faults import FaultSchedule
 from .features import EmptyDatasetError, extract_feature
 from .metrics import (
     average_precision,
@@ -17,6 +28,7 @@ from .metrics import (
 )
 from .cache import QueryCache
 from .qparser import QueryParseError, parse_query
+from .retry import DEFAULT_RETRY, RetryPolicy, retry_call
 from .query import EmptyQueryError, Query, VariableTerm
 from .scoring import (
     DECAY_SHAPES,
@@ -45,8 +57,17 @@ __all__ = [
     "BooleanSearchEngine",
     "DatasetSummary",
     "DECAY_SHAPES",
+    "DEFAULT_RETRY",
     "EmptyDatasetError",
     "EmptyQueryError",
+    "ErrorCode",
+    "ErrorRecord",
+    "FaultSchedule",
+    "RetryPolicy",
+    "StoreBusyError",
+    "TransientError",
+    "TransientReadError",
+    "WorkerFailure",
     "Query",
     "QueryCache",
     "QueryParseError",
@@ -61,6 +82,7 @@ __all__ = [
     "VariableTerm",
     "FacetCounts",
     "average_precision",
+    "classify_exception",
     "compute_facets",
     "decay",
     "decay_horizon",
@@ -68,6 +90,7 @@ __all__ = [
     "extract_feature",
     "feature_similarity",
     "hierarchy_counts",
+    "is_transient",
     "location_similarity",
     "name_similarity",
     "ndcg_at_k",
@@ -77,6 +100,7 @@ __all__ = [
     "range_similarity",
     "render_facet_sidebar",
     "render_menu_with_counts",
+    "retry_call",
     "score_feature",
     "similar_datasets",
     "summarize",

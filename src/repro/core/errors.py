@@ -1,0 +1,156 @@
+"""Structured pipeline error taxonomy.
+
+The wrangling loop only converges on a clean catalog if "run & rerun"
+survives the archive as it actually is — truncated transfers, garbled
+rows, flaky storage.  Components used to record failures as free-form
+strings in their reports; tests and operators then had to grep.  This
+module gives every failure a typed, machine-checkable record:
+
+* :class:`ErrorCode` — the closed set of failure categories the
+  pipeline distinguishes (parse, transient read, store busy, worker
+  error, worker crash),
+* :class:`ErrorRecord` — one failure: code, path, message, whether it
+  was transient and how many attempts were spent on it,
+* the transient-fault exception family (:class:`TransientError` and
+  friends) that the retry layer in :mod:`repro.core.retry` knows how to
+  classify, and
+* :class:`WorkerFailure` — the picklable envelope a scan worker returns
+  when a per-file exception must cross a process boundary as *data*
+  instead of aborting the pool.
+
+Nothing here imports the pipeline; the taxonomy sits below every layer
+that reports through it.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass
+from enum import Enum
+
+
+class ErrorCode(Enum):
+    """The failure categories the pipeline distinguishes."""
+
+    #: The file's content could not be parsed in its claimed format.
+    PARSE = "parse-error"
+    #: An archive read failed transiently (flaky storage, interrupted
+    #: transfer) and the retry budget ran out.
+    TRANSIENT_READ = "transient-read"
+    #: The catalog store reported busy/locked past the retry budget.
+    STORE_BUSY = "store-busy"
+    #: A per-file exception other than a parse error (bad data that
+    #: parses but cannot be summarized, or a bug in an extractor).
+    WORKER_ERROR = "worker-error"
+    #: The worker pool itself died; the affected chunk was recomputed
+    #: serially in the parent.
+    WORKER_CRASH = "worker-crash"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class ErrorRecord:
+    """One machine-checkable pipeline failure."""
+
+    code: ErrorCode
+    message: str
+    path: str | None = None
+    transient: bool = False
+    attempts: int = 1
+
+    def __str__(self) -> str:
+        where = f" [{self.path}]" if self.path else ""
+        spent = (
+            f" (gave up after {self.attempts} attempts)"
+            if self.attempts > 1
+            else ""
+        )
+        return f"{self.code.value}{where}: {self.message}{spent}"
+
+
+# --------------------------------------------------------------------------
+# Transient faults — the family the retry layer is allowed to absorb.
+# --------------------------------------------------------------------------
+
+
+class TransientError(Exception):
+    """A fault that may succeed if simply tried again."""
+
+
+class TransientReadError(TransientError):
+    """A transient archive read failure (flaky storage, torn transfer)."""
+
+
+class StoreBusyError(TransientError):
+    """The catalog store is busy/locked right now."""
+
+
+#: Substrings that mark a :class:`sqlite3.OperationalError` as the
+#: transient busy/locked condition rather than a real schema/SQL error.
+_SQLITE_TRANSIENT_MARKERS = ("locked", "busy")
+
+
+def is_transient(exc: BaseException) -> bool:
+    """True when ``exc`` is worth retrying.
+
+    Covers the explicit :class:`TransientError` family plus SQLite's
+    busy/locked ``OperationalError`` — the only ``OperationalError``
+    texts that mean "try again", as opposed to a genuine SQL failure.
+    """
+    if isinstance(exc, TransientError):
+        return True
+    if isinstance(exc, sqlite3.OperationalError):
+        text = str(exc).lower()
+        return any(marker in text for marker in _SQLITE_TRANSIENT_MARKERS)
+    return False
+
+
+def classify_exception(
+    exc: BaseException, path: str | None = None, attempts: int = 1
+) -> ErrorRecord:
+    """Fold an exception into the taxonomy.
+
+    Parse errors are classified at the call site (the scan already
+    distinguishes :class:`~repro.archive.formats.FormatError` outcomes);
+    this helper covers the infrastructure faults.
+    """
+    transient = is_transient(exc)
+    if isinstance(exc, StoreBusyError) or (
+        transient and isinstance(exc, sqlite3.OperationalError)
+    ):
+        code = ErrorCode.STORE_BUSY
+    elif transient:
+        code = ErrorCode.TRANSIENT_READ
+    else:
+        code = ErrorCode.WORKER_ERROR
+    return ErrorRecord(
+        code=code,
+        message=f"{type(exc).__name__}: {exc}",
+        path=path,
+        transient=transient,
+        attempts=attempts,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerFailure:
+    """A per-file exception, shipped across a process boundary as data.
+
+    Scan workers must never raise: an exception escaping ``pool.map``
+    aborts the whole scan.  Instead the worker wraps whatever went wrong
+    in this picklable record; the parent quarantines the file and keeps
+    going.
+    """
+
+    path: str
+    error_type: str
+    message: str
+
+    @classmethod
+    def from_exception(cls, path: str, exc: BaseException) -> "WorkerFailure":
+        return cls(path=path, error_type=type(exc).__name__, message=str(exc))
+
+    def __str__(self) -> str:
+        return f"{self.error_type}: {self.message}"

@@ -1,0 +1,76 @@
+"""Deterministic fault schedules for the injectable fault wrappers.
+
+The corruption injectors in :mod:`repro.archive.corruption` break file
+*content*; the flaky wrappers (:class:`repro.archive.flaky.FlakyArchive`
+and :class:`repro.catalog.flaky.FlakyCatalogStore`) break *operations* —
+a read that fails this time but would succeed next time, a store that
+reports busy.  Both wrappers consult a :class:`FaultSchedule`: a seeded,
+fully deterministic decision stream, so a test that replays the same
+seed against the same call sequence gets the same faults — and can
+assert the pipeline's reaction byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class FaultSchedule:
+    """A seeded stream of should-this-call-fail decisions.
+
+    ``rate`` is the per-call fault probability (``0`` disables the
+    schedule, ``1`` faults every eligible call).  ``max_consecutive``
+    caps the failures injected in a row *per key* — keeping it below a
+    caller's retry budget guarantees every fault is eventually absorbed,
+    which is what the fault-free-equivalence property test relies on.
+    ``limit`` bounds total injected faults; ``ops`` restricts injection
+    to the named operations (e.g. ``frozenset({"read"})``).
+
+    Every injected fault is appended to :attr:`injected` as
+    ``(op, key, call_number)`` so tests can assert exactly what fired.
+    """
+
+    seed: int = 0
+    rate: float = 0.0
+    max_consecutive: int = 2
+    limit: int | None = None
+    ops: frozenset[str] | None = None
+    calls: int = 0
+    injected: list[tuple[str, str, int]] = field(default_factory=list)
+    _rng: random.Random = field(init=False, repr=False)
+    _streak: dict[str, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    @property
+    def total_injected(self) -> int:
+        """How many faults have fired so far."""
+        return len(self.injected)
+
+    def should_fail(self, op: str, key: str = "") -> bool:
+        """Decide (and record) whether this call faults.
+
+        Deterministic: the decision depends only on the seed and the
+        sequence of calls made so far.
+        """
+        self.calls += 1
+        if self.rate <= 0.0:
+            return False
+        if self.ops is not None and op not in self.ops:
+            return False
+        if self.limit is not None and len(self.injected) >= self.limit:
+            return False
+        streak_key = f"{op}:{key}"
+        if self._streak.get(streak_key, 0) >= self.max_consecutive:
+            # Budget for this key exhausted: let the retry succeed.
+            self._streak[streak_key] = 0
+            return False
+        if self._rng.random() < self.rate:
+            self._streak[streak_key] = self._streak.get(streak_key, 0) + 1
+            self.injected.append((op, key, self.calls))
+            return True
+        self._streak[streak_key] = 0
+        return False

@@ -112,6 +112,22 @@ class DataNearHere:
         """Validation checks over the working catalog."""
         return validate(self.state)
 
+    @property
+    def quarantine(self):
+        """The quarantine log: files the scan set aside, with reasons.
+
+        Quarantined paths are retried automatically on every
+        :meth:`wrangle`; entries resolve when the file is repaired (and
+        catalogs successfully) or disappears from the archive.
+        """
+        return self.state.quarantine
+
+    def quarantine_report(self) -> str:
+        """The rendered quarantine page (text)."""
+        from .ui.health import render_quarantine_report
+
+        return render_quarantine_report(self.state.quarantine)
+
     def curator_session(self) -> CuratorSession:
         """A curator session sharing this system's chain and state."""
         return CuratorSession(

@@ -1,6 +1,11 @@
 """Renderers for the search-results, dataset-summary and health pages."""
 
-from .health import CatalogHealth, measure_health, render_health_report
+from .health import (
+    CatalogHealth,
+    measure_health,
+    render_health_report,
+    render_quarantine_report,
+)
 from .render import (
     render_search_html,
     render_search_text,
@@ -12,6 +17,7 @@ __all__ = [
     "CatalogHealth",
     "measure_health",
     "render_health_report",
+    "render_quarantine_report",
     "render_search_html",
     "render_search_text",
     "render_summary_html",

@@ -10,10 +10,14 @@ run-improve-rerun iterations.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..archive.vocabulary import VOCABULARY
 from ..catalog.store import CatalogStore
 from ..geo import BoundingBox, TimeInterval
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..wrangling.state import QuarantineLog
 
 
 @dataclass(frozen=True, slots=True)
@@ -86,8 +90,40 @@ def measure_health(catalog: CatalogStore) -> CatalogHealth:
     )
 
 
+def render_quarantine_report(quarantine: "QuarantineLog") -> str:
+    """The curator-facing quarantine page: what was skipped, and why.
+
+    One line per quarantined path with its typed error code, failure
+    count and message — the skip-and-report ledger a curator works
+    through between wrangles.
+    """
+    lines = [
+        "Quarantine report",
+        "=" * 60,
+        f"quarantined files: {len(quarantine)} "
+        f"({quarantine.resolved_total} resolved so far)",
+    ]
+    for path in quarantine.paths():
+        entry = quarantine.get(path)
+        lines.append(
+            f"  {path}\n"
+            f"    [{entry.error.code}] failed {entry.failures}x: "
+            f"{entry.error.message}"
+        )
+    if len(quarantine) == 0:
+        lines.append("  nothing quarantined — every scanned file cataloged")
+    else:
+        lines.append(
+            "repair the files (or delete them) and re-run the wrangle; "
+            "quarantined paths are retried automatically"
+        )
+    return "\n".join(lines)
+
+
 def render_health_report(
-    catalog: CatalogStore, validation_summary: str | None = None
+    catalog: CatalogStore,
+    validation_summary: str | None = None,
+    quarantine: "QuarantineLog | None" = None,
 ) -> str:
     """The curator-facing health page (terminal text)."""
     health = measure_health(catalog)
@@ -125,6 +161,11 @@ def render_health_report(
         lines.append(f"unresolved names: {shown}{more}")
     else:
         lines.append("unresolved names: none")
+    if quarantine is not None:
+        lines.append(
+            f"quarantined files: {len(quarantine)} "
+            f"({quarantine.resolved_total} resolved)"
+        )
     if validation_summary is not None:
         lines.append("validation: " + validation_summary.splitlines()[0])
     return "\n".join(lines)

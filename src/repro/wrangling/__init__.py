@@ -23,7 +23,13 @@ from .known import PerformKnownTransformations
 from .provenance import ProvenanceEvent, ProvenanceJournal
 from .publish import Publish
 from .scan import ScanArchive, ScanTarget
-from .state import DigestCache, PublishDelta, WranglingState
+from .state import (
+    DigestCache,
+    PublishDelta,
+    QuarantineEntry,
+    QuarantineLog,
+    WranglingState,
+)
 from .validate import (
     DEFAULT_CHECKS,
     AmbiguousRemaining,
@@ -68,6 +74,8 @@ __all__ = [
     "ValidationReport",
     "DigestCache",
     "PublishDelta",
+    "QuarantineEntry",
+    "QuarantineLog",
     "WranglingState",
     "default_chain",
     "dump_process_config",

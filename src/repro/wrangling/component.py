@@ -13,6 +13,7 @@ import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
+from ..core.errors import ErrorCode, ErrorRecord
 from .state import WranglingState
 
 
@@ -26,10 +27,30 @@ class ComponentReport:
     items_skipped: int = 0
     duration_seconds: float = 0.0
     messages: list[str] = field(default_factory=list)
+    #: Typed failure records (machine-checkable; every error also
+    #: appears as a provenance message).
+    errors: list[ErrorRecord] = field(default_factory=list)
+    #: Transient faults absorbed by the retry layer during this run.
+    retries: int = 0
 
     def add(self, message: str) -> None:
         """Attach a provenance message."""
         self.messages.append(message)
+
+    def add_error(
+        self, error: ErrorRecord, message: str | None = None
+    ) -> None:
+        """Attach a typed error record (and its provenance message).
+
+        ``message`` overrides the record's default rendering where a
+        historical message format must be preserved.
+        """
+        self.errors.append(error)
+        self.messages.append(message if message is not None else str(error))
+
+    def errors_by_code(self, code: ErrorCode) -> list[ErrorRecord]:
+        """The recorded errors of one category."""
+        return [e for e in self.errors if e.code is code]
 
     @property
     def was_noop(self) -> bool:

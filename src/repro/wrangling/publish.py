@@ -26,15 +26,24 @@ the re-run loop cheap:
   pattern.
 
 Set ``incremental=False`` to force the clear-and-copy behaviour.
+
+Publishing is also fault-tolerant: store writes retry on transient
+SQLite busy/locked conditions under a bounded
+:class:`~repro.core.retry.RetryPolicy`; a fault that outlives the
+budget defers the publish — the digest cache is left unrefreshed and
+``published_delta`` unset, so the next wrangle recomputes the diff and
+converges — instead of aborting the chain.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..catalog.io import feature_to_dict
+from ..core.errors import classify_exception, is_transient
+from ..core.retry import RetryPolicy, retry_call
 from .component import Component, ComponentReport
 from .state import PublishDelta, WranglingState
 
@@ -53,8 +62,37 @@ class Publish(Component):
 
     require_nonempty: bool = True
     incremental: bool = True
+    #: Bounded retry for transient (busy/locked) store writes.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     name = "publish"
+
+    def _write(self, fn, report: ComponentReport, key: str):
+        """One retried store write; absorbed faults count as retries."""
+
+        def count_retry(attempt, exc, pause):
+            report.retries += 1
+
+        return retry_call(
+            fn, self.retry, key=key, on_retry=count_retry
+        )
+
+    def _defer(
+        self, state: WranglingState, report: ComponentReport, exc: Exception
+    ) -> None:
+        """Give up on this publish without corrupting incremental state.
+
+        The digest cache keeps its *previous* stamp (the store versions
+        will not match next run, forcing a fresh diff) and the delta is
+        left unset, so index maintenance falls back to a full rebuild.
+        """
+        report.add_error(
+            classify_exception(exc, attempts=self.retry.attempts)
+        )
+        report.add(
+            "publish deferred: catalog store busy; retried on the next run"
+        )
+        state.published_delta = None
 
     def run(self, state: WranglingState, report: ComponentReport) -> None:
         state.published_delta = None
@@ -63,7 +101,17 @@ class Publish(Component):
             return
         report.items_seen = len(state.working)
         if not self.incremental:
-            report.changes = state.working.copy_into(state.published)
+            try:
+                report.changes = self._write(
+                    lambda: state.working.copy_into(state.published),
+                    report,
+                    "publish:copy",
+                )
+            except Exception as exc:
+                if not is_transient(exc):
+                    raise
+                self._defer(state, report, exc)
+                return
             state.digest_cache.invalidate()
             state.published_delta = PublishDelta(full_copy=True)
             report.add(f"published {report.changes} datasets (full copy)")
@@ -106,21 +154,43 @@ class Publish(Component):
             else:
                 changed_ids.append(dataset_id)
         if working_features is None:
-            changed_features = (
+            changed_features = [
                 state.working.get(dataset_id) for dataset_id in changed_ids
-            )
+            ]
         else:
-            changed_features = (
+            changed_features = [
                 working_features[dataset_id] for dataset_id in changed_ids
-            )
+            ]
         if changed_ids:
-            state.published.upsert_many(changed_features)
+            # Materialized (not a generator) so a retried write replays
+            # the identical batch.
+            try:
+                self._write(
+                    lambda: state.published.upsert_many(changed_features),
+                    report,
+                    "publish:upsert",
+                )
+            except Exception as exc:
+                if not is_transient(exc):
+                    raise
+                self._defer(state, report, exc)
+                return
             delta.upserted.extend(changed_ids)
             report.changes += len(changed_ids)
 
         vanished = sorted(set(published_digests) - set(working_digests))
         if vanished:
-            state.published.remove_many(vanished)
+            try:
+                self._write(
+                    lambda: state.published.remove_many(vanished),
+                    report,
+                    "publish:remove",
+                )
+            except Exception as exc:
+                if not is_transient(exc):
+                    raise
+                self._defer(state, report, exc)
+                return
             delta.removed.extend(vanished)
             report.changes += len(vanished)
             for dataset_id in vanished:

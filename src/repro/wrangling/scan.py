@@ -17,6 +17,25 @@ identical catalogs by construction: workers only compute, and results
 are applied in deterministic path order.  Batches smaller than
 ``min_parallel_files`` skip the pool entirely — spawning workers costs
 more than parsing a handful of files.
+
+The scan is also the pipeline's first line of fault tolerance: it must
+*skip and report*, never crash.  Concretely:
+
+* transient archive reads retry under a bounded
+  :class:`~repro.core.retry.RetryPolicy` with deterministic backoff;
+  a read that outlives the budget quarantines the file,
+* any per-file exception inside a worker — parse error, empty dataset,
+  extractor bug — comes back as *data* (a ``FormatError`` or a
+  :class:`~repro.core.errors.WorkerFailure`) and quarantines the file,
+* a dying worker pool (``BrokenProcessPool``) degrades the affected
+  chunks to a serial recomputation in the parent — same pure function,
+  same results, scan completes,
+* catalog writes retry on SQLite busy/locked; on exhaustion the batch
+  is deferred (hashes stay unrecorded, so the next wrangle retries it).
+
+Quarantined paths live in ``state.quarantine`` with their typed error;
+they are re-attempted on every wrangle and resolve on success or when
+the file disappears.
 """
 
 from __future__ import annotations
@@ -29,23 +48,46 @@ from dataclasses import dataclass, field
 from ..archive.filesystem import ArchiveFile
 from ..archive.formats import FormatError, parse_file
 from ..catalog.records import DatasetFeature
+from ..core.errors import (
+    ErrorCode,
+    ErrorRecord,
+    WorkerFailure,
+    classify_exception,
+    is_transient,
+)
 from ..core.features import extract_feature
+from ..core.retry import RetryPolicy, retry_call
 from .component import Component, ComponentReport
 from .state import WranglingState
 
+#: A worker's verdict on one file: the extracted feature, a parse error,
+#: or any other per-file exception wrapped as data.
+ScanOutcome = DatasetFeature | FormatError | WorkerFailure
 
-def _build_feature(record: ArchiveFile, content_hash: str):
+
+def _build_feature(record: ArchiveFile, content_hash: str) -> ScanOutcome:
     """Worker unit: parse + extract one file.
 
-    Returns the :class:`DatasetFeature`, or the :class:`FormatError` for
-    unparseable content (errors are data here — they must be reported in
-    path order, not raised out of an arbitrary worker).
+    Never raises: errors are data here — they must be reported in path
+    order, not raised out of an arbitrary worker (an escaping exception
+    would abort the whole pool).  ``FormatError`` keeps its identity
+    whether parse *returns* it or *raises* it anywhere in the unit, so
+    the parallel path reports exactly what the serial path reports.
     """
     try:
         dataset = parse_file(record.content, record.path)
+        return extract_feature(dataset, content_hash=content_hash)
     except FormatError as exc:
         return exc
-    return extract_feature(dataset, content_hash=content_hash)
+    except Exception as exc:
+        return WorkerFailure.from_exception(record.path, exc)
+
+
+def _build_chunk(
+    chunk: list[tuple[ArchiveFile, str]]
+) -> list[ScanOutcome]:
+    """Process one chunk of pending files, preserving input order."""
+    return [_build_feature(record, content_hash) for record, content_hash in chunk]
 
 
 @dataclass(frozen=True, slots=True)
@@ -72,6 +114,8 @@ class ScanArchive(Component):
     #: Below this many changed files the pool is skipped even when
     #: ``workers`` allows one — worker startup would dominate.
     min_parallel_files: int = 32
+    #: Bounded retry for transient archive reads and catalog writes.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     name = "scan-archive"
 
@@ -99,65 +143,234 @@ class ScanArchive(Component):
         return min(resolved, max(1, pending))
 
     def _build_features(
-        self, pending: list[tuple[ArchiveFile, str]]
-    ) -> list[DatasetFeature | FormatError]:
-        """Parse + extract every pending file, preserving input order."""
+        self,
+        pending: list[tuple[ArchiveFile, str]],
+        report: ComponentReport,
+    ) -> list[ScanOutcome]:
+        """Parse + extract every pending file, preserving input order.
+
+        A broken pool never aborts the scan: chunks whose future dies
+        (``BrokenProcessPool`` and friends) are recomputed serially in
+        the parent — ``_build_chunk`` is pure, so the degraded result is
+        identical to what the worker would have returned.
+        """
         workers = self._resolved_workers(len(pending))
         if workers <= 1 or len(pending) < self.min_parallel_files:
-            return [_build_feature(r, h) for r, h in pending]
+            return _build_chunk(pending)
         # Chunked fan-out: a handful of chunks per worker amortizes IPC
-        # per task while keeping the pool busy near the tail.  ``map``
-        # returns results in submission order, so the catalog batch
-        # below is deterministic regardless of worker scheduling.
+        # per task while keeping the pool busy near the tail.  Futures
+        # are collected in submission order, so the catalog batch below
+        # is deterministic regardless of worker scheduling.
         chunksize = max(1, math.ceil(len(pending) / (workers * 4)))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(
-                pool.map(
-                    _build_feature,
-                    [record for record, __ in pending],
-                    [content_hash for __, content_hash in pending],
-                    chunksize=chunksize,
+        chunks = [
+            pending[i : i + chunksize]
+            for i in range(0, len(pending), chunksize)
+        ]
+        try:
+            pool = ProcessPoolExecutor(max_workers=workers)
+        except Exception as exc:
+            report.add_error(
+                ErrorRecord(
+                    code=ErrorCode.WORKER_CRASH,
+                    message=f"cannot start worker pool ({exc}); "
+                    "scanning serially",
+                    transient=True,
                 )
             )
+            return _build_chunk(pending)
+        degraded = 0
+        results: list[ScanOutcome] = []
+        with pool:
+            futures = []
+            for chunk in chunks:
+                try:
+                    futures.append(pool.submit(_build_chunk, chunk))
+                except Exception:
+                    futures.append(None)
+            for chunk, future in zip(chunks, futures):
+                if future is not None:
+                    try:
+                        results.extend(future.result())
+                        continue
+                    except Exception:
+                        pass
+                degraded += 1
+                results.extend(_build_chunk(chunk))
+        if degraded:
+            report.add_error(
+                ErrorRecord(
+                    code=ErrorCode.WORKER_CRASH,
+                    message=f"worker pool failed; {degraded} of "
+                    f"{len(chunks)} chunks recomputed serially",
+                    transient=True,
+                )
+            )
+        return results
+
+    def _quarantine(
+        self,
+        state: WranglingState,
+        report: ComponentReport,
+        error: ErrorRecord,
+        message: str | None = None,
+    ) -> None:
+        """Set one file aside with its typed error and keep going."""
+        state.quarantine.add(error.path or "", error)
+        report.add_error(error, message)
 
     def run(self, state: WranglingState, report: ComponentReport) -> None:
-        files = self._matching_files(state)
+        def count_retry(attempt: int, exc: BaseException, pause: float) -> None:
+            report.retries += 1
+
+        try:
+            files = retry_call(
+                lambda: self._matching_files(state),
+                self.retry,
+                key="scan:list",
+                on_retry=count_retry,
+            )
+        except Exception as exc:
+            if not is_transient(exc):
+                raise
+            # Without a listing there is no safe notion of "present";
+            # degrade to a no-op run rather than vanishing the catalog.
+            report.add_error(
+                classify_exception(exc, attempts=self.retry.attempts)
+            )
+            report.add("scan skipped: archive listing unavailable")
+            return
         present = set()
         pending: list[tuple[ArchiveFile, str]] = []
-        for record in files:
-            present.add(record.path)
+        for listed in files:
+            path = listed.path
+            present.add(path)
             report.items_seen += 1
-            content_hash = record.content_hash()
-            if state.scanned_hashes.get(record.path) == content_hash:
+            try:
+                # Re-fetch through the archive so flaky storage faults
+                # at a well-defined, retryable read point; the archive's
+                # own record memoizes the hash across re-runs.
+                record = retry_call(
+                    lambda p=path: state.fs.get(p),
+                    self.retry,
+                    key=path,
+                    on_retry=count_retry,
+                )
+                content_hash = record.content_hash()
+            except Exception as exc:
+                self._quarantine(
+                    state,
+                    report,
+                    classify_exception(
+                        exc,
+                        path=path,
+                        attempts=self.retry.attempts
+                        if is_transient(exc)
+                        else 1,
+                    ),
+                )
+                continue
+            if state.scanned_hashes.get(path) == content_hash:
                 report.items_skipped += 1
                 continue
             pending.append((record, content_hash))
-        outcomes = self._build_features(pending)
+        outcomes = self._build_features(pending, report)
         upserts: list[tuple[str, str, DatasetFeature]] = []
         for (record, content_hash), outcome in zip(pending, outcomes):
             if isinstance(outcome, FormatError):
-                report.add(f"parse error: {outcome}")
+                self._quarantine(
+                    state,
+                    report,
+                    ErrorRecord(
+                        code=ErrorCode.PARSE,
+                        message=str(outcome),
+                        path=record.path,
+                    ),
+                    message=f"parse error: {outcome}",
+                )
+                continue
+            if isinstance(outcome, WorkerFailure):
+                self._quarantine(
+                    state,
+                    report,
+                    ErrorRecord(
+                        code=ErrorCode.WORKER_ERROR,
+                        message=str(outcome),
+                        path=outcome.path,
+                    ),
+                )
                 continue
             upserts.append((record.path, content_hash, outcome))
         if upserts:
             # One batch in path order: one transaction, one version bump.
-            state.working.upsert_many(feature for __, __, feature in upserts)
-            for path, content_hash, __ in upserts:
-                state.scanned_hashes[path] = content_hash
-            report.changes += len(upserts)
+            features = [feature for __, __, feature in upserts]
+            try:
+                retry_call(
+                    lambda: state.working.upsert_many(features),
+                    self.retry,
+                    key="scan:upsert",
+                    on_retry=count_retry,
+                )
+            except Exception as exc:
+                if not is_transient(exc):
+                    raise
+                # Hashes stay unrecorded, so the whole batch is retried
+                # on the next wrangle.
+                report.add_error(
+                    classify_exception(exc, attempts=self.retry.attempts)
+                )
+                report.add(
+                    f"catalog write deferred: {len(upserts)} files will "
+                    "be rescanned next run"
+                )
+            else:
+                for path, content_hash, __ in upserts:
+                    state.scanned_hashes[path] = content_hash
+                    state.quarantine.resolve(path)
+                report.changes += len(upserts)
         if self.remove_missing:
+            # Catalog ids ARE archive paths: extract_feature sets
+            # dataset_id = dataset.path = the scanned file's path (the
+            # invariant is pinned by tests/test_scan_robustness.py), so
+            # comparing ids against `present` paths is exact.
             vanished = [
                 dataset_id
                 for dataset_id in state.working.dataset_ids()
                 if dataset_id not in present
             ]
             if vanished:
-                state.working.remove_many(vanished)
-                for dataset_id in vanished:
-                    state.scanned_hashes.pop(dataset_id, None)
-                    report.add(f"removed vanished dataset {dataset_id}")
-                report.changes += len(vanished)
+                try:
+                    retry_call(
+                        lambda: state.working.remove_many(vanished),
+                        self.retry,
+                        key="scan:remove",
+                        on_retry=count_retry,
+                    )
+                except Exception as exc:
+                    if not is_transient(exc):
+                        raise
+                    report.add_error(
+                        classify_exception(exc, attempts=self.retry.attempts)
+                    )
+                    report.add(
+                        f"catalog removal deferred: {len(vanished)} "
+                        "vanished datasets remain until the next run"
+                    )
+                else:
+                    for dataset_id in vanished:
+                        state.scanned_hashes.pop(dataset_id, None)
+                        report.add(f"removed vanished dataset {dataset_id}")
+                    report.changes += len(vanished)
+        # A quarantined path whose file disappeared can never be
+        # repaired in place — close its entry.
+        for path in state.quarantine.paths():
+            if path not in present:
+                state.quarantine.resolve(path)
         report.add(
             f"scanned {report.items_seen} files, "
             f"{report.items_skipped} unchanged"
         )
+        if len(state.quarantine):
+            report.add(
+                f"{len(state.quarantine)} files quarantined "
+                "(retried on the next wrangle)"
+            )

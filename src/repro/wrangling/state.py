@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from ..archive.filesystem import VirtualArchive
 from ..archive.generator import StationRecord
 from ..catalog.store import CatalogStore, MemoryCatalog
+from ..core.errors import ErrorRecord
 from ..hierarchy import ConceptHierarchy, TaxonomyLinks
 from ..refine.history import RuleSet
 from ..semantics import (
@@ -70,6 +71,65 @@ class DigestCache:
 
 
 @dataclass(slots=True)
+class QuarantineEntry:
+    """One path the pipeline has set aside instead of crashing on."""
+
+    path: str
+    error: ErrorRecord
+    #: How many wrangles have now failed on this path.
+    failures: int = 1
+
+
+@dataclass(slots=True)
+class QuarantineLog:
+    """Paths skipped with a reason, pending repair or disappearance.
+
+    Lifecycle: a per-file failure (parse error, exhausted transient
+    reads, worker exception) quarantines the path with its typed error.
+    Quarantined paths are never hash-skipped, so every subsequent
+    wrangle retries them automatically; a successful catalog upsert —
+    or the file vanishing from the archive — resolves the entry.
+    """
+
+    entries: dict[str, QuarantineEntry] = field(default_factory=dict)
+    #: Entries resolved over the state's lifetime (repair telemetry).
+    resolved_total: int = 0
+
+    def add(self, path: str, error: ErrorRecord) -> QuarantineEntry:
+        """Quarantine ``path`` (or record another failure on it)."""
+        entry = self.entries.get(path)
+        if entry is None:
+            entry = QuarantineEntry(path=path, error=error)
+            self.entries[path] = entry
+        else:
+            entry.error = error
+            entry.failures += 1
+        return entry
+
+    def resolve(self, path: str) -> bool:
+        """Drop ``path`` from quarantine; True when it was present."""
+        if path in self.entries:
+            del self.entries[path]
+            self.resolved_total += 1
+            return True
+        return False
+
+    def get(self, path: str) -> QuarantineEntry | None:
+        """The entry for ``path``, if quarantined."""
+        return self.entries.get(path)
+
+    def paths(self) -> list[str]:
+        """Sorted quarantined paths."""
+        return sorted(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, path: str) -> bool:
+        return path in self.entries
+
+
+@dataclass(slots=True)
 class WranglingState:
     """Everything a processing chain reads and writes."""
 
@@ -83,6 +143,7 @@ class WranglingState:
     taxonomy_links: TaxonomyLinks | None = None
     stations: list[StationRecord] = field(default_factory=list)
     scanned_hashes: dict[str, str] = field(default_factory=dict)
+    quarantine: QuarantineLog = field(default_factory=QuarantineLog)
     digest_cache: DigestCache = field(default_factory=DigestCache)
     notes: list[str] = field(default_factory=list)
     published_delta: PublishDelta | None = None

@@ -1,0 +1,259 @@
+"""The fault matrix: every corruption injector x execution mode x store.
+
+Crosses the content-corruption injectors from
+:mod:`repro.archive.corruption` with {serial, workers=4} scans and
+{memory, SQLite} working catalogs, plus bounded transient-fault rows
+(flaky reads, busy stores).  The contracts under test:
+
+* a scan NEVER raises, whatever the injector broke,
+* exactly the files whose parse/extract genuinely fails are quarantined
+  (probed per file), and they are a subset of what the injector reports
+  breaking; stray non-dataset files are ignored entirely,
+* parallel scans produce byte-identical catalogs, reports and
+  quarantine to serial scans — with and without injected faults,
+* SQLite-backed scans match memory-backed scans byte for byte,
+* bounded transient faults (below the retry budget) leave the output
+  byte-identical to a fault-free run,
+* the whole pipeline is deterministic: same seed + same schedule =>
+  identical catalog, reports and quarantine.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from tests.conftest import SMALL_SPEC
+from repro.archive import generate_archive, parse_file, render_archive
+from repro.archive.corruption import corrupt_archive
+from repro.archive.flaky import FlakyArchive
+from repro.catalog import MemoryCatalog, SqliteCatalog, dump_catalog
+from repro.catalog.flaky import FlakyCatalogStore
+from repro.core import extract_feature
+from repro.core.faults import FaultSchedule
+from repro.core.retry import RetryPolicy
+from repro.wrangling import WranglingState
+from repro.wrangling.scan import ScanArchive
+
+FAST = RetryPolicy(attempts=3, base_delay=0.0)
+
+INJECTORS = {
+    "mixed": dict(truncate=2, garble=2, decapitate=1, strays=3),
+    "truncate-only": dict(truncate=4, garble=0, decapitate=0, strays=0),
+    "garble-only": dict(truncate=0, garble=4, decapitate=0, strays=0),
+    "decapitate-only": dict(truncate=0, garble=0, decapitate=3, strays=0),
+    "strays-only": dict(truncate=0, garble=0, decapitate=0, strays=4),
+}
+
+
+def catalog_payload(store):
+    """The catalog as parsed JSON: backend-independent equality.
+
+    SQLite round-trips dataset attributes through ``sort_keys=True``
+    JSON, so its dump can reorder attribute keys relative to the memory
+    store; parsed objects compare equal regardless of key order.
+    """
+    return json.loads(dump_catalog(store))
+
+
+def probe_expected_quarantine(fs) -> set[str]:
+    """The ground truth: dataset files whose parse/extract raises.
+
+    Some injected damage is survivable (e.g. garbling can hit only
+    NaN-tolerant cells, a truncation can land on a row boundary), so the
+    expected quarantine is probed per file, not assumed from the
+    injector's report.
+    """
+    failing = set()
+    for record in fs:
+        if record.extension not in ("csv", "cdl"):
+            continue
+        try:
+            dataset = parse_file(record.content, record.path)
+            extract_feature(dataset, content_hash="probe")
+        except Exception:
+            failing.add(record.path)
+    return failing
+
+
+def run_scan(fs, working=None, workers: int = 1):
+    state = WranglingState(
+        fs=fs, working=working if working is not None else MemoryCatalog()
+    )
+    scan = ScanArchive(workers=workers, min_parallel_files=1, retry=FAST)
+    report = scan.execute(state)
+    return state, report
+
+
+def build_cell(name: str):
+    archive = generate_archive(SMALL_SPEC)
+    fs, __ = render_archive(archive)
+    corruption = corrupt_archive(fs, seed=5, **INJECTORS[name])
+    return fs, corruption
+
+
+@pytest.fixture(scope="module", params=sorted(INJECTORS))
+def cell(request):
+    """One matrix row: corrupted fs + probe truth + serial baseline.
+
+    The scan never mutates archive content, so the corrupted filesystem
+    and the serial/memory baseline are shared by every cell of the row.
+    """
+    name = request.param
+    fs, corruption = build_cell(name)
+    expected = probe_expected_quarantine(fs)
+    baseline_state, baseline_report = run_scan(fs, workers=1)
+    return {
+        "name": name,
+        "fs": fs,
+        "corruption": corruption,
+        "expected": expected,
+        "state": baseline_state,
+        "report": baseline_report,
+        "dump": dump_catalog(baseline_state.working),
+    }
+
+
+class TestCorruptionMatrix:
+    def test_serial_scan_quarantines_exactly_the_broken_files(self, cell):
+        state = cell["state"]
+        assert set(state.quarantine.paths()) == cell["expected"]
+        # Probe-failing files are always among what the injector broke.
+        assert cell["expected"] <= cell["corruption"].broken_datasets
+        # Stray non-dataset files are ignored, never quarantined.
+        assert not (
+            set(state.quarantine.paths())
+            & set(cell["corruption"].stray_files)
+        )
+
+    def test_surviving_files_are_all_cataloged(self, cell):
+        dataset_paths = {
+            record.path
+            for record in cell["fs"]
+            if record.extension in ("csv", "cdl")
+        }
+        cataloged = set(cell["state"].working.dataset_ids())
+        assert cataloged == dataset_paths - cell["expected"]
+
+    def test_quarantine_reports_carry_typed_errors(self, cell):
+        for path in cell["state"].quarantine.paths():
+            entry = cell["state"].quarantine.get(path)
+            assert entry.error.path == path
+            assert entry.error.code.value in (
+                "parse-error",
+                "worker-error",
+            )
+
+    def test_sqlite_backend_matches_memory(self, cell):
+        with SqliteCatalog() as working:
+            state, report = run_scan(cell["fs"], working=working, workers=1)
+            assert catalog_payload(working) == json.loads(cell["dump"])
+            assert state.quarantine.paths() == cell[
+                "state"
+            ].quarantine.paths()
+            assert report.errors == cell["report"].errors
+
+    def test_parallel_scan_matches_serial(self, cell):
+        state, report = run_scan(cell["fs"], workers=4)
+        assert dump_catalog(state.working) == cell["dump"]
+        assert state.quarantine.paths() == cell["state"].quarantine.paths()
+        assert report.errors == cell["report"].errors
+        assert report.messages == cell["report"].messages
+
+    def test_parallel_sqlite_matches_serial_memory(self, cell):
+        with SqliteCatalog() as working:
+            state, __ = run_scan(cell["fs"], working=working, workers=4)
+            assert catalog_payload(working) == json.loads(cell["dump"])
+            assert state.quarantine.paths() == cell[
+                "state"
+            ].quarantine.paths()
+
+
+class TestTransientFaultRows:
+    """Bounded transient faults must be invisible in the output."""
+
+    def _flaky_fs(self, fs, seed=11):
+        return FlakyArchive(
+            fs,
+            FaultSchedule(
+                seed=seed,
+                rate=0.5,
+                max_consecutive=2,  # always below FAST.attempts == 3
+                ops=frozenset({"read"}),
+            ),
+        )
+
+    def test_bounded_flaky_reads_leave_output_identical(self, cell):
+        flaky = self._flaky_fs(cell["fs"])
+        state, report = run_scan(flaky, workers=1)
+        assert dump_catalog(state.working) == cell["dump"]
+        assert state.quarantine.paths() == cell["state"].quarantine.paths()
+        assert report.errors == cell["report"].errors
+        # Every injected fault was absorbed by exactly one retry.
+        assert report.retries == flaky.schedule.total_injected
+
+    def test_parallel_equals_serial_under_flaky_reads(self, cell):
+        serial_state, serial_report = run_scan(
+            self._flaky_fs(cell["fs"]), workers=1
+        )
+        parallel_state, parallel_report = run_scan(
+            self._flaky_fs(cell["fs"]), workers=4
+        )
+        assert dump_catalog(parallel_state.working) == dump_catalog(
+            serial_state.working
+        )
+        assert (
+            parallel_state.quarantine.paths()
+            == serial_state.quarantine.paths()
+        )
+        assert parallel_report.errors == serial_report.errors
+        assert parallel_report.retries == serial_report.retries
+
+    def test_bounded_busy_store_leaves_output_identical(self, cell):
+        working = FlakyCatalogStore(
+            MemoryCatalog(),
+            FaultSchedule(seed=11, rate=0.5, max_consecutive=2),
+        )
+        state, report = run_scan(cell["fs"], working=working, workers=1)
+        assert dump_catalog(working) == cell["dump"]
+        assert state.quarantine.paths() == cell["state"].quarantine.paths()
+        assert report.errors == cell["report"].errors
+
+    def test_flaky_reads_and_busy_store_together(self, cell):
+        working = FlakyCatalogStore(
+            MemoryCatalog(),
+            FaultSchedule(seed=13, rate=0.5, max_consecutive=2),
+        )
+        state, report = run_scan(
+            self._flaky_fs(cell["fs"], seed=13), working=working, workers=1
+        )
+        assert dump_catalog(working) == cell["dump"]
+        assert state.quarantine.paths() == cell["state"].quarantine.paths()
+        assert report.errors == cell["report"].errors
+
+
+class TestDeterminism:
+    def test_same_seed_and_schedule_reproduce_everything(self):
+        def one_run():
+            fs, __ = build_cell("mixed")
+            flaky = FlakyArchive(
+                fs,
+                FaultSchedule(
+                    seed=23,
+                    rate=0.5,
+                    max_consecutive=2,
+                    ops=frozenset({"read"}),
+                ),
+            )
+            state, report = run_scan(flaky, workers=1)
+            return (
+                dump_catalog(state.working),
+                state.quarantine.paths(),
+                report.errors,
+                report.messages,
+                report.retries,
+                flaky.schedule.injected,
+            )
+
+        assert one_run() == one_run()

@@ -1,0 +1,112 @@
+"""Property-based fault tolerance: bounded faults are invisible.
+
+The central robustness guarantee, stated as a property and searched by
+Hypothesis: for ANY seeded transient-fault schedule whose consecutive
+failures stay below the retry budget — flaky archive reads, busy
+catalog stores, at any rate — the wrangle completes and the published
+catalog is byte-identical to the fault-free run, with the same
+quarantine and the same typed errors.  The schedule's ``max_consecutive``
+cap (2) sits below the retry budget (3 attempts), which is exactly the
+condition under which every fault must be absorbed.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import SMALL_SPEC
+from repro.archive import generate_archive, render_archive
+from repro.archive.corruption import corrupt_archive
+from repro.archive.flaky import FlakyArchive
+from repro.catalog import MemoryCatalog, dump_catalog
+from repro.catalog.flaky import FlakyCatalogStore
+from repro.core.faults import FaultSchedule
+from repro.core.retry import RetryPolicy
+from repro.wrangling import WranglingState
+from repro.wrangling.publish import Publish
+from repro.wrangling.scan import ScanArchive
+
+FAST = RetryPolicy(attempts=3, base_delay=0.0)
+
+#: Shared, never-mutated input: a small archive with real corruption in
+#: it, so the property also covers the interaction between permanent
+#: damage (quarantine) and transient faults (retry).
+_ARCHIVE_FS, __ = render_archive(generate_archive(SMALL_SPEC))
+corrupt_archive(_ARCHIVE_FS, seed=5, truncate=2, garble=2, decapitate=1)
+
+
+def wrangle(fs, working, published):
+    state = WranglingState(fs=fs, working=working, published=published)
+    scan_report = ScanArchive(
+        workers=1, min_parallel_files=1, retry=FAST
+    ).execute(state)
+    publish_report = Publish(retry=FAST).execute(state)
+    return state, scan_report, publish_report
+
+
+def fault_free_baseline():
+    state, scan_report, publish_report = wrangle(
+        _ARCHIVE_FS, MemoryCatalog(), MemoryCatalog()
+    )
+    return {
+        "published": dump_catalog(state.published),
+        "quarantine": state.quarantine.paths(),
+        "scan_errors": scan_report.errors,
+        "publish_errors": publish_report.errors,
+    }
+
+
+BASELINE = fault_free_baseline()
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    read_rate=st.floats(min_value=0.0, max_value=0.85),
+    store_rate=st.floats(min_value=0.0, max_value=0.85),
+)
+@settings(max_examples=12, deadline=None)
+def test_bounded_fault_schedules_never_change_the_published_catalog(
+    seed, read_rate, store_rate
+):
+    flaky_fs = FlakyArchive(
+        _ARCHIVE_FS,
+        FaultSchedule(
+            seed=seed,
+            rate=read_rate,
+            max_consecutive=2,
+            ops=frozenset({"read"}),
+        ),
+    )
+    working = FlakyCatalogStore(
+        MemoryCatalog(),
+        FaultSchedule(seed=seed + 1, rate=store_rate, max_consecutive=2),
+    )
+    published = FlakyCatalogStore(
+        MemoryCatalog(),
+        FaultSchedule(seed=seed + 2, rate=store_rate, max_consecutive=2),
+    )
+    state, scan_report, publish_report = wrangle(
+        flaky_fs, working, published
+    )
+
+    assert dump_catalog(published.inner) == BASELINE["published"]
+    assert state.quarantine.paths() == BASELINE["quarantine"]
+    assert scan_report.errors == BASELINE["scan_errors"]
+    assert publish_report.errors == BASELINE["publish_errors"]
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=8, deadline=None)
+def test_every_absorbed_fault_is_counted_as_a_retry(seed):
+    flaky_fs = FlakyArchive(
+        _ARCHIVE_FS,
+        FaultSchedule(
+            seed=seed,
+            rate=0.5,
+            max_consecutive=2,
+            ops=frozenset({"read"}),
+        ),
+    )
+    __, scan_report, __ = wrangle(flaky_fs, MemoryCatalog(), MemoryCatalog())
+    assert scan_report.retries == flaky_fs.schedule.total_injected

@@ -1,0 +1,377 @@
+"""Unit tests for the robustness primitives: the error taxonomy, the
+bounded-retry layer, deterministic fault schedules and the two
+injectable fault wrappers (flaky archive, flaky catalog store)."""
+
+import sqlite3
+
+import pytest
+
+from repro.archive import VirtualArchive
+from repro.archive.flaky import FlakyArchive
+from repro.catalog import MemoryCatalog, SqliteCatalog
+from repro.catalog.flaky import FlakyCatalogStore
+from repro.core.errors import (
+    ErrorCode,
+    ErrorRecord,
+    StoreBusyError,
+    TransientError,
+    TransientReadError,
+    WorkerFailure,
+    classify_exception,
+    is_transient,
+)
+from repro.core.faults import FaultSchedule
+from repro.core.retry import RetryPolicy, retry_call
+from repro.geo import BoundingBox, TimeInterval
+from repro.catalog import DatasetFeature, VariableEntry
+
+
+def make_feature(dataset_id="d1"):
+    return DatasetFeature(
+        dataset_id=dataset_id,
+        title=f"Dataset {dataset_id}",
+        platform="station",
+        file_format="csv",
+        bbox=BoundingBox(46.0, -124.0, 46.2, -123.8),
+        interval=TimeInterval(100.0, 200.0),
+        row_count=50,
+        source_directory="stations/x",
+        attributes={"station": "x"},
+        variables=[
+            VariableEntry.from_written(
+                "salinity", "PSU", 50, 0.0, 30.0, 15.0, 2.0
+            )
+        ],
+    )
+
+
+class TestTaxonomy:
+    def test_is_transient_family(self):
+        assert is_transient(TransientError("x"))
+        assert is_transient(TransientReadError("x"))
+        assert is_transient(StoreBusyError("x"))
+
+    def test_is_transient_sqlite_busy_and_locked(self):
+        assert is_transient(sqlite3.OperationalError("database is locked"))
+        assert is_transient(sqlite3.OperationalError("database is busy"))
+
+    def test_real_sql_errors_are_not_transient(self):
+        assert not is_transient(sqlite3.OperationalError("no such table: t"))
+        assert not is_transient(ValueError("nope"))
+        assert not is_transient(KeyError("nope"))
+
+    def test_classify_read_fault(self):
+        record = classify_exception(
+            TransientReadError("gone"), path="a/b.csv", attempts=3
+        )
+        assert record.code is ErrorCode.TRANSIENT_READ
+        assert record.transient
+        assert record.path == "a/b.csv"
+        assert record.attempts == 3
+
+    def test_classify_store_fault(self):
+        for exc in (
+            StoreBusyError("busy"),
+            sqlite3.OperationalError("database is locked"),
+        ):
+            record = classify_exception(exc)
+            assert record.code is ErrorCode.STORE_BUSY
+            assert record.transient
+
+    def test_classify_unknown_exception(self):
+        record = classify_exception(RuntimeError("boom"), path="p")
+        assert record.code is ErrorCode.WORKER_ERROR
+        assert not record.transient
+        assert "RuntimeError" in record.message
+
+    def test_error_record_rendering(self):
+        record = ErrorRecord(
+            code=ErrorCode.TRANSIENT_READ,
+            message="gone",
+            path="a.csv",
+            transient=True,
+            attempts=3,
+        )
+        text = str(record)
+        assert "transient-read" in text
+        assert "a.csv" in text
+        assert "3 attempts" in text
+
+    def test_worker_failure_wraps_exception(self):
+        failure = WorkerFailure.from_exception("a.csv", ValueError("bad"))
+        assert failure.path == "a.csv"
+        assert failure.error_type == "ValueError"
+        assert "bad" in str(failure)
+
+
+class TestRetryPolicy:
+    def test_delays_grow_and_cap(self):
+        policy = RetryPolicy(
+            attempts=5,
+            base_delay=0.01,
+            multiplier=4.0,
+            max_delay=0.05,
+            jitter=0.0,
+        )
+        delays = [policy.delay(a) for a in (1, 2, 3, 4)]
+        assert delays == [0.01, 0.04, 0.05, 0.05]
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_delay=0.01, jitter=0.5)
+        first = policy.delay(1, key="k")
+        assert first == policy.delay(1, key="k")
+        assert 0.01 <= first <= 0.015
+        # Different keys decorrelate.
+        assert policy.delay(1, key="k") != policy.delay(1, key="other")
+
+    def test_zero_base_delay_means_no_pause(self):
+        policy = RetryPolicy(base_delay=0.0, jitter=0.5)
+        assert policy.delay(1) == 0.0
+
+
+class TestRetryCall:
+    def test_succeeds_after_transient_failures(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransientReadError("flake")
+            return "ok"
+
+        pauses = []
+        result = retry_call(
+            flaky,
+            RetryPolicy(attempts=3, base_delay=0.01, jitter=0.0),
+            sleep=pauses.append,
+        )
+        assert result == "ok"
+        assert calls["n"] == 3
+        assert len(pauses) == 2
+
+    def test_non_transient_raises_immediately(self):
+        calls = {"n": 0}
+
+        def broken():
+            calls["n"] += 1
+            raise ValueError("real bug")
+
+        with pytest.raises(ValueError):
+            retry_call(broken, RetryPolicy(attempts=5, base_delay=0.0))
+        assert calls["n"] == 1
+
+    def test_budget_exhaustion_raises_last_fault(self):
+        calls = {"n": 0}
+
+        def always():
+            calls["n"] += 1
+            raise TransientReadError(f"flake {calls['n']}")
+
+        with pytest.raises(TransientReadError, match="flake 3"):
+            retry_call(always, RetryPolicy(attempts=3, base_delay=0.0))
+        assert calls["n"] == 3
+
+    def test_on_retry_observes_absorbed_faults(self):
+        calls = {"n": 0}
+        seen = []
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 2:
+                raise StoreBusyError("busy")
+            return 42
+
+        retry_call(
+            flaky,
+            RetryPolicy(attempts=3, base_delay=0.0),
+            on_retry=lambda attempt, exc, pause: seen.append(attempt),
+        )
+        assert seen == [1]
+
+
+class TestFaultSchedule:
+    def test_deterministic_across_replays(self):
+        def play(schedule):
+            return [
+                schedule.should_fail("read", f"k{i % 3}") for i in range(40)
+            ]
+
+        first = FaultSchedule(seed=7, rate=0.5)
+        second = FaultSchedule(seed=7, rate=0.5)
+        assert play(first) == play(second)
+        assert first.injected == second.injected
+
+    def test_max_consecutive_caps_per_key(self):
+        schedule = FaultSchedule(seed=1, rate=1.0, max_consecutive=2)
+        outcomes = [schedule.should_fail("read", "k") for __ in range(3)]
+        assert outcomes == [True, True, False]
+
+    def test_limit_bounds_total_faults(self):
+        schedule = FaultSchedule(
+            seed=1, rate=1.0, max_consecutive=1, limit=2
+        )
+        fired = sum(
+            schedule.should_fail("read", f"k{i}") for i in range(10)
+        )
+        assert fired == 2
+
+    def test_ops_filter(self):
+        schedule = FaultSchedule(
+            seed=1, rate=1.0, max_consecutive=99, ops=frozenset({"list"})
+        )
+        assert not schedule.should_fail("read", "k")
+        assert schedule.should_fail("list", "")
+
+    def test_zero_rate_never_fires(self):
+        schedule = FaultSchedule(seed=1, rate=0.0)
+        assert not any(
+            schedule.should_fail("read", "k") for __ in range(20)
+        )
+        assert schedule.total_injected == 0
+
+
+class TestFlakyArchive:
+    def _archive(self):
+        fs = VirtualArchive()
+        fs.put("a.csv", "content-a")
+        fs.put("dir/b.csv", "content-b")
+        return fs
+
+    def test_reads_fail_then_recover(self):
+        fs = self._archive()
+        flaky = FlakyArchive(
+            fs, FaultSchedule(seed=3, rate=1.0, max_consecutive=2)
+        )
+        with pytest.raises(TransientReadError):
+            flaky.get("a.csv")
+        with pytest.raises(TransientReadError):
+            flaky.get("a.csv")
+        assert flaky.get("a.csv").content == "content-a"
+
+    def test_listing_faults(self):
+        fs = self._archive()
+        flaky = FlakyArchive(
+            fs,
+            FaultSchedule(
+                seed=3, rate=1.0, max_consecutive=1, ops=frozenset({"list"})
+            ),
+        )
+        with pytest.raises(TransientReadError):
+            flaky.list_directory("", recursive=True)
+        assert len(flaky.list_directory("", recursive=True)) == 2
+
+    def test_passthroughs_never_fault(self):
+        fs = self._archive()
+        flaky = FlakyArchive(fs, FaultSchedule(seed=3, rate=1.0))
+        assert len(flaky) == 2
+        assert flaky.exists("a.csv")
+        assert sorted(f.path for f in flaky) == ["a.csv", "dir/b.csv"]
+        flaky.put("c.csv", "new")
+        flaky.remove("c.csv")
+        assert "dir" in flaky.directories()
+
+
+class TestFlakyCatalogStore:
+    def test_writes_fault_with_real_sqlite_error(self):
+        store = FlakyCatalogStore(
+            MemoryCatalog(),
+            FaultSchedule(seed=2, rate=1.0, max_consecutive=1),
+        )
+        with pytest.raises(sqlite3.OperationalError, match="locked"):
+            store.upsert_many([make_feature()])
+        # Fault fires before the delegate: nothing was written.
+        assert len(store) == 0
+        assert store.upsert_many([make_feature()]) == 1
+        assert len(store) == 1
+
+    def test_reads_clean_by_default(self):
+        store = FlakyCatalogStore(
+            MemoryCatalog(), FaultSchedule(seed=2, rate=1.0)
+        )
+        inner_feature = make_feature()
+        store.inner.upsert(inner_feature)
+        assert store.get("d1").dataset_id == "d1"
+        assert store.dataset_ids() == ["d1"]
+        assert [f.dataset_id for f in store.features()] == ["d1"]
+
+    def test_version_delegates(self):
+        inner = MemoryCatalog()
+        store = FlakyCatalogStore(inner, FaultSchedule(seed=2, rate=0.0))
+        before = store.version
+        store.upsert(make_feature())
+        assert store.version == inner.version > before
+
+
+class TestSqliteResilience:
+    def test_busy_timeout_applied_on_file_backed(self, tmp_path):
+        with SqliteCatalog(
+            str(tmp_path / "cat.db"), busy_timeout_ms=1234
+        ) as store:
+            (timeout,) = store._conn.execute(
+                "PRAGMA busy_timeout"
+            ).fetchone()
+            assert timeout == 1234
+
+    def test_memory_store_ignores_busy_timeout(self):
+        # A private in-memory database cannot be contended by another
+        # connection; the pragma is left at the sqlite3 connect default.
+        with SqliteCatalog(busy_timeout_ms=1234) as store:
+            (timeout,) = store._conn.execute(
+                "PRAGMA busy_timeout"
+            ).fetchone()
+            assert timeout != 1234
+
+    def test_write_retries_transient_busy(self, monkeypatch):
+        store = SqliteCatalog()
+        store._retry = RetryPolicy(attempts=3, base_delay=0.0)
+        original = store._write_feature
+        calls = {"n": 0}
+
+        def busy_once(feature):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise sqlite3.OperationalError("database is locked")
+            original(feature)
+
+        monkeypatch.setattr(store, "_write_feature", busy_once)
+        store.upsert(make_feature())
+        assert calls["n"] == 2
+        assert store.get("d1").dataset_id == "d1"
+        # The aborted first transaction must not have bumped the version.
+        assert store.version == 1
+        store.close()
+
+    def test_real_sql_errors_never_retry(self, monkeypatch):
+        store = SqliteCatalog()
+        store._retry = RetryPolicy(attempts=3, base_delay=0.0)
+        calls = {"n": 0}
+
+        def broken(feature):
+            calls["n"] += 1
+            raise sqlite3.OperationalError("no such table: datasets")
+
+        monkeypatch.setattr(store, "_write_feature", broken)
+        with pytest.raises(sqlite3.OperationalError, match="no such table"):
+            store.upsert(make_feature())
+        assert calls["n"] == 1
+        store.close()
+
+    def test_upsert_many_accepts_generator_under_retry(self, monkeypatch):
+        store = SqliteCatalog()
+        store._retry = RetryPolicy(attempts=3, base_delay=0.0)
+        original = store._write_feature
+        calls = {"n": 0}
+
+        def busy_once(feature):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise sqlite3.OperationalError("database is locked")
+            original(feature)
+
+        monkeypatch.setattr(store, "_write_feature", busy_once)
+        count = store.upsert_many(
+            make_feature(f"d{i}") for i in range(3)
+        )
+        assert count == 3
+        assert len(store) == 3
+        store.close()
