@@ -295,6 +295,42 @@ def bench_backend(
     return result
 
 
+def measure_telemetry_overhead(fs: VirtualArchive, repeats: int) -> dict:
+    """Serial cold wrangles with telemetry off vs on, interleaved.
+
+    The observability contract: full instrumentation (spans on every
+    stage, per-file latency observations, counters) must cost at most a
+    few percent of the serial ingest path.  Runs are interleaved so
+    machine noise hits both sides equally; the medians are compared.
+    """
+    from repro.obs import Telemetry, use_telemetry
+
+    def cold_run(telemetry) -> float:
+        state = WranglingState(fs=fs)
+        chain = ProcessChain(
+            components=[ScanArchive(workers=1), Publish()]
+        )
+        if telemetry is None:
+            return timed(lambda: chain.run(state))
+        with use_telemetry(telemetry):
+            return timed(lambda: chain.run(state))
+
+    base: list[float] = []
+    instrumented: list[float] = []
+    for __ in range(max(3, repeats + 1)):
+        base.append(cold_run(None))
+        instrumented.append(cold_run(Telemetry()))
+    base_s = statistics.median(base)
+    on_s = statistics.median(instrumented)
+    return {
+        "telemetry_base_s": base_s,
+        "telemetry_on_s": on_s,
+        "telemetry_overhead": (
+            (on_s - base_s) / base_s if base_s else 0.0
+        ),
+    }
+
+
 def run(n_datasets: int, rows: int, repeats: int, n_edits: int) -> dict:
     print(f"building a {n_datasets}-dataset synthetic archive ...")
     fs = build_archive(n_datasets, rows=rows, seed=7)
@@ -331,6 +367,8 @@ def run(n_datasets: int, rows: int, repeats: int, n_edits: int) -> dict:
             result["backends"][backend] = bench_backend(
                 backend, fs, tmpdir, repeats, n_edits, rows
             )
+    print("measuring telemetry overhead on the serial path ...")
+    result.update(measure_telemetry_overhead(fs, repeats))
     sqlite = result["backends"]["sqlite_file"]
     result["exactness_ok"] = parallel_ok and all(
         b["exactness_ok"] for b in result["backends"].values()
@@ -392,7 +430,14 @@ def main(argv=None) -> int:
             f"edit({b['small_edit_files']}) "
             f"{b['small_edit_s'] * 1000.0:7.1f}ms"
         )
+    print(
+        f"telemetry    base {result['telemetry_base_s']:7.3f}s  "
+        f"instrumented {result['telemetry_on_s']:7.3f}s  "
+        f"(overhead {result['telemetry_overhead'] * 100.0:+.1f}%)"
+    )
     failures = []
+    if result["telemetry_overhead"] > 0.05:
+        failures.append("telemetry overhead above 5% on the serial path")
     if result["unchanged_digests"] != 0:
         failures.append("unchanged re-wrangle computed digests")
     if result["unchanged_store_writes"] != 0:

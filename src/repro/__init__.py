@@ -11,6 +11,7 @@ archives, after the *Data Near Here* project:
 * ``repro.refine``    — Google Refine substrate (GREL, ops, clustering, JSON)
 * ``repro.wrangling`` — the composable metadata processing chain
 * ``repro.curator``   — curatorial activities, incl. a simulated curator
+* ``repro.obs``       — telemetry: tracing spans, metrics, JSONL traces
 * ``repro.ui``        — search-page and summary-page renderers
 
 Quickstart::
@@ -37,6 +38,7 @@ from .core.search import (
     SearchResults,
 )
 from .geo import BoundingBox, GeoPoint, TimeInterval
+from .obs import Telemetry, get_telemetry, use_telemetry
 from .system import DataNearHere, NotWrangledError
 
 __version__ = "1.0.0"
@@ -53,8 +55,11 @@ __all__ = [
     "SearchEngine",
     "SearchResult",
     "SearchResults",
+    "Telemetry",
     "TimeInterval",
     "VariableTerm",
     "__version__",
+    "get_telemetry",
     "parse_query",
+    "use_telemetry",
 ]

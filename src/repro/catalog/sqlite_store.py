@@ -17,10 +17,12 @@ from __future__ import annotations
 
 import json
 import sqlite3
+import time
 from typing import Callable, Iterable, TypeVar
 
 from ..core.retry import RetryPolicy, retry_call
 from ..geo import BoundingBox, TimeInterval
+from ..obs import get_telemetry
 from .records import DatasetFeature, VariableEntry
 from .store import CatalogStore, DatasetNotFoundError
 
@@ -120,9 +122,28 @@ class SqliteCatalog(CatalogStore):
         """Run one write transaction with bounded busy/locked retry.
 
         ``fn`` must be transactional (all-or-nothing), so a retried call
-        replays against unchanged state.
+        replays against unchanged state.  With telemetry active, each
+        write batch lands in the ``catalog.write_seconds`` latency
+        histogram and absorbed busy/locked retries count as
+        ``catalog.write_retries``; when the default disabled registry is
+        active this path costs one attribute check.
         """
-        return retry_call(fn, self._retry, key=key)
+        telemetry = get_telemetry()
+        if not telemetry.enabled:
+            return retry_call(fn, self._retry, key=key)
+
+        def count_busy(attempt: int, exc: BaseException, pause: float):
+            telemetry.count("catalog.write_retries")
+
+        started = time.monotonic()
+        result = retry_call(
+            fn, self._retry, key=key, on_retry=count_busy
+        )
+        telemetry.observe(
+            "catalog.write_seconds", time.monotonic() - started
+        )
+        telemetry.count("catalog.writes")
+        return result
 
     # -- versioning ----------------------------------------------------------
 

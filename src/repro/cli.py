@@ -34,8 +34,14 @@ from .core import SearchEngine
 from .core.qparser import QueryParseError, parse_query
 from .core.summary import summarize
 from .hierarchy import vocabulary_hierarchy
+from .obs import Telemetry, use_telemetry, write_trace
 from .system import DataNearHere
-from .ui import render_search_text, render_summary_text
+from .ui import (
+    render_search_text,
+    render_span_tree,
+    render_summary_text,
+    render_telemetry_report,
+)
 from .wrangling import WranglingState, default_chain, validate
 from .wrangling.scan import ScanArchive
 
@@ -82,7 +88,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     wrangle.add_argument(
         "--timings", action="store_true",
-        help="print per-component timings for the wrangling run",
+        help="print the span-tree timing breakdown for the wrangling run",
+    )
+    wrangle.add_argument(
+        "--stats", action="store_true",
+        help="print the full telemetry report (span tree, counters, "
+        "latency histograms) after the run",
+    )
+    wrangle.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write the run's telemetry trace to FILE as JSONL "
+        "(validate with 'python -m repro.obs FILE')",
     )
     wrangle.add_argument(
         "--show-quarantine", action="store_true",
@@ -103,7 +119,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     search.add_argument(
         "--stats", action="store_true",
-        help="print engine statistics (cache hits/misses, index state)",
+        help="print engine statistics (cache hits/misses, index state) "
+        "and the telemetry report",
+    )
+    search.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write the search telemetry trace to FILE as JSONL",
     )
 
     summary = sub.add_parser(
@@ -200,14 +221,20 @@ def _cmd_wrangle(args: argparse.Namespace) -> int:
         # After any --config load, so the flag wins over the saved value.
         system.set_scan_workers(args.workers)
     report = system.wrangle()
+    snapshot = system.telemetry_snapshot()
     if args.timings:
-        print(report.summary())
+        print(
+            f"wrangle run #{report.run_number}: "
+            f"{report.total_changes} changes in "
+            f"{report.duration_seconds:.3f}s"
+        )
+        print(render_span_tree(snapshot))
     else:
         print(
             f"wrangle run #{report.run_number}: "
             f"{report.total_changes} changes in "
             f"{report.duration_seconds:.3f}s "
-            f"(--timings for the per-component breakdown)"
+            f"(--timings for the span-tree breakdown)"
         )
     print()
     print("validation:", system.validate().summary())
@@ -220,6 +247,13 @@ def _cmd_wrangle(args: argparse.Namespace) -> int:
             f"quarantine: {len(system.quarantine)} files set aside "
             "(--show-quarantine for details)"
         )
+    if args.stats:
+        print()
+        print(render_telemetry_report(snapshot))
+    if args.trace_out is not None:
+        events = write_trace(snapshot, args.trace_out)
+        print()
+        print(f"trace: {events} events written to {args.trace_out}")
     print()
     print(f"published {len(published)} datasets to {args.catalog}")
     if args.save_config is not None:
@@ -249,11 +283,13 @@ def _cmd_search(args: argparse.Namespace) -> int:
     catalog = _open_catalog(args.catalog)
     if catalog is None:
         return 2
-    engine = SearchEngine(catalog, hierarchy=vocabulary_hierarchy())
-    engine.build_indexes()
-    repeats = max(1, args.repeat)
-    for __ in range(repeats):
-        results = engine.search(query, limit=args.limit)
+    telemetry = Telemetry()
+    with use_telemetry(telemetry):
+        engine = SearchEngine(catalog, hierarchy=vocabulary_hierarchy())
+        engine.build_indexes()
+        repeats = max(1, args.repeat)
+        for __ in range(repeats):
+            results = engine.search(query, limit=args.limit)
     print(render_search_text(query, results))
     if args.stats:
         stats = engine.stats()
@@ -270,6 +306,12 @@ def _cmd_search(args: argparse.Namespace) -> int:
             f"(hit rate {cache['hit_rate']:.2f}, "
             f"{cache['size']}/{cache['maxsize']} entries)"
         )
+        print()
+        print(render_telemetry_report(telemetry.snapshot()))
+    if args.trace_out is not None:
+        events = write_trace(telemetry.snapshot(), args.trace_out)
+        print()
+        print(f"trace: {events} events written to {args.trace_out}")
     catalog.close()
     return 0
 

@@ -15,6 +15,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from ..obs import get_telemetry
+
 
 @dataclass(slots=True)
 class FaultSchedule:
@@ -71,6 +73,12 @@ class FaultSchedule:
         if self._rng.random() < self.rate:
             self._streak[streak_key] = self._streak.get(streak_key, 0) + 1
             self.injected.append((op, key, self.calls))
+            # Telemetry marks the fault as *injected*, so stats surfaces
+            # can separate test-harness faults from organic transients
+            # (organic = retry.absorbed - fault.injected).
+            telemetry = get_telemetry()
+            telemetry.count("fault.injected")
+            telemetry.count(f"fault.injected.{op}")
             return True
         self._streak[streak_key] = 0
         return False

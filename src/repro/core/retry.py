@@ -25,6 +25,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, TypeVar
 
+from ..obs import get_telemetry
 from .errors import is_transient
 
 T = TypeVar("T")
@@ -92,6 +93,10 @@ def retry_call(
             if attempt >= budget or not classify(exc):
                 raise
             pause = policy.delay(attempt, key)
+            # One shared ledger of absorbed transients: compared against
+            # `fault.injected` (see repro.core.faults) it splits retries
+            # into injected vs organic on the stats surfaces.
+            get_telemetry().count("retry.absorbed")
             if on_retry is not None:
                 on_retry(attempt, exc, pause)
             if pause > 0:

@@ -25,6 +25,7 @@ from ..catalog.records import DatasetFeature
 from ..catalog.store import CatalogStore
 from ..geo import SECONDS_PER_DAY
 from ..hierarchy import ConceptHierarchy
+from ..obs import get_telemetry
 from .cache import QueryCache
 from .query import Query
 from .scoring import (
@@ -160,11 +161,12 @@ class SearchEngine:
 
     def build_indexes(self, cell_degrees: float = 0.5) -> CatalogIndexes:
         """Build (and attach) fresh indexes over the current catalog."""
-        self.indexes = CatalogIndexes.build(
-            list(self.catalog),
-            cell_degrees=cell_degrees,
-            catalog_version=self.catalog.version,
-        )
+        with get_telemetry().span("index.build", size=len(self.catalog)):
+            self.indexes = CatalogIndexes.build(
+                list(self.catalog),
+                cell_degrees=cell_degrees,
+                catalog_version=self.catalog.version,
+            )
         return self.indexes
 
     def refresh_indexes(
@@ -355,21 +357,39 @@ class SearchEngine:
         """
         if limit <= 0:
             raise ValueError("limit must be positive")
+        telemetry = get_telemetry()
+        telemetry.count("search.queries")
+        with telemetry.span("search.query", limit=limit) as span:
+            results = self._search(query, limit, span)
+        telemetry.observe("search.query_seconds", span.duration)
+        return results
+
+    def _search(self, query: Query, limit: int, span) -> SearchResults:
+        telemetry = get_telemetry()
         key = self._cache_key(query, limit)
         if self.cache is not None:
             cached = self.cache.get(key)
             if cached is not None:
+                telemetry.count("search.cache_hits")
+                span.set("cached", True)
                 return cached
+            telemetry.count("search.cache_misses")
         scorer = QueryScorer(
             query, hierarchy=self.hierarchy, config=self.config
         )
         candidate_ids, excluded_bound = self._candidate_ids(query)
+        if telemetry.enabled:
+            pruned = len(self.catalog) - len(candidate_ids)
+            if pruned > 0:
+                telemetry.count("search.candidates_pruned", pruned)
+            span.set("candidates", len(candidate_ids))
         top = _TopK(limit)
         matches = self._score_into(scorer, query, candidate_ids, top)
         if excluded_bound is not None:
             floor = top.floor()
             kth_score = floor[0] if floor is not None else 0.0
             if kth_score < excluded_bound:
+                telemetry.count("search.prune_rescans")
                 remainder = sorted(
                     set(self.catalog.dataset_ids()) - set(candidate_ids)
                 )

@@ -1,0 +1,50 @@
+"""Zero-dependency observability: telemetry registry + JSONL trace sink.
+
+``repro.obs`` sits below every other layer (it imports nothing from the
+rest of the package) and gives the pipeline one shared language for
+"what happened and how long did it take": counters, gauges,
+fixed-bucket histograms and hierarchical tracing spans, aggregated
+process-locally and merged across ProcessPool workers.  See
+:mod:`repro.obs.telemetry` for the registry and
+:mod:`repro.obs.sink` for the ``--trace-out`` JSONL schema.
+"""
+
+from .sink import (
+    EVENT_TYPES,
+    read_trace,
+    trace_events,
+    validate_trace_file,
+    validate_trace_lines,
+    write_trace,
+)
+from .telemetry import (
+    DEFAULT_LATENCY_BOUNDS,
+    SCHEMA_VERSION,
+    Histogram,
+    Span,
+    SpanRecord,
+    Telemetry,
+    get_telemetry,
+    set_telemetry,
+    use_telemetry,
+    walk_span_tree,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BOUNDS",
+    "EVENT_TYPES",
+    "Histogram",
+    "SCHEMA_VERSION",
+    "Span",
+    "SpanRecord",
+    "Telemetry",
+    "get_telemetry",
+    "read_trace",
+    "set_telemetry",
+    "trace_events",
+    "use_telemetry",
+    "validate_trace_file",
+    "validate_trace_lines",
+    "walk_span_tree",
+    "write_trace",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.obs trace.jsonl [...]`` — validate JSONL traces."""
+
+from .sink import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

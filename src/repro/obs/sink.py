@@ -1,0 +1,263 @@
+"""The structured trace sink: one JSONL event per span / metric flush.
+
+A telemetry snapshot flattens into a line-delimited JSON trace::
+
+    {"v": 1, "type": "meta", "schema": 1, "spans": 12, ...}
+    {"v": 1, "type": "span", "name": "scan-archive", "path": "wrangle/...",
+     "start": 0.01, "duration": 0.42, "status": "ok", "attrs": {...}}
+    {"v": 1, "type": "counter", "name": "scan.quarantined", "value": 3}
+    {"v": 1, "type": "gauge", "name": "catalog.size", "value": 60}
+    {"v": 1, "type": "histogram", "name": "search.query_seconds",
+     "bounds": [...], "counts": [...], "count": 9, "sum": 0.1, ...}
+
+Every line carries the schema version (``v``) so downstream consumers
+can evolve; :func:`validate_trace_lines` is the machine check CI runs
+against the files ``--trace-out`` writes, and :func:`read_trace`
+reassembles a snapshot-shaped dict for round-trip tests and offline
+analysis.  Run as a script to validate files::
+
+    PYTHONPATH=src python -m repro.obs run.jsonl [more.jsonl ...]
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Iterator
+
+from .telemetry import SCHEMA_VERSION
+
+#: The event types a valid trace may contain.
+EVENT_TYPES = ("meta", "span", "counter", "gauge", "histogram")
+
+
+def trace_events(snapshot: dict) -> Iterator[dict]:
+    """Flatten one telemetry snapshot into trace events, meta first."""
+    yield {
+        "v": SCHEMA_VERSION,
+        "type": "meta",
+        "schema": snapshot.get("schema", SCHEMA_VERSION),
+        "spans": len(snapshot.get("spans", [])),
+        "dropped_spans": snapshot.get("dropped_spans", 0),
+        "counters": len(snapshot.get("counters", {})),
+        "histograms": len(snapshot.get("histograms", {})),
+    }
+    for span in snapshot.get("spans", []):
+        yield {"v": SCHEMA_VERSION, "type": "span", **span}
+    for name, value in snapshot.get("counters", {}).items():
+        yield {
+            "v": SCHEMA_VERSION, "type": "counter",
+            "name": name, "value": value,
+        }
+    for name, value in snapshot.get("gauges", {}).items():
+        yield {
+            "v": SCHEMA_VERSION, "type": "gauge",
+            "name": name, "value": value,
+        }
+    for name, payload in snapshot.get("histograms", {}).items():
+        yield {
+            "v": SCHEMA_VERSION, "type": "histogram",
+            "name": name, **payload,
+        }
+
+
+def write_trace(snapshot: dict, destination: str | IO[str]) -> int:
+    """Write a snapshot as a JSONL trace; returns the event count."""
+    own = isinstance(destination, str)
+    fh = open(destination, "w", encoding="utf-8") if own else destination
+    try:
+        count = 0
+        for event in trace_events(snapshot):
+            fh.write(json.dumps(event, sort_keys=True, allow_nan=True))
+            fh.write("\n")
+            count += 1
+        return count
+    finally:
+        if own:
+            fh.close()
+
+
+def read_trace(source: str | IO[str]) -> dict:
+    """Reassemble a snapshot-shaped dict from a JSONL trace file.
+
+    The inverse of :func:`write_trace` up to key order: counters,
+    gauges, histograms and spans round-trip exactly; ``span_stats`` is
+    recomputed from the spans.
+    """
+    own = isinstance(source, str)
+    fh = open(source, "r", encoding="utf-8") if own else source
+    try:
+        snapshot: dict = {
+            "schema": SCHEMA_VERSION,
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+            "spans": [],
+            "span_stats": {},
+            "dropped_spans": 0,
+        }
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            event = json.loads(line)
+            kind = event.get("type")
+            if kind == "meta":
+                snapshot["schema"] = event.get("schema", SCHEMA_VERSION)
+                snapshot["dropped_spans"] = event.get("dropped_spans", 0)
+            elif kind == "span":
+                snapshot["spans"].append(
+                    {
+                        "name": event["name"],
+                        "path": event["path"],
+                        "start": event["start"],
+                        "duration": event["duration"],
+                        "status": event.get("status", "ok"),
+                        "attrs": event.get("attrs", {}),
+                    }
+                )
+            elif kind == "counter":
+                snapshot["counters"][event["name"]] = event["value"]
+            elif kind == "gauge":
+                snapshot["gauges"][event["name"]] = event["value"]
+            elif kind == "histogram":
+                snapshot["histograms"][event["name"]] = {
+                    "bounds": event["bounds"],
+                    "counts": event["counts"],
+                    "count": event["count"],
+                    "sum": event["sum"],
+                    "min": event.get("min"),
+                    "max": event.get("max"),
+                }
+        for span in snapshot["spans"]:
+            stats = snapshot["span_stats"].setdefault(
+                span["path"],
+                {"count": 0, "total_seconds": 0.0, "errors": 0},
+            )
+            stats["count"] += 1
+            stats["total_seconds"] += span["duration"]
+            if span["status"] != "ok":
+                stats["errors"] += 1
+        return snapshot
+    finally:
+        if own:
+            fh.close()
+
+
+def validate_trace_lines(lines: Iterable[str]) -> list[str]:
+    """Schema-check a trace; returns human-readable problems (empty = ok).
+
+    The contract checked here is what CI's telemetry smoke step gates
+    on: a meta line first, every line a versioned event of a known
+    type, span paths consistent with their names, histogram bucket
+    arithmetic internally consistent.
+    """
+    problems: list[str] = []
+    saw_meta = False
+    for number, raw in enumerate(lines, start=1):
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            event = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            problems.append(f"line {number}: not JSON ({exc})")
+            continue
+        if not isinstance(event, dict):
+            problems.append(f"line {number}: not a JSON object")
+            continue
+        if event.get("v") != SCHEMA_VERSION:
+            problems.append(
+                f"line {number}: schema version {event.get('v')!r} "
+                f"!= {SCHEMA_VERSION}"
+            )
+        kind = event.get("type")
+        if kind not in EVENT_TYPES:
+            problems.append(f"line {number}: unknown event type {kind!r}")
+            continue
+        if number == 1 and kind != "meta":
+            problems.append("line 1: trace must start with a meta event")
+        if kind == "meta":
+            saw_meta = True
+        elif kind == "span":
+            for key in ("name", "path", "start", "duration"):
+                if key not in event:
+                    problems.append(f"line {number}: span missing {key!r}")
+            if "path" in event and "name" in event:
+                path, name = event["path"], event["name"]
+                if path != name and not path.endswith(f"/{name}"):
+                    problems.append(
+                        f"line {number}: span path {path!r} does not end "
+                        f"with name {name!r}"
+                    )
+            if event.get("duration", 0) < 0 or event.get("start", 0) < 0:
+                problems.append(f"line {number}: negative span timing")
+            if event.get("status", "ok") not in ("ok", "error"):
+                problems.append(
+                    f"line {number}: bad span status "
+                    f"{event.get('status')!r}"
+                )
+        elif kind in ("counter", "gauge"):
+            if "name" not in event or "value" not in event:
+                problems.append(f"line {number}: {kind} missing name/value")
+            elif kind == "counter" and (
+                not isinstance(event["value"], int) or event["value"] < 0
+            ):
+                problems.append(
+                    f"line {number}: counter value must be a "
+                    f"non-negative integer"
+                )
+        elif kind == "histogram":
+            for key in ("name", "bounds", "counts", "count", "sum"):
+                if key not in event:
+                    problems.append(
+                        f"line {number}: histogram missing {key!r}"
+                    )
+            bounds = event.get("bounds", [])
+            counts = event.get("counts", [])
+            if len(counts) != len(bounds) + 1:
+                problems.append(
+                    f"line {number}: histogram needs len(bounds)+1 "
+                    f"buckets, got {len(counts)} for {len(bounds)} bounds"
+                )
+            if sum(counts) != event.get("count"):
+                problems.append(
+                    f"line {number}: histogram bucket sum "
+                    f"{sum(counts)} != count {event.get('count')}"
+                )
+            if list(bounds) != sorted(bounds):
+                problems.append(f"line {number}: histogram bounds unsorted")
+    if not saw_meta:
+        problems.append("trace has no meta event")
+    return problems
+
+
+def validate_trace_file(path: str) -> list[str]:
+    """:func:`validate_trace_lines` over a file on disk."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return validate_trace_lines(fh)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Validate trace files; exit 0 when all pass (the CI smoke gate)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="validate repro telemetry JSONL traces"
+    )
+    parser.add_argument("paths", nargs="+", help="trace files to check")
+    args = parser.parse_args(argv)
+    failed = False
+    for path in args.paths:
+        problems = validate_trace_file(path)
+        if problems:
+            failed = True
+            print(f"{path}: INVALID")
+            for problem in problems:
+                print(f"  {problem}")
+        else:
+            print(f"{path}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    raise SystemExit(main())

@@ -17,6 +17,7 @@ from .core.scoring import ScoringConfig
 from .core.search import BooleanSearchEngine, SearchEngine, SearchResults
 from .core.summary import DatasetSummary, summarize
 from .curator.session import CuratorSession
+from .obs import Telemetry, use_telemetry
 from .ui.render import render_search_text, render_summary_text
 from .wrangling.chain import ChainRunReport, ProcessChain, default_chain
 from .wrangling.state import WranglingState
@@ -37,6 +38,7 @@ class DataNearHere:
         published: CatalogStore | None = None,
         scoring: ScoringConfig | None = None,
         workers: int | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         # `published` may be an *empty* store, which is falsy — test
         # against None, not truthiness.
@@ -53,6 +55,10 @@ class DataNearHere:
         # catalog version, so they survive engine rebuilds and re-runs
         # of an unchanged archive ("run & rerun" stays warm).
         self._cache = QueryCache(maxsize=512)
+        # One telemetry registry for the system's lifetime: every
+        # wrangle/search runs under it, so counters accumulate across
+        # runs and the span tree covers the whole session.
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
 
     # -- wrangling ---------------------------------------------------------
 
@@ -78,34 +84,39 @@ class DataNearHere:
         O(catalog) index rebuild — and an unchanged archive keeps the
         query cache warm.
         """
-        report = self.chain.run(self.state)
-        published = self.state.published
-        delta = self.state.published_delta
-        engine = self._engine
-        if (
-            engine is not None
-            and engine.catalog is published
-            and engine.indexes is not None
-            and delta is not None
-            and not delta.full_copy
-        ):
-            if delta.changed:
-                # The hierarchy may have been regenerated alongside the
-                # changed catalog; an unchanged publish keeps the old
-                # object so version-matched cache entries stay live.
-                engine.hierarchy = self.state.hierarchy
-                engine.refresh_indexes(
-                    updated=[published.get(i) for i in delta.upserted],
-                    removed=delta.removed,
-                )
-        else:
-            self._engine = SearchEngine(
-                published,
-                hierarchy=self.state.hierarchy,
-                config=self.scoring,
-                cache=self._cache,
-            )
-            self._engine.build_indexes()
+        with use_telemetry(self.telemetry):
+            report = self.chain.run(self.state)
+            published = self.state.published
+            delta = self.state.published_delta
+            engine = self._engine
+            with self.telemetry.span("index.refresh"):
+                if (
+                    engine is not None
+                    and engine.catalog is published
+                    and engine.indexes is not None
+                    and delta is not None
+                    and not delta.full_copy
+                ):
+                    if delta.changed:
+                        # The hierarchy may have been regenerated
+                        # alongside the changed catalog; an unchanged
+                        # publish keeps the old object so
+                        # version-matched cache entries stay live.
+                        engine.hierarchy = self.state.hierarchy
+                        engine.refresh_indexes(
+                            updated=[
+                                published.get(i) for i in delta.upserted
+                            ],
+                            removed=delta.removed,
+                        )
+                else:
+                    self._engine = SearchEngine(
+                        published,
+                        hierarchy=self.state.hierarchy,
+                        config=self.scoring,
+                        cache=self._cache,
+                    )
+                    self._engine.build_indexes()
         return report
 
     def validate(self) -> ValidationReport:
@@ -149,11 +160,21 @@ class DataNearHere:
 
     def search(self, query: Query, limit: int = 10) -> SearchResults:
         """Ranked search over the published catalog."""
-        return self.engine.search(query, limit=limit)
+        with use_telemetry(self.telemetry):
+            return self.engine.search(query, limit=limit)
 
     def search_stats(self) -> dict:
         """Engine counters (query-cache hits/misses, index state)."""
         return self.engine.stats()
+
+    def telemetry_snapshot(self) -> dict:
+        """A point-in-time view of this system's telemetry registry.
+
+        Counters, gauges, histograms, the recorded span tree, and
+        per-path span statistics — everything the stats report and the
+        JSONL trace sink render.  See :meth:`repro.obs.Telemetry.snapshot`.
+        """
+        return self.telemetry.snapshot()
 
     def search_page(self, query: Query, limit: int = 10) -> str:
         """The rendered search-results page (text)."""

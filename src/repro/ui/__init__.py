@@ -5,6 +5,8 @@ from .health import (
     measure_health,
     render_health_report,
     render_quarantine_report,
+    render_span_tree,
+    render_telemetry_report,
 )
 from .render import (
     render_search_html,
@@ -20,6 +22,8 @@ __all__ = [
     "render_quarantine_report",
     "render_search_html",
     "render_search_text",
+    "render_span_tree",
     "render_summary_html",
     "render_summary_text",
+    "render_telemetry_report",
 ]

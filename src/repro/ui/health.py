@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING
 from ..archive.vocabulary import VOCABULARY
 from ..catalog.store import CatalogStore
 from ..geo import BoundingBox, TimeInterval
+from ..obs import Histogram, walk_span_tree
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..wrangling.state import QuarantineLog
@@ -118,6 +119,92 @@ def render_quarantine_report(quarantine: "QuarantineLog") -> str:
             "quarantined paths are retried automatically"
         )
     return "\n".join(lines)
+
+
+def render_span_tree(snapshot: dict) -> str:
+    """The ``--timings`` surface: the recorded span tree, one line per
+    span path, in execution order.
+
+    A thin view over the telemetry snapshot — the same spans feed
+    ``ComponentReport.duration_seconds`` and the JSONL trace, so every
+    timing surface shows the same numbers by construction.
+    """
+    lines = ["Span timings", "=" * 60]
+    rows = list(walk_span_tree(snapshot))
+    if not rows:
+        lines.append("  no spans recorded")
+    for path, name, depth, stats in rows:
+        label = "  " * depth + name
+        errors = (
+            f"  [{stats['errors']} errors]" if stats["errors"] else ""
+        )
+        lines.append(
+            f"{label:<40} {stats['count']:>5}x "
+            f"{stats['total_seconds']:>9.3f}s{errors}"
+        )
+    dropped = snapshot.get("dropped_spans", 0)
+    if dropped:
+        lines.append(f"  ({dropped} spans dropped past the cap)")
+    return "\n".join(lines)
+
+
+def render_telemetry_report(snapshot: dict) -> str:
+    """The ``--stats`` page: span tree, counters, latency histograms.
+
+    Everything comes from one :meth:`repro.obs.Telemetry.snapshot`, so
+    the report always agrees with the JSONL trace written for the same
+    run.
+    """
+    parts = [render_span_tree(snapshot)]
+
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines = ["", "Counters", "-" * 60]
+        for name, value in counters.items():
+            lines.append(f"  {name:<40} {value:>12}")
+        absorbed = counters.get("retry.absorbed", 0)
+        injected = counters.get("fault.injected", 0)
+        if absorbed or injected:
+            organic = max(0, absorbed - injected)
+            lines.append(
+                f"  transients: {absorbed} absorbed "
+                f"({injected} injected, {organic} organic)"
+            )
+        parts.append("\n".join(lines))
+
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines = ["", "Gauges", "-" * 60]
+        for name, value in gauges.items():
+            lines.append(f"  {name:<40} {value:>12g}")
+        parts.append("\n".join(lines))
+
+    histograms = snapshot.get("histograms", {})
+    rows = []
+    for name, data in histograms.items():
+        hist = Histogram.from_dict(data)
+        if hist.count == 0:
+            continue
+        rows.append(
+            f"  {name:<28} {hist.count:>7} "
+            f"{hist.mean * 1e3:>9.2f} "
+            f"{hist.percentile(0.50) * 1e3:>9.2f} "
+            f"{hist.percentile(0.95) * 1e3:>9.2f} {hist.max * 1e3:>9.2f}"
+        )
+    if rows:
+        parts.append(
+            "\n".join(
+                [
+                    "",
+                    "Latency histograms (milliseconds)",
+                    "-" * 60,
+                    f"  {'name':<28} {'count':>7} {'mean':>9} "
+                    f"{'p50':>9} {'p95':>9} {'max':>9}",
+                ]
+                + rows
+            )
+        )
+    return "\n".join(parts)
 
 
 def render_health_report(

@@ -9,9 +9,9 @@ keeps run history so experiments can compare cold runs with re-runs.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
+from ..obs import get_telemetry
 from .component import Component, ComponentReport
 from .discover import (
     DiscoverTransformations,
@@ -115,12 +115,20 @@ class ProcessChain:
         return [c.name for c in self.components]
 
     def run(self, state: WranglingState) -> ChainRunReport:
-        """Execute every component in order (activity 2)."""
+        """Execute every component in order (activity 2).
+
+        The whole run is the root ``wrangle`` tracing span; each
+        component's :meth:`~Component.execute` nests its own span under
+        it, and the run report's duration is read off the root span —
+        one timing source for reports, ``--timings`` and traces alike.
+        """
         run_report = ChainRunReport(run_number=len(self.history) + 1)
-        started = time.perf_counter()
-        for component in self.components:
-            run_report.component_reports.append(component.execute(state))
-        run_report.duration_seconds = time.perf_counter() - started
+        with get_telemetry().span(
+            "wrangle", run=run_report.run_number
+        ) as span:
+            for component in self.components:
+                run_report.component_reports.append(component.execute(state))
+        run_report.duration_seconds = span.duration
         self.history.append(run_report)
         return run_report
 

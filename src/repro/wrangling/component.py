@@ -9,11 +9,11 @@ curator's validation step reads).
 
 from __future__ import annotations
 
-import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
 from ..core.errors import ErrorCode, ErrorRecord
+from ..obs import get_telemetry
 from .state import WranglingState
 
 
@@ -69,11 +69,17 @@ class Component(ABC):
         """Do the work, mutating ``state`` and filling ``report``."""
 
     def execute(self, state: WranglingState) -> ComponentReport:
-        """Run with timing; returns the filled report."""
+        """Run inside a tracing span; returns the filled report.
+
+        The span is the single timing source: ``report.duration_seconds``
+        is read off it (spans measure their duration whether or not the
+        active telemetry records them), so ``--timings``, trace files
+        and component reports can never disagree.
+        """
         report = ComponentReport(component=self.name)
-        started = time.perf_counter()
-        self.run(state, report)
-        report.duration_seconds = time.perf_counter() - started
+        with get_telemetry().span(self.name) as span:
+            self.run(state, report)
+        report.duration_seconds = span.duration
         return report
 
     def describe(self) -> str:

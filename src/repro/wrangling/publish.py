@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 from ..catalog.io import feature_to_dict
 from ..core.errors import classify_exception, is_transient
 from ..core.retry import RetryPolicy, retry_call
+from ..obs import get_telemetry
 from .component import Component, ComponentReport
 from .state import PublishDelta, WranglingState
 
@@ -92,9 +93,13 @@ class Publish(Component):
         report.add(
             "publish deferred: catalog store busy; retried on the next run"
         )
+        telemetry = get_telemetry()
+        telemetry.count("publish.deferred")
+        telemetry.event("publish.deferred", error=type(exc).__name__)
         state.published_delta = None
 
     def run(self, state: WranglingState, report: ComponentReport) -> None:
+        telemetry = get_telemetry()
         state.published_delta = None
         if self.require_nonempty and len(state.working) == 0:
             report.add("refusing to publish an empty working catalog")
@@ -102,11 +107,12 @@ class Publish(Component):
         report.items_seen = len(state.working)
         if not self.incremental:
             try:
-                report.changes = self._write(
-                    lambda: state.working.copy_into(state.published),
-                    report,
-                    "publish:copy",
-                )
+                with telemetry.span("publish.copy"):
+                    report.changes = self._write(
+                        lambda: state.working.copy_into(state.published),
+                        report,
+                        "publish:copy",
+                    )
             except Exception as exc:
                 if not is_transient(exc):
                     raise
@@ -114,6 +120,7 @@ class Publish(Component):
                 return
             state.digest_cache.invalidate()
             state.published_delta = PublishDelta(full_copy=True)
+            telemetry.count("publish.full_copies")
             report.add(f"published {report.changes} datasets (full copy)")
             return
 
@@ -122,27 +129,35 @@ class Publish(Component):
 
         # -- working side: feature digests, reused when version matches --
         if cache.working_version == state.working.version:
+            telemetry.count("publish.digest_cache_hits")
             working_digests = cache.working
             working_features: dict | None = None
         else:
+            telemetry.count("publish.digest_cache_misses")
             working_features = {}
             working_digests = {}
-            for feature in state.working.features():
-                working_features[feature.dataset_id] = feature
-                working_digests[feature.dataset_id] = feature_digest(feature)
-                digests_computed += 1
+            with telemetry.span("publish.digest", side="working"):
+                for feature in state.working.features():
+                    working_features[feature.dataset_id] = feature
+                    working_digests[feature.dataset_id] = feature_digest(
+                        feature
+                    )
+                    digests_computed += 1
 
         # -- published side: last publish's digests, unless someone else
         #    mutated the store since (version mismatch -> recompute) -----
         if cache.published_version == state.published.version:
+            telemetry.count("publish.digest_cache_hits")
             published_digests = cache.published
         else:
+            telemetry.count("publish.digest_cache_misses")
             published_digests = {}
-            for feature in state.published.features():
-                published_digests[feature.dataset_id] = feature_digest(
-                    feature
-                )
-                digests_computed += 1
+            with telemetry.span("publish.digest", side="published"):
+                for feature in state.published.features():
+                    published_digests[feature.dataset_id] = feature_digest(
+                        feature
+                    )
+                    digests_computed += 1
 
         delta = PublishDelta()
         changed_ids = []
@@ -165,11 +180,16 @@ class Publish(Component):
             # Materialized (not a generator) so a retried write replays
             # the identical batch.
             try:
-                self._write(
-                    lambda: state.published.upsert_many(changed_features),
-                    report,
-                    "publish:upsert",
-                )
+                with telemetry.span(
+                    "publish.upsert", files=len(changed_ids)
+                ):
+                    self._write(
+                        lambda: state.published.upsert_many(
+                            changed_features
+                        ),
+                        report,
+                        "publish:upsert",
+                    )
             except Exception as exc:
                 if not is_transient(exc):
                     raise
@@ -181,11 +201,14 @@ class Publish(Component):
         vanished = sorted(set(published_digests) - set(working_digests))
         if vanished:
             try:
-                self._write(
-                    lambda: state.published.remove_many(vanished),
-                    report,
-                    "publish:remove",
-                )
+                with telemetry.span(
+                    "publish.remove", files=len(vanished)
+                ):
+                    self._write(
+                        lambda: state.published.remove_many(vanished),
+                        report,
+                        "publish:remove",
+                    )
             except Exception as exc:
                 if not is_transient(exc):
                     raise
@@ -208,6 +231,11 @@ class Publish(Component):
         cache.published_version = state.published.version
 
         state.published_delta = delta
+        telemetry.count("publish.digests", digests_computed)
+        telemetry.count("publish.upserted", len(changed_ids))
+        telemetry.count("publish.removed", len(vanished))
+        telemetry.count("publish.unchanged", report.items_skipped)
+        telemetry.gauge("catalog.size", len(state.published))
         report.add(
             f"published {report.changes} changed datasets, "
             f"{report.items_skipped} unchanged"

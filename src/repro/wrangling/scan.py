@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import math
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
@@ -57,6 +58,7 @@ from ..core.errors import (
 )
 from ..core.features import extract_feature
 from ..core.retry import RetryPolicy, retry_call
+from ..obs import Telemetry, get_telemetry, use_telemetry
 from .component import Component, ComponentReport
 from .state import WranglingState
 
@@ -73,14 +75,26 @@ def _build_feature(record: ArchiveFile, content_hash: str) -> ScanOutcome:
     would abort the whole pool).  ``FormatError`` keeps its identity
     whether parse *returns* it or *raises* it anywhere in the unit, so
     the parallel path reports exactly what the serial path reports.
+
+    Per-file outcome counters and the parse-latency histogram go to the
+    *active* telemetry — inside a pool worker that is the worker's
+    private registry (merged back by the parent), serially it is the
+    run's own; either way the totals come out identical.
     """
+    telemetry = get_telemetry()
+    started = time.monotonic()
     try:
         dataset = parse_file(record.content, record.path)
-        return extract_feature(dataset, content_hash=content_hash)
+        feature = extract_feature(dataset, content_hash=content_hash)
     except FormatError as exc:
+        telemetry.count("scan.parse_errors")
         return exc
     except Exception as exc:
+        telemetry.count("scan.worker_failures")
         return WorkerFailure.from_exception(record.path, exc)
+    telemetry.count("scan.parsed")
+    telemetry.observe("scan.file_seconds", time.monotonic() - started)
+    return feature
 
 
 def _build_chunk(
@@ -88,6 +102,23 @@ def _build_chunk(
 ) -> list[ScanOutcome]:
     """Process one chunk of pending files, preserving input order."""
     return [_build_feature(record, content_hash) for record, content_hash in chunk]
+
+
+def _build_chunk_traced(
+    chunk: list[tuple[ArchiveFile, str]]
+) -> tuple[list[ScanOutcome], dict]:
+    """One chunk under a fresh private registry; outcomes + its export.
+
+    The traced unit both pool workers and the telemetry-enabled serial
+    path run: because the accounting happens inside the same function
+    either way, a parallel scan's merged counter totals equal a serial
+    scan's by construction, not by coincidence.
+    """
+    telemetry = Telemetry()
+    with use_telemetry(telemetry):
+        with telemetry.span("scan.chunk", files=len(chunk)):
+            outcomes = _build_chunk(chunk)
+    return outcomes, telemetry.export()
 
 
 @dataclass(frozen=True, slots=True)
@@ -153,10 +184,26 @@ class ScanArchive(Component):
         (``BrokenProcessPool`` and friends) are recomputed serially in
         the parent — ``_build_chunk`` is pure, so the degraded result is
         identical to what the worker would have returned.
+
+        With telemetry active, every chunk (pooled, serial, or
+        degraded-recomputed) runs the traced unit and its private
+        registry is merged back here, in deterministic submission
+        order — which is what makes parallel counter totals equal
+        serial ones.
         """
+        telemetry = get_telemetry()
+        traced = telemetry.enabled
+
+        def compute_local(chunk):
+            if traced:
+                outcomes, export = _build_chunk_traced(chunk)
+                telemetry.merge_worker(export)
+                return outcomes
+            return _build_chunk(chunk)
+
         workers = self._resolved_workers(len(pending))
         if workers <= 1 or len(pending) < self.min_parallel_files:
-            return _build_chunk(pending)
+            return compute_local(pending)
         # Chunked fan-out: a handful of chunks per worker amortizes IPC
         # per task while keeping the pool busy near the tail.  Futures
         # are collected in submission order, so the catalog batch below
@@ -177,25 +224,33 @@ class ScanArchive(Component):
                     transient=True,
                 )
             )
-            return _build_chunk(pending)
+            return compute_local(pending)
         degraded = 0
         results: list[ScanOutcome] = []
+        worker_unit = _build_chunk_traced if traced else _build_chunk
         with pool:
             futures = []
             for chunk in chunks:
                 try:
-                    futures.append(pool.submit(_build_chunk, chunk))
+                    futures.append(pool.submit(worker_unit, chunk))
                 except Exception:
                     futures.append(None)
             for chunk, future in zip(chunks, futures):
                 if future is not None:
                     try:
-                        results.extend(future.result())
-                        continue
+                        value = future.result()
                     except Exception:
-                        pass
+                        value = None
+                    if value is not None:
+                        if traced:
+                            outcomes, export = value
+                            telemetry.merge_worker(export)
+                            results.extend(outcomes)
+                        else:
+                            results.extend(value)
+                        continue
                 degraded += 1
-                results.extend(_build_chunk(chunk))
+                results.extend(compute_local(chunk))
         if degraded:
             report.add_error(
                 ErrorRecord(
@@ -214,21 +269,38 @@ class ScanArchive(Component):
         error: ErrorRecord,
         message: str | None = None,
     ) -> None:
-        """Set one file aside with its typed error and keep going."""
+        """Set one file aside with its typed error and keep going.
+
+        Besides the report entry, each quarantine increments the
+        ``scan.quarantined`` counter and lands in the trace as a
+        ``scan.quarantine`` event span carrying the typed
+        ``error_code`` — the contract the fault-injection suite holds
+        the scan to.
+        """
         state.quarantine.add(error.path or "", error)
         report.add_error(error, message)
+        telemetry = get_telemetry()
+        telemetry.count("scan.quarantined")
+        telemetry.event(
+            "scan.quarantine",
+            path=error.path or "",
+            error_code=error.code.value,
+        )
 
     def run(self, state: WranglingState, report: ComponentReport) -> None:
+        telemetry = get_telemetry()
+
         def count_retry(attempt: int, exc: BaseException, pause: float) -> None:
             report.retries += 1
 
         try:
-            files = retry_call(
-                lambda: self._matching_files(state),
-                self.retry,
-                key="scan:list",
-                on_retry=count_retry,
-            )
+            with telemetry.span("scan.list"):
+                files = retry_call(
+                    lambda: self._matching_files(state),
+                    self.retry,
+                    key="scan:list",
+                    on_retry=count_retry,
+                )
         except Exception as exc:
             if not is_transient(exc):
                 raise
@@ -238,42 +310,46 @@ class ScanArchive(Component):
                 classify_exception(exc, attempts=self.retry.attempts)
             )
             report.add("scan skipped: archive listing unavailable")
+            telemetry.count("scan.listing_unavailable")
             return
         present = set()
         pending: list[tuple[ArchiveFile, str]] = []
-        for listed in files:
-            path = listed.path
-            present.add(path)
-            report.items_seen += 1
-            try:
-                # Re-fetch through the archive so flaky storage faults
-                # at a well-defined, retryable read point; the archive's
-                # own record memoizes the hash across re-runs.
-                record = retry_call(
-                    lambda p=path: state.fs.get(p),
-                    self.retry,
-                    key=path,
-                    on_retry=count_retry,
-                )
-                content_hash = record.content_hash()
-            except Exception as exc:
-                self._quarantine(
-                    state,
-                    report,
-                    classify_exception(
-                        exc,
-                        path=path,
-                        attempts=self.retry.attempts
-                        if is_transient(exc)
-                        else 1,
-                    ),
-                )
-                continue
-            if state.scanned_hashes.get(path) == content_hash:
-                report.items_skipped += 1
-                continue
-            pending.append((record, content_hash))
-        outcomes = self._build_features(pending, report)
+        with telemetry.span("scan.select", files=len(files)):
+            for listed in files:
+                path = listed.path
+                present.add(path)
+                report.items_seen += 1
+                try:
+                    # Re-fetch through the archive so flaky storage
+                    # faults at a well-defined, retryable read point;
+                    # the archive's own record memoizes the hash across
+                    # re-runs.
+                    record = retry_call(
+                        lambda p=path: state.fs.get(p),
+                        self.retry,
+                        key=path,
+                        on_retry=count_retry,
+                    )
+                    content_hash = record.content_hash()
+                except Exception as exc:
+                    self._quarantine(
+                        state,
+                        report,
+                        classify_exception(
+                            exc,
+                            path=path,
+                            attempts=self.retry.attempts
+                            if is_transient(exc)
+                            else 1,
+                        ),
+                    )
+                    continue
+                if state.scanned_hashes.get(path) == content_hash:
+                    report.items_skipped += 1
+                    continue
+                pending.append((record, content_hash))
+        with telemetry.span("scan.extract", files=len(pending)):
+            outcomes = self._build_features(pending, report)
         upserts: list[tuple[str, str, DatasetFeature]] = []
         for (record, content_hash), outcome in zip(pending, outcomes):
             if isinstance(outcome, FormatError):
@@ -304,12 +380,13 @@ class ScanArchive(Component):
             # One batch in path order: one transaction, one version bump.
             features = [feature for __, __, feature in upserts]
             try:
-                retry_call(
-                    lambda: state.working.upsert_many(features),
-                    self.retry,
-                    key="scan:upsert",
-                    on_retry=count_retry,
-                )
+                with telemetry.span("scan.upsert", files=len(upserts)):
+                    retry_call(
+                        lambda: state.working.upsert_many(features),
+                        self.retry,
+                        key="scan:upsert",
+                        on_retry=count_retry,
+                    )
             except Exception as exc:
                 if not is_transient(exc):
                     raise
@@ -339,12 +416,15 @@ class ScanArchive(Component):
             ]
             if vanished:
                 try:
-                    retry_call(
-                        lambda: state.working.remove_many(vanished),
-                        self.retry,
-                        key="scan:remove",
-                        on_retry=count_retry,
-                    )
+                    with telemetry.span(
+                        "scan.remove", files=len(vanished)
+                    ):
+                        retry_call(
+                            lambda: state.working.remove_many(vanished),
+                            self.retry,
+                            key="scan:remove",
+                            on_retry=count_retry,
+                        )
                 except Exception as exc:
                     if not is_transient(exc):
                         raise
@@ -365,6 +445,12 @@ class ScanArchive(Component):
         for path in state.quarantine.paths():
             if path not in present:
                 state.quarantine.resolve(path)
+        # Batch totals at the end (one lock acquisition each, instead of
+        # one per file in the listing loop).
+        telemetry.count("scan.seen", report.items_seen)
+        telemetry.count("scan.skipped", report.items_skipped)
+        telemetry.count("scan.changed", len(pending))
+        telemetry.count("scan.retries", report.retries)
         report.add(
             f"scanned {report.items_seen} files, "
             f"{report.items_skipped} unchanged"

@@ -225,6 +225,9 @@ class TestWrangleWorkers:
         out = capsys.readouterr().out
         assert "scan-archive" in out
         assert "publish" in out
+        # The span-tree view: component spans show their sub-stages.
+        assert "Span timings" in out
+        assert "scan.extract" in out
 
     def test_default_output_is_compact(self, archive_dir, tmp_path,
                                        capsys):
@@ -232,4 +235,45 @@ class TestWrangleWorkers:
                      "--catalog", str(tmp_path / "t.db")]) == 0
         out = capsys.readouterr().out
         assert "wrangle run #" in out
-        assert "--timings for the per-component breakdown" in out
+        assert "--timings for the span-tree breakdown" in out
+        assert "Span timings" not in out
+
+
+class TestTelemetrySurfaces:
+    def test_wrangle_trace_out_is_valid_jsonl(self, archive_dir, tmp_path,
+                                              capsys):
+        from repro.obs import read_trace, validate_trace_file
+
+        trace = str(tmp_path / "wrangle.jsonl")
+        assert main(["wrangle", archive_dir,
+                     "--catalog", str(tmp_path / "t.db"),
+                     "--trace-out", trace]) == 0
+        out = capsys.readouterr().out
+        assert "events written to" in out
+        assert validate_trace_file(trace) == []
+        snapshot = read_trace(trace)
+        assert "wrangle" in snapshot["span_stats"]
+        assert snapshot["counters"]["scan.seen"] > 0
+
+    def test_wrangle_stats_report(self, archive_dir, tmp_path, capsys):
+        assert main(["wrangle", archive_dir,
+                     "--catalog", str(tmp_path / "t.db"),
+                     "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "Counters" in out
+        assert "scan.seen" in out
+        assert "Latency histograms" in out
+
+    def test_search_trace_and_stats(self, catalog_path, tmp_path, capsys):
+        from repro.obs import read_trace, validate_trace_file
+
+        trace = str(tmp_path / "search.jsonl")
+        assert main(["search", catalog_path, "with salinity",
+                     "--repeat", "3", "--stats",
+                     "--trace-out", trace]) == 0
+        out = capsys.readouterr().out
+        assert "search.queries" in out
+        assert validate_trace_file(trace) == []
+        snapshot = read_trace(trace)
+        assert snapshot["counters"]["search.queries"] == 3
+        assert snapshot["counters"]["search.cache_hits"] == 2

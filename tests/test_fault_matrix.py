@@ -233,6 +233,89 @@ class TestTransientFaultRows:
         assert report.errors == cell["report"].errors
 
 
+class TestTelemetryContract:
+    """Quarantines and injected faults must be observable in telemetry:
+    every quarantined file increments ``scan.quarantined`` and emits a
+    ``scan.quarantine`` event carrying its typed ``error_code``, and
+    counter totals are identical whether the scan ran serial or
+    parallel."""
+
+    def _traced_scan(self, fs, workers: int = 1, working=None):
+        from repro.obs import Telemetry, use_telemetry
+
+        telemetry = Telemetry()
+        with use_telemetry(telemetry):
+            state, report = run_scan(fs, working=working, workers=workers)
+        return state, report, telemetry.snapshot()
+
+    def test_quarantines_count_and_emit_coded_events(self, cell):
+        state, __, snapshot = self._traced_scan(cell["fs"])
+        expected = cell["expected"]
+        assert snapshot["counters"].get("scan.quarantined", 0) == len(
+            expected
+        )
+        events = [
+            span
+            for span in snapshot["spans"]
+            if span["name"] == "scan.quarantine"
+        ]
+        assert {event["attrs"]["path"] for event in events} == expected
+        for event in events:
+            assert event["attrs"]["error_code"] in (
+                "parse-error",
+                "worker-error",
+            )
+
+    def test_parallel_counter_totals_equal_serial(self, cell):
+        __, __, serial = self._traced_scan(cell["fs"], workers=1)
+        __, __, parallel = self._traced_scan(cell["fs"], workers=4)
+        assert serial["counters"] == parallel["counters"]
+        assert (
+            serial["histograms"]["scan.file_seconds"]["count"]
+            == parallel["histograms"]["scan.file_seconds"]["count"]
+        )
+
+    def test_injected_faults_are_split_from_organic(self, cell):
+        flaky = FlakyArchive(
+            cell["fs"],
+            FaultSchedule(
+                seed=11,
+                rate=0.5,
+                max_consecutive=2,
+                ops=frozenset({"read"}),
+            ),
+        )
+        __, report, snapshot = self._traced_scan(flaky)
+        counters = snapshot["counters"]
+        assert (
+            counters.get("fault.injected", 0)
+            == flaky.schedule.total_injected
+        )
+        # Every injected fault was absorbed by a retry, and nothing was
+        # organically flaky in this run: absorbed == injected.
+        assert counters.get("retry.absorbed", 0) == counters.get(
+            "fault.injected", 0
+        )
+        assert report.retries == counters.get("retry.absorbed", 0)
+
+    def test_busy_store_retries_are_counted(self, cell):
+        working = FlakyCatalogStore(
+            MemoryCatalog(),
+            FaultSchedule(seed=11, rate=0.5, max_consecutive=2),
+        )
+        __, report, snapshot = self._traced_scan(
+            cell["fs"], working=working
+        )
+        counters = snapshot["counters"]
+        assert (
+            counters.get("fault.injected", 0)
+            == working.schedule.total_injected
+        )
+        assert counters.get("retry.absorbed", 0) == counters.get(
+            "fault.injected", 0
+        )
+
+
 class TestDeterminism:
     def test_same_seed_and_schedule_reproduce_everything(self):
         def one_run():

@@ -1,0 +1,284 @@
+"""Unit tests for the telemetry registry: counters, histograms, spans,
+worker merging, and snapshot determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DataNearHere
+from repro.archive import (
+    MessSpec,
+    generate_archive,
+    inject_mess,
+    render_archive,
+)
+from repro.obs import (
+    DEFAULT_LATENCY_BOUNDS,
+    Histogram,
+    Telemetry,
+    get_telemetry,
+    set_telemetry,
+    use_telemetry,
+    walk_span_tree,
+)
+
+from .conftest import SMALL_SPEC
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        t = Telemetry()
+        t.count("x")
+        t.count("x", 4)
+        assert t.counter("x") == 5
+
+    def test_unknown_counter_is_zero(self):
+        assert Telemetry().counter("missing") == 0
+
+    def test_gauge_overwrites(self):
+        t = Telemetry()
+        t.gauge("size", 10)
+        t.gauge("size", 3)
+        assert t.snapshot()["gauges"]["size"] == 3
+
+    def test_disabled_registry_records_nothing(self):
+        t = Telemetry(enabled=False)
+        t.count("x")
+        t.gauge("g", 1)
+        t.observe("h", 0.5)
+        with t.span("s"):
+            pass
+        snap = t.snapshot()
+        assert snap["counters"] == {}
+        assert snap["gauges"] == {}
+        assert snap["histograms"] == {}
+        assert snap["spans"] == []
+
+
+class TestHistogram:
+    def test_observe_and_mean(self):
+        h = Histogram(bounds=(1.0, 10.0))
+        for v in (0.5, 2.0, 20.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.mean == pytest.approx((0.5 + 2.0 + 20.0) / 3)
+        assert h.min == 0.5
+        assert h.max == 20.0
+        assert h.counts == [1, 1, 1]
+
+    def test_merge_adds_buckets(self):
+        a = Histogram(bounds=(1.0,))
+        b = Histogram(bounds=(1.0,))
+        a.observe(0.5)
+        b.observe(2.0)
+        b.observe(0.1)
+        a.merge(b)
+        assert a.count == 3
+        assert a.counts == [2, 1]
+        assert a.min == 0.1
+        assert a.max == 2.0
+
+    def test_merge_rejects_mismatched_bounds(self):
+        a = Histogram(bounds=(1.0,))
+        b = Histogram(bounds=(2.0,))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_percentiles_are_clamped_and_monotone(self):
+        h = Histogram(bounds=DEFAULT_LATENCY_BOUNDS)
+        for v in (0.001, 0.002, 0.004, 0.008, 0.2):
+            h.observe(v)
+        p50 = h.percentile(0.50)
+        p95 = h.percentile(0.95)
+        assert h.min <= p50 <= p95 <= h.max
+        with pytest.raises(ValueError):
+            h.percentile(50)
+
+    def test_dict_round_trip(self):
+        h = Histogram(bounds=(0.5, 1.5))
+        h.observe(0.2)
+        h.observe(1.0)
+        restored = Histogram.from_dict(h.to_dict())
+        assert restored.to_dict() == h.to_dict()
+
+    def test_empty_round_trip(self):
+        h = Histogram(bounds=(1.0,))
+        payload = h.to_dict()
+        assert payload["min"] is None and payload["max"] is None
+        restored = Histogram.from_dict(payload)
+        assert restored.count == 0
+        assert restored.to_dict() == payload
+
+
+class TestSpans:
+    def test_nesting_builds_paths(self):
+        t = Telemetry()
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        paths = [record.path for record in t.spans()]
+        assert paths == ["outer/inner", "outer"]
+
+    def test_root_covers_children(self):
+        t = Telemetry()
+        with t.span("root"):
+            with t.span("a"):
+                pass
+            with t.span("b"):
+                pass
+        by_path = {r.path: r for r in t.spans()}
+        child_total = (
+            by_path["root/a"].duration + by_path["root/b"].duration
+        )
+        assert by_path["root"].duration >= child_total
+
+    def test_error_status_and_propagation(self):
+        t = Telemetry()
+        with pytest.raises(RuntimeError):
+            with t.span("boom"):
+                raise RuntimeError("nope")
+        record = t.spans()[0]
+        assert record.status == "error"
+        assert "RuntimeError" in record.attrs["exception"]
+
+    def test_span_times_even_when_disabled(self):
+        t = Telemetry(enabled=False)
+        with t.span("s") as span:
+            pass
+        assert span.duration >= 0.0
+        assert t.spans() == []
+
+    def test_attrs_are_coerced(self):
+        t = Telemetry()
+        with t.span("s", n=3, ok=True, obj=object()) as span:
+            span.set("late", 1.5)
+        attrs = t.spans()[0].attrs
+        assert attrs["n"] == 3
+        assert attrs["ok"] is True
+        assert isinstance(attrs["obj"], str)
+        assert attrs["late"] == 1.5
+
+    def test_event_is_zero_duration_span(self):
+        t = Telemetry()
+        with t.span("run"):
+            t.event("marker", code="x")
+        record = next(r for r in t.spans() if r.name == "marker")
+        assert record.path == "run/marker"
+        assert record.duration == 0.0
+        assert record.attrs["code"] == "x"
+
+    def test_max_spans_cap(self):
+        t = Telemetry(max_spans=3)
+        for i in range(5):
+            with t.span(f"s{i}"):
+                pass
+        assert len(t.spans()) == 3
+        assert t.snapshot()["dropped_spans"] == 2
+
+
+class TestActiveRegistry:
+    def test_default_is_disabled(self):
+        assert get_telemetry().enabled is False
+
+    def test_use_telemetry_nests_and_restores(self):
+        outer = Telemetry()
+        inner = Telemetry()
+        with use_telemetry(outer):
+            assert get_telemetry() is outer
+            with use_telemetry(inner):
+                assert get_telemetry() is inner
+            assert get_telemetry() is outer
+        assert get_telemetry().enabled is False
+
+    def test_set_telemetry_returns_previous(self):
+        t = Telemetry()
+        previous = set_telemetry(t)
+        try:
+            assert get_telemetry() is t
+        finally:
+            set_telemetry(previous)
+
+
+class TestWorkerMerge:
+    def test_merge_reparents_spans_and_adds_counters(self):
+        worker = Telemetry()
+        with worker.span("chunk"):
+            with worker.span("file"):
+                pass
+        worker.count("files", 2)
+        worker.observe("lat", 0.01)
+
+        parent = Telemetry()
+        with parent.span("scan"):
+            parent.merge_worker(worker.export())
+        paths = {r.path for r in parent.spans()}
+        assert "scan/chunk" in paths
+        assert "scan/chunk/file" in paths
+        assert parent.counter("files") == 2
+        assert parent.histogram("lat").count == 1
+
+    def test_merge_outside_any_span_keeps_paths(self):
+        worker = Telemetry()
+        with worker.span("chunk"):
+            pass
+        parent = Telemetry()
+        parent.merge_worker(worker.export())
+        assert [r.path for r in parent.spans()] == ["chunk"]
+
+    def test_export_is_plain_data(self):
+        import pickle
+
+        t = Telemetry()
+        with t.span("s"):
+            t.count("c")
+        export = pickle.loads(pickle.dumps(t.export()))
+        restored = Telemetry()
+        restored.merge_worker(export)
+        assert restored.counter("c") == 1
+
+
+def _wrangle_counters(workers: int) -> dict:
+    archive = inject_mess(generate_archive(SMALL_SPEC), MessSpec(seed=99))
+    fs, __ = render_archive(archive)
+    system = DataNearHere(fs, workers=workers)
+    system.wrangle()
+    return system.telemetry_snapshot()
+
+
+class TestPipelineTelemetry:
+    def test_parallel_totals_equal_serial(self):
+        serial = _wrangle_counters(1)
+        parallel = _wrangle_counters(4)
+        assert serial["counters"] == parallel["counters"]
+        assert (
+            serial["span_stats"].keys() == parallel["span_stats"].keys()
+        )
+
+    def test_snapshot_deterministic_across_identical_runs(self):
+        a = _wrangle_counters(1)
+        b = _wrangle_counters(1)
+        assert a["counters"] == b["counters"]
+        assert a["gauges"] == b["gauges"]
+        assert [s["path"] for s in a["spans"]] == [
+            s["path"] for s in b["spans"]
+        ]
+        # Bucket placement depends on wall-clock latency; only the
+        # observation totals are deterministic under a seeded run.
+        hist_counts = lambda snap: {  # noqa: E731
+            name: data["count"]
+            for name, data in snap["histograms"].items()
+        }
+        assert hist_counts(a) == hist_counts(b)
+
+    def test_walk_span_tree_in_execution_order(self):
+        snapshot = _wrangle_counters(1)
+        rows = list(walk_span_tree(snapshot))
+        paths = [path for path, __, __, __ in rows]
+        assert paths[0] == "wrangle"
+        assert paths.index("wrangle/scan-archive") < paths.index(
+            "wrangle/publish"
+        )
+        depths = {path: depth for path, __, depth, __ in rows}
+        assert depths["wrangle"] == 0
+        assert depths["wrangle/scan-archive"] == 1
+        assert depths["wrangle/scan-archive/scan.extract"] == 2

@@ -1,0 +1,171 @@
+"""The JSONL trace sink: round-trip, validation, and end-to-end traces
+whose span totals reconcile with wall-clock time."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro import DataNearHere, parse_query
+from repro.archive import (
+    MessSpec,
+    generate_archive,
+    inject_mess,
+    render_archive,
+)
+from repro.obs import (
+    Telemetry,
+    read_trace,
+    trace_events,
+    validate_trace_file,
+    validate_trace_lines,
+    write_trace,
+)
+from repro.obs.sink import main as sink_main
+
+from .conftest import SMALL_SPEC
+
+
+def _sample_snapshot() -> dict:
+    t = Telemetry()
+    with t.span("run", kind="test"):
+        with t.span("step"):
+            pass
+        t.count("events", 3)
+        t.gauge("size", 7)
+        t.observe("latency", 0.002)
+    return t.snapshot()
+
+
+class TestRoundTrip:
+    def test_write_validate_read(self, tmp_path):
+        snapshot = _sample_snapshot()
+        path = str(tmp_path / "trace.jsonl")
+        events = write_trace(snapshot, path)
+        # meta + 2 spans + counter + gauge + histogram
+        assert events == 6
+        assert validate_trace_file(path) == []
+        restored = read_trace(path)
+        assert restored["counters"] == snapshot["counters"]
+        assert restored["gauges"] == snapshot["gauges"]
+        assert restored["histograms"] == snapshot["histograms"]
+        assert restored["spans"] == snapshot["spans"]
+        assert restored["span_stats"] == snapshot["span_stats"]
+
+    def test_file_object_destination(self):
+        buffer = io.StringIO()
+        events = write_trace(_sample_snapshot(), buffer)
+        lines = buffer.getvalue().splitlines()
+        assert len(lines) == events
+        assert validate_trace_lines(lines) == []
+        restored = read_trace(io.StringIO(buffer.getvalue()))
+        assert restored["counters"] == {"events": 3}
+
+    def test_meta_line_comes_first(self):
+        events = list(trace_events(_sample_snapshot()))
+        assert events[0]["type"] == "meta"
+        assert events[0]["v"] == 1
+        assert events[0]["spans"] == 2
+
+
+class TestValidation:
+    def test_rejects_non_json(self):
+        problems = validate_trace_lines(["{not json"])
+        assert any("not JSON" in p for p in problems)
+
+    def test_rejects_missing_meta(self):
+        line = json.dumps(
+            {"v": 1, "type": "counter", "name": "x", "value": 1}
+        )
+        problems = validate_trace_lines([line])
+        assert any("meta" in p for p in problems)
+
+    def test_rejects_wrong_version(self):
+        lines = [
+            json.dumps({"v": 99, "type": "meta", "schema": 99}),
+        ]
+        problems = validate_trace_lines(lines)
+        assert any("schema version" in p for p in problems)
+
+    def test_rejects_span_path_name_mismatch(self):
+        lines = [
+            json.dumps({"v": 1, "type": "meta", "schema": 1}),
+            json.dumps({
+                "v": 1, "type": "span", "name": "b",
+                "path": "a/c", "start": 0.0, "duration": 0.1,
+            }),
+        ]
+        problems = validate_trace_lines(lines)
+        assert any("does not end with name" in p for p in problems)
+
+    def test_rejects_negative_counter(self):
+        lines = [
+            json.dumps({"v": 1, "type": "meta", "schema": 1}),
+            json.dumps(
+                {"v": 1, "type": "counter", "name": "x", "value": -1}
+            ),
+        ]
+        problems = validate_trace_lines(lines)
+        assert any("non-negative" in p for p in problems)
+
+    def test_rejects_histogram_bucket_mismatch(self):
+        lines = [
+            json.dumps({"v": 1, "type": "meta", "schema": 1}),
+            json.dumps({
+                "v": 1, "type": "histogram", "name": "h",
+                "bounds": [1.0], "counts": [2, 1], "count": 5,
+                "sum": 1.0, "min": 0.1, "max": 2.0,
+            }),
+        ]
+        problems = validate_trace_lines(lines)
+        assert any("bucket sum" in p for p in problems)
+
+    def test_cli_validator(self, tmp_path, capsys):
+        good = str(tmp_path / "good.jsonl")
+        write_trace(_sample_snapshot(), good)
+        bad = str(tmp_path / "bad.jsonl")
+        with open(bad, "w", encoding="utf-8") as fh:
+            fh.write("{broken\n")
+        assert sink_main([good]) == 0
+        assert "ok" in capsys.readouterr().out
+        assert sink_main([bad]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+
+class TestEndToEndTrace:
+    def test_pipeline_trace_is_valid_and_reconciles(self, tmp_path):
+        archive = inject_mess(
+            generate_archive(SMALL_SPEC), MessSpec(seed=99)
+        )
+        fs, __ = render_archive(archive)
+        system = DataNearHere(fs, workers=2)
+        report = system.wrangle()
+        query = parse_query("near 45.5, -124.4 with temperature")
+        for __ in range(3):
+            system.search(query)
+        snapshot = system.telemetry_snapshot()
+
+        path = str(tmp_path / "run.jsonl")
+        write_trace(snapshot, path)
+        assert validate_trace_file(path) == []
+        restored = read_trace(path)
+
+        # Wall-clock reconciliation: the root wrangle span covers every
+        # component span under it, and agrees with the chain report.
+        stats = restored["span_stats"]
+        root = stats["wrangle"]["total_seconds"]
+        child_total = sum(
+            s["total_seconds"]
+            for p, s in stats.items()
+            if p.count("/") == 1 and p.startswith("wrangle/")
+        )
+        assert root >= child_total
+        assert root == report.duration_seconds
+        component_total = sum(
+            r.duration_seconds for r in report.component_reports
+        )
+        assert root >= component_total
+
+        # The trace carries the query workload too.
+        assert restored["counters"]["search.queries"] == 3
+        assert stats["search.query"]["count"] == 3

@@ -106,3 +106,54 @@ class TestRenderReport:
         capsys.readouterr()
         assert main(["report", catalog_path]) == 0
         assert "Catalog health report" in capsys.readouterr().out
+
+
+class TestTelemetryRenderers:
+    def _snapshot(self):
+        from repro.obs import Telemetry
+
+        t = Telemetry()
+        with t.span("wrangle"):
+            with t.span("scan-archive"):
+                t.count("scan.seen", 5)
+                t.observe("scan.file_seconds", 0.002)
+        t.gauge("catalog.size", 5)
+        return t.snapshot()
+
+    def test_span_tree_is_indented_execution_order(self):
+        from repro.ui import render_span_tree
+
+        page = render_span_tree(self._snapshot())
+        lines = page.splitlines()
+        assert lines[0] == "Span timings"
+        wrangle = next(i for i, l in enumerate(lines) if "wrangle" in l)
+        scan = next(i for i, l in enumerate(lines) if "scan-archive" in l)
+        assert wrangle < scan
+        assert lines[scan].startswith("  scan-archive")
+
+    def test_span_tree_empty_snapshot(self):
+        from repro.obs import Telemetry
+        from repro.ui import render_span_tree
+
+        page = render_span_tree(Telemetry().snapshot())
+        assert "no spans recorded" in page
+
+    def test_telemetry_report_sections(self):
+        from repro.ui import render_telemetry_report
+
+        page = render_telemetry_report(self._snapshot())
+        assert "Counters" in page
+        assert "scan.seen" in page
+        assert "Gauges" in page
+        assert "Latency histograms" in page
+        assert "scan.file_seconds" in page
+
+    def test_telemetry_report_splits_injected_from_organic(self):
+        from repro.obs import Telemetry
+        from repro.ui import render_telemetry_report
+
+        t = Telemetry()
+        t.count("retry.absorbed", 5)
+        t.count("fault.injected", 3)
+        page = render_telemetry_report(t.snapshot())
+        assert "5 absorbed (3 injected, 2 organic)" in page
