@@ -1,0 +1,331 @@
+"""Perf benchmark: concurrent query serving under closed-loop load.
+
+Exercises the serving stack end to end on a large synthetic catalog:
+
+* **exactness** — the service's pages (snapshot + shared cache +
+  optional sharded scoring) must be identical (ids, scores, order) to a
+  serial single-threaded engine over the same catalog, for every
+  benchmark query,
+* **scaling** — closed-loop client threads with think time replay a
+  Zipf-weighted workload at increasing concurrency; the report captures
+  QPS and p50/p95/p99 latency per client count,
+* **churn** — the same load while a background writer keeps publishing
+  atomic catalog batches and refreshing the service's snapshot;
+  requests must keep completing (zero errors) and staleness stays
+  bounded.
+
+Interpretation note: this repository runs single-process under the GIL,
+so the scaling phase measures the *closed-loop* model — each client
+thinks between requests (``think_ms``), so added clients overlap their
+think time and throughput rises until execution slots saturate.  That
+is the latency-hiding concurrency a portal front door actually
+provides; it is not a claim of parallel CPU speedup.
+
+The scaling gate (full runs): QPS at 8 clients must exceed 2x QPS at 1
+client.  Quick runs gate on exactness and zero dropped requests only.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf_serve.py          # full
+    PYTHONPATH=src python benchmarks/bench_perf_serve.py --quick  # CI
+
+The full run writes ``BENCH_serve.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # allow running without PYTHONPATH
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+if str(REPO_ROOT / "benchmarks") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from bench_perf_search import synthetic_catalog, synthetic_queries
+
+from repro.core import SearchEngine
+from repro.hierarchy import vocabulary_hierarchy
+from repro.serve import SearchService, ServeConfig, run_load
+
+
+def page(results):
+    return [(r.dataset_id, r.score) for r in results]
+
+
+def check_exactness(catalog, queries, hierarchy, limit, shard_workers):
+    """Serial engine vs sharded engine vs the service: same pages."""
+    serial = SearchEngine(catalog, hierarchy=hierarchy, cache=False)
+    serial.build_indexes()
+    expected = [page(serial.search(q, limit=limit)) for q in queries]
+
+    mismatches = 0
+    sharded = SearchEngine(
+        catalog, hierarchy=hierarchy, cache=False,
+        shard_workers=shard_workers, shard_threshold=1,
+    )
+    sharded.build_indexes()
+    try:
+        for query, want in zip(queries, expected):
+            if page(sharded.search(query, limit=limit)) != want:
+                mismatches += 1
+                print(f"  SHARDED MISMATCH for {query.describe()!r}")
+    finally:
+        sharded.close()
+
+    config = ServeConfig(
+        max_concurrency=4, queue_depth=16,
+        shard_workers=shard_workers, shard_threshold=1,
+    )
+    with SearchService(
+        catalog, hierarchy=hierarchy, config=config
+    ) as service:
+        for query, want in zip(queries, expected):
+            # Twice: a cache miss and then a cache hit must both agree.
+            for _ in range(2):
+                got = page(service.search(query, limit=limit).results)
+                if got != want:
+                    mismatches += 1
+                    print(f"  SERVICE MISMATCH for {query.describe()!r}")
+    return mismatches
+
+
+def scaling_phase(catalog, queries, hierarchy, client_counts,
+                  requests_per_client, think_seconds, limit, seed):
+    """Closed-loop load at each client count; fresh service per run."""
+    rows = {}
+    for clients in client_counts:
+        config = ServeConfig(
+            max_concurrency=max(8, clients), queue_depth=4 * clients
+        )
+        with SearchService(
+            catalog, hierarchy=hierarchy, config=config
+        ) as service:
+            report = run_load(
+                service,
+                queries,
+                clients=clients,
+                requests_per_client=requests_per_client,
+                think_seconds=think_seconds,
+                limit=limit,
+                seed=seed,
+            )
+        rows[str(clients)] = {
+            "qps": report.qps,
+            "completed": report.completed,
+            "rejected": report.rejected,
+            "errors": report.errors,
+            "latency_p50_ms": report.latency_p50 * 1000.0,
+            "latency_p95_ms": report.latency_p95 * 1000.0,
+            "latency_p99_ms": report.latency_p99 * 1000.0,
+            "latency_mean_ms": report.latency_mean * 1000.0,
+        }
+        print(
+            f"  {clients:2d} clients: {report.qps:8.1f} qps  "
+            f"p50 {report.latency_p50 * 1000:6.2f} ms  "
+            f"p99 {report.latency_p99 * 1000:6.2f} ms  "
+            f"rejected {report.rejected}"
+        )
+    return rows
+
+
+def churn_phase(catalog, queries, hierarchy, clients, requests_per_client,
+                think_seconds, limit, seed):
+    """Serve under concurrent re-publishing: atomic batches + refresh."""
+    config = ServeConfig(max_concurrency=max(8, clients),
+                         queue_depth=4 * clients)
+    ids = catalog.dataset_ids()[:16]
+    stop = threading.Event()
+    publishes = [0]
+
+    with SearchService(
+        catalog, hierarchy=hierarchy, config=config
+    ) as service:
+
+        def writer() -> None:
+            # A wrangler in a loop: each round rewrites a batch of
+            # datasets as ONE apply_batch (one version bump), then
+            # tells the service to pick the new snapshot up.
+            round_number = 0
+            while not stop.is_set():
+                round_number += 1
+                batch = []
+                for dataset_id in ids:
+                    feature = catalog.get(dataset_id)
+                    feature.row_count = 100 + round_number
+                    batch.append(feature)
+                catalog.apply_batch(batch, ())
+                service.refresh()
+                publishes[0] += 1
+                time.sleep(0.005)
+
+        thread = threading.Thread(target=writer, daemon=True)
+        thread.start()
+        try:
+            report = run_load(
+                service,
+                queries,
+                clients=clients,
+                requests_per_client=requests_per_client,
+                think_seconds=think_seconds,
+                limit=limit,
+                seed=seed + 1,
+                live_version=lambda: catalog.version,
+            )
+        finally:
+            stop.set()
+            thread.join(timeout=10.0)
+        refreshes = service.telemetry.counter("serve.snapshot_refreshes")
+
+    return {
+        "publishes": publishes[0],
+        "completed": report.completed,
+        "rejected": report.rejected,
+        "errors": report.errors,
+        "qps": report.qps,
+        "latency_p99_ms": report.latency_p99 * 1000.0,
+        "snapshot_versions_served": len(report.snapshot_versions),
+        "max_staleness": report.max_staleness,
+        "snapshot_refreshes": refreshes,
+    }
+
+
+def run(n_datasets, n_queries, client_counts, requests_per_client,
+        think_ms, limit, shard_workers, seed) -> dict:
+    hierarchy = vocabulary_hierarchy()
+    print(f"generating {n_datasets} synthetic datasets ...")
+    catalog = synthetic_catalog(n_datasets, seed=7)
+    queries = synthetic_queries(n_queries, seed=31)
+    think_seconds = think_ms / 1000.0
+
+    print("checking service exactness against the serial engine ...")
+    mismatches = check_exactness(
+        catalog, queries, hierarchy, limit, shard_workers
+    )
+    if mismatches:
+        print(f"exactness FAILED on {mismatches} pages")
+        return {"exactness_ok": False, "mismatches": mismatches}
+
+    print(f"scaling: closed loop, think {think_ms:.0f} ms ...")
+    scaling = scaling_phase(
+        catalog, queries, hierarchy, client_counts,
+        requests_per_client, think_seconds, limit, seed,
+    )
+
+    print("churn: load under concurrent re-publishing ...")
+    churn = churn_phase(
+        catalog, queries, hierarchy, max(client_counts),
+        requests_per_client, think_seconds, limit, seed,
+    )
+    print(
+        f"  {churn['publishes']} publishes, "
+        f"{churn['snapshot_versions_served']} snapshot versions served, "
+        f"max staleness {churn['max_staleness']}, "
+        f"errors {churn['errors']}"
+    )
+
+    low = str(min(client_counts))
+    high = str(max(client_counts))
+    total_rejected = sum(row["rejected"] for row in scaling.values())
+    total_errors = sum(row["errors"] for row in scaling.values())
+    return {
+        "datasets": n_datasets,
+        "queries": len(queries),
+        "limit": limit,
+        "think_ms": think_ms,
+        "requests_per_client": requests_per_client,
+        "shard_workers": shard_workers,
+        "exactness_ok": True,
+        "scaling": scaling,
+        "churn": churn,
+        "qps_low": scaling[low]["qps"],
+        "qps_high": scaling[high]["qps"],
+        "scaling_factor": (
+            scaling[high]["qps"] / scaling[low]["qps"]
+            if scaling[low]["qps"] else float("inf")
+        ),
+        "latency_p50_ms": scaling[high]["latency_p50_ms"],
+        "latency_p95_ms": scaling[high]["latency_p95_ms"],
+        "latency_p99_ms": scaling[high]["latency_p99_ms"],
+        "max_staleness": churn["max_staleness"],
+        "rejected": total_rejected + churn["rejected"],
+        "errors": total_errors + churn["errors"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small catalog, exactness-focused smoke run (CI)",
+    )
+    parser.add_argument("--datasets", type=int, default=None)
+    parser.add_argument("--queries", type=int, default=None)
+    parser.add_argument("--requests", type=int, default=None,
+                        help="requests per client per run")
+    parser.add_argument("--think-ms", type=float, default=None)
+    parser.add_argument("--limit", type=int, default=10)
+    parser.add_argument("--shard-workers", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--output", default=None,
+        help="result JSON path (default: BENCH_serve.json at the repo "
+        "root for full runs, BENCH_serve_quick.json for --quick)",
+    )
+    args = parser.parse_args(argv)
+
+    n_datasets = args.datasets or (300 if args.quick else 5000)
+    n_queries = args.queries or (4 if args.quick else 8)
+    requests = args.requests or (10 if args.quick else 50)
+    think_ms = args.think_ms if args.think_ms is not None else (
+        2.0 if args.quick else 5.0
+    )
+    client_counts = [1, 2] if args.quick else [1, 2, 4, 8]
+
+    result = run(
+        n_datasets, n_queries, client_counts, requests,
+        think_ms, args.limit, args.shard_workers, args.seed,
+    )
+    result["quick"] = args.quick
+    result["clients"] = client_counts
+
+    output = args.output or str(
+        REPO_ROOT
+        / ("BENCH_serve_quick.json" if args.quick else "BENCH_serve.json")
+    )
+    with open(output, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\nwrote {output}")
+
+    if not result["exactness_ok"]:
+        return 1
+    if result["errors"]:
+        print(f"{result['errors']} requests errored")
+        return 1
+    if args.quick:
+        # Tiny runs are too noisy to gate on throughput; gate on
+        # correctness and on nothing having been dropped.
+        if result["rejected"]:
+            print(f"{result['rejected']} requests rejected in quick mode")
+            return 1
+        return 0
+    print(
+        f"scaling {result['qps_low']:.1f} -> {result['qps_high']:.1f} qps "
+        f"({result['scaling_factor']:.2f}x), "
+        f"p99 {result['latency_p99_ms']:.2f} ms, "
+        f"max staleness {result['max_staleness']}"
+    )
+    if result["scaling_factor"] <= 2.0:
+        print("scaling below acceptance floor (8 clients > 2x 1 client)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,16 +10,26 @@ from .io import (
 )
 from .records import DatasetFeature, VariableEntry
 from .sqlite_store import SqliteCatalog
-from .store import CatalogStore, DatasetNotFoundError, MemoryCatalog
+from .store import (
+    CatalogSnapshot,
+    CatalogStore,
+    DatasetNotFoundError,
+    MemoryCatalog,
+    SnapshotContentionError,
+    SnapshotMutationError,
+)
 
 __all__ = [
     "CatalogFormatError",
     "CatalogIndexes",
+    "CatalogSnapshot",
     "CatalogStore",
     "DatasetFeature",
     "DatasetNotFoundError",
     "IntervalIndex",
     "MemoryCatalog",
+    "SnapshotContentionError",
+    "SnapshotMutationError",
     "SpatialGridIndex",
     "SqliteCatalog",
     "VariableEntry",

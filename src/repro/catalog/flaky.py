@@ -73,6 +73,21 @@ class FlakyCatalogStore(CatalogStore):
         self._maybe_fail("remove_many")
         return self.inner.remove_many(dataset_ids)
 
+    def apply_batch(
+        self,
+        upserts: Iterable[DatasetFeature] = (),
+        removals: Iterable[str] = (),
+    ) -> tuple[int, int]:
+        # One injection point for the whole batch, mirroring the real
+        # stores' single transaction: the fault fires before anything
+        # lands, so a retried batch replays against unchanged state.
+        self._maybe_fail("apply_batch")
+        return self.inner.apply_batch(upserts, removals)
+
+    def replace_all(self, features: Iterable[DatasetFeature]) -> int:
+        self._maybe_fail("replace_all")
+        return self.inner.replace_all(features)
+
     def clear(self) -> None:
         self._maybe_fail("clear")
         self.inner.clear()
@@ -108,6 +123,10 @@ class FlakyCatalogStore(CatalogStore):
     def features(self) -> Iterator[DatasetFeature]:
         self._maybe_fail_read("features")
         return self.inner.features()
+
+    def snapshot(self, attempts: int = 16):
+        self._maybe_fail_read("snapshot")
+        return self.inner.snapshot(attempts=attempts)
 
     def __len__(self) -> int:
         return len(self.inner)

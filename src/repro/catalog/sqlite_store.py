@@ -11,12 +11,23 @@ Writes are hardened against contention: file-backed connections set
 every write transaction runs under a bounded busy/locked retry
 (``_WRITE_RETRY``) with deterministic backoff.  Real SQL errors are
 never retried.
+
+The store is also safe to share across threads: one connection is
+opened with ``check_same_thread=False`` and every use of it — reads
+and write transactions alike — serializes on a process-local
+:class:`threading.RLock`.  That keeps the single-connection model
+(cursors never interleave, transactions never nest) while letting the
+serving layer call :meth:`snapshot` from any thread; concurrent
+*searches* then run against the returned
+:class:`~repro.catalog.store.CatalogSnapshot` without touching the
+connection at all.
 """
 
 from __future__ import annotations
 
 import json
 import sqlite3
+import threading
 import time
 from typing import Callable, Iterable, TypeVar
 
@@ -24,7 +35,7 @@ from ..core.retry import RetryPolicy, retry_call
 from ..geo import BoundingBox, TimeInterval
 from ..obs import get_telemetry
 from .records import DatasetFeature, VariableEntry
-from .store import CatalogStore, DatasetNotFoundError
+from .store import CatalogSnapshot, CatalogStore, DatasetNotFoundError
 
 _T = TypeVar("_T")
 
@@ -97,7 +108,11 @@ class SqliteCatalog(CatalogStore):
     def __init__(
         self, path: str = ":memory:", busy_timeout_ms: int = 5000
     ) -> None:
-        self._conn = sqlite3.connect(path)
+        # One shared connection, guarded by ``_lock`` (below) instead of
+        # sqlite3's same-thread check: the serving layer snapshots from
+        # worker threads while the wrangler publishes from the main one.
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        self._lock = threading.RLock()
         self._conn.execute("PRAGMA foreign_keys = ON")
         self._retry = _WRITE_RETRY
         if path != ":memory:":
@@ -130,15 +145,17 @@ class SqliteCatalog(CatalogStore):
         """
         telemetry = get_telemetry()
         if not telemetry.enabled:
-            return retry_call(fn, self._retry, key=key)
+            with self._lock:
+                return retry_call(fn, self._retry, key=key)
 
         def count_busy(attempt: int, exc: BaseException, pause: float):
             telemetry.count("catalog.write_retries")
 
         started = time.monotonic()
-        result = retry_call(
-            fn, self._retry, key=key, on_retry=count_busy
-        )
+        with self._lock:
+            result = retry_call(
+                fn, self._retry, key=key, on_retry=count_busy
+            )
         telemetry.observe(
             "catalog.write_seconds", time.monotonic() - started
         )
@@ -154,10 +171,26 @@ class SqliteCatalog(CatalogStore):
         Read from the database on every access so staleness checks see
         mutations made through *other* connections to the same file.
         """
-        (value,) = self._conn.execute(
-            "SELECT value FROM catalog_meta WHERE key = 'version'"
-        ).fetchone()
+        with self._lock:
+            (value,) = self._conn.execute(
+                "SELECT value FROM catalog_meta WHERE key = 'version'"
+            ).fetchone()
         return value
+
+    def snapshot(self, attempts: int = 16) -> CatalogSnapshot:
+        """A frozen, version-consistent copy of the whole catalog.
+
+        Version and content are read under the connection lock, so the
+        snapshot can never straddle a write transaction — a publish
+        batch is either fully visible or not at all.
+        """
+        with self._lock:
+            version = self.version
+            features = {
+                feature.dataset_id: feature
+                for feature in self.features()
+            }
+        return CatalogSnapshot(features, version=version)
 
     def _bump_version(self) -> None:
         """Bump inside the caller's transaction."""
@@ -267,12 +300,13 @@ class SqliteCatalog(CatalogStore):
         return self._write(write, "upsert_many")
 
     def get(self, dataset_id: str) -> DatasetFeature:
-        row = self._conn.execute(
-            "SELECT * FROM datasets WHERE dataset_id = ?", (dataset_id,)
-        ).fetchone()
-        if row is None:
-            raise DatasetNotFoundError(dataset_id)
-        return self._feature_from_row(row)
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM datasets WHERE dataset_id = ?", (dataset_id,)
+            ).fetchone()
+            if row is None:
+                raise DatasetNotFoundError(dataset_id)
+            return self._feature_from_row(row)
 
     @staticmethod
     def _variable_from_row(v: tuple) -> VariableEntry:
@@ -365,29 +399,34 @@ class SqliteCatalog(CatalogStore):
         exports) need.  Rows are materialized up front so concurrent
         writes through this connection cannot corrupt the cursor.
         """
-        grouped: dict[str, list[VariableEntry]] = {}
-        for v in self._conn.execute(
-            "SELECT * FROM variables ORDER BY dataset_id, position"
-        ).fetchall():
-            grouped.setdefault(v[0], []).append(self._variable_from_row(v))
-        rows = self._conn.execute(
-            "SELECT * FROM datasets ORDER BY dataset_id"
-        ).fetchall()
+        with self._lock:
+            grouped: dict[str, list[VariableEntry]] = {}
+            for v in self._conn.execute(
+                "SELECT * FROM variables ORDER BY dataset_id, position"
+            ).fetchall():
+                grouped.setdefault(v[0], []).append(
+                    self._variable_from_row(v)
+                )
+            rows = self._conn.execute(
+                "SELECT * FROM datasets ORDER BY dataset_id"
+            ).fetchall()
         for row in rows:
             yield self._feature_from_row(
                 row, variables=grouped.get(row[0], [])
             )
 
     def dataset_ids(self) -> list[str]:
-        rows = self._conn.execute(
-            "SELECT dataset_id FROM datasets ORDER BY dataset_id"
-        ).fetchall()
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT dataset_id FROM datasets ORDER BY dataset_id"
+            ).fetchall()
         return [r[0] for r in rows]
 
     def __len__(self) -> int:
-        (count,) = self._conn.execute(
-            "SELECT COUNT(*) FROM datasets"
-        ).fetchone()
+        with self._lock:
+            (count,) = self._conn.execute(
+                "SELECT COUNT(*) FROM datasets"
+            ).fetchone()
         return count
 
     def clear(self) -> None:
@@ -398,6 +437,58 @@ class SqliteCatalog(CatalogStore):
                 self._bump_version()
 
         self._write(write, "clear")
+
+    def apply_batch(
+        self,
+        upserts: Iterable[DatasetFeature] = (),
+        removals: Iterable[str] = (),
+    ) -> tuple[int, int]:
+        """Upserts and removals in ONE transaction with ONE version bump.
+
+        This is the publish primitive: a reader (or :meth:`snapshot`)
+        sees the catalog strictly before or strictly after the whole
+        batch, never between the upserts and the removals.
+        """
+        upsert_batch = list(upserts)
+        removal_batch = list(removals)
+
+        def write() -> tuple[int, int]:
+            upserted = 0
+            removed = 0
+            with self._conn:
+                for feature in upsert_batch:
+                    self._write_feature(feature)
+                    upserted += 1
+                for dataset_id in removal_batch:
+                    cursor = self._conn.execute(
+                        "DELETE FROM datasets WHERE dataset_id = ?",
+                        (dataset_id,),
+                    )
+                    removed += cursor.rowcount
+                if upserted or removed:
+                    self._bump_version()
+            return upserted, removed
+
+        return self._write(write, "apply_batch")
+
+    def replace_all(self, features: Iterable[DatasetFeature]) -> int:
+        """Swap in a whole new catalog: one transaction, one bump.
+
+        Unlike ``clear()`` + ``upsert_many()``, no reader can ever see
+        the emptied intermediate state.
+        """
+        batch = list(features)
+
+        def write() -> int:
+            with self._conn:
+                self._conn.execute("DELETE FROM variables")
+                self._conn.execute("DELETE FROM datasets")
+                for feature in batch:
+                    self._write_feature(feature)
+                self._bump_version()
+            return len(batch)
+
+        return self._write(write, "replace_all")
 
     # -- bulk operations pushed into SQL --------------------------------------
 

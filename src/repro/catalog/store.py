@@ -4,10 +4,21 @@ The wrangling process maintains a *working catalog* and publishes into a
 *metadata catalog*; both are instances of :class:`CatalogStore`.  The
 interface is deliberately small — upsert/get/iterate plus the bulk
 operations transformations need (rename variables, mark exclusions).
+
+Concurrency model: stores are written by one wrangle at a time but may
+be *read* by many search threads.  Readers take an immutable
+:class:`CatalogSnapshot` (:meth:`CatalogStore.snapshot`) — a frozen,
+version-stamped copy of the catalog at one instant — and run every
+query against it, so readers never block writers and never observe a
+half-applied batch.  Writers keep batches atomic: :meth:`apply_batch`
+applies a publish's upserts *and* removals under a single version bump
+(one transaction in SQLite), which is what makes "one snapshot = one
+catalog version" hold.
 """
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from collections import Counter
 from typing import Iterable, Iterator
@@ -17,6 +28,19 @@ from .records import DatasetFeature, VariableEntry
 
 class DatasetNotFoundError(KeyError):
     """Raised when a dataset id is not in the catalog."""
+
+
+class SnapshotMutationError(TypeError):
+    """Raised when a mutating operation is attempted on a snapshot."""
+
+
+class SnapshotContentionError(RuntimeError):
+    """Raised when a consistent snapshot could not be read.
+
+    Only the *generic* :meth:`CatalogStore.snapshot` fallback (optimistic
+    version-check retry) can raise this; the bundled stores read under a
+    lock or transaction and always succeed in one pass.
+    """
 
 
 class CatalogStore(ABC):
@@ -44,6 +68,41 @@ class CatalogStore(ABC):
     def _bump_version(self) -> None:
         """Record one mutation (subclasses call this from every mutator)."""
         self._version += 1
+
+    # -- snapshots -----------------------------------------------------------
+
+    def snapshot(self, attempts: int = 16) -> "CatalogSnapshot":
+        """An immutable, version-stamped copy of the catalog right now.
+
+        The snapshot is fully materialized: once taken it never touches
+        this store again, so query threads holding one cannot block (or
+        be corrupted by) concurrent writers.  Its :attr:`version` equals
+        this store's version at the instant of the copy — version-keyed
+        caches and index stamps computed against the snapshot therefore
+        agree exactly with ones computed against the live store at the
+        same version.
+
+        This generic implementation is optimistic: read the version,
+        copy the features, and retry if the version moved mid-copy.
+        The bundled stores override it with a single locked (memory) or
+        transactional (SQLite) pass.
+
+        Raises:
+            SnapshotContentionError: if ``attempts`` optimistic passes
+                all raced a writer (generic fallback only).
+        """
+        for __ in range(attempts):
+            before = self.version
+            try:
+                features = {f.dataset_id: f for f in self.features()}
+            except (KeyError, RuntimeError):
+                continue  # torn read under concurrent mutation; retry
+            if self.version == before:
+                return CatalogSnapshot(features, version=before)
+        raise SnapshotContentionError(
+            f"no consistent read in {attempts} attempts "
+            "(writer mutating continuously?)"
+        )
 
     # -- dataset-level -------------------------------------------------------
 
@@ -116,6 +175,39 @@ class CatalogStore(ABC):
                 continue
             removed += 1
         return removed
+
+    def apply_batch(
+        self,
+        upserts: Iterable[DatasetFeature] = (),
+        removals: Iterable[str] = (),
+    ) -> tuple[int, int]:
+        """Apply upserts and removals as ONE logical batch.
+
+        This is the publish primitive: a re-wrangle's changed and
+        vanished datasets land together, so a concurrent
+        :meth:`snapshot` sees either the whole publish or none of it.
+        Concrete stores override this with a single-transaction,
+        single-version-bump implementation; this default delegates to
+        the two batch calls (two bumps — correct, but a reader could
+        snapshot between them) for third-party stores that have not
+        caught up yet.
+
+        Returns ``(upserted, removed)`` counts; absent removal ids are
+        skipped silently, as in :meth:`remove_many`.
+        """
+        return self.upsert_many(upserts), self.remove_many(removals)
+
+    def replace_all(self, features: Iterable[DatasetFeature]) -> int:
+        """Replace the entire content with ``features`` atomically.
+
+        The full-copy analogue of :meth:`apply_batch`: concrete stores
+        swap the content under one version bump so a concurrent
+        snapshot never observes the emptied-but-not-yet-refilled state
+        this default's clear-then-insert exposes.  Returns the new
+        dataset count.
+        """
+        self.clear()
+        return self.upsert_many(features)
 
     def features(self) -> Iterator[DatasetFeature]:
         """Yield copies of all features in ``dataset_ids()`` order.
@@ -221,23 +313,151 @@ class CatalogStore(ABC):
         """Replace ``other``'s content with a copy of this catalog.
 
         This is the Publish component's primitive.  Returns dataset count.
-        The copy goes through :meth:`features`/:meth:`upsert_many`, so a
+        The copy goes through :meth:`features`/:meth:`replace_all`, so a
         full-copy publish into SQLite is one bulk read and one
-        transaction instead of 2N queries and N commits.
+        transaction (one version bump — a concurrent snapshot sees the
+        old catalog or the new one, never the emptied middle state).
         """
-        other.clear()
-        return other.upsert_many(self.features())
+        return other.replace_all(self.features())
+
+
+class CatalogSnapshot(CatalogStore):
+    """A frozen, version-stamped view of a catalog at one instant.
+
+    Snapshots are what concurrent readers search over: the content and
+    :attr:`version` never change after construction, every mutating
+    operation raises :class:`SnapshotMutationError`, and nothing here
+    refers back to the source store — a reader holding a snapshot can
+    never block, slow, or be torn by a writer.
+
+    Because the version equals the source store's version at copy time,
+    everything keyed on catalog versions attaches for free: query-cache
+    entries computed against a snapshot hit for any other snapshot (or
+    the live store) at the same version, and
+    :class:`~repro.catalog.index.CatalogIndexes` built over a snapshot
+    carry a truthful ``catalog_version`` stamp.
+
+    :meth:`get` returns copies, like every other store — the snapshot's
+    own features stay pristine even if a caller mutates a result.
+    """
+
+    _MUTATION_MESSAGE = (
+        "catalog snapshots are immutable — mutate the source store and "
+        "take a fresh snapshot"
+    )
+
+    def __init__(
+        self, features: dict[str, DatasetFeature], version: int
+    ) -> None:
+        self._features = dict(features)
+        self._ids = sorted(self._features)
+        self._frozen_version = version
+
+    @property
+    def version(self) -> int:
+        """The source store's version at the instant of the copy."""
+        return self._frozen_version
+
+    def _bump_version(self) -> None:
+        raise SnapshotMutationError(self._MUTATION_MESSAGE)
+
+    # -- reads ---------------------------------------------------------------
+
+    def get(self, dataset_id: str) -> DatasetFeature:
+        try:
+            return self._features[dataset_id].copy()
+        except KeyError:
+            raise DatasetNotFoundError(dataset_id)
+
+    def dataset_ids(self) -> list[str]:
+        return list(self._ids)
+
+    def __len__(self) -> int:
+        return len(self._features)
+
+    def features(self) -> Iterator[DatasetFeature]:
+        for dataset_id in self._ids:
+            yield self._features[dataset_id].copy()
+
+    def contains(self, dataset_id: str) -> bool:
+        return dataset_id in self._features
+
+    def snapshot(self, attempts: int = 16) -> "CatalogSnapshot":
+        """A snapshot of a snapshot is itself (already immutable)."""
+        return self
+
+    # -- every mutation refused ---------------------------------------------
+
+    def upsert(self, feature: DatasetFeature) -> None:
+        raise SnapshotMutationError(self._MUTATION_MESSAGE)
+
+    def remove(self, dataset_id: str) -> None:
+        raise SnapshotMutationError(self._MUTATION_MESSAGE)
+
+    def clear(self) -> None:
+        raise SnapshotMutationError(self._MUTATION_MESSAGE)
+
+    def upsert_many(self, features: Iterable[DatasetFeature]) -> int:
+        raise SnapshotMutationError(self._MUTATION_MESSAGE)
+
+    def remove_many(self, dataset_ids: Iterable[str]) -> int:
+        raise SnapshotMutationError(self._MUTATION_MESSAGE)
+
+    def apply_batch(
+        self,
+        upserts: Iterable[DatasetFeature] = (),
+        removals: Iterable[str] = (),
+    ) -> tuple[int, int]:
+        raise SnapshotMutationError(self._MUTATION_MESSAGE)
+
+    def replace_all(self, features: Iterable[DatasetFeature]) -> int:
+        raise SnapshotMutationError(self._MUTATION_MESSAGE)
+
+    def rename_variables(
+        self, mapping: dict[str, str], resolution: str = ""
+    ) -> int:
+        raise SnapshotMutationError(self._MUTATION_MESSAGE)
+
+    def rename_units(self, mapping: dict[str, str]) -> int:
+        raise SnapshotMutationError(self._MUTATION_MESSAGE)
+
+    def set_excluded(self, names: Iterable[str], excluded: bool = True) -> int:
+        raise SnapshotMutationError(self._MUTATION_MESSAGE)
+
+    def set_ambiguous(self, names: Iterable[str], flag: bool = True) -> int:
+        raise SnapshotMutationError(self._MUTATION_MESSAGE)
 
 
 class MemoryCatalog(CatalogStore):
-    """Dict-backed store: the default working catalog."""
+    """Dict-backed store: the default working catalog.
+
+    Mutations and snapshots synchronize on one lock, so a
+    :meth:`snapshot` taken while another thread runs a bulk operation
+    (a publish batch, an in-place rename sweep) sees the catalog
+    strictly before or strictly after it — never a torn middle.  Point
+    reads (:meth:`get`, iteration) stay lock-free for the single-writer
+    wrangling hot path; concurrent *readers* should search snapshots,
+    which is what the serving layer does.
+    """
 
     def __init__(self) -> None:
         self._features: dict[str, DatasetFeature] = {}
+        self._write_lock = threading.RLock()
+
+    def snapshot(self, attempts: int = 16) -> CatalogSnapshot:
+        with self._write_lock:
+            return CatalogSnapshot(
+                {
+                    dataset_id: feature.copy()
+                    for dataset_id, feature in self._features.items()
+                },
+                version=self._version,
+            )
 
     def upsert(self, feature: DatasetFeature) -> None:
-        self._features[feature.dataset_id] = feature.copy()
-        self._bump_version()
+        with self._write_lock:
+            self._features[feature.dataset_id] = feature.copy()
+            self._bump_version()
 
     def get(self, dataset_id: str) -> DatasetFeature:
         try:
@@ -246,10 +466,11 @@ class MemoryCatalog(CatalogStore):
             raise DatasetNotFoundError(dataset_id)
 
     def remove(self, dataset_id: str) -> None:
-        if dataset_id not in self._features:
-            raise DatasetNotFoundError(dataset_id)
-        del self._features[dataset_id]
-        self._bump_version()
+        with self._write_lock:
+            if dataset_id not in self._features:
+                raise DatasetNotFoundError(dataset_id)
+            del self._features[dataset_id]
+            self._bump_version()
 
     def dataset_ids(self) -> list[str]:
         return sorted(self._features)
@@ -258,26 +479,58 @@ class MemoryCatalog(CatalogStore):
         return len(self._features)
 
     def clear(self) -> None:
-        self._features.clear()
-        self._bump_version()
+        with self._write_lock:
+            self._features.clear()
+            self._bump_version()
 
     def upsert_many(self, features: Iterable[DatasetFeature]) -> int:
-        count = 0
-        for feature in features:
-            self._features[feature.dataset_id] = feature.copy()
-            count += 1
-        if count:
-            self._bump_version()
-        return count
+        with self._write_lock:
+            count = 0
+            for feature in features:
+                self._features[feature.dataset_id] = feature.copy()
+                count += 1
+            if count:
+                self._bump_version()
+            return count
 
     def remove_many(self, dataset_ids: Iterable[str]) -> int:
-        removed = 0
-        for dataset_id in dataset_ids:
-            if self._features.pop(dataset_id, None) is not None:
-                removed += 1
-        if removed:
+        with self._write_lock:
+            removed = 0
+            for dataset_id in dataset_ids:
+                if self._features.pop(dataset_id, None) is not None:
+                    removed += 1
+            if removed:
+                self._bump_version()
+            return removed
+
+    def apply_batch(
+        self,
+        upserts: Iterable[DatasetFeature] = (),
+        removals: Iterable[str] = (),
+    ) -> tuple[int, int]:
+        with self._write_lock:
+            upserted = 0
+            for feature in upserts:
+                self._features[feature.dataset_id] = feature.copy()
+                upserted += 1
+            removed = 0
+            for dataset_id in removals:
+                if self._features.pop(dataset_id, None) is not None:
+                    removed += 1
+            if upserted or removed:
+                self._bump_version()
+            return upserted, removed
+
+    def replace_all(self, features: Iterable[DatasetFeature]) -> int:
+        # Materialize outside the lock (the source may be a slow store),
+        # swap inside it: one bump, no observable emptied state.
+        fresh = {
+            feature.dataset_id: feature.copy() for feature in features
+        }
+        with self._write_lock:
+            self._features = fresh
             self._bump_version()
-        return removed
+            return len(fresh)
 
     def features(self) -> Iterator[DatasetFeature]:
         for dataset_id in sorted(self._features):
@@ -288,51 +541,55 @@ class MemoryCatalog(CatalogStore):
     def rename_variables(
         self, mapping: dict[str, str], resolution: str = ""
     ) -> int:
-        changed = 0
-        for feature in self._features.values():
-            for entry in feature.variables:
-                new_name = mapping.get(entry.name)
-                if new_name is not None and new_name != entry.name:
-                    entry.name = new_name
-                    if resolution:
-                        entry.resolution = resolution
-                    changed += 1
-        if changed:
-            self._bump_version()
-        return changed
+        with self._write_lock:
+            changed = 0
+            for feature in self._features.values():
+                for entry in feature.variables:
+                    new_name = mapping.get(entry.name)
+                    if new_name is not None and new_name != entry.name:
+                        entry.name = new_name
+                        if resolution:
+                            entry.resolution = resolution
+                        changed += 1
+            if changed:
+                self._bump_version()
+            return changed
 
     def rename_units(self, mapping: dict[str, str]) -> int:
-        changed = 0
-        for feature in self._features.values():
-            for entry in feature.variables:
-                new_unit = mapping.get(entry.unit)
-                if new_unit is not None and new_unit != entry.unit:
-                    entry.unit = new_unit
-                    changed += 1
-        if changed:
-            self._bump_version()
-        return changed
+        with self._write_lock:
+            changed = 0
+            for feature in self._features.values():
+                for entry in feature.variables:
+                    new_unit = mapping.get(entry.unit)
+                    if new_unit is not None and new_unit != entry.unit:
+                        entry.unit = new_unit
+                        changed += 1
+            if changed:
+                self._bump_version()
+            return changed
 
     def set_excluded(self, names: Iterable[str], excluded: bool = True) -> int:
-        target = set(names)
-        changed = 0
-        for feature in self._features.values():
-            for entry in feature.variables:
-                if entry.name in target and entry.excluded != excluded:
-                    entry.excluded = excluded
-                    changed += 1
-        if changed:
-            self._bump_version()
-        return changed
+        with self._write_lock:
+            target = set(names)
+            changed = 0
+            for feature in self._features.values():
+                for entry in feature.variables:
+                    if entry.name in target and entry.excluded != excluded:
+                        entry.excluded = excluded
+                        changed += 1
+            if changed:
+                self._bump_version()
+            return changed
 
     def set_ambiguous(self, names: Iterable[str], flag: bool = True) -> int:
-        target = set(names)
-        changed = 0
-        for feature in self._features.values():
-            for entry in feature.variables:
-                if entry.name in target and entry.ambiguous != flag:
-                    entry.ambiguous = flag
-                    changed += 1
-        if changed:
-            self._bump_version()
-        return changed
+        with self._write_lock:
+            target = set(names)
+            changed = 0
+            for feature in self._features.values():
+                for entry in feature.variables:
+                    if entry.name in target and entry.ambiguous != flag:
+                        entry.ambiguous = flag
+                        changed += 1
+            if changed:
+                self._bump_version()
+            return changed

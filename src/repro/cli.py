@@ -6,6 +6,7 @@ The production shape of the system as an operator sees it::
     python -m repro wrangle  ./archive --catalog catalog.db
     python -m repro search   catalog.db "near 45.5, -124.4 in mid-2010 \
         with temperature between 5 and 10"
+    python -m repro serve-bench catalog.db --clients 8 --think-ms 5
     python -m repro summary  catalog.db stations/saturn01/saturn01_2009.csv
     python -m repro validate ./archive
     python -m repro menu     catalog.db
@@ -126,6 +127,52 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trace-out", default=None, metavar="FILE",
         help="write the search telemetry trace to FILE as JSONL",
     )
+
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="closed-loop load benchmark against the concurrent "
+        "search service",
+    )
+    serve_bench.add_argument("catalog")
+    serve_bench.add_argument(
+        "--query", action="append", default=None, metavar="TEXT",
+        help="workload query text (repeatable; default: a mix derived "
+        "from the catalog's variables and coverage)",
+    )
+    serve_bench.add_argument(
+        "--clients", type=int, default=4,
+        help="number of closed-loop client threads (default 4)",
+    )
+    serve_bench.add_argument(
+        "--requests", type=int, default=25,
+        help="requests per client (default 25)",
+    )
+    serve_bench.add_argument(
+        "--think-ms", type=float, default=0.0,
+        help="per-client think time between requests, milliseconds",
+    )
+    serve_bench.add_argument(
+        "--zipf", type=float, default=1.1,
+        help="Zipf skew of query selection (0 = uniform; default 1.1)",
+    )
+    serve_bench.add_argument("--limit", type=int, default=10)
+    serve_bench.add_argument(
+        "--concurrency", type=int, default=4,
+        help="service max concurrent requests (default 4)",
+    )
+    serve_bench.add_argument(
+        "--queue-depth", type=int, default=16,
+        help="admitted requests allowed to wait (default 16)",
+    )
+    serve_bench.add_argument(
+        "--shard-workers", type=int, default=None,
+        help="threads for sharded scoring (default: serial scoring)",
+    )
+    serve_bench.add_argument(
+        "--shard-threshold", type=int, default=1024,
+        help="candidate count above which scoring shards (default 1024)",
+    )
+    serve_bench.add_argument("--seed", type=int, default=0)
 
     summary = sub.add_parser(
         "summary", help="show one dataset's summary page"
@@ -275,6 +322,9 @@ def _open_catalog(path: str) -> SqliteCatalog | None:
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
+    if args.limit < 1:
+        print("error: --limit must be >= 1", file=sys.stderr)
+        return 2
     try:
         query = parse_query(args.query)
     except QueryParseError as exc:
@@ -312,6 +362,105 @@ def _cmd_search(args: argparse.Namespace) -> int:
         events = write_trace(telemetry.snapshot(), args.trace_out)
         print()
         print(f"trace: {events} events written to {args.trace_out}")
+    catalog.close()
+    return 0
+
+
+def _default_workload(catalog) -> list:
+    """A query mix derived from the catalog itself.
+
+    A few variable-only queries over the most common names (the cache
+    favourites), plus located queries at dataset bbox centres (the
+    index-pruned tail) — enough modality spread to exercise scoring,
+    pruning and the cache without the operator hand-writing a workload.
+    """
+    from .core.query import Query, VariableTerm
+    from .geo import GeoPoint
+
+    names = [
+        name
+        for name, __ in catalog.variable_name_counts().most_common(3)
+    ]
+    queries = [
+        Query(variables=(VariableTerm(name=name),)) for name in names
+    ]
+    var_terms = (
+        (VariableTerm(name=names[0]),) if names else ()
+    )
+    for dataset_id in catalog.dataset_ids()[:5]:
+        feature = catalog.get(dataset_id)
+        bbox = feature.bbox
+        queries.append(
+            Query(
+                location=GeoPoint(
+                    (bbox.min_lat + bbox.max_lat) / 2.0,
+                    (bbox.min_lon + bbox.max_lon) / 2.0,
+                ),
+                radius_km=100.0,
+                interval=feature.interval,
+                variables=var_terms,
+            )
+        )
+    return queries
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from .serve import SearchService, ServeConfig, run_load
+    from .ui import render_serve_report
+
+    for flag, value, minimum in (
+        ("--clients", args.clients, 1),
+        ("--requests", args.requests, 1),
+        ("--limit", args.limit, 1),
+        ("--concurrency", args.concurrency, 1),
+        ("--queue-depth", args.queue_depth, 0),
+        ("--shard-threshold", args.shard_threshold, 1),
+    ):
+        if value < minimum:
+            print(f"error: {flag} must be >= {minimum}", file=sys.stderr)
+            return 2
+    if args.think_ms < 0.0:
+        print("error: --think-ms must be >= 0", file=sys.stderr)
+        return 2
+    if args.zipf < 0.0:
+        print("error: --zipf must be >= 0", file=sys.stderr)
+        return 2
+    if args.shard_workers is not None and args.shard_workers < 1:
+        print("error: --shard-workers must be >= 1", file=sys.stderr)
+        return 2
+    catalog = _open_catalog(args.catalog)
+    if catalog is None:
+        return 2
+    if args.query:
+        try:
+            queries = [parse_query(text) for text in args.query]
+        except QueryParseError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            catalog.close()
+            return 2
+    else:
+        queries = _default_workload(catalog)
+    config = ServeConfig(
+        max_concurrency=args.concurrency,
+        queue_depth=args.queue_depth,
+        shard_workers=args.shard_workers,
+        shard_threshold=args.shard_threshold,
+    )
+    with SearchService(
+        catalog, hierarchy=vocabulary_hierarchy(), config=config
+    ) as service:
+        report = run_load(
+            service,
+            queries,
+            clients=args.clients,
+            requests_per_client=args.requests,
+            think_seconds=args.think_ms / 1e3,
+            zipf_s=args.zipf,
+            limit=args.limit,
+            seed=args.seed,
+            live_version=lambda: catalog.version,
+        )
+        print(render_serve_report(report, service.stats()))
     catalog.close()
     return 0
 
@@ -414,6 +563,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "wrangle": _cmd_wrangle,
     "search": _cmd_search,
+    "serve-bench": _cmd_serve_bench,
     "summary": _cmd_summary,
     "validate": _cmd_validate,
     "menu": _cmd_menu,

@@ -10,6 +10,7 @@ from .facets import (
 from .errors import (
     ErrorCode,
     ErrorRecord,
+    OverloadedError,
     StoreBusyError,
     TransientError,
     TransientReadError,
@@ -63,6 +64,7 @@ __all__ = [
     "ErrorCode",
     "ErrorRecord",
     "FaultSchedule",
+    "OverloadedError",
     "RetryPolicy",
     "StoreBusyError",
     "TransientError",

@@ -10,21 +10,32 @@ catalog mutation makes every older entry unreachable without an explicit
 invalidation sweep; unreachable entries simply age out of the LRU order.
 Values are returned as-is — callers must treat cached results as
 immutable.
+
+The cache is thread-safe: the serving layer shares one instance across
+every request worker (and across engine rebuilds, since entries are
+keyed on the catalog version, not the engine), so ``get``/``put``/
+``clear`` and the counters all mutate under one lock.  ``OrderedDict``
+reordering is not atomic bytecode — without the lock a concurrent
+``move_to_end`` against ``popitem`` can corrupt the LRU order or tear
+the hit/miss accounting.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Hashable
 
 
 class QueryCache:
-    """A bounded LRU mapping with hit/miss/eviction accounting."""
+    """A bounded, thread-safe LRU mapping with hit/miss/eviction
+    accounting."""
 
     def __init__(self, maxsize: int = 256) -> None:
         if maxsize <= 0:
             raise ValueError("maxsize must be positive")
         self.maxsize = maxsize
+        self._lock = threading.Lock()
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -32,40 +43,50 @@ class QueryCache:
 
     def get(self, key: Hashable) -> Any | None:
         """The cached value, freshened to most-recently-used; None on miss."""
-        try:
-            value = self._entries[key]
-        except KeyError:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
         """Store ``value``, evicting the least-recently-used on overflow."""
-        entries = self._entries
-        if key in entries:
-            entries.move_to_end(key)
-        entries[key] = value
-        if len(entries) > self.maxsize:
-            entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            entries = self._entries
+            if key in entries:
+                entries.move_to_end(key)
+            entries[key] = value
+            if len(entries) > self.maxsize:
+                entries.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
         """Drop all entries (counters are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def stats(self) -> dict[str, float | int]:
-        """Operational counters for monitoring and the CLI."""
-        lookups = self.hits + self.misses
-        return {
-            "size": len(self._entries),
-            "maxsize": self.maxsize,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": self.hits / lookups if lookups else 0.0,
-        }
+        """Operational counters for monitoring and the CLI.
+
+        Taken under the lock, so concurrent readers always see a
+        consistent view (``hits + misses`` equals the lookups served so
+        far, never a torn intermediate).
+        """
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hits / lookups if lookups else 0.0,
+            }

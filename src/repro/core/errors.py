@@ -45,6 +45,9 @@ class ErrorCode(Enum):
     #: The worker pool itself died; the affected chunk was recomputed
     #: serially in the parent.
     WORKER_CRASH = "worker-crash"
+    #: The serving layer's admission queue is full; the request was
+    #: rejected without being executed (retry after backoff).
+    OVERLOADED = "overloaded"
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.value
@@ -87,6 +90,28 @@ class StoreBusyError(TransientError):
     """The catalog store is busy/locked right now."""
 
 
+class OverloadedError(TransientError):
+    """The search service's bounded admission queue is full.
+
+    Raised *before* any work is done on the request — the typed
+    backpressure signal of the serving layer.  Transient by definition:
+    a client that backs off and retries will eventually be admitted
+    (load permitting), which is why it joins the retryable family.
+    """
+
+    def __init__(
+        self,
+        message: str = "service overloaded: admission queue full",
+        in_flight: int | None = None,
+        capacity: int | None = None,
+    ) -> None:
+        if in_flight is not None and capacity is not None:
+            message = f"{message} ({in_flight}/{capacity} slots taken)"
+        super().__init__(message)
+        self.in_flight = in_flight
+        self.capacity = capacity
+
+
 #: Substrings that mark a :class:`sqlite3.OperationalError` as the
 #: transient busy/locked condition rather than a real schema/SQL error.
 _SQLITE_TRANSIENT_MARKERS = ("locked", "busy")
@@ -117,7 +142,9 @@ def classify_exception(
     this helper covers the infrastructure faults.
     """
     transient = is_transient(exc)
-    if isinstance(exc, StoreBusyError) or (
+    if isinstance(exc, OverloadedError):
+        code = ErrorCode.OVERLOADED
+    elif isinstance(exc, StoreBusyError) or (
         transient and isinstance(exc, sqlite3.OperationalError)
     ):
         code = ErrorCode.STORE_BUSY

@@ -18,6 +18,7 @@ Grammar (clauses in any order, case-insensitive):
 from __future__ import annotations
 
 import calendar
+import math
 import re
 from datetime import datetime, timezone
 
@@ -29,7 +30,9 @@ class QueryParseError(ValueError):
     """Raised when query text cannot be understood."""
 
 
-_NUM = r"[-+]?\d+(?:\.\d+)?"
+# Matches inf/nan tokens too, so they hit the finiteness checks below
+# and produce a clear error instead of a silently ignored clause.
+_NUM = r"[-+]?(?:\d+(?:\.\d+)?|inf(?:inity)?|nan)"
 _NEAR_RE = re.compile(
     rf"\bnear\s+(?:lat\s*=?\s*)?({_NUM})\s*,\s*(?:lon\s*=?\s*)?({_NUM})",
     re.IGNORECASE,
@@ -111,6 +114,13 @@ def _season_interval(season: str, year: int) -> TimeInterval:
     )
 
 
+def _bound(token: str) -> float:
+    value = float(token)
+    if not math.isfinite(value):
+        raise ValueError("bounds must be finite numbers")
+    return value
+
+
 def _parse_variable_clause(clause: str) -> VariableTerm:
     clause = clause.strip()
     if not clause:
@@ -118,19 +128,19 @@ def _parse_variable_clause(clause: str) -> VariableTerm:
     for pattern, maker in (
         (_BETWEEN_RE, lambda m: VariableTerm(
             _norm_var(m.group("name")),
-            low=float(m.group("low")),
-            high=float(m.group("high")),
+            low=_bound(m.group("low")),
+            high=_bound(m.group("high")),
         )),
         (_ABOVE_RE, lambda m: VariableTerm(
-            _norm_var(m.group("name")), low=float(m.group("low"))
+            _norm_var(m.group("name")), low=_bound(m.group("low"))
         )),
         (_BELOW_RE, lambda m: VariableTerm(
-            _norm_var(m.group("name")), high=float(m.group("high"))
+            _norm_var(m.group("name")), high=_bound(m.group("high"))
         )),
         (_EQUALS_RE, lambda m: VariableTerm(
             _norm_var(m.group("name")),
-            low=float(m.group("value")),
-            high=float(m.group("value")),
+            low=_bound(m.group("value")),
+            high=_bound(m.group("value")),
         )),
     ):
         match = pattern.match(clause)
@@ -173,6 +183,12 @@ def parse_query(text: str) -> Query:
         lat1, lon1, lat2, lon2 = (
             float(region_match.group(i)) for i in range(1, 5)
         )
+        if not all(
+            math.isfinite(value) for value in (lat1, lon1, lat2, lon2)
+        ):
+            raise QueryParseError(
+                "region corners must be finite latitude, longitude pairs"
+            )
         try:
             region = BoundingBox(
                 min(lat1, lat2), min(lon1, lon2),
@@ -185,10 +201,14 @@ def parse_query(text: str) -> Query:
     near_match = _NEAR_RE.search(remaining)
     if near_match is not None:
         matched_any = True
-        try:
-            location = GeoPoint(
-                float(near_match.group(1)), float(near_match.group(2))
+        lat = float(near_match.group(1))
+        lon = float(near_match.group(2))
+        if not (math.isfinite(lat) and math.isfinite(lon)):
+            raise QueryParseError(
+                "latitude and longitude must be finite numbers"
             )
+        try:
+            location = GeoPoint(lat, lon)
         except ValueError as exc:
             raise QueryParseError(f"bad location: {exc}")
         remaining = remaining.replace(near_match.group(0), " ")
@@ -197,8 +217,10 @@ def parse_query(text: str) -> Query:
     if within_match is not None:
         matched_any = True
         radius_km = float(within_match.group(1))
-        if radius_km <= 0:
-            raise QueryParseError("radius must be positive")
+        # A long-enough digit string parses to inf — reject it rather
+        # than silently disabling spatial pruning.
+        if not math.isfinite(radius_km) or radius_km <= 0:
+            raise QueryParseError("radius must be positive and finite")
         remaining = remaining.replace(within_match.group(0), " ")
 
     from_to = _FROM_TO_RE.search(remaining)

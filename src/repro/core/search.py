@@ -17,8 +17,9 @@ from __future__ import annotations
 
 import heapq
 import math
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from ..catalog.index import CatalogIndexes
 from ..catalog.records import DatasetFeature
@@ -63,6 +64,13 @@ class SearchResults(list):
     top-k floor, or index candidate pruning) it is a lower bound:
     skipped datasets are counted only when their score is provably
     positive from the cheap terms alone.
+
+    Slicing and :meth:`copy` preserve the metadata (``total_matches``
+    carries over; ``truncated`` is re-derived for the narrower page), so
+    a UI paginating with ``results[:5]`` still knows the match count.
+    Concatenation (``+``) falls back to a plain ``list`` — two pages
+    have no single meaningful ``total_matches``; this is pinned by a
+    regression test.
     """
 
     __slots__ = ("total_matches", "truncated")
@@ -80,6 +88,23 @@ class SearchResults(list):
         if truncated is None:
             truncated = total_matches > len(self)
         self.truncated = truncated
+
+    def __getitem__(self, index):
+        item = super().__getitem__(index)
+        if isinstance(index, slice):
+            return SearchResults(
+                item,
+                total_matches=self.total_matches,
+                truncated=self.truncated or self.total_matches > len(item),
+            )
+        return item
+
+    def copy(self) -> "SearchResults":
+        return SearchResults(
+            self,
+            total_matches=self.total_matches,
+            truncated=self.truncated,
+        )
 
 
 class _HeapItem:
@@ -134,7 +159,19 @@ class _TopK:
 
 
 class SearchEngine:
-    """Ranked similarity search over a catalog store."""
+    """Ranked similarity search over a catalog store.
+
+    Scoring optionally *shards*: when ``shard_workers > 1`` and the
+    post-prune candidate set has at least ``shard_threshold`` entries,
+    it is partitioned into contiguous chunks scored on a thread pool,
+    each chunk through its own :class:`_TopK` heap, then merged into
+    the global heap.  The merge is exact — every global top-``k``
+    result is by definition in its own shard's top-``k``, so pushing
+    each shard's survivors through the global heap reproduces the
+    serial page (ids, scores, order, breakdowns) precisely.  Below the
+    threshold (or with ``shard_workers`` unset) the serial path runs
+    unchanged.
+    """
 
     def __init__(
         self,
@@ -144,9 +181,14 @@ class SearchEngine:
         config: ScoringConfig | None = None,
         epsilon: float = 1e-3,
         cache: QueryCache | bool = True,
+        shard_workers: int | None = None,
+        shard_threshold: int = 1024,
+        executor: ThreadPoolExecutor | None = None,
     ) -> None:
         if not 0.0 < epsilon < 1.0:
             raise ValueError("epsilon must lie in (0, 1)")
+        if shard_threshold < 1:
+            raise ValueError("shard_threshold must be positive")
         self.catalog = catalog
         self.hierarchy = hierarchy
         self.indexes = indexes
@@ -157,7 +199,22 @@ class SearchEngine:
         if cache is True:
             cache = QueryCache()
         self.cache = cache if isinstance(cache, QueryCache) else None
+        self.shard_workers = shard_workers
+        self.shard_threshold = shard_threshold
+        # Pass a shared executor (the serving layer does, so engine
+        # rebuilds on snapshot refresh don't churn threads); otherwise
+        # one is created lazily on the first sharded query and owned by
+        # this engine (release it with close()).
+        self._executor = executor
+        self._owns_executor = False
         self._horizons: dict[tuple[float, str], float] = {}
+
+    def close(self) -> None:
+        """Release the shard executor if this engine created one."""
+        if self._owns_executor and self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+            self._owns_executor = False
 
     def build_indexes(self, cell_degrees: float = 0.5) -> CatalogIndexes:
         """Build (and attach) fresh indexes over the current catalog."""
@@ -324,6 +381,68 @@ class SearchEngine:
             )
         return matches
 
+    def _effective_shard_workers(self, n_candidates: int) -> int:
+        """How many scoring shards this query should use (1 = serial)."""
+        if self.shard_workers is None or self.shard_workers <= 1:
+            return 1
+        if n_candidates < self.shard_threshold:
+            return 1
+        return min(self.shard_workers, n_candidates)
+
+    def _shard_executor(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.shard_workers,
+                thread_name_prefix="repro-shard",
+            )
+            self._owns_executor = True
+        return self._executor
+
+    def _score_candidates(
+        self,
+        scorer: QueryScorer,
+        query: Query,
+        ids: Sequence[str],
+        top: _TopK,
+    ) -> int:
+        """Score ``ids`` into ``top``, sharding across threads when the
+        candidate set is large enough; returns known matches.
+
+        Each shard scores through a private :class:`QueryScorer` (its
+        name-similarity memo is not shared across threads) and a private
+        heap; merging the shard heaps through the global one is exact
+        because every global top-``k`` result is necessarily in its own
+        shard's top-``k``.  ``total_matches`` stays a valid lower bound
+        (each shard counts with its own floor), though the exact value
+        may differ from the serial scan's — only the returned page is
+        pinned equal.
+        """
+        workers = self._effective_shard_workers(len(ids))
+        if workers <= 1:
+            return self._score_into(scorer, query, ids, top)
+        get_telemetry().count("search.sharded_queries")
+        chunk = (len(ids) + workers - 1) // workers
+        shards = [ids[i : i + chunk] for i in range(0, len(ids), chunk)]
+
+        def run_shard(shard: Sequence[str]) -> tuple[int, _TopK]:
+            shard_scorer = QueryScorer(
+                query, hierarchy=self.hierarchy, config=self.config
+            )
+            shard_top = _TopK(top.limit)
+            matched = self._score_into(
+                shard_scorer, query, shard, shard_top
+            )
+            return matched, shard_top
+
+        matches = 0
+        for matched, shard_top in self._shard_executor().map(
+            run_shard, shards
+        ):
+            matches += matched
+            for item in shard_top._heap:
+                top.push(item.result)
+        return matches
+
     def _cache_key(self, query: Query, limit: int):
         # Everything the result depends on.  The hierarchy has no cheap
         # content fingerprint, so its identity stands in: replacing it
@@ -384,7 +503,7 @@ class SearchEngine:
                 telemetry.count("search.candidates_pruned", pruned)
             span.set("candidates", len(candidate_ids))
         top = _TopK(limit)
-        matches = self._score_into(scorer, query, candidate_ids, top)
+        matches = self._score_candidates(scorer, query, candidate_ids, top)
         if excluded_bound is not None:
             floor = top.floor()
             kth_score = floor[0] if floor is not None else 0.0
@@ -393,7 +512,9 @@ class SearchEngine:
                 remainder = sorted(
                     set(self.catalog.dataset_ids()) - set(candidate_ids)
                 )
-                matches += self._score_into(scorer, query, remainder, top)
+                matches += self._score_candidates(
+                    scorer, query, remainder, top
+                )
         results = SearchResults(
             top.sorted_results(), total_matches=matches
         )

@@ -495,22 +495,33 @@ class Telemetry:
 #: The module default: disabled, so un-opted-in library use pays one
 #: ``enabled`` check per instrumentation call and records nothing.
 _DISABLED = Telemetry(enabled=False)
-_active: Telemetry = _DISABLED
+
+#: The active registry is *per-thread*.  A concurrent serving layer runs
+#: many requests at once, each wrapped in ``use_telemetry(...)``; were
+#: the active slot a module global, request threads would race a
+#: background wrangle's enter/exit and counters would land in the wrong
+#: registry (or the global would be left pointing at a dead one after an
+#: unlucky restore interleaving).  Thread-locality makes every
+#: ``use_telemetry`` block private to its thread; code that fans work
+#: out to *other* threads re-activates the parent's registry inside the
+#: worker (see ``repro.serve``).
+_active = threading.local()
 
 
 def get_telemetry() -> Telemetry:
-    """The currently active registry (the disabled default if none)."""
-    return _active
+    """This thread's active registry (the disabled default if none)."""
+    active = getattr(_active, "value", None)
+    return active if active is not None else _DISABLED
 
 
 def set_telemetry(telemetry: Telemetry | None) -> Telemetry:
-    """Make ``telemetry`` active; ``None`` restores the disabled default.
+    """Make ``telemetry`` active on this thread; ``None`` restores the
+    disabled default.
 
     Returns the previously active registry so callers can restore it.
     """
-    global _active
-    previous = _active
-    _active = telemetry if telemetry is not None else _DISABLED
+    previous = get_telemetry()
+    _active.value = telemetry if telemetry is not None else None
     return previous
 
 

@@ -1,0 +1,19 @@
+"""Concurrent query serving over immutable catalog snapshots."""
+
+from .loadgen import LoadReport, percentile, run_load
+from .service import (
+    SearchService,
+    ServeConfig,
+    ServeResponse,
+    ServiceClosedError,
+)
+
+__all__ = [
+    "LoadReport",
+    "SearchService",
+    "ServeConfig",
+    "ServeResponse",
+    "ServiceClosedError",
+    "percentile",
+    "run_load",
+]

@@ -1,0 +1,201 @@
+"""Closed-loop load generation against a :class:`SearchService`.
+
+Models the workload the motivating user studies describe: N interactive
+clients, each issuing a query, reading the page (think time), then
+issuing the next — a *closed loop*, so offered load adapts to service
+latency instead of piling up an open-loop backlog.  Query selection is
+Zipf-distributed over the workload's query pool (a few refinement
+favourites dominate, a long tail of one-offs follows), which is what
+exercises the version-keyed cache realistically.
+
+Everything is deterministic under a fixed seed: per-client RNGs are
+seeded from ``seed`` and the client index, so reports are reproducible
+modulo scheduling noise in the latency numbers themselves.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..core.errors import OverloadedError
+from ..core.query import Query
+from .service import SearchService, ServiceClosedError
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """The nearest-rank ``p``-th percentile (0 < p <= 100) of ``values``."""
+    if not values:
+        return 0.0
+    if not 0.0 < p <= 100.0:
+        raise ValueError("p must lie in (0, 100]")
+    ordered = sorted(values)
+    rank = math.ceil(p / 100.0 * len(ordered))
+    return ordered[rank - 1]
+
+
+def zipf_weights(n: int, s: float) -> list[float]:
+    """Zipf weights ``1/rank^s`` for ranks 1..n (unnormalized)."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    if s < 0.0:
+        raise ValueError("s must be non-negative")
+    return [1.0 / (rank**s) for rank in range(1, n + 1)]
+
+
+@dataclass(slots=True)
+class LoadReport:
+    """What one closed-loop run measured."""
+
+    clients: int
+    requests_per_client: int
+    think_seconds: float
+    completed: int = 0
+    rejected: int = 0
+    errors: int = 0
+    duration_seconds: float = 0.0
+    qps: float = 0.0
+    latency_p50: float = 0.0
+    latency_p95: float = 0.0
+    latency_p99: float = 0.0
+    latency_mean: float = 0.0
+    queued_p95: float = 0.0
+    #: Distinct snapshot versions observed across all responses.
+    snapshot_versions: list[int] = field(default_factory=list)
+    #: Worst (live version - served version) observed, when a live
+    #: version probe was provided; 0 otherwise.
+    max_staleness: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "clients": self.clients,
+            "requests_per_client": self.requests_per_client,
+            "think_seconds": self.think_seconds,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "duration_seconds": self.duration_seconds,
+            "qps": self.qps,
+            "latency_p50": self.latency_p50,
+            "latency_p95": self.latency_p95,
+            "latency_p99": self.latency_p99,
+            "latency_mean": self.latency_mean,
+            "queued_p95": self.queued_p95,
+            "snapshot_versions": self.snapshot_versions,
+            "max_staleness": self.max_staleness,
+        }
+
+
+def run_load(
+    service: SearchService,
+    queries: Sequence[Query],
+    clients: int = 4,
+    requests_per_client: int = 25,
+    think_seconds: float = 0.0,
+    zipf_s: float = 1.1,
+    limit: int = 10,
+    seed: int = 0,
+    live_version: Callable[[], int] | None = None,
+) -> LoadReport:
+    """Drive ``clients`` closed-loop threads through the service.
+
+    Each client issues ``requests_per_client`` Zipf-selected queries
+    with ``think_seconds`` of think time between completions.  Rejected
+    requests (:class:`OverloadedError`) are counted and retried after a
+    short jittered backoff — they do not count as completions.  Pass
+    ``live_version`` (e.g. ``lambda: store.version``) to track snapshot
+    staleness under a concurrent wrangler.
+    """
+    if clients < 1:
+        raise ValueError("clients must be positive")
+    if requests_per_client < 1:
+        raise ValueError("requests_per_client must be positive")
+    if think_seconds < 0.0:
+        raise ValueError("think_seconds must be non-negative")
+    if not queries:
+        raise ValueError("queries must be non-empty")
+
+    weights = zipf_weights(len(queries), zipf_s)
+    lock = threading.Lock()
+    latencies: list[float] = []
+    queued: list[float] = []
+    versions: set[int] = set()
+    counts = {"completed": 0, "rejected": 0, "errors": 0, "staleness": 0}
+    start_barrier = threading.Barrier(clients + 1)
+
+    def client(index: int) -> None:
+        rng = random.Random(seed * 100_003 + index)
+        start_barrier.wait()
+        served = 0
+        while served < requests_per_client:
+            query = rng.choices(queries, weights=weights, k=1)[0]
+            try:
+                response = service.search(query, limit=limit)
+            except OverloadedError:
+                with lock:
+                    counts["rejected"] += 1
+                # Jittered backoff before the retry, so rejected
+                # clients do not re-stampede in lockstep.
+                time.sleep(rng.uniform(0.001, 0.005))
+                continue
+            except ServiceClosedError:
+                with lock:
+                    counts["errors"] += 1
+                return
+            except Exception:
+                with lock:
+                    counts["errors"] += 1
+                served += 1
+                continue
+            staleness = 0
+            if live_version is not None:
+                staleness = max(
+                    0, live_version() - response.snapshot_version
+                )
+            with lock:
+                counts["completed"] += 1
+                counts["staleness"] = max(counts["staleness"], staleness)
+                latencies.append(response.total_seconds)
+                queued.append(response.queued_seconds)
+                versions.add(response.snapshot_version)
+            served += 1
+            if think_seconds > 0.0:
+                time.sleep(think_seconds)
+
+    threads = [
+        threading.Thread(target=client, args=(i,), daemon=True)
+        for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    start_barrier.wait()
+    started = time.monotonic()
+    for thread in threads:
+        thread.join()
+    duration = time.monotonic() - started
+
+    report = LoadReport(
+        clients=clients,
+        requests_per_client=requests_per_client,
+        think_seconds=think_seconds,
+        completed=counts["completed"],
+        rejected=counts["rejected"],
+        errors=counts["errors"],
+        duration_seconds=duration,
+        snapshot_versions=sorted(versions),
+        max_staleness=counts["staleness"],
+    )
+    if duration > 0.0:
+        report.qps = report.completed / duration
+    if latencies:
+        report.latency_p50 = percentile(latencies, 50.0)
+        report.latency_p95 = percentile(latencies, 95.0)
+        report.latency_p99 = percentile(latencies, 99.0)
+        report.latency_mean = sum(latencies) / len(latencies)
+    if queued:
+        report.queued_p95 = percentile(queued, 95.0)
+    return report

@@ -1,0 +1,309 @@
+"""The thread-safe front door for concurrent ranked search.
+
+:class:`SearchService` is what a portal process puts between its request
+handlers and the catalog.  The concurrency model:
+
+* **Requests never touch the live catalog.**  The service holds a
+  :class:`~repro.core.search.SearchEngine` built over an immutable
+  :class:`~repro.catalog.store.CatalogSnapshot`; every request reads the
+  engine reference once, so each request is served by exactly one
+  catalog version even while :meth:`refresh` swaps a newer snapshot in
+  underneath.  Writers (a concurrent re-wrangle) are never blocked by
+  readers — they touch the live store, not the snapshot.
+* **Admission is bounded.**  At most ``max_concurrency`` requests
+  execute at once; up to ``queue_depth`` more wait their turn.  Beyond
+  that, :meth:`search` fails fast with the typed
+  :class:`~repro.core.errors.OverloadedError` — backpressure a client
+  can retry on, instead of an unbounded queue that melts latency for
+  everyone (the "heavy traffic" north star is explicit about this).
+* **One cache, one registry.**  The version-keyed
+  :class:`~repro.core.cache.QueryCache` and the
+  :class:`~repro.obs.Telemetry` registry are shared across snapshot
+  refreshes: cache entries die naturally when the version moves, and
+  per-request spans/counters from every thread merge into one place.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from ..catalog.store import CatalogStore
+from ..core.cache import QueryCache
+from ..core.errors import OverloadedError
+from ..core.query import Query
+from ..core.scoring import ScoringConfig
+from ..core.search import SearchEngine, SearchResults
+from ..hierarchy import ConceptHierarchy
+from ..obs import Telemetry, use_telemetry
+
+
+class ServiceClosedError(RuntimeError):
+    """Raised when a request arrives after :meth:`SearchService.close`."""
+
+
+@dataclass(frozen=True, slots=True)
+class ServeConfig:
+    """Concurrency knobs for :class:`SearchService`.
+
+    ``max_concurrency`` requests run at once, ``queue_depth`` more may
+    wait; anything beyond is rejected with ``OverloadedError``.
+    ``shard_workers``/``shard_threshold`` pass through to the engine's
+    sharded scoring (see :class:`~repro.core.search.SearchEngine`).
+    """
+
+    max_concurrency: int = 4
+    queue_depth: int = 16
+    shard_workers: int | None = None
+    shard_threshold: int = 1024
+    cache_size: int = 512
+
+    def __post_init__(self) -> None:
+        if self.max_concurrency < 1:
+            raise ValueError("max_concurrency must be positive")
+        if self.queue_depth < 0:
+            raise ValueError("queue_depth must be non-negative")
+        if self.shard_threshold < 1:
+            raise ValueError("shard_threshold must be positive")
+        if self.cache_size < 1:
+            raise ValueError("cache_size must be positive")
+
+    @property
+    def admission_capacity(self) -> int:
+        """Executing plus queued requests admitted at any instant."""
+        return self.max_concurrency + self.queue_depth
+
+
+@dataclass(frozen=True, slots=True)
+class ServeResponse:
+    """One served request: the page plus how it was served."""
+
+    #: The ranked page (with ``total_matches``/``truncated`` metadata).
+    results: SearchResults
+    #: The catalog version of the snapshot that served this request —
+    #: exactly one version per request, by construction.
+    snapshot_version: int
+    #: Seconds spent waiting for an execution slot.
+    queued_seconds: float
+    #: Seconds from admission to completion (queue + execution).
+    total_seconds: float
+
+
+class SearchService:
+    """Bounded-concurrency ranked search over catalog snapshots.
+
+    ``catalog`` is the *live* store the wrangler publishes into; the
+    service snapshots it at construction and again on every
+    :meth:`refresh`.  :meth:`search` may be called from any number of
+    threads concurrently.
+    """
+
+    def __init__(
+        self,
+        catalog: CatalogStore,
+        hierarchy: ConceptHierarchy | None = None,
+        scoring: ScoringConfig | None = None,
+        config: ServeConfig | None = None,
+        cache: QueryCache | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        self.source = catalog
+        self.hierarchy = hierarchy
+        self.scoring = scoring or ScoringConfig()
+        self.config = config or ServeConfig()
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.cache = cache if cache is not None else QueryCache(
+            maxsize=self.config.cache_size
+        )
+        # One shard executor for the service's lifetime: engines are
+        # rebuilt per refresh, threads are not.
+        self._shard_executor: ThreadPoolExecutor | None = None
+        if self.config.shard_workers and self.config.shard_workers > 1:
+            self._shard_executor = ThreadPoolExecutor(
+                max_workers=self.config.shard_workers,
+                thread_name_prefix="repro-shard",
+            )
+        # Admission control: ``_admission`` bounds executing + queued
+        # (non-blocking — its failure IS the overload signal);
+        # ``_slots`` serializes execution (blocking — waiting on it is
+        # the queue).
+        self._admission = threading.BoundedSemaphore(
+            self.config.admission_capacity
+        )
+        self._slots = threading.BoundedSemaphore(self.config.max_concurrency)
+        self._state_lock = threading.Lock()
+        self._idle = threading.Condition(self._state_lock)
+        self._in_flight = 0
+        self._admitted = 0
+        self._closed = False
+        # The swap target: requests read this reference exactly once.
+        self._engine = self._build_engine()
+
+    # -- snapshot lifecycle --------------------------------------------------
+
+    def _build_engine(self) -> SearchEngine:
+        with use_telemetry(self.telemetry):
+            snapshot = self.source.snapshot()
+            engine = SearchEngine(
+                snapshot,
+                hierarchy=self.hierarchy,
+                config=self.scoring,
+                cache=self.cache,
+                shard_workers=self.config.shard_workers,
+                shard_threshold=self.config.shard_threshold,
+                executor=self._shard_executor,
+            )
+            engine.build_indexes()
+        self.telemetry.gauge("serve.snapshot_version", snapshot.version)
+        return engine
+
+    @property
+    def snapshot_version(self) -> int:
+        """The catalog version currently being served."""
+        return self._engine.catalog.version
+
+    def refresh(self, hierarchy: ConceptHierarchy | None = None) -> bool:
+        """Swap in a fresh snapshot of the source catalog.
+
+        Call after a publish (the wrangler's loop does).  A no-op when
+        the source version is unchanged — the warm engine, its indexes
+        and every cache entry stay live.  Returns True when a new
+        snapshot was installed.  In-flight requests keep the snapshot
+        they started with; only requests admitted after the swap see
+        the new version.
+        """
+        if hierarchy is not None:
+            self.hierarchy = hierarchy
+        if self.source.version == self._engine.catalog.version and (
+            hierarchy is None or hierarchy is self._engine.hierarchy
+        ):
+            return False
+        engine = self._build_engine()
+        self._engine = engine  # atomic reference swap
+        self.telemetry.count("serve.snapshot_refreshes")
+        return True
+
+    # -- the request path ----------------------------------------------------
+
+    def search(self, query: Query, limit: int = 10) -> ServeResponse:
+        """Serve one ranked query; safe from any thread.
+
+        Raises:
+            OverloadedError: when executing + queued requests already
+                fill the admission capacity (nothing was executed).
+            ServiceClosedError: after :meth:`close` has begun.
+            ValueError: if ``limit`` is not positive.
+        """
+        if self._closed:
+            raise ServiceClosedError("search service is closed")
+        if not self._admission.acquire(blocking=False):
+            self.telemetry.count("serve.rejected")
+            raise OverloadedError(
+                in_flight=self.config.admission_capacity,
+                capacity=self.config.admission_capacity,
+            )
+        admitted_at = time.monotonic()
+        try:
+            self._slots.acquire()
+            try:
+                queued = time.monotonic() - admitted_at
+                with self._state_lock:
+                    if self._closed:
+                        raise ServiceClosedError(
+                            "search service is closed"
+                        )
+                    self._in_flight += 1
+                    self._admitted += 1
+                try:
+                    response = self._execute(query, limit, queued)
+                finally:
+                    with self._idle:
+                        self._in_flight -= 1
+                        if self._in_flight == 0:
+                            self._idle.notify_all()
+                return response
+            finally:
+                self._slots.release()
+        finally:
+            self._admission.release()
+
+    def _execute(
+        self, query: Query, limit: int, queued: float
+    ) -> ServeResponse:
+        engine = self._engine  # one read: this request's snapshot
+        started = time.monotonic()
+        with use_telemetry(self.telemetry):
+            with self.telemetry.span(
+                "serve.request",
+                limit=limit,
+                snapshot_version=engine.catalog.version,
+            ):
+                results = engine.search(query, limit=limit)
+        duration = time.monotonic() - started
+        self.telemetry.count("serve.requests")
+        self.telemetry.observe("serve.request_seconds", duration)
+        self.telemetry.observe("serve.queued_seconds", queued)
+        return ServeResponse(
+            results=results,
+            snapshot_version=engine.catalog.version,
+            queued_seconds=queued,
+            total_seconds=queued + duration,
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Wait until no request is executing; True if idle was reached."""
+        with self._idle:
+            return self._idle.wait_for(
+                lambda: self._in_flight == 0, timeout=timeout
+            )
+
+    def close(self, timeout: float | None = None) -> bool:
+        """Stop admitting, drain in-flight requests, release resources.
+
+        Graceful: requests already executing run to completion; new
+        calls raise :class:`ServiceClosedError`.  Returns True when the
+        drain finished inside ``timeout`` (None = wait forever).
+        """
+        with self._state_lock:
+            self._closed = True
+        drained = self.drain(timeout=timeout)
+        if self._shard_executor is not None:
+            self._shard_executor.shutdown(wait=True)
+            self._shard_executor = None
+        return drained
+
+    def __enter__(self) -> "SearchService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- observability -------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Operational state for health surfaces and the CLI.
+
+        ``staleness`` — how many catalog versions the served snapshot
+        lags the live store — is computed here on demand; the request
+        path never reads the live store.
+        """
+        with self._state_lock:
+            in_flight = self._in_flight
+            admitted = self._admitted
+        snapshot_version = self._engine.catalog.version
+        return {
+            "snapshot_version": snapshot_version,
+            "source_version": self.source.version,
+            "staleness": self.source.version - snapshot_version,
+            "in_flight": in_flight,
+            "requests_admitted": admitted,
+            "max_concurrency": self.config.max_concurrency,
+            "queue_depth": self.config.queue_depth,
+            "shard_workers": self.config.shard_workers,
+            "closed": self._closed,
+            "cache": self.cache.stats(),
+        }

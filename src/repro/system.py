@@ -167,6 +167,31 @@ class DataNearHere:
         """Engine counters (query-cache hits/misses, index state)."""
         return self.engine.stats()
 
+    def search_service(self, config=None) -> "SearchService":
+        """A concurrent :class:`~repro.serve.SearchService` front door.
+
+        The service snapshots the published catalog and serves requests
+        from any number of threads; call its ``refresh()`` after each
+        :meth:`wrangle` to pick up the new version.  It shares this
+        system's query cache (version-keyed entries stay warm across
+        snapshot refreshes of an unchanged catalog) and telemetry
+        registry (request spans land in the same session trace).
+
+        Raises:
+            NotWrangledError: before the first :meth:`wrangle`.
+        """
+        from .serve import SearchService
+
+        engine = self.engine  # raises NotWrangledError pre-wrangle
+        return SearchService(
+            engine.catalog,
+            hierarchy=self.state.hierarchy,
+            scoring=self.scoring,
+            config=config,
+            cache=self._cache,
+            telemetry=self.telemetry,
+        )
+
     def telemetry_snapshot(self) -> dict:
         """A point-in-time view of this system's telemetry registry.
 

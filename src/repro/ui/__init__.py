@@ -5,6 +5,7 @@ from .health import (
     measure_health,
     render_health_report,
     render_quarantine_report,
+    render_serve_report,
     render_span_tree,
     render_telemetry_report,
 )
@@ -22,6 +23,7 @@ __all__ = [
     "render_quarantine_report",
     "render_search_html",
     "render_search_text",
+    "render_serve_report",
     "render_span_tree",
     "render_summary_html",
     "render_summary_text",

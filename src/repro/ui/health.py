@@ -207,6 +207,63 @@ def render_telemetry_report(snapshot: dict) -> str:
     return "\n".join(parts)
 
 
+def render_serve_report(report, stats: dict | None = None) -> str:
+    """The ``serve-bench`` surface: one closed-loop load run.
+
+    ``report`` is a :class:`~repro.serve.LoadReport`; ``stats`` the
+    service's :meth:`~repro.serve.SearchService.stats` after the run.
+    """
+    lines = [
+        "Serve load report",
+        "=" * 60,
+        f"  clients              {report.clients:>10}",
+        f"  requests per client  {report.requests_per_client:>10}",
+        f"  think time           {report.think_seconds * 1e3:>10.1f} ms",
+        f"  completed            {report.completed:>10}",
+        f"  rejected             {report.rejected:>10}",
+        f"  errors               {report.errors:>10}",
+        f"  duration             {report.duration_seconds:>10.3f} s",
+        f"  throughput           {report.qps:>10.1f} qps",
+        "",
+        "Latency (milliseconds)",
+        "-" * 60,
+        f"  mean {report.latency_mean * 1e3:>9.2f}   "
+        f"p50 {report.latency_p50 * 1e3:>9.2f}   "
+        f"p95 {report.latency_p95 * 1e3:>9.2f}   "
+        f"p99 {report.latency_p99 * 1e3:>9.2f}",
+        f"  queued p95 {report.queued_p95 * 1e3:>9.2f}",
+    ]
+    versions = ", ".join(str(v) for v in report.snapshot_versions)
+    lines += [
+        "",
+        "Snapshots",
+        "-" * 60,
+        f"  versions served      {versions or '-'}",
+        f"  max staleness        {report.max_staleness:>10}",
+    ]
+    if stats is not None:
+        cache = stats.get("cache") or {}
+        lines += [
+            "",
+            "Service",
+            "-" * 60,
+            f"  snapshot v{stats['snapshot_version']} "
+            f"(source v{stats['source_version']}, "
+            f"staleness {stats['staleness']})",
+            f"  concurrency {stats['max_concurrency']} "
+            f"+ queue {stats['queue_depth']}"
+            + (
+                f", shard workers {stats['shard_workers']}"
+                if stats.get("shard_workers")
+                else ""
+            ),
+            f"  cache: {cache.get('hits', 0)} hits / "
+            f"{cache.get('misses', 0)} misses "
+            f"(hit rate {cache.get('hit_rate', 0.0):.2f})",
+        ]
+    return "\n".join(lines)
+
+
 def render_health_report(
     catalog: CatalogStore,
     validation_summary: str | None = None,

@@ -16,11 +16,11 @@ the re-run loop cheap:
   versions match) computes *zero* digests and issues *zero* store
   writes; a changed one digests each side at most once instead of the
   2N serialize+hash passes the naive diff pays.
-* **Batched writes** — changed features go through
-  ``CatalogStore.upsert_many`` and vanished ones through
-  ``remove_many``: one transaction and ONE version bump per batch, so
-  the query-serving cache built on catalog versions invalidates once
-  per publish, not once per dataset.
+* **Batched writes** — changed *and* vanished datasets go through one
+  ``CatalogStore.apply_batch``: a single transaction and ONE version
+  bump per publish, so the query-serving cache built on catalog
+  versions invalidates once per publish (not once per dataset) and a
+  concurrent catalog snapshot sees the whole publish or none of it.
 * **Bulk reads** — both catalogs are walked with the grouped
   ``features()`` iterator, avoiding SQLite's 1+2N per-dataset query
   pattern.
@@ -176,19 +176,26 @@ class Publish(Component):
             changed_features = [
                 working_features[dataset_id] for dataset_id in changed_ids
             ]
-        if changed_ids:
-            # Materialized (not a generator) so a retried write replays
-            # the identical batch.
+        vanished = sorted(set(published_digests) - set(working_digests))
+        if changed_ids or vanished:
+            # One apply_batch: upserts and removals land in a single
+            # transaction under a single version bump, so a concurrent
+            # snapshot (the serving layer's) sees the whole publish or
+            # none of it — never the upserted-but-not-yet-removed
+            # middle.  Materialized (not a generator) so a retried
+            # write replays the identical batch.
             try:
                 with telemetry.span(
-                    "publish.upsert", files=len(changed_ids)
+                    "publish.apply",
+                    upserts=len(changed_ids),
+                    removals=len(vanished),
                 ):
                     self._write(
-                        lambda: state.published.upsert_many(
-                            changed_features
+                        lambda: state.published.apply_batch(
+                            changed_features, vanished
                         ),
                         report,
-                        "publish:upsert",
+                        "publish:apply",
                     )
             except Exception as exc:
                 if not is_transient(exc):
@@ -196,26 +203,8 @@ class Publish(Component):
                 self._defer(state, report, exc)
                 return
             delta.upserted.extend(changed_ids)
-            report.changes += len(changed_ids)
-
-        vanished = sorted(set(published_digests) - set(working_digests))
-        if vanished:
-            try:
-                with telemetry.span(
-                    "publish.remove", files=len(vanished)
-                ):
-                    self._write(
-                        lambda: state.published.remove_many(vanished),
-                        report,
-                        "publish:remove",
-                    )
-            except Exception as exc:
-                if not is_transient(exc):
-                    raise
-                self._defer(state, report, exc)
-                return
             delta.removed.extend(vanished)
-            report.changes += len(vanished)
+            report.changes += len(changed_ids) + len(vanished)
             for dataset_id in vanished:
                 report.add(f"withdrew vanished dataset {dataset_id}")
 

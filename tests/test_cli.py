@@ -277,3 +277,77 @@ class TestTelemetrySurfaces:
         snapshot = read_trace(trace)
         assert snapshot["counters"]["search.queries"] == 3
         assert snapshot["counters"]["search.cache_hits"] == 2
+
+
+class TestSearchValidation:
+    def test_limit_zero_rejected(self, catalog_path, capsys):
+        assert main(["search", catalog_path, "with salinity",
+                     "--limit", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "--limit must be >= 1" in err
+
+    def test_limit_negative_rejected(self, catalog_path, capsys):
+        assert main(["search", catalog_path, "with salinity",
+                     "--limit", "-3"]) == 2
+        assert "--limit must be >= 1" in capsys.readouterr().err
+
+    def test_nonfinite_radius_rejected(self, catalog_path, capsys):
+        assert main(["search", catalog_path,
+                     "near 45.0, -124.0 within inf km"]) == 2
+        err = capsys.readouterr().err
+        assert "radius must be positive and finite" in err
+
+    def test_nonfinite_latitude_rejected(self, catalog_path, capsys):
+        assert main(["search", catalog_path,
+                     "near nan, -124.0 within 50 km"]) == 2
+        err = capsys.readouterr().err
+        assert "latitude and longitude must be finite" in err
+
+
+class TestServeBench:
+    def test_happy_path_reports(self, catalog_path, capsys):
+        assert main(["serve-bench", catalog_path,
+                     "--clients", "2", "--requests", "5",
+                     "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "Serve load report" in out
+        assert "throughput" in out
+        assert "rejected" in out
+        assert "p99" in out
+
+    def test_explicit_queries_and_sharding(self, catalog_path, capsys):
+        assert main(["serve-bench", catalog_path,
+                     "--query", "with salinity",
+                     "--query", "within 100 km of 45.0, -124.0",
+                     "--clients", "2", "--requests", "4",
+                     "--shard-workers", "2",
+                     "--shard-threshold", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "completed" in out
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--clients", "0"],
+            ["--requests", "0"],
+            ["--limit", "0"],
+            ["--concurrency", "0"],
+            ["--queue-depth", "-1"],
+            ["--shard-workers", "0"],
+            ["--shard-threshold", "0"],
+            ["--think-ms", "-1"],
+            ["--zipf", "-0.5"],
+        ],
+    )
+    def test_bad_flags_rejected(self, catalog_path, capsys, flags):
+        assert main(["serve-bench", catalog_path, *flags]) == 2
+        assert capsys.readouterr().err.strip()
+
+    def test_bad_query_rejected(self, catalog_path, capsys):
+        assert main(["serve-bench", catalog_path,
+                     "--query", "near 45.0, -124.0 within inf km"]) == 2
+        assert "radius" in capsys.readouterr().err
+
+    def test_missing_catalog_rejected(self, tmp_path, capsys):
+        assert main(["serve-bench", str(tmp_path / "nope.db")]) == 2
+        assert capsys.readouterr().err.strip()

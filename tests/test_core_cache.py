@@ -186,3 +186,66 @@ class TestMicroFixes:
         assert engine._decay_horizon(
             engine.config.decay_shape
         ) == engine._horizons[key]
+
+
+class TestCacheConcurrency:
+    """N threads hammer one cache; accounting must never tear."""
+
+    THREADS = 8
+    OPS = 400
+
+    def test_concurrent_lookups_account_exactly(self):
+        import threading
+
+        cache = QueryCache(maxsize=64)
+        barrier = threading.Barrier(self.THREADS)
+
+        def worker(index: int) -> None:
+            barrier.wait()
+            for op in range(self.OPS):
+                key = (index * 7 + op) % 96  # force hits AND misses
+                if cache.get(key) is None:
+                    cache.put(key, ("value", key))
+
+        threads = [
+            threading.Thread(target=worker, args=(i,), daemon=True)
+            for i in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not any(t.is_alive() for t in threads)
+        stats = cache.stats()
+        # Every lookup was counted exactly once, no lost increments.
+        assert stats["hits"] + stats["misses"] == self.THREADS * self.OPS
+        assert len(cache) <= 64
+        assert stats["hit_rate"] == pytest.approx(
+            stats["hits"] / (self.THREADS * self.OPS)
+        )
+
+    def test_concurrent_clear_keeps_counters_consistent(self):
+        import threading
+
+        cache = QueryCache(maxsize=32)
+        stop = threading.Event()
+
+        def clearer() -> None:
+            while not stop.is_set():
+                cache.clear()
+
+        thread = threading.Thread(target=clearer, daemon=True)
+        thread.start()
+        lookups = 0
+        try:
+            for op in range(2000):
+                key = op % 40
+                if cache.get(key) is None:
+                    cache.put(key, op)
+                lookups += 1
+        finally:
+            stop.set()
+            thread.join(timeout=10.0)
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == lookups
+        assert len(cache) <= 32

@@ -152,3 +152,46 @@ class TestErrors:
         assert a.location == b.location
         assert a.interval == b.interval
         assert a.variables == b.variables
+
+
+class TestNonFiniteRejection:
+    """inf/nan tokens are parse errors, not silently dropped clauses."""
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "near inf, -124.0",
+            "near 45.0, -inf",
+            "near nan, -124.0 within 50 km",
+            "near NaN, nan",
+        ],
+    )
+    def test_nonfinite_coordinates(self, text):
+        with pytest.raises(QueryParseError, match="finite"):
+            parse_query(text)
+
+    def test_nonfinite_radius(self):
+        with pytest.raises(QueryParseError, match="radius"):
+            parse_query("near 45.0, -124.0 within inf km")
+
+    def test_nonfinite_region_corner(self):
+        with pytest.raises(QueryParseError, match="finite"):
+            parse_query("in region 45.0, -125.0 to inf, -124.0")
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "with salinity above inf",
+            "with salinity below nan",
+            "with salinity between 0 and inf",
+            "with salinity = nan",
+        ],
+    )
+    def test_nonfinite_variable_bounds(self, text):
+        with pytest.raises(QueryParseError, match="finite"):
+            parse_query(text)
+
+    def test_finite_queries_still_parse(self):
+        query = parse_query("near 45.0, -124.0 within 50 km with salinity")
+        assert query.location == GeoPoint(45.0, -124.0)
+        assert query.radius_km == 50.0

@@ -176,3 +176,87 @@ class TestBooleanBaseline:
     def test_bad_limit_raises(self, catalog):
         with pytest.raises(ValueError):
             BooleanSearchEngine(catalog).search(Query(), limit=0)
+
+
+class TestResultsMetadataPreservation:
+    """Regression: slicing/copying a page used to silently drop
+    ``total_matches``/``truncated`` (plain-list fallback)."""
+
+    def _page(self):
+        from repro.core.search import SearchResult, SearchResults
+
+        items = [
+            SearchResult(
+                dataset_id=f"d{i}",
+                score=1.0 - i / 10.0,
+                breakdown={},
+                feature=feature(f"d{i}", 45.0, -124.0, 0, 1000,
+                                [("water_temperature", 5, 10)]),
+            )
+            for i in range(5)
+        ]
+        return SearchResults(items, total_matches=42, truncated=True)
+
+    def test_slice_preserves_metadata(self):
+        from repro.core.search import SearchResults
+
+        page = self._page()
+        head = page[:3]
+        assert isinstance(head, SearchResults)
+        assert head.total_matches == 42
+        assert head.truncated is True
+        assert [r.dataset_id for r in head] == ["d0", "d1", "d2"]
+
+    def test_slice_rederives_truncated_for_narrower_page(self):
+        from repro.core.search import SearchResult, SearchResults
+
+        full = SearchResults(
+            [SearchResult(dataset_id=f"d{i}", score=1.0, breakdown={},
+                          feature=feature(f"d{i}", 45.0, -124.0, 0, 1000,
+                                          [("water_temperature", 5, 10)]))
+             for i in range(4)],
+            total_matches=4,
+            truncated=False,
+        )
+        head = full[:2]
+        assert head.total_matches == 4
+        assert head.truncated is True  # 4 known matches, 2 shown
+
+    def test_integer_index_returns_item(self):
+        page = self._page()
+        assert page[0].dataset_id == "d0"
+        assert page[-1].dataset_id == "d4"
+
+    def test_copy_preserves_metadata(self):
+        from repro.core.search import SearchResults
+
+        page = self._page()
+        duplicate = page.copy()
+        assert isinstance(duplicate, SearchResults)
+        assert duplicate.total_matches == 42
+        assert duplicate.truncated is True
+        assert list(duplicate) == list(page)
+
+    def test_concat_falls_back_to_plain_list(self):
+        # Pinned: ``+`` has no meaningful combined total_matches, so it
+        # deliberately degrades to list.  If this ever changes, the new
+        # semantics must define the metadata merge explicitly.
+        from repro.core.search import SearchResults
+
+        combined = self._page() + self._page()
+        assert type(combined) is list
+        assert not isinstance(combined, SearchResults)
+        assert len(combined) == 10
+
+    def test_engine_page_slices_keep_match_count(self, catalog):
+        # A non-full page carries the exact match count; slicing it must
+        # keep that count and mark the narrower page truncated.
+        engine = SearchEngine(catalog, cache=False)
+        results = engine.search(
+            Query(variables=(VariableTerm("water_temperature"),)), limit=10
+        )
+        assert results.total_matches == len(results) >= 2
+        assert not results.truncated
+        head = results[:1]
+        assert head.total_matches == results.total_matches
+        assert head.truncated

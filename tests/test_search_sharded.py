@@ -1,0 +1,197 @@
+"""Sharded scoring is exactly the serial path, property-tested.
+
+The merge argument (DESIGN note 14): every result in the global
+top-``k`` is, within its own shard, still among the best ``k`` — so the
+union of per-shard top-``k`` heaps is a superset of the global page, and
+pushing each shard's survivors through the global heap reproduces the
+serial page exactly.  Hypothesis searches for counterexamples across
+random catalogs, query shapes, limits and shard counts; equality is
+checked on ids, scores, order AND the full per-term breakdowns.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import MemoryCatalog
+from repro.catalog.records import DatasetFeature, VariableEntry
+from repro.core.query import Query, VariableTerm
+from repro.core.search import SearchEngine
+from repro.geo import BoundingBox, GeoPoint, TimeInterval
+
+VARIABLE_POOL = [
+    "water_temperature",
+    "salinity",
+    "dissolved_oxygen",
+    "chlorophyll",
+    "wind_speed",
+]
+
+finite_lat = st.floats(
+    min_value=42.0, max_value=49.0, allow_nan=False, allow_infinity=False
+)
+finite_lon = st.floats(
+    min_value=-127.0, max_value=-121.0,
+    allow_nan=False, allow_infinity=False,
+)
+
+
+@st.composite
+def features(draw, index: int):
+    lat = draw(finite_lat)
+    lon = draw(finite_lon)
+    start = draw(st.floats(min_value=0.0, max_value=1e7))
+    names = draw(
+        st.lists(
+            st.sampled_from(VARIABLE_POOL),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        )
+    )
+    return DatasetFeature(
+        dataset_id=f"ds_{index:04d}",
+        title=f"dataset {index}",
+        platform="station",
+        file_format="csv",
+        bbox=BoundingBox(
+            lat, lon, lat + draw(st.floats(0.0, 0.5)),
+            lon + draw(st.floats(0.0, 0.5)),
+        ),
+        interval=TimeInterval(start, start + draw(st.floats(0.0, 1e6))),
+        row_count=draw(st.integers(1, 500)),
+        source_directory="",
+        variables=[
+            VariableEntry.from_written(name, "u", 10, 0.0, 30.0, 15.0, 5.0)
+            for name in names
+        ],
+    )
+
+
+@st.composite
+def catalogs(draw):
+    count = draw(st.integers(min_value=1, max_value=40))
+    catalog = MemoryCatalog()
+    catalog.upsert_many(
+        [draw(features(index)) for index in range(count)]
+    )
+    return catalog
+
+
+@st.composite
+def queries(draw):
+    location = None
+    radius = 50.0
+    if draw(st.booleans()):
+        location = GeoPoint(draw(finite_lat), draw(finite_lon))
+        radius = draw(st.floats(min_value=1.0, max_value=500.0))
+    interval = None
+    if draw(st.booleans()):
+        start = draw(st.floats(min_value=0.0, max_value=1e7))
+        interval = TimeInterval(
+            start, start + draw(st.floats(0.0, 1e6))
+        )
+    names = draw(
+        st.lists(
+            st.sampled_from(VARIABLE_POOL),
+            min_size=0 if (location or interval) else 1,
+            max_size=2,
+            unique=True,
+        )
+    )
+    return Query(
+        location=location,
+        radius_km=radius,
+        interval=interval,
+        variables=tuple(VariableTerm(name=name) for name in names),
+    )
+
+
+def page(results):
+    return [
+        (r.dataset_id, r.score, r.breakdown) for r in results
+    ]
+
+
+@given(
+    catalog=catalogs(),
+    query=queries(),
+    limit=st.integers(min_value=1, max_value=15),
+    workers=st.integers(min_value=2, max_value=6),
+)
+@settings(max_examples=40, deadline=None)
+def test_sharded_page_equals_serial_page(catalog, query, limit, workers):
+    serial = SearchEngine(catalog, cache=False)
+    sharded = SearchEngine(
+        catalog, cache=False, shard_workers=workers, shard_threshold=1
+    )
+    try:
+        expected = serial.search(query, limit=limit)
+        actual = sharded.search(query, limit=limit)
+        assert page(actual) == page(expected)
+    finally:
+        sharded.close()
+
+
+@given(
+    catalog=catalogs(),
+    query=queries(),
+    limit=st.integers(min_value=1, max_value=15),
+)
+@settings(max_examples=20, deadline=None)
+def test_sharded_with_indexes_equals_serial(catalog, query, limit):
+    # Sharding composes with index pruning and the remainder rescan.
+    serial = SearchEngine(catalog, cache=False)
+    serial.build_indexes()
+    sharded = SearchEngine(
+        catalog, cache=False, shard_workers=3, shard_threshold=1
+    )
+    sharded.build_indexes()
+    try:
+        expected = serial.search(query, limit=limit)
+        actual = sharded.search(query, limit=limit)
+        assert page(actual) == page(expected)
+    finally:
+        sharded.close()
+
+
+def test_below_threshold_stays_serial():
+    catalog = MemoryCatalog()
+    feature = DatasetFeature(
+        dataset_id="only",
+        title="only",
+        platform="station",
+        file_format="csv",
+        bbox=BoundingBox(45.0, -124.0, 45.5, -123.5),
+        interval=TimeInterval(0.0, 1000.0),
+        row_count=10,
+        source_directory="",
+        variables=[
+            VariableEntry.from_written(
+                "salinity", "psu", 10, 0.0, 30.0, 15.0, 5.0
+            )
+        ],
+    )
+    catalog.upsert(feature)
+    engine = SearchEngine(
+        catalog, cache=False, shard_workers=4, shard_threshold=1000
+    )
+    try:
+        results = engine.search(
+            Query(variables=(VariableTerm(name="salinity"),))
+        )
+        assert [r.dataset_id for r in results] == ["only"]
+        # The executor is created lazily; under-threshold queries never
+        # touch it.
+        assert engine._executor is None
+    finally:
+        engine.close()
+
+
+def test_shard_worker_validation():
+    catalog = MemoryCatalog()
+    import pytest
+
+    with pytest.raises(ValueError):
+        SearchEngine(catalog, shard_threshold=0)
