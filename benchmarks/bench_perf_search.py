@@ -6,15 +6,20 @@ latency along the axes the fast path optimizes:
 * **naive** — score every dataset with :func:`score_feature`, sort the
   full result list (the pre-fast-path cost model: per-feature term
   expansion, no memoization, no pruning, no heap, no cache),
-* **cold**  — the fast path with indexes built but an empty query cache,
+* **cold**  — the fast path (columnar scan over the frozen facet
+  columns, indexes built) with an empty query cache,
+* **object-cold** — the same fast path with the columnar scan disabled
+  (per-feature object traversal); cold / object-cold isolates the
+  columnar win,
 * **warm**  — the same query repeated (version-keyed cache hit),
 * **post-edit** — one dataset mutated, indexes refreshed incrementally,
-  the query re-issued (cache miss + incremental index maintenance).
+  the query re-issued (cache miss + index maintenance + one columnar
+  re-freeze).
 
 The pruned-exactness contract is asserted inside the run: fast-path
-results must be identical (ids, scores, order) to the naive scan for
-every benchmark query; a mismatch exits non-zero, which is what CI's
-``--quick`` smoke invocation gates on.
+results — columnar AND object — must be identical (ids, scores, order)
+to the naive scan for every benchmark query; a mismatch exits non-zero,
+which is what CI's ``--quick`` smoke invocation gates on.
 
 Usage::
 
@@ -165,6 +170,8 @@ def run(n_datasets: int, n_queries: int, repeats: int, limit: int) -> dict:
 
     engine = SearchEngine(catalog, hierarchy=hierarchy)
     engine.build_indexes()
+    object_engine = SearchEngine(catalog, hierarchy=hierarchy, columnar=False)
+    object_engine.build_indexes()
     config = engine.config
 
     # -- exactness gate ----------------------------------------------------
@@ -175,12 +182,17 @@ def run(n_datasets: int, n_queries: int, repeats: int, limit: int) -> dict:
             (r.score, r.dataset_id)
             for r in engine.search(query, limit=limit)
         ]
+        via_objects = [
+            (r.score, r.dataset_id)
+            for r in object_engine.search(query, limit=limit)
+        ]
         naive = naive_search(catalog, query, hierarchy, config, limit)
-        if fast != naive:
+        if fast != naive or via_objects != naive:
             mismatches += 1
             print(f"  MISMATCH for {query.describe()!r}")
-            print(f"    fast : {fast[:3]} ...")
-            print(f"    naive: {naive[:3]} ...")
+            print(f"    columnar: {fast[:3]} ...")
+            print(f"    object  : {via_objects[:3]} ...")
+            print(f"    naive   : {naive[:3]} ...")
     if mismatches:
         print(f"exactness FAILED on {mismatches}/{len(queries)} queries")
         return {"exactness_ok": False, "mismatches": mismatches}
@@ -195,13 +207,19 @@ def run(n_datasets: int, n_queries: int, repeats: int, limit: int) -> dict:
         for query in queries:
             engine.search(query, limit=limit)
 
+    def bench_object_cold():
+        object_engine.cache.clear()
+        for query in queries:
+            object_engine.search(query, limit=limit)
+
     def bench_warm():
         for query in queries:
             engine.search(query, limit=limit)
 
-    print("timing naive / cold / warm ...")
+    print("timing naive / cold / object-cold / warm ...")
     naive_s = median_time(bench_naive, repeats)
     cold_s = median_time(bench_cold, repeats)
+    object_cold_s = median_time(bench_object_cold, repeats)
     bench_warm()  # populate the cache
     warm_s = median_time(bench_warm, repeats)
 
@@ -241,10 +259,14 @@ def run(n_datasets: int, n_queries: int, repeats: int, limit: int) -> dict:
         "exactness_ok": True,
         "naive_ms_per_query": naive_s * per_query,
         "cold_ms_per_query": cold_s * per_query,
+        "object_cold_ms_per_query": object_cold_s * per_query,
         "warm_ms_per_query": warm_s * per_query,
         "post_edit_ms_per_query": post_edit_s * per_query,
         "post_edit_naive_ms_per_query": post_edit_naive_s * per_query,
         "cold_speedup": naive_s / cold_s if cold_s else float("inf"),
+        "columnar_speedup": (
+            object_cold_s / cold_s if cold_s else float("inf")
+        ),
         "warm_speedup": naive_s / warm_s if warm_s else float("inf"),
         "post_edit_speedup": (
             post_edit_naive_s / post_edit_s if post_edit_s else float("inf")
@@ -292,7 +314,9 @@ def main(argv=None) -> int:
     print(
         f"naive     {result['naive_ms_per_query']:9.2f} ms/query\n"
         f"cold      {result['cold_ms_per_query']:9.2f} ms/query "
-        f"({result['cold_speedup']:.1f}x)\n"
+        f"({result['cold_speedup']:.1f}x naive, "
+        f"{result['columnar_speedup']:.1f}x vs object scan)\n"
+        f"obj-cold  {result['object_cold_ms_per_query']:9.2f} ms/query\n"
         f"warm      {result['warm_ms_per_query']:9.2f} ms/query "
         f"({result['warm_speedup']:.1f}x)\n"
         f"post-edit {result['post_edit_ms_per_query']:9.2f} ms/query "

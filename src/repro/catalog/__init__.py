@@ -1,6 +1,11 @@
 """Metadata catalog substrate: records, stores and indexes."""
 
-from .index import CatalogIndexes, IntervalIndex, SpatialGridIndex
+from .index import (
+    CatalogIndexes,
+    IntervalIndex,
+    SpatialGridIndex,
+    spatial_query_margins,
+)
 from .io import (
     CatalogFormatError,
     dump_catalog,
@@ -37,4 +42,5 @@ __all__ = [
     "feature_from_dict",
     "feature_to_dict",
     "load_catalog",
+    "spatial_query_margins",
 ]

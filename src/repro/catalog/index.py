@@ -18,6 +18,30 @@ from ..geo import BoundingBox, GeoPoint, TimeInterval
 from .records import DatasetFeature
 
 
+def spatial_query_margins(
+    lat: float, radius_km: float
+) -> tuple[float, float]:
+    """Degree margins (lat, lon) covering ``radius_km`` around ``lat``.
+
+    Conservative: longitude degrees shrink with latitude, so the lon
+    margin is bounded with the extreme latitude reachable within the
+    radius.  Shared by the in-memory grid index and the SQLite pushdown
+    prefilter so both prune with *identical* (superset-safe) windows.
+    A margin of ``(>=180, ...)`` or ``(..., >=360)`` means the window
+    covers the globe — callers should return "everything".
+    """
+    if radius_km < 0:
+        raise ValueError("radius_km must be non-negative")
+    lat_margin = radius_km / 111.0  # km per degree latitude
+    extreme_lat = min(89.0, abs(lat) + lat_margin)
+    km_per_lon_degree = 111.320 * math.cos(math.radians(extreme_lat))
+    lon_margin = (
+        radius_km / km_per_lon_degree if km_per_lon_degree > 1e-9
+        else 360.0
+    )
+    return lat_margin, lon_margin
+
+
 class SpatialGridIndex:
     """A fixed-resolution lat/lon grid over dataset bounding boxes.
 
@@ -77,16 +101,8 @@ class SpatialGridIndex:
         The radius is converted to a degree margin using the worst-case
         (smallest) km-per-degree of longitude over the cells in play.
         """
-        if radius_km < 0:
-            raise ValueError("radius_km must be non-negative")
-        lat_margin = radius_km / 111.0  # km per degree latitude
-        # Longitude degrees shrink with latitude; bound with the extreme
-        # latitude reachable within the radius.
-        extreme_lat = min(89.0, abs(point.lat) + lat_margin)
-        km_per_lon_degree = 111.320 * math.cos(math.radians(extreme_lat))
-        lon_margin = (
-            radius_km / km_per_lon_degree if km_per_lon_degree > 1e-9
-            else 360.0
+        lat_margin, lon_margin = spatial_query_margins(
+            point.lat, radius_km
         )
         # A margin beyond the globe means "everything"; clamping keeps
         # the cell scan bounded even for huge decay horizons.

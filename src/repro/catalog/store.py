@@ -352,6 +352,7 @@ class CatalogSnapshot(CatalogStore):
         self._features = dict(features)
         self._ids = sorted(self._features)
         self._frozen_version = version
+        self._columnar = None
 
     @property
     def version(self) -> int:
@@ -385,6 +386,29 @@ class CatalogSnapshot(CatalogStore):
     def snapshot(self, attempts: int = 16) -> "CatalogSnapshot":
         """A snapshot of a snapshot is itself (already immutable)."""
         return self
+
+    def columnar(self):
+        """The columnar view of this snapshot, frozen once and cached.
+
+        Because the snapshot never changes, the columns are frozen at
+        most once and shared by every engine (and every serve request)
+        holding this snapshot — the expensive part of the columnar fast
+        path is paid per snapshot refresh, not per query.  Reads the
+        internal features directly (no defensive copies): the freeze
+        only extracts numeric facets and interned strings.
+
+        Concurrent first calls may both freeze; the race is benign (the
+        views are identical) and last-write-wins keeps one.
+        """
+        view = self._columnar
+        if view is None:
+            from ..core.columnar import ColumnarSnapshot
+
+            view = ColumnarSnapshot.freeze(
+                self._features.values(), version=self._frozen_version
+            )
+            self._columnar = view
+        return view
 
     # -- every mutation refused ---------------------------------------------
 

@@ -41,10 +41,12 @@ from .scoring import (
     location_similarity,
     name_similarity,
     range_similarity,
+    range_similarity_values,
     score_feature,
     time_similarity,
     variable_term_similarity,
 )
+from .columnar import ColumnarScorer, ColumnarSnapshot
 from .search import (
     BooleanSearchEngine,
     SearchEngine,
@@ -56,6 +58,8 @@ from .summary import DatasetSummary, VariableSummary, summarize
 
 __all__ = [
     "BooleanSearchEngine",
+    "ColumnarScorer",
+    "ColumnarSnapshot",
     "DatasetSummary",
     "DECAY_SHAPES",
     "DEFAULT_RETRY",
@@ -100,6 +104,7 @@ __all__ = [
     "precision_at_k",
     "recall_at_k",
     "range_similarity",
+    "range_similarity_values",
     "render_facet_sidebar",
     "render_menu_with_counts",
     "retry_call",

@@ -1,0 +1,268 @@
+"""Columnar snapshot scoring: frozen facet columns, tight per-row loops.
+
+The object scoring path walks :class:`~repro.catalog.records.DatasetFeature`
+instances — per-query that means a dict lookup, a defensive copy and a
+cascade of attribute reads per dataset.  At catalog scale the hot loop is
+dominated by that object traffic, not by the scoring arithmetic.
+
+:class:`ColumnarSnapshot` freezes the numeric facets ranking actually
+reads — bbox extents, time-interval endpoints, per-variable stats and an
+interned variable-name table — into flat :mod:`array` columns keyed by a
+dense row index, version-stamped like
+:class:`~repro.catalog.store.CatalogSnapshot`.  :class:`ColumnarScorer`
+then reproduces :meth:`~repro.core.scoring.QueryScorer.score_bounded`
+over those columns **bit-identically**:
+
+* every scalar kernel is shared with the object path
+  (:func:`~repro.geo.bbox.box_distance_km_to_point`,
+  :func:`~repro.geo.timeinterval.interval_gap_seconds`,
+  :func:`~repro.core.scoring.range_similarity_values`,
+  :func:`~repro.core.scoring.name_similarity`) — one source of truth,
+  so the floats cannot drift;
+* term weights, accumulation order, the top-k floor prune check and the
+  :class:`~repro.core.scoring.ScoreBreakdown` construction mirror
+  ``score_bounded`` operation for operation;
+* rows are laid out in sorted-dataset-id order — the order every
+  store's ``dataset_ids()`` returns — so a serial scan visits datasets
+  exactly as the object path does and the floor sequence matches.
+
+``tests/test_search_columnar.py`` pins columnar == object on ids,
+scores, ordering and full breakdowns under Hypothesis, the way
+``test_search_sharded.py`` pins sharded == serial.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterable
+
+from ..geo import SECONDS_PER_DAY
+from ..geo.bbox import box_distance_km_to_box, box_distance_km_to_point
+from ..geo.timeinterval import interval_gap_seconds
+from ..obs import get_telemetry
+from .scoring import (
+    QueryScorer,
+    ScoreBreakdown,
+    decay,
+    name_similarity,
+    range_similarity_values,
+)
+
+
+class ColumnarSnapshot:
+    """Dataset facets frozen into flat columns keyed by dense row index.
+
+    Immutable after construction (by convention — the arrays are never
+    written again) and version-stamped with the source catalog's
+    mutation counter, so engines can detect staleness in O(1) exactly as
+    they do for :class:`~repro.catalog.store.CatalogSnapshot`.
+
+    Variable stats use a CSR-style layout: row ``r``'s searchable
+    variables (non-excluded, in position order — the order
+    ``searchable_variables()`` yields) occupy the half-open slice
+    ``var_offsets[r] : var_offsets[r + 1]`` of the flat per-variable
+    columns, and ``var_name_ids`` indexes the interned ``names`` table.
+    """
+
+    __slots__ = (
+        "version", "ids", "row_of",
+        "min_lat", "min_lon", "max_lat", "max_lon",
+        "t_start", "t_end",
+        "var_offsets", "var_name_ids", "var_counts", "var_mins", "var_maxs",
+        "names",
+    )
+
+    def __init__(self, features: Iterable, version: int) -> None:
+        feats = sorted(features, key=lambda f: f.dataset_id)
+        self.version = version
+        self.ids: list[str] = [f.dataset_id for f in feats]
+        self.row_of: dict[str, int] = {
+            dataset_id: row for row, dataset_id in enumerate(self.ids)
+        }
+        n = len(feats)
+        self.min_lat = array("d", bytes(8 * n))
+        self.min_lon = array("d", bytes(8 * n))
+        self.max_lat = array("d", bytes(8 * n))
+        self.max_lon = array("d", bytes(8 * n))
+        self.t_start = array("d", bytes(8 * n))
+        self.t_end = array("d", bytes(8 * n))
+        self.var_offsets = array("q", bytes(8 * (n + 1)))
+        name_ids: dict[str, int] = {}
+        names: list[str] = []
+        var_name_ids = array("q")
+        var_counts = array("q")
+        var_mins = array("d")
+        var_maxs = array("d")
+        total = 0
+        for row, feature in enumerate(feats):
+            bbox = feature.bbox
+            interval = feature.interval
+            self.min_lat[row] = bbox.min_lat
+            self.min_lon[row] = bbox.min_lon
+            self.max_lat[row] = bbox.max_lat
+            self.max_lon[row] = bbox.max_lon
+            self.t_start[row] = interval.start
+            self.t_end[row] = interval.end
+            for entry in feature.variables:
+                if entry.excluded:
+                    continue
+                name_id = name_ids.get(entry.name)
+                if name_id is None:
+                    name_id = len(names)
+                    name_ids[entry.name] = name_id
+                    names.append(entry.name)
+                var_name_ids.append(name_id)
+                var_counts.append(entry.count)
+                var_mins.append(entry.minimum)
+                var_maxs.append(entry.maximum)
+                total += 1
+            self.var_offsets[row + 1] = total
+        self.var_name_ids = var_name_ids
+        self.var_counts = var_counts
+        self.var_mins = var_mins
+        self.var_maxs = var_maxs
+        self.names = names
+
+    @classmethod
+    def freeze(cls, features: Iterable, version: int) -> "ColumnarSnapshot":
+        """Build a columnar view, recording the ``columnar.freeze`` span."""
+        telemetry = get_telemetry()
+        with telemetry.span("columnar.freeze"):
+            view = cls(features, version=version)
+        telemetry.count("columnar.freezes")
+        return view
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+
+class ColumnarScorer:
+    """Scores :class:`ColumnarSnapshot` rows bit-identically to the
+    wrapped :class:`~repro.core.scoring.QueryScorer`.
+
+    Wraps the query's object scorer so the precomputed term weights,
+    hierarchy expansions and use-flags are literally the same values the
+    object path divides and prunes with.  The per-(term, interned-name)
+    similarity table is filled eagerly at construction — the interned
+    name table is small (unique variable names across the catalog) and a
+    read-only table makes the scorer safe to share across scoring-shard
+    threads, unlike the object scorer's lazily-mutated memo dict.
+    """
+
+    __slots__ = ("scorer", "view", "_term_sims")
+
+    def __init__(self, scorer: QueryScorer, view: ColumnarSnapshot) -> None:
+        self.scorer = scorer
+        self.view = view
+        config = scorer.config
+        if scorer._use_variables:
+            self._term_sims = [
+                [
+                    name_similarity(
+                        term.name, name, scorer._expansions[index], config
+                    )
+                    for name in view.names
+                ]
+                for index, term in enumerate(scorer.query.variables)
+            ]
+        else:
+            self._term_sims = []
+
+    def score_row_bounded(
+        self, row: int, floor: tuple[float, str] | None
+    ) -> tuple[ScoreBreakdown | None, bool]:
+        """Columnar twin of :meth:`QueryScorer.score_bounded`.
+
+        Same contract: ``(breakdown, known_positive)``, with ``None``
+        instead of a breakdown when the top-k floor proves the row
+        cannot make the page.
+        """
+        scorer = self.scorer
+        config = scorer.config
+        query = scorer.query
+        view = self.view
+        shape = config.decay_shape
+        weighted_sum = 0.0
+        loc_sim: float | None = None
+        time_sim: float | None = None
+        var_sims: list[tuple[str, float]] = []
+
+        if scorer._use_location:
+            if query.location is not None:
+                distance_km = box_distance_km_to_point(
+                    view.min_lat[row], view.min_lon[row],
+                    view.max_lat[row], view.max_lon[row],
+                    query.location.lat, query.location.lon,
+                )
+            else:
+                region = query.region
+                distance_km = box_distance_km_to_box(
+                    view.min_lat[row], view.min_lon[row],
+                    view.max_lat[row], view.max_lon[row],
+                    region.min_lat, region.min_lon,
+                    region.max_lat, region.max_lon,
+                )
+            loc_sim = decay(
+                distance_km / config.location_decay_km, shape
+            )
+            weighted_sum += config.location_weight * loc_sim
+        if scorer._use_time:
+            interval = query.interval
+            gap_days = interval_gap_seconds(
+                view.t_start[row], view.t_end[row],
+                interval.start, interval.end,
+            ) / SECONDS_PER_DAY
+            time_sim = decay(gap_days / config.time_decay_days, shape)
+            weighted_sum += config.time_weight * time_sim
+        if scorer._use_variables:
+            if floor is not None and scorer._total_weight > 0:
+                # Best possible total: every variable term scores 1.0.
+                best_total = (
+                    weighted_sum + scorer._variables_weight
+                ) / scorer._total_weight
+                floor_score, floor_id = floor
+                if best_total < floor_score or (
+                    best_total == floor_score
+                    and view.ids[row] > floor_id
+                ):
+                    return None, weighted_sum > 0.0
+            lo = view.var_offsets[row]
+            hi = view.var_offsets[row + 1]
+            name_ids = view.var_name_ids
+            counts = view.var_counts
+            mins = view.var_mins
+            maxs = view.var_maxs
+            for index, term in enumerate(query.variables):
+                sims = self._term_sims[index]
+                best = 0.0
+                for k in range(lo, hi):
+                    n_sim = sims[name_ids[k]]
+                    if n_sim == 0.0:
+                        continue
+                    sim = n_sim * range_similarity_values(
+                        term, counts[k], mins[k], maxs[k], config
+                    )
+                    if sim > best:
+                        best = sim
+                        if best >= 1.0:
+                            break
+                var_sims.append((term.name, best))
+                w = config.variable_weight * term.weight
+                weighted_sum += w * best
+
+        total = (
+            weighted_sum / scorer._total_weight
+            if scorer._total_weight > 0 else 1.0
+        )
+        breakdown = ScoreBreakdown(
+            total=total,
+            location=loc_sim,
+            time=time_sim,
+            variables=tuple(var_sims),
+        )
+        return breakdown, total > 0.0
+
+    def score_row(self, row: int) -> ScoreBreakdown:
+        """Unbounded scoring of one row (always returns a breakdown)."""
+        breakdown, __ = self.score_row_bounded(row, None)
+        return breakdown

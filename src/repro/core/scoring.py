@@ -143,6 +143,38 @@ def time_similarity(
     return decay(gap_days / config.time_decay_days, config.decay_shape)
 
 
+def range_similarity_values(
+    term: VariableTerm,
+    count: int,
+    minimum: float,
+    maximum: float,
+    config: ScoringConfig,
+) -> float:
+    """Scalar core of :func:`range_similarity`, on bare stats values.
+
+    The columnar scoring engine calls this over flat per-variable stat
+    columns; :func:`range_similarity` delegates here with the entry's
+    fields, which keeps the two scoring paths bit-identical.
+    """
+    if not term.has_range:
+        return 1.0
+    if count == 0 or math.isnan(minimum):
+        return 0.0
+    lo = term.low if term.low is not None else minimum
+    hi = term.high if term.high is not None else maximum
+    if lo > hi:  # half-open request entirely off the observed range
+        lo, hi = hi, lo
+    width = max(hi - lo, 1e-9)
+    overlap_lo = max(lo, minimum)
+    overlap_hi = min(hi, maximum)
+    if overlap_hi >= overlap_lo:
+        return min(1.0, (overlap_hi - overlap_lo) / width + 1e-12)
+    gap = overlap_lo - overlap_hi
+    return decay(
+        gap / (width * config.range_decay_fraction), config.decay_shape
+    )
+
+
 def range_similarity(
     term: VariableTerm, entry: VariableEntry, config: ScoringConfig
 ) -> float:
@@ -154,22 +186,8 @@ def range_similarity(
     Terms with no range score 1.0.  A half-open request treats the
     missing bound as the observed extremum.
     """
-    if not term.has_range:
-        return 1.0
-    if entry.count == 0 or math.isnan(entry.minimum):
-        return 0.0
-    lo = term.low if term.low is not None else entry.minimum
-    hi = term.high if term.high is not None else entry.maximum
-    if lo > hi:  # half-open request entirely off the observed range
-        lo, hi = hi, lo
-    width = max(hi - lo, 1e-9)
-    overlap_lo = max(lo, entry.minimum)
-    overlap_hi = min(hi, entry.maximum)
-    if overlap_hi >= overlap_lo:
-        return min(1.0, (overlap_hi - overlap_lo) / width + 1e-12)
-    gap = overlap_lo - overlap_hi
-    return decay(
-        gap / (width * config.range_decay_fraction), config.decay_shape
+    return range_similarity_values(
+        term, entry.count, entry.minimum, entry.maximum, config
     )
 
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 import heapq
 import math
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable, Sequence
 
 from ..catalog.index import CatalogIndexes
@@ -28,6 +28,7 @@ from ..geo import SECONDS_PER_DAY
 from ..hierarchy import ConceptHierarchy
 from ..obs import get_telemetry
 from .cache import QueryCache
+from .columnar import ColumnarScorer, ColumnarSnapshot
 from .query import Query
 from .scoring import (
     QueryScorer,
@@ -184,6 +185,7 @@ class SearchEngine:
         shard_workers: int | None = None,
         shard_threshold: int = 1024,
         executor: ThreadPoolExecutor | None = None,
+        columnar: bool = True,
     ) -> None:
         if not 0.0 < epsilon < 1.0:
             raise ValueError("epsilon must lie in (0, 1)")
@@ -208,6 +210,11 @@ class SearchEngine:
         self._executor = executor
         self._owns_executor = False
         self._horizons: dict[tuple[float, str], float] = {}
+        # Columnar fast path: score over frozen facet columns instead of
+        # feature objects (bit-identical results — see core/columnar.py).
+        # Disable to force the object scorer, e.g. for A/B benchmarks.
+        self.columnar = columnar
+        self._columnar_cache: ColumnarSnapshot | None = None
 
     def close(self) -> None:
         """Release the shard executor if this engine created one."""
@@ -296,6 +303,18 @@ class SearchEngine:
         )
         return w_loc, w_time, w_vars
 
+    def _prefilter_store(self):
+        """The catalog itself when it can prefilter candidates in SQL.
+
+        Duck-typed on ``prefilter_mode`` (see
+        :class:`~repro.catalog.sqlite_store.SqliteCatalog`): any store
+        advertising a mode other than ``"none"`` also provides
+        ``prefilter_candidates_near`` / ``prefilter_candidates_overlapping``.
+        """
+        if getattr(self.catalog, "prefilter_mode", "none") != "none":
+            return self.catalog
+        return None
+
     def _candidate_ids(self, query: Query) -> tuple[list[str], float | None]:
         """Candidate dataset ids plus an upper bound on the total score
         any *excluded* dataset could reach (None when nothing was pruned).
@@ -305,14 +324,22 @@ class SearchEngine:
         such a dataset can still score up to ``(W - w_term (1 - eps))/W``
         through its other terms.  :meth:`search` uses the bound to decide
         whether the pruned remainder must be scanned after all.
+
+        The candidate source is a ladder: current in-memory
+        :class:`~repro.catalog.index.CatalogIndexes` when attached, else
+        the store's own SQL pushdown prefilter (R*Tree or indexed range
+        scan — see DESIGN note 15), else the unpruned full scan.  Every
+        rung returns a *superset* of the datasets whose indexed term is
+        above epsilon, so the page stays exact regardless of the rung.
         """
-        if not self._indexes_current():
-            return self.catalog.dataset_ids(), None
         w_loc, w_time, w_vars = self._term_weights(query)
         total_weight = w_loc + w_time + w_vars
-        if total_weight <= 0.0:
-            # Every weight disabled or zero: all scores are equal, no
-            # term can prune (and the bound below would divide by zero).
+        use_indexes = self._indexes_current()
+        pushdown = None if use_indexes else self._prefilter_store()
+        if (not use_indexes and pushdown is None) or total_weight <= 0.0:
+            # No candidate source — or every weight disabled/zero, where
+            # all scores are equal, no term can prune (and the bound
+            # below would divide by zero).
             return self.catalog.dataset_ids(), None
         candidates: set[str] | None = None
         excluded_bound = 0.0
@@ -322,33 +349,60 @@ class SearchEngine:
             horizon_km = self.config.location_decay_km * self._decay_horizon(
                 self.config.decay_shape
             )
-            candidates = self.indexes.spatial.candidates_near(
-                query.location, query.radius_km + horizon_km
-            )
-            excluded_bound = max(
-                excluded_bound,
-                (total_weight - w_loc * (1.0 - self.epsilon)) / total_weight,
-            )
+            radius_km = query.radius_km + horizon_km
+            if pushdown is not None:
+                spatial = pushdown.prefilter_candidates_near(
+                    query.location, radius_km
+                )
+            else:
+                spatial = self.indexes.spatial.candidates_near(
+                    query.location, radius_km
+                )
+            if spatial is not None:  # None: margin covers the globe
+                candidates = spatial
+                excluded_bound = max(
+                    excluded_bound,
+                    (total_weight - w_loc * (1.0 - self.epsilon))
+                    / total_weight,
+                )
         if query.interval is not None and self.config.use_time:
             margin = (
                 self.config.time_decay_days
                 * SECONDS_PER_DAY
                 * self._decay_horizon(self.config.decay_shape)
             )
-            temporal = self.indexes.temporal.candidates_overlapping(
-                query.interval, margin_seconds=margin
-            )
-            candidates = (
-                temporal if candidates is None else candidates & temporal
-            )
-            excluded_bound = max(
-                excluded_bound,
-                (total_weight - w_time * (1.0 - self.epsilon))
-                / total_weight,
-            )
+            if pushdown is not None:
+                temporal = pushdown.prefilter_candidates_overlapping(
+                    query.interval, margin_seconds=margin
+                )
+            else:
+                temporal = self.indexes.temporal.candidates_overlapping(
+                    query.interval, margin_seconds=margin
+                )
+            if temporal is not None:
+                candidates = (
+                    temporal if candidates is None else candidates & temporal
+                )
+                excluded_bound = max(
+                    excluded_bound,
+                    (total_weight - w_time * (1.0 - self.epsilon))
+                    / total_weight,
+                )
         if candidates is None:
             return self.catalog.dataset_ids(), None
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.count(
+                "prefilter.pushdown" if pushdown is not None
+                else "prefilter.python"
+            )
         all_ids = self.catalog.dataset_ids()
+        if telemetry.enabled:
+            telemetry.count("prefilter.candidates_in", len(all_ids))
+            telemetry.count(
+                "prefilter.candidates_out",
+                min(len(candidates), len(all_ids)),
+            )
         if len(candidates) >= len(all_ids):
             return all_ids, None
         return sorted(candidates), excluded_bound
@@ -379,6 +433,119 @@ class SearchEngine:
                     feature=feature,
                 )
             )
+        return matches
+
+    def columnar_view(self) -> ColumnarSnapshot | None:
+        """The frozen columnar view of the current catalog, or None.
+
+        A :class:`~repro.catalog.store.CatalogSnapshot` freezes (and
+        caches) its own columns, so every engine and request over the
+        same snapshot shares one view.  Over a *live* store the view is
+        frozen lazily and cached per catalog version; if a writer races
+        the freeze, this returns None and the query falls back to the
+        object scorer rather than serving columns of unknown vintage.
+        """
+        if not self.columnar:
+            return None
+        catalog = self.catalog
+        frozen = getattr(catalog, "columnar", None)
+        if callable(frozen):  # CatalogSnapshot: one shared freeze
+            return frozen()
+        view = self._columnar_cache
+        version = catalog.version
+        if view is not None and view.version == version:
+            return view
+        view = ColumnarSnapshot.freeze(catalog.features(), version=version)
+        if catalog.version != version:
+            return None  # raced a writer; stay on the object path
+        self._columnar_cache = view
+        return view
+
+    def _score_rows_into(
+        self,
+        cscorer: ColumnarScorer,
+        query: Query,
+        rows: Sequence[int],
+        top: _TopK,
+    ) -> int:
+        """Columnar twin of :meth:`_score_into`: rows, not features.
+
+        Results are pushed with ``feature=None`` — only the page's
+        survivors fetch their feature objects (in :meth:`_search`), so
+        the hot loop never touches the feature dict.
+        """
+        matches = 0
+        is_empty = query.is_empty
+        ids = cscorer.view.ids
+        score_row = cscorer.score_row_bounded
+        floor = top.floor
+        push = top.push
+        for row in rows:
+            breakdown, known_positive = score_row(row, floor())
+            if known_positive:
+                matches += 1
+            if breakdown is None:
+                continue  # provably below the current top-k floor
+            if breakdown.total <= 0.0 and not is_empty:
+                continue
+            push(
+                SearchResult(
+                    dataset_id=ids[row],
+                    score=breakdown.total,
+                    breakdown=breakdown,
+                    feature=None,
+                )
+            )
+        return matches
+
+    def _score_candidates_columnar(
+        self,
+        scorer: QueryScorer,
+        query: Query,
+        ids: Sequence[str],
+        top: _TopK,
+        view: ColumnarSnapshot,
+    ) -> int | None:
+        """Score candidate ids over the columnar view; known matches.
+
+        Returns None when some id is absent from the view (a staleness
+        race) — the caller falls back to the object path.  Sharding
+        partitions contiguous *row ranges* instead of id lists; the
+        merge argument is unchanged (DESIGN notes 14 and 15), and the
+        read-only :class:`ColumnarScorer` is safely shared by every
+        shard thread.
+        """
+        rows: Sequence[int]
+        if len(ids) == len(view):
+            rows = range(len(view))
+        else:
+            row_of = view.row_of
+            try:
+                rows = [row_of[dataset_id] for dataset_id in ids]
+            except KeyError:
+                return None
+        cscorer = ColumnarScorer(scorer, view)
+        workers = self._effective_shard_workers(len(rows))
+        if workers <= 1:
+            return self._score_rows_into(cscorer, query, rows, top)
+        get_telemetry().count("search.sharded_queries")
+        chunk = (len(rows) + workers - 1) // workers
+        shards = [rows[i : i + chunk] for i in range(0, len(rows), chunk)]
+
+        def run_shard(shard: Sequence[int]) -> tuple[int, _TopK]:
+            shard_top = _TopK(top.limit)
+            matched = self._score_rows_into(
+                cscorer, query, shard, shard_top
+            )
+            return matched, shard_top
+
+        matches = 0
+        for matched, shard_top in self._shard_executor().map(
+            run_shard, shards
+        ):
+            matches += matched
+            for item in shard_top._heap:
+                top.push(item.result)
         return matches
 
     def _effective_shard_workers(self, n_candidates: int) -> int:
@@ -503,7 +670,18 @@ class SearchEngine:
                 telemetry.count("search.candidates_pruned", pruned)
             span.set("candidates", len(candidate_ids))
         top = _TopK(limit)
-        matches = self._score_candidates(scorer, query, candidate_ids, top)
+        view = self.columnar_view()
+        matches: int | None = None
+        if view is not None:
+            matches = self._score_candidates_columnar(
+                scorer, query, candidate_ids, top, view
+            )
+            if matches is None:
+                view = None  # staleness race: object path below
+        if matches is None:
+            matches = self._score_candidates(
+                scorer, query, candidate_ids, top
+            )
         if excluded_bound is not None:
             floor = top.floor()
             kth_score = floor[0] if floor is not None else 0.0
@@ -512,12 +690,26 @@ class SearchEngine:
                 remainder = sorted(
                     set(self.catalog.dataset_ids()) - set(candidate_ids)
                 )
-                matches += self._score_candidates(
-                    scorer, query, remainder, top
-                )
-        results = SearchResults(
-            top.sorted_results(), total_matches=matches
-        )
+                rescanned: int | None = None
+                if view is not None:
+                    rescanned = self._score_candidates_columnar(
+                        scorer, query, remainder, top, view
+                    )
+                if rescanned is None:
+                    rescanned = self._score_candidates(
+                        scorer, query, remainder, top
+                    )
+                matches += rescanned
+        page = top.sorted_results()
+        if any(result.feature is None for result in page):
+            # Columnar hits carry no feature; fetch only the survivors.
+            get = self.catalog.get
+            page = [
+                result if result.feature is not None
+                else replace(result, feature=get(result.dataset_id))
+                for result in page
+            ]
+        results = SearchResults(page, total_matches=matches)
         if self.cache is not None:
             self.cache.put(key, results)
         return results
@@ -529,6 +721,10 @@ class SearchEngine:
             "catalog_size": len(self.catalog),
             "indexed": self.indexes is not None,
             "indexes_current": self._indexes_current(),
+            "columnar": self.columnar,
+            "prefilter_mode": getattr(
+                self.catalog, "prefilter_mode", "none"
+            ),
             "cache": self.cache.stats() if self.cache is not None else None,
         }
 
@@ -537,6 +733,14 @@ class SearchEngine:
         scorer = QueryScorer(
             query, hierarchy=self.hierarchy, config=self.config
         )
+        view = self.columnar_view()
+        if view is not None:
+            cscorer = ColumnarScorer(scorer, view)
+            score_row = cscorer.score_row
+            return {
+                dataset_id: score_row(row).total
+                for row, dataset_id in enumerate(view.ids)
+            }
         return {
             feature.dataset_id: scorer.score(feature).total
             for feature in self.catalog

@@ -5,7 +5,12 @@ box and a time interval; this package supplies those primitives and the
 distance computations ranking is built on.
 """
 
-from .bbox import BoundingBox, EmptyBoundingBoxError
+from .bbox import (
+    BoundingBox,
+    EmptyBoundingBoxError,
+    box_distance_km_to_box,
+    box_distance_km_to_point,
+)
 from .point import (
     EARTH_RADIUS_KM,
     GeoPoint,
@@ -20,6 +25,7 @@ from .timeinterval import (
     EmptyIntervalSetError,
     TimeInterval,
     from_epoch,
+    interval_gap_seconds,
     to_epoch,
 )
 
@@ -32,8 +38,11 @@ __all__ = [
     "InvalidCoordinateError",
     "SECONDS_PER_DAY",
     "TimeInterval",
+    "box_distance_km_to_box",
+    "box_distance_km_to_point",
     "from_epoch",
     "haversine_km",
+    "interval_gap_seconds",
     "normalize_longitude",
     "to_epoch",
     "validate_latitude",

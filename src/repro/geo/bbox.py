@@ -13,11 +13,116 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
-from .point import GeoPoint, haversine_km, validate_latitude, validate_longitude
+from .point import (
+    EARTH_RADIUS_KM,
+    GeoPoint,
+    haversine_km,
+    validate_latitude,
+    validate_longitude,
+)
 
 
 class EmptyBoundingBoxError(ValueError):
     """Raised when a bounding box is built from no points."""
+
+
+def box_distance_km_to_point(
+    min_lat: float,
+    min_lon: float,
+    max_lat: float,
+    max_lon: float,
+    lat: float,
+    lon: float,
+) -> float:
+    """Scalar core of :meth:`BoundingBox.distance_km_to_point`.
+
+    Operates on bare floats so the columnar scoring engine can run it
+    over flat coordinate columns without constructing a box or point per
+    row; the method delegates here, which is what makes the two scoring
+    paths bit-identical.
+    """
+    # The haversine half-angle term ``a`` (see :func:`haversine_km`) is
+    # monotone in distance, so the minimum over candidate points can be
+    # taken on ``a`` directly and converted once at the end.  That lets
+    # the query point's trig be hoisted out of the candidate loop and
+    # the per-edge longitude term be shared by its three candidate
+    # latitudes — this kernel runs per row of the columnar scan, and the
+    # seven full haversine evaluations it replaces dominated that loop.
+    radians = math.radians
+    sin = math.sin
+    cos = math.cos
+    near_lat = min(max(lat, min_lat), max_lat)
+    near_lon = min(max(lon, min_lon), max_lon)
+    phi1 = radians(lat)
+    cos_phi1 = cos(phi1)
+    best_a = (
+        sin(radians(near_lat - lat) / 2.0) ** 2
+        + cos_phi1 * cos(radians(near_lat))
+        * sin(radians(near_lon - lon) / 2.0) ** 2
+    )
+    if best_a != 0.0:
+        t_min = sin(radians(min_lat - lat) / 2.0) ** 2
+        cc_min = cos_phi1 * cos(radians(min_lat))
+        t_max = sin(radians(max_lat - lat) / 2.0) ** 2
+        cc_max = cos_phi1 * cos(radians(max_lat))
+        tan_phi1 = math.tan(phi1)
+        # On a sphere the nearest point of a meridian edge is not the
+        # clamped latitude when the longitude gap is large: minimizing
+        # the spherical law of cosines over latitude gives
+        # tan(lat*) = tan(q_lat) / cos(dlon).  Check both edges (which
+        # also covers the shorter way around the antimeridian).
+        for edge_lon in (min_lon, max_lon):
+            cos_dlon = cos(radians(lon - edge_lon))
+            if abs(cos_dlon) > 1e-12:
+                optimal = math.degrees(math.atan(tan_phi1 / cos_dlon))
+            else:
+                optimal = 0.0
+            clamped = min(max(optimal, min_lat), max_lat)
+            sin_sq_dlambda = sin(radians(edge_lon - lon) / 2.0) ** 2
+            # The stationary point may be the far side of the great
+            # circle; the constrained minimum is then at an edge corner,
+            # so evaluate those too.
+            a = (
+                sin(radians(clamped - lat) / 2.0) ** 2
+                + cos_phi1 * cos(radians(clamped)) * sin_sq_dlambda
+            )
+            if a < best_a:
+                best_a = a
+            a = t_min + cc_min * sin_sq_dlambda
+            if a < best_a:
+                best_a = a
+            a = t_max + cc_max * sin_sq_dlambda
+            if a < best_a:
+                best_a = a
+    best_a = min(1.0, max(0.0, best_a))
+    return 2.0 * EARTH_RADIUS_KM * math.asin(math.sqrt(best_a))
+
+
+def box_distance_km_to_box(
+    min_lat: float,
+    min_lon: float,
+    max_lat: float,
+    max_lon: float,
+    other_min_lat: float,
+    other_min_lon: float,
+    other_max_lat: float,
+    other_max_lon: float,
+) -> float:
+    """Scalar core of :meth:`BoundingBox.distance_km_to_box`."""
+    if not (
+        other_min_lat > max_lat
+        or other_max_lat < min_lat
+        or other_min_lon > max_lon
+        or other_max_lon < min_lon
+    ):
+        return 0.0
+    # Clamp this box's nearest corner toward the other box, then clamp
+    # that point back into the other box.
+    lat = min(max(other_min_lat, min_lat), max_lat)
+    lon = min(max(other_min_lon, min_lon), max_lon)
+    near_lat = min(max(lat, other_min_lat), other_max_lat)
+    near_lon = min(max(lon, other_min_lon), other_max_lon)
+    return haversine_km(lat, lon, near_lat, near_lon)
 
 
 @dataclass(frozen=True, slots=True)
@@ -155,47 +260,20 @@ class BoundingBox:
         also considered (which keeps the result within ~0.1% of the true
         spherical minimum even at planetary scales).
         """
-        nearest = self.closest_point_to(point)
-        best = haversine_km(point.lat, point.lon, nearest.lat, nearest.lon)
-        if best == 0.0:
-            return 0.0
-        # On a sphere the nearest point of a meridian edge is not the
-        # clamped latitude when the longitude gap is large: minimizing
-        # the spherical law of cosines over latitude gives
-        # tan(lat*) = tan(q_lat) / cos(dlon).  Check both edges (which
-        # also covers the shorter way around the antimeridian).
-        for lon in (self.min_lon, self.max_lon):
-            dlon = math.radians(point.lon - lon)
-            cos_dlon = math.cos(dlon)
-            if abs(cos_dlon) > 1e-12:
-                optimal = math.degrees(
-                    math.atan(math.tan(math.radians(point.lat)) / cos_dlon)
-                )
-            else:
-                optimal = 0.0
-            clamped = min(max(optimal, self.min_lat), self.max_lat)
-            # The stationary point may be the far side of the great
-            # circle; the constrained minimum is then at an edge corner,
-            # so evaluate those too.
-            for lat in (clamped, self.min_lat, self.max_lat):
-                best = min(
-                    best, haversine_km(point.lat, point.lon, lat, lon)
-                )
-        return best
+        return box_distance_km_to_point(
+            self.min_lat, self.min_lon, self.max_lat, self.max_lon,
+            point.lat, point.lon,
+        )
 
     def distance_km_to_box(self, other: "BoundingBox") -> float:
         """Great-circle distance between nearest points of two boxes.
 
         Zero when they intersect.
         """
-        if self.intersects(other):
-            return 0.0
-        # Clamp each box's nearest corner toward the other box.
-        lat = min(max(other.min_lat, self.min_lat), self.max_lat)
-        lon = min(max(other.min_lon, self.min_lon), self.max_lon)
-        nearest_self = GeoPoint(lat, lon)
-        nearest_other = other.closest_point_to(nearest_self)
-        return nearest_self.distance_km(nearest_other)
+        return box_distance_km_to_box(
+            self.min_lat, self.min_lon, self.max_lat, self.max_lon,
+            other.min_lat, other.min_lon, other.max_lat, other.max_lon,
+        )
 
     def as_tuple(self) -> tuple[float, float, float, float]:
         """Return ``(min_lat, min_lon, max_lat, max_lon)``."""

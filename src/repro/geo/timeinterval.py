@@ -21,6 +21,23 @@ class EmptyIntervalSetError(ValueError):
     """Raised when an interval hull is requested over no intervals."""
 
 
+def interval_gap_seconds(
+    a_start: float, a_end: float, b_start: float, b_end: float
+) -> float:
+    """Scalar core of :meth:`TimeInterval.gap_seconds`.
+
+    Operates on bare endpoint floats so the columnar scoring engine can
+    run it over flat time columns without constructing an interval per
+    row; the method delegates here, keeping both scoring paths
+    bit-identical.
+    """
+    if a_start <= b_end and b_start <= a_end:
+        return 0.0
+    if a_end < b_start:
+        return b_start - a_end
+    return a_start - b_end
+
+
 def to_epoch(dt: datetime) -> float:
     """Convert a datetime to epoch seconds (naive datetimes assumed UTC)."""
     if dt.tzinfo is None:
@@ -129,11 +146,9 @@ class TimeInterval:
         This is the quantity the ranking's time term is built on: how far
         the dataset's coverage is from the query window.
         """
-        if self.overlaps(other):
-            return 0.0
-        if self.end < other.start:
-            return other.start - self.end
-        return self.start - other.end
+        return interval_gap_seconds(
+            self.start, self.end, other.start, other.end
+        )
 
     def intersection(self, other: "TimeInterval") -> "TimeInterval | None":
         """The overlapping interval, or None when disjoint."""

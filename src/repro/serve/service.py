@@ -156,6 +156,10 @@ class SearchService:
                 executor=self._shard_executor,
             )
             engine.build_indexes()
+            # Warm the columnar freeze off the request path: the first
+            # admitted query scans flat columns instead of paying the
+            # one-time freeze under its own latency budget.
+            engine.columnar_view()
         self.telemetry.gauge("serve.snapshot_version", snapshot.version)
         return engine
 

@@ -1,0 +1,301 @@
+"""SQLite pushdown prefilter: capability probe, degradation, exactness.
+
+The prefilter ladder (DESIGN note 15): R*Tree when the SQLite build
+compiled the module in, else indexed min/max range scans over the
+``datasets`` table, else the engine's in-memory
+:class:`~repro.catalog.index.CatalogIndexes`, else an unpruned full
+scan.  Every rung must return a *superset* of the datasets whose
+indexed term is above epsilon — these tests pin the probe, the
+trigger-maintained rtree lockstep, the reopen-without-rtree survival
+path and the end-to-end exactness of pages served through each rung.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.catalog import MemoryCatalog, SqliteCatalog
+from repro.catalog.records import DatasetFeature, VariableEntry
+from repro.core.query import Query, VariableTerm
+from repro.core.search import SearchEngine
+from repro.geo import BoundingBox, GeoPoint, TimeInterval
+from repro.obs import Telemetry, use_telemetry
+
+
+def _build_has_rtree() -> bool:
+    conn = sqlite3.connect(":memory:")
+    try:
+        conn.execute(
+            "CREATE VIRTUAL TABLE probe USING rtree(id, x0, x1)"
+        )
+        return True
+    except sqlite3.OperationalError:
+        return False
+    finally:
+        conn.close()
+
+
+HAS_RTREE = _build_has_rtree()
+needs_rtree = pytest.mark.skipif(
+    not HAS_RTREE, reason="sqlite built without the rtree module"
+)
+
+
+def make_feature(
+    index: int,
+    lat: float = 45.0,
+    lon: float = -124.0,
+    start: float = 0.0,
+    name: str = "salinity",
+) -> DatasetFeature:
+    return DatasetFeature(
+        dataset_id=f"ds_{index:03d}",
+        title=f"dataset {index}",
+        platform="station",
+        file_format="csv",
+        bbox=BoundingBox(lat, lon, lat + 0.2, lon + 0.2),
+        interval=TimeInterval(start, start + 1000.0),
+        row_count=10,
+        source_directory="",
+        variables=[
+            VariableEntry.from_written(name, "u", 10, 0.0, 30.0, 15.0, 5.0)
+        ],
+    )
+
+
+def spread_features(count: int) -> list[DatasetFeature]:
+    return [
+        make_feature(
+            index,
+            lat=30.0 + (index % 12) * 4.0,
+            lon=-150.0 + (index // 12) * 9.0,
+            start=index * 5e5,
+        )
+        for index in range(count)
+    ]
+
+
+class TestCapabilityProbe:
+    def test_default_mode_matches_build(self):
+        with SqliteCatalog() as store:
+            assert store.prefilter_mode == (
+                "rtree" if HAS_RTREE else "range"
+            )
+
+    def test_rtree_opt_out_gives_range(self):
+        with SqliteCatalog(enable_rtree=False) as store:
+            assert store.prefilter_mode == "range"
+
+    def test_prefilter_opt_out_gives_none(self):
+        with SqliteCatalog(enable_prefilter=False) as store:
+            assert store.prefilter_mode == "none"
+
+    def test_missing_rtree_degrades_to_range_and_counts(self, monkeypatch):
+        monkeypatch.setattr(
+            SqliteCatalog, "_rtree_available", lambda self: False
+        )
+        telemetry = Telemetry()
+        with use_telemetry(telemetry):
+            with SqliteCatalog() as store:
+                assert store.prefilter_mode == "range"
+        assert telemetry.counter("prefilter.rtree_unavailable") == 1
+
+
+class TestDegradationSurvival:
+    @needs_rtree
+    def test_reopen_without_rtree_keeps_writes_working(
+        self, tmp_path, monkeypatch
+    ):
+        path = str(tmp_path / "catalog.db")
+        with SqliteCatalog(path) as store:
+            assert store.prefilter_mode == "rtree"
+            store.upsert_many(spread_features(8))
+        # Reopen as if this build had no rtree module: the remnant
+        # triggers reference the virtual table and must be dropped or
+        # every subsequent write would fail.
+        monkeypatch.setattr(
+            SqliteCatalog, "_rtree_available", lambda self: False
+        )
+        with SqliteCatalog(path) as store:
+            assert store.prefilter_mode == "range"
+            store.upsert(make_feature(99))
+            store.remove("ds_000")
+            assert len(store) == 8
+            found = store.prefilter_candidates_near(
+                GeoPoint(45.2, -123.8), 100.0
+            )
+            assert found is not None and "ds_099" in found
+
+    @needs_rtree
+    def test_reopen_with_rtree_backfills_unmaintained_edits(self, tmp_path):
+        path = str(tmp_path / "catalog.db")
+        with SqliteCatalog(path) as store:
+            store.upsert_many(spread_features(6))
+        # Edit through a connection with the prefilter disabled (no
+        # triggers): the rtree goes stale on disk.
+        with SqliteCatalog(path, enable_prefilter=False) as store:
+            store.remove("ds_001")
+            store.upsert(make_feature(50, lat=45.0, lon=-124.0))
+        # Reopening with the prefilter re-syncs rtree with datasets.
+        with SqliteCatalog(path) as store:
+            assert store.prefilter_mode == "rtree"
+            found = store.prefilter_candidates_near(
+                GeoPoint(0.0, 0.0), 25000.0
+            )
+            if found is None:  # margin covered the globe
+                return
+            assert found == set(store.dataset_ids())
+
+
+class TestConservativeSuperset:
+    @pytest.mark.parametrize("enable_rtree", [True, False])
+    def test_spatial_superset_of_truth(self, enable_rtree):
+        with SqliteCatalog(enable_rtree=enable_rtree) as store:
+            features = spread_features(40)
+            store.upsert_many(features)
+            point = GeoPoint(44.0, -120.0)
+            for radius in (10.0, 300.0, 2000.0):
+                found = store.prefilter_candidates_near(point, radius)
+                truth = {
+                    f.dataset_id for f in features
+                    if f.bbox.distance_km_to_point(point) <= radius
+                }
+                if found is None:
+                    continue  # "no constraint" is trivially a superset
+                assert truth <= found
+
+    def test_spatial_blowout_returns_none(self):
+        with SqliteCatalog() as store:
+            store.upsert_many(spread_features(4))
+            assert store.prefilter_candidates_near(
+                GeoPoint(45.0, -124.0), 50000.0
+            ) is None
+
+    def test_temporal_superset_of_truth(self):
+        with SqliteCatalog() as store:
+            features = spread_features(40)
+            store.upsert_many(features)
+            window = TimeInterval(4e6, 6e6)
+            for margin in (0.0, 1e6):
+                found = store.prefilter_candidates_overlapping(
+                    window, margin_seconds=margin
+                )
+                grown = TimeInterval(
+                    window.start - margin, window.end + margin
+                )
+                truth = {
+                    f.dataset_id for f in features
+                    if f.interval.overlaps(grown)
+                }
+                assert found == truth  # exact for the range predicate
+
+    def test_margin_validation(self):
+        with SqliteCatalog() as store:
+            with pytest.raises(ValueError):
+                store.prefilter_candidates_overlapping(
+                    TimeInterval(0.0, 1.0), margin_seconds=-1.0
+                )
+            with pytest.raises(ValueError):
+                store.prefilter_candidates_near(
+                    GeoPoint(0.0, 0.0), -5.0
+                )
+
+
+class TestTriggerLockstep:
+    """The rtree mirrors ``datasets`` through every mutation primitive."""
+
+    def _everything(self, store: SqliteCatalog) -> set[str]:
+        with store._lock:
+            rows = store._conn.execute(
+                "SELECT m.dataset_id FROM prefilter_rtree AS r "
+                "JOIN prefilter_map AS m ON m.num = r.id"
+            ).fetchall()
+        return {row[0] for row in rows}
+
+    @needs_rtree
+    def test_upsert_remove_batch_replace_clear(self):
+        with SqliteCatalog() as store:
+            assert store.prefilter_mode == "rtree"
+            store.upsert_many(spread_features(10))
+            assert self._everything(store) == set(store.dataset_ids())
+            store.upsert(make_feature(3, lat=50.0, lon=-90.0))  # update
+            store.remove("ds_004")
+            assert self._everything(store) == set(store.dataset_ids())
+            store.apply_batch(
+                upserts=[make_feature(20), make_feature(21)],
+                removals=["ds_005", "ds_006"],
+            )
+            assert self._everything(store) == set(store.dataset_ids())
+            store.replace_all(spread_features(5))
+            assert self._everything(store) == set(store.dataset_ids())
+            store.clear()
+            assert self._everything(store) == set()
+
+
+class TestEngineLadder:
+    def _queries(self) -> list[Query]:
+        return [
+            Query(
+                location=GeoPoint(44.0, -122.0), radius_km=150.0,
+                interval=TimeInterval(2e6, 4e6),
+                variables=(VariableTerm(name="salinity"),),
+            ),
+            Query(location=GeoPoint(38.0, -140.0), radius_km=80.0),
+            Query(interval=TimeInterval(0.0, 1e6)),
+        ]
+
+    def _pages(self, engine: SearchEngine) -> list:
+        return [
+            [
+                (r.dataset_id, r.score, r.breakdown)
+                for r in engine.search(q, limit=10)
+            ]
+            for q in self._queries()
+        ]
+
+    def test_every_rung_serves_the_same_page(self):
+        features = spread_features(60)
+        reference = MemoryCatalog()
+        reference.upsert_many(features)
+        baseline = SearchEngine(reference, cache=False, columnar=False)
+        expected = self._pages(baseline)
+
+        for store in (
+            SqliteCatalog(),                        # rtree (or range)
+            SqliteCatalog(enable_rtree=False),      # range
+            SqliteCatalog(enable_prefilter=False),  # none: full scan
+        ):
+            with store:
+                store.upsert_many(features)
+                engine = SearchEngine(store, cache=False)
+                assert self._pages(engine) == expected
+        # ...and the in-memory index rung over the same store.
+        with SqliteCatalog(enable_prefilter=False) as store:
+            store.upsert_many(features)
+            engine = SearchEngine(store, cache=False)
+            engine.build_indexes()
+            assert self._pages(engine) == expected
+
+    def test_pushdown_vs_python_counters(self):
+        features = spread_features(30)
+        telemetry = Telemetry()
+        with SqliteCatalog() as store:
+            store.upsert_many(features)
+            with use_telemetry(telemetry):
+                engine = SearchEngine(store, cache=False)
+                engine.search(self._queries()[0], limit=5)
+                assert telemetry.counter("prefilter.pushdown") == 1
+                assert telemetry.counter("prefilter.python") == 0
+                # In-memory indexes outrank the pushdown once built.
+                engine.build_indexes()
+                engine.search(self._queries()[1], limit=5)
+                assert telemetry.counter("prefilter.python") == 1
+                assert telemetry.counter("prefilter.candidates_in") > 0
+
+
+def test_memory_catalog_has_no_pushdown():
+    catalog = MemoryCatalog()
+    engine = SearchEngine(catalog, cache=False)
+    assert engine.stats()["prefilter_mode"] == "none"
