@@ -3,26 +3,39 @@
 Exercises the serving stack end to end on a large synthetic catalog:
 
 * **exactness** — the service's pages (snapshot + shared cache +
-  optional sharded scoring) must be identical (ids, scores, order) to a
-  serial single-threaded engine over the same catalog, for every
-  benchmark query,
+  optional sharded scoring + the process-pool scorer) must be identical
+  (ids, scores, order) to a serial single-threaded engine over the same
+  catalog, for every benchmark query,
 * **scaling** — closed-loop client threads with think time replay a
   Zipf-weighted workload at increasing concurrency; the report captures
   QPS and p50/p95/p99 latency per client count,
-* **churn** — the same load while a background writer keeps publishing
-  atomic catalog batches and refreshing the service's snapshot;
-  requests must keep completing (zero errors) and staleness stays
-  bounded.
+* **http scaling** — the same closed loop over real sockets: each
+  client owns a kept-alive connection to a
+  :class:`~repro.serve.http.SearchHTTPServer` and the measured path
+  includes the qparser, JSON encoding and the socket round trip,
+* **pool comparison** — socket load at the top client count against a
+  thread-sharded service vs a process-pool service (DESIGN note 16),
+  recording both QPS figures side by side,
+* **churn** — in-process and socket load while a background writer
+  keeps publishing atomic catalog batches and refreshing the service's
+  snapshot; requests must keep completing (zero errors), versions never
+  regress, and staleness stays <= 1.
 
-Interpretation note: this repository runs single-process under the GIL,
-so the scaling phase measures the *closed-loop* model — each client
-thinks between requests (``think_ms``), so added clients overlap their
-think time and throughput rises until execution slots saturate.  That
-is the latency-hiding concurrency a portal front door actually
-provides; it is not a claim of parallel CPU speedup.
+Interpretation notes: the in-process phases run single-process under
+the GIL, so the scaling phase measures the *closed-loop* model — each
+client thinks between requests (``think_ms``), so added clients overlap
+their think time and throughput rises until execution slots saturate.
+That is the latency-hiding concurrency a portal front door actually
+provides; it is not a claim of parallel CPU speedup.  The pool
+comparison records ``cpu_count`` alongside its numbers: on a single
+hardware thread the process pool pays IPC for no parallel gain, so its
+QPS is expected to trail the thread ceiling there, and the comparison
+is reported rather than gated unless multiple CPUs are present.
 
-The scaling gate (full runs): QPS at 8 clients must exceed 2x QPS at 1
-client.  Quick runs gate on exactness and zero dropped requests only.
+Gates (full runs): the in-process scaling factor (QPS at 8 clients >
+2x QPS at 1 client), zero errors everywhere, zero HTTP 5xx, churn
+staleness <= 1 and zero version regressions.  Quick runs gate on
+exactness and on nothing having been dropped.
 
 Usage::
 
@@ -36,6 +49,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import random
 import sys
 import threading
 import time
@@ -47,15 +62,40 @@ if str(REPO_ROOT / "src") not in sys.path:  # allow running without PYTHONPATH
 if str(REPO_ROOT / "benchmarks") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
-from bench_perf_search import synthetic_catalog, synthetic_queries
+from bench_perf_search import (
+    VARIABLE_POOL,
+    synthetic_catalog,
+    synthetic_queries,
+)
 
 from repro.core import SearchEngine
 from repro.hierarchy import vocabulary_hierarchy
-from repro.serve import SearchService, ServeConfig, run_load
+from repro.serve import (
+    SearchHTTPServer,
+    SearchService,
+    ServeConfig,
+    run_load,
+    run_load_http,
+)
 
 
 def page(results):
     return [(r.dataset_id, r.score) for r in results]
+
+
+def synthetic_query_texts(n_queries: int, seed: int) -> list[str]:
+    """qparser texts shaped like :func:`synthetic_queries` (socket mode
+    sends query *text*, so the measured path includes the parser)."""
+    rng = random.Random(seed)
+    texts = []
+    for _ in range(n_queries):
+        name = rng.choice(VARIABLE_POOL)
+        lat = rng.uniform(43.0, 48.0)
+        lon = rng.uniform(-126.0, -122.0)
+        texts.append(
+            f"near {lat:.3f}, {lon:.3f} within 150 km with {name}"
+        )
+    return texts
 
 
 def check_exactness(catalog, queries, hierarchy, limit, shard_workers):
@@ -92,6 +132,21 @@ def check_exactness(catalog, queries, hierarchy, limit, shard_workers):
                 if got != want:
                     mismatches += 1
                     print(f"  SERVICE MISMATCH for {query.describe()!r}")
+
+    # The process-pool rung (DESIGN note 16): worker processes over the
+    # shipped snapshot must reproduce the serial page exactly too.
+    pooled_config = ServeConfig(
+        max_concurrency=4, queue_depth=16,
+        score_workers=2, score_min_rows=1,
+    )
+    with SearchService(
+        catalog, hierarchy=hierarchy, config=pooled_config
+    ) as service:
+        for query, want in zip(queries, expected):
+            got = page(service.search(query, limit=limit).results)
+            if got != want:
+                mismatches += 1
+                print(f"  POOL MISMATCH for {query.describe()!r}")
     return mismatches
 
 
@@ -195,6 +250,145 @@ def churn_phase(catalog, queries, hierarchy, clients, requests_per_client,
     }
 
 
+def _http_row(report) -> dict:
+    return {
+        "qps": report.qps,
+        "completed": report.completed,
+        "rejected": report.rejected,
+        "errors": report.errors,
+        "latency_p50_ms": report.latency_p50 * 1000.0,
+        "latency_p95_ms": report.latency_p95 * 1000.0,
+        "latency_p99_ms": report.latency_p99 * 1000.0,
+        "latency_mean_ms": report.latency_mean * 1000.0,
+        "status_counts": report.status_counts,
+        "version_regressions": report.version_regressions,
+    }
+
+
+def http_scaling_phase(catalog, texts, hierarchy, client_counts,
+                       requests_per_client, think_seconds, limit, seed,
+                       score_workers=None):
+    """Closed-loop load over real sockets at each client count."""
+    rows = {}
+    for clients in client_counts:
+        config = ServeConfig(
+            max_concurrency=max(8, clients), queue_depth=4 * clients,
+            score_workers=score_workers,
+            score_min_rows=1 if score_workers else 256,
+        )
+        service = SearchService(catalog, hierarchy=hierarchy, config=config)
+        with SearchHTTPServer(service, port=0).start() as server:
+            report = run_load_http(
+                server.url,
+                texts,
+                clients=clients,
+                requests_per_client=requests_per_client,
+                think_seconds=think_seconds,
+                limit=limit,
+                seed=seed,
+            )
+        rows[str(clients)] = _http_row(report)
+        print(
+            f"  {clients:2d} clients: {report.qps:8.1f} qps  "
+            f"p50 {report.latency_p50 * 1000:6.2f} ms  "
+            f"p99 {report.latency_p99 * 1000:6.2f} ms  "
+            f"statuses {report.status_counts}"
+        )
+    return rows
+
+
+def pool_comparison_phase(catalog, texts, hierarchy, clients,
+                          requests_per_client, think_seconds, limit, seed):
+    """Thread ceiling vs process pool: socket QPS at one client count.
+
+    Recorded, not gated, on single-CPU hosts: without a second hardware
+    thread the pool pays snapshot-shipping IPC for no parallel gain.
+    """
+    comparison = {"clients": clients, "cpu_count": os.cpu_count() or 1}
+    for label, shard_workers, score_workers in (
+        ("threads", 2, None),
+        ("procpool", None, 2),
+    ):
+        config = ServeConfig(
+            max_concurrency=max(8, clients), queue_depth=4 * clients,
+            shard_workers=shard_workers, shard_threshold=1,
+            score_workers=score_workers,
+            score_min_rows=1 if score_workers else 256,
+        )
+        service = SearchService(catalog, hierarchy=hierarchy, config=config)
+        with SearchHTTPServer(service, port=0).start() as server:
+            report = run_load_http(
+                server.url,
+                texts,
+                clients=clients,
+                requests_per_client=requests_per_client,
+                think_seconds=think_seconds,
+                limit=limit,
+                seed=seed + 2,
+            )
+        comparison[label] = _http_row(report)
+        print(
+            f"  {label:8s}: {report.qps:8.1f} qps  "
+            f"p99 {report.latency_p99 * 1000:6.2f} ms  "
+            f"errors {report.errors}"
+        )
+    return comparison
+
+
+def http_churn_phase(catalog, texts, hierarchy, clients,
+                     requests_per_client, think_seconds, limit, seed):
+    """Socket load under concurrent re-publishing.
+
+    The wire-level staleness contract: versions never regress within a
+    client, and a page never lags the live version (sampled before the
+    request) by more than one publish.
+    """
+    config = ServeConfig(
+        max_concurrency=max(8, clients), queue_depth=4 * clients
+    )
+    ids = catalog.dataset_ids()[:16]
+    stop = threading.Event()
+    publishes = [0]
+    service = SearchService(catalog, hierarchy=hierarchy, config=config)
+    with SearchHTTPServer(service, port=0).start() as server:
+
+        def writer() -> None:
+            round_number = 0
+            while not stop.is_set():
+                round_number += 1
+                batch = []
+                for dataset_id in ids:
+                    feature = catalog.get(dataset_id)
+                    feature.row_count = 100 + round_number
+                    batch.append(feature)
+                catalog.apply_batch(batch, ())
+                service.refresh()
+                publishes[0] += 1
+                time.sleep(0.005)
+
+        thread = threading.Thread(target=writer, daemon=True)
+        thread.start()
+        try:
+            report = run_load_http(
+                server.url,
+                texts,
+                clients=clients,
+                requests_per_client=requests_per_client,
+                think_seconds=think_seconds,
+                limit=limit,
+                seed=seed + 3,
+                live_version=lambda: catalog.version,
+            )
+        finally:
+            stop.set()
+            thread.join(timeout=10.0)
+    row = _http_row(report)
+    row["publishes"] = publishes[0]
+    row["snapshot_versions_served"] = len(report.snapshot_versions)
+    row["max_staleness"] = report.max_staleness
+    return row
+
+
 def run(n_datasets, n_queries, client_counts, requests_per_client,
         think_ms, limit, shard_workers, seed) -> dict:
     hierarchy = vocabulary_hierarchy()
@@ -217,6 +411,20 @@ def run(n_datasets, n_queries, client_counts, requests_per_client,
         requests_per_client, think_seconds, limit, seed,
     )
 
+    texts = synthetic_query_texts(len(queries), seed=31)
+
+    print(f"http scaling: sockets, think {think_ms:.0f} ms ...")
+    http_scaling = http_scaling_phase(
+        catalog, texts, hierarchy, client_counts,
+        requests_per_client, think_seconds, limit, seed,
+    )
+
+    print("pool comparison: thread ceiling vs process pool (think 0) ...")
+    pool_comparison = pool_comparison_phase(
+        catalog, texts, hierarchy, max(client_counts),
+        requests_per_client, 0.0, limit, seed,
+    )
+
     print("churn: load under concurrent re-publishing ...")
     churn = churn_phase(
         catalog, queries, hierarchy, max(client_counts),
@@ -229,10 +437,36 @@ def run(n_datasets, n_queries, client_counts, requests_per_client,
         f"errors {churn['errors']}"
     )
 
+    print("http churn: the same, over sockets ...")
+    http_churn = http_churn_phase(
+        catalog, texts, hierarchy, max(client_counts),
+        requests_per_client, think_seconds, limit, seed,
+    )
+    print(
+        f"  {http_churn['publishes']} publishes, "
+        f"{http_churn['snapshot_versions_served']} versions served, "
+        f"max staleness {http_churn['max_staleness']}, "
+        f"regressions {http_churn['version_regressions']}, "
+        f"statuses {http_churn['status_counts']}"
+    )
+
     low = str(min(client_counts))
     high = str(max(client_counts))
     total_rejected = sum(row["rejected"] for row in scaling.values())
     total_errors = sum(row["errors"] for row in scaling.values())
+    http_rows = list(http_scaling.values()) + [
+        pool_comparison["threads"], pool_comparison["procpool"], http_churn,
+    ]
+    http_errors = sum(row["errors"] for row in http_rows)
+    http_5xx = sum(
+        count
+        for row in http_rows
+        for status, count in row["status_counts"].items()
+        if status.startswith("5")
+    )
+    http_regressions = sum(
+        row["version_regressions"] for row in http_rows
+    )
     return {
         "datasets": n_datasets,
         "queries": len(queries),
@@ -242,19 +476,34 @@ def run(n_datasets, n_queries, client_counts, requests_per_client,
         "shard_workers": shard_workers,
         "exactness_ok": True,
         "scaling": scaling,
+        "http_scaling": http_scaling,
+        "pool_comparison": pool_comparison,
         "churn": churn,
+        "http_churn": http_churn,
         "qps_low": scaling[low]["qps"],
         "qps_high": scaling[high]["qps"],
         "scaling_factor": (
             scaling[high]["qps"] / scaling[low]["qps"]
             if scaling[low]["qps"] else float("inf")
         ),
+        "http_qps_low": http_scaling[low]["qps"],
+        "http_qps_high": http_scaling[high]["qps"],
         "latency_p50_ms": scaling[high]["latency_p50_ms"],
         "latency_p95_ms": scaling[high]["latency_p95_ms"],
         "latency_p99_ms": scaling[high]["latency_p99_ms"],
+        "http_latency_p50_ms": http_scaling[high]["latency_p50_ms"],
+        "http_latency_p95_ms": http_scaling[high]["latency_p95_ms"],
+        "http_latency_p99_ms": http_scaling[high]["latency_p99_ms"],
+        # The in-process driver samples the live version *after* each
+        # response (an upper bound that can over-read during a publish);
+        # the socket driver samples *before* the request, which is the
+        # metric the <= 1 contract is stated — and gated — on.
         "max_staleness": churn["max_staleness"],
+        "http_max_staleness": http_churn["max_staleness"],
+        "version_regressions": http_regressions,
+        "http_5xx": http_5xx,
         "rejected": total_rejected + churn["rejected"],
-        "errors": total_errors + churn["errors"],
+        "errors": total_errors + churn["errors"] + http_errors,
     }
 
 
@@ -308,6 +557,20 @@ def main(argv=None) -> int:
     if result["errors"]:
         print(f"{result['errors']} requests errored")
         return 1
+    if result["http_5xx"]:
+        print(f"{result['http_5xx']} HTTP 5xx responses on the wire")
+        return 1
+    if result["version_regressions"]:
+        print(
+            f"{result['version_regressions']} snapshot version regressions"
+        )
+        return 1
+    if result["http_max_staleness"] > 1:
+        print(
+            f"http staleness {result['http_max_staleness']} exceeds "
+            "the <= 1 bound"
+        )
+        return 1
     if args.quick:
         # Tiny runs are too noisy to gate on throughput; gate on
         # correctness and on nothing having been dropped.
@@ -315,11 +578,18 @@ def main(argv=None) -> int:
             print(f"{result['rejected']} requests rejected in quick mode")
             return 1
         return 0
+    comparison = result["pool_comparison"]
     print(
         f"scaling {result['qps_low']:.1f} -> {result['qps_high']:.1f} qps "
         f"({result['scaling_factor']:.2f}x), "
-        f"p99 {result['latency_p99_ms']:.2f} ms, "
-        f"max staleness {result['max_staleness']}"
+        f"p99 {result['latency_p99_ms']:.2f} ms; "
+        f"http {result['http_qps_low']:.1f} -> "
+        f"{result['http_qps_high']:.1f} qps, "
+        f"p99 {result['http_latency_p99_ms']:.2f} ms; "
+        f"threads {comparison['threads']['qps']:.1f} vs "
+        f"procpool {comparison['procpool']['qps']:.1f} qps "
+        f"({comparison['cpu_count']} cpus), "
+        f"http max staleness {result['http_max_staleness']}"
     )
     if result["scaling_factor"] <= 2.0:
         print("scaling below acceptance floor (8 clients > 2x 1 client)")

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Sequence
 
 from . import __version__
@@ -128,6 +129,47 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the search telemetry trace to FILE as JSONL",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="serve ranked search over HTTP "
+        "(GET /search, /healthz, /telemetry)",
+    )
+    serve.add_argument("catalog")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8080,
+        help="TCP port (0 = ephemeral; the bound port is printed)",
+    )
+    serve.add_argument(
+        "--concurrency", type=int, default=4,
+        help="max concurrent requests (default 4)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=16,
+        help="admitted requests allowed to wait (default 16)",
+    )
+    serve.add_argument(
+        "--shard-workers", type=int, default=None,
+        help="threads for sharded scoring (default: serial scoring)",
+    )
+    serve.add_argument(
+        "--shard-threshold", type=int, default=1024,
+        help="candidate count above which scoring shards (default 1024)",
+    )
+    serve.add_argument(
+        "--score-workers", type=int, default=None,
+        help="scoring worker processes sharing the frozen snapshot "
+        "(default: in-process scoring)",
+    )
+    serve.add_argument(
+        "--drain-seconds", type=float, default=5.0,
+        help="graceful drain budget on shutdown (default 5)",
+    )
+    serve.add_argument(
+        "--max-seconds", type=float, default=None,
+        help="exit (gracefully) after N seconds — smoke tests/CI",
+    )
+
     serve_bench = sub.add_parser(
         "serve-bench",
         help="closed-loop load benchmark against the concurrent "
@@ -171,6 +213,16 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument(
         "--shard-threshold", type=int, default=1024,
         help="candidate count above which scoring shards (default 1024)",
+    )
+    serve_bench.add_argument(
+        "--score-workers", type=int, default=None,
+        help="scoring worker processes for the service "
+        "(default: in-process scoring)",
+    )
+    serve_bench.add_argument(
+        "--http", action="store_true",
+        help="drive the workload over a local HTTP server (socket "
+        "mode) instead of in-process calls",
     )
     serve_bench.add_argument("--seed", type=int, default=0)
 
@@ -411,63 +463,181 @@ def _default_workload(catalog) -> list:
     return queries
 
 
-def _cmd_serve_bench(args: argparse.Namespace) -> int:
-    from .serve import SearchService, ServeConfig, run_load
-    from .ui import render_serve_report
+def _default_workload_texts(catalog) -> list[str]:
+    """The textual twin of :func:`_default_workload` for socket mode —
+    HTTP clients send qparser *text*, not Query objects."""
+    names = [
+        name
+        for name, __ in catalog.variable_name_counts().most_common(3)
+    ]
+    texts = [f"with {name}" for name in names]
+    anchor = names[0] if names else "salinity"
+    for dataset_id in catalog.dataset_ids()[:5]:
+        bbox = catalog.get(dataset_id).bbox
+        lat = (bbox.min_lat + bbox.max_lat) / 2.0
+        lon = (bbox.min_lon + bbox.max_lon) / 2.0
+        texts.append(
+            f"near {lat:.3f}, {lon:.3f} within 100 km with {anchor}"
+        )
+    return texts
 
+
+def _serve_config_from_args(args: argparse.Namespace):
+    from .serve import ServeConfig
+
+    return ServeConfig(
+        max_concurrency=args.concurrency,
+        queue_depth=args.queue_depth,
+        shard_workers=args.shard_workers,
+        shard_threshold=args.shard_threshold,
+        score_workers=args.score_workers,
+    )
+
+
+def _validate_serve_args(args: argparse.Namespace) -> str | None:
     for flag, value, minimum in (
-        ("--clients", args.clients, 1),
-        ("--requests", args.requests, 1),
-        ("--limit", args.limit, 1),
+        ("--limit", getattr(args, "limit", 1), 1),
         ("--concurrency", args.concurrency, 1),
         ("--queue-depth", args.queue_depth, 0),
         ("--shard-threshold", args.shard_threshold, 1),
     ):
         if value < minimum:
-            print(f"error: {flag} must be >= {minimum}", file=sys.stderr)
-            return 2
-    if args.think_ms < 0.0:
-        print("error: --think-ms must be >= 0", file=sys.stderr)
-        return 2
-    if args.zipf < 0.0:
-        print("error: --zipf must be >= 0", file=sys.stderr)
-        return 2
+            return f"{flag} must be >= {minimum}"
     if args.shard_workers is not None and args.shard_workers < 1:
-        print("error: --shard-workers must be >= 1", file=sys.stderr)
+        return "--shard-workers must be >= 1"
+    if args.score_workers is not None and args.score_workers < 2:
+        return "--score-workers must be >= 2"
+    return None
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from .serve import SearchHTTPServer, SearchService
+
+    problem = _validate_serve_args(args)
+    if problem is None and args.port < 0:
+        problem = "--port must be >= 0"
+    if problem is None and args.drain_seconds < 0.0:
+        problem = "--drain-seconds must be >= 0"
+    if problem is not None:
+        print(f"error: {problem}", file=sys.stderr)
         return 2
     catalog = _open_catalog(args.catalog)
     if catalog is None:
         return 2
-    if args.query:
+    service = SearchService(
+        catalog,
+        hierarchy=vocabulary_hierarchy(),
+        config=_serve_config_from_args(args),
+    )
+    server = SearchHTTPServer(
+        service, host=args.host, port=args.port
+    ).start()
+    host, port = server.address
+    print(
+        f"serving {args.catalog} at http://{host}:{port} "
+        f"(GET /search?q=..., /healthz, /telemetry)",
+        flush=True,
+    )
+    stop = threading.Event()
+    if threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            signal.signal(signum, lambda *_: stop.set())
+        print("Ctrl-C (or SIGTERM) drains and exits", flush=True)
+    deadline = (
+        time.monotonic() + args.max_seconds
+        if args.max_seconds is not None
+        else None
+    )
+    try:
+        while not stop.wait(0.2):
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+    finally:
+        drained = server.close(timeout=args.drain_seconds)
+        stats = service.stats()
+        print(
+            f"shutdown: drained={drained}, "
+            f"served {stats['requests_admitted']} requests",
+            flush=True,
+        )
+        catalog.close()
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from .serve import (
+        SearchHTTPServer,
+        SearchService,
+        run_load,
+        run_load_http,
+    )
+    from .ui import render_serve_report
+
+    problem = _validate_serve_args(args)
+    for flag, value, minimum in (
+        ("--clients", args.clients, 1),
+        ("--requests", args.requests, 1),
+    ):
+        if problem is None and value < minimum:
+            problem = f"{flag} must be >= {minimum}"
+    if problem is None and args.think_ms < 0.0:
+        problem = "--think-ms must be >= 0"
+    if problem is None and args.zipf < 0.0:
+        problem = "--zipf must be >= 0"
+    if problem is not None:
+        print(f"error: {problem}", file=sys.stderr)
+        return 2
+    catalog = _open_catalog(args.catalog)
+    if catalog is None:
+        return 2
+    texts = args.query or None
+    if texts:
         try:
-            queries = [parse_query(text) for text in args.query]
+            queries = [parse_query(text) for text in texts]
         except QueryParseError as exc:
             print(f"error: {exc}", file=sys.stderr)
             catalog.close()
             return 2
+    elif args.http:
+        texts = _default_workload_texts(catalog)
+        queries = [parse_query(text) for text in texts]
     else:
         queries = _default_workload(catalog)
-    config = ServeConfig(
-        max_concurrency=args.concurrency,
-        queue_depth=args.queue_depth,
-        shard_workers=args.shard_workers,
-        shard_threshold=args.shard_threshold,
-    )
+    config = _serve_config_from_args(args)
     with SearchService(
         catalog, hierarchy=vocabulary_hierarchy(), config=config
     ) as service:
-        report = run_load(
-            service,
-            queries,
-            clients=args.clients,
-            requests_per_client=args.requests,
-            think_seconds=args.think_ms / 1e3,
-            zipf_s=args.zipf,
-            limit=args.limit,
-            seed=args.seed,
-            live_version=lambda: catalog.version,
-        )
-        print(render_serve_report(report, service.stats()))
+        if args.http:
+            with SearchHTTPServer(service, port=0).start() as server:
+                print(f"socket mode: {server.url}")
+                report = run_load_http(
+                    server.url,
+                    texts,
+                    clients=args.clients,
+                    requests_per_client=args.requests,
+                    think_seconds=args.think_ms / 1e3,
+                    zipf_s=args.zipf,
+                    limit=args.limit,
+                    seed=args.seed,
+                    live_version=lambda: catalog.version,
+                )
+                print(render_serve_report(report, service.stats()))
+        else:
+            report = run_load(
+                service,
+                queries,
+                clients=args.clients,
+                requests_per_client=args.requests,
+                think_seconds=args.think_ms / 1e3,
+                zipf_s=args.zipf,
+                limit=args.limit,
+                seed=args.seed,
+                live_version=lambda: catalog.version,
+            )
+            print(render_serve_report(report, service.stats()))
     catalog.close()
     return 0
 
@@ -570,6 +740,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "wrangle": _cmd_wrangle,
     "search": _cmd_search,
+    "serve": _cmd_serve,
     "serve-bench": _cmd_serve_bench,
     "summary": _cmd_summary,
     "validate": _cmd_validate,

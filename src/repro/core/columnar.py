@@ -135,6 +135,26 @@ class ColumnarSnapshot:
     def __len__(self) -> int:
         return len(self.ids)
 
+    # -- pickling ------------------------------------------------------------
+    #
+    # Snapshots ship to scoring worker processes (serve/procpool.py), so
+    # the wire format matters: every column is a flat ``array`` (which
+    # pickles as one bytes blob) and ``row_of`` — a dict as large as the
+    # catalog but fully derived from ``ids`` — is excluded and rebuilt
+    # on unpickle instead of being serialized.
+
+    def __getstate__(self) -> dict:
+        state = {slot: getattr(self, slot) for slot in self.__slots__}
+        del state["row_of"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self.row_of = {
+            dataset_id: row for row, dataset_id in enumerate(self.ids)
+        }
+
 
 class ColumnarScorer:
     """Scores :class:`ColumnarSnapshot` rows bit-identically to the

@@ -159,6 +159,48 @@ class _TopK:
         )
 
 
+def score_rows_into(
+    cscorer: ColumnarScorer,
+    query: Query,
+    rows: Sequence[int],
+    top: _TopK,
+) -> int:
+    """Score columnar ``rows`` into the top-k heap; returns known matches.
+
+    The single source of truth for the columnar hot loop: the engine's
+    serial path, every scoring-shard thread *and* every scoring worker
+    process (serve/procpool.py) run this exact function, which is what
+    makes the three rungs of the degradation ladder bit-identical.
+
+    Results are pushed with ``feature=None`` — only the page's survivors
+    fetch their feature objects (in :meth:`SearchEngine._search`), so
+    the hot loop never touches the feature dict.
+    """
+    matches = 0
+    is_empty = query.is_empty
+    ids = cscorer.view.ids
+    score_row = cscorer.score_row_bounded
+    floor = top.floor
+    push = top.push
+    for row in rows:
+        breakdown, known_positive = score_row(row, floor())
+        if known_positive:
+            matches += 1
+        if breakdown is None:
+            continue  # provably below the current top-k floor
+        if breakdown.total <= 0.0 and not is_empty:
+            continue
+        push(
+            SearchResult(
+                dataset_id=ids[row],
+                score=breakdown.total,
+                breakdown=breakdown,
+                feature=None,
+            )
+        )
+    return matches
+
+
 class SearchEngine:
     """Ranked similarity search over a catalog store.
 
@@ -172,6 +214,15 @@ class SearchEngine:
     serial page (ids, scores, order, breakdowns) precisely.  Below the
     threshold (or with ``shard_workers`` unset) the serial path runs
     unchanged.
+
+    Above the thread shards sits an optional *process pool* rung
+    (``procpool`` — see :class:`repro.serve.procpool.ProcessPoolScorer`,
+    duck-typed here so ``core`` never imports the serving layer): when a
+    pool is attached and holds the current snapshot version, columnar
+    scoring fans out across worker processes instead of threads.  The
+    pool answers ``None`` whenever it cannot serve (version not yet
+    shipped, broken pool), and the query falls through to thread shards
+    and then serial — every rung produces the identical page.
     """
 
     def __init__(
@@ -186,6 +237,7 @@ class SearchEngine:
         shard_threshold: int = 1024,
         executor: ThreadPoolExecutor | None = None,
         columnar: bool = True,
+        procpool=None,
     ) -> None:
         if not 0.0 < epsilon < 1.0:
             raise ValueError("epsilon must lie in (0, 1)")
@@ -215,6 +267,11 @@ class SearchEngine:
         # Disable to force the object scorer, e.g. for A/B benchmarks.
         self.columnar = columnar
         self._columnar_cache: ColumnarSnapshot | None = None
+        # Optional process-pool scorer (the serving layer attaches one);
+        # duck-typed: wants(version, n_rows) / score(query, limit,
+        # version, rows).  Not owned by the engine — whoever installed
+        # it closes it.
+        self.procpool = procpool
 
     def close(self) -> None:
         """Release the shard executor if this engine created one."""
@@ -470,33 +527,10 @@ class SearchEngine:
     ) -> int:
         """Columnar twin of :meth:`_score_into`: rows, not features.
 
-        Results are pushed with ``feature=None`` — only the page's
-        survivors fetch their feature objects (in :meth:`_search`), so
-        the hot loop never touches the feature dict.
+        Delegates to the module-level :func:`score_rows_into` — the one
+        loop shared with shard threads and pool worker processes.
         """
-        matches = 0
-        is_empty = query.is_empty
-        ids = cscorer.view.ids
-        score_row = cscorer.score_row_bounded
-        floor = top.floor
-        push = top.push
-        for row in rows:
-            breakdown, known_positive = score_row(row, floor())
-            if known_positive:
-                matches += 1
-            if breakdown is None:
-                continue  # provably below the current top-k floor
-            if breakdown.total <= 0.0 and not is_empty:
-                continue
-            push(
-                SearchResult(
-                    dataset_id=ids[row],
-                    score=breakdown.total,
-                    breakdown=breakdown,
-                    feature=None,
-                )
-            )
-        return matches
+        return score_rows_into(cscorer, query, rows, top)
 
     def _score_candidates_columnar(
         self,
@@ -524,6 +558,16 @@ class SearchEngine:
                 rows = [row_of[dataset_id] for dataset_id in ids]
             except KeyError:
                 return None
+        pool = self.procpool
+        if pool is not None and pool.wants(view.version, len(rows)):
+            pooled = pool.score(query, top.limit, view.version, rows)
+            if pooled is not None:
+                matches, hits = pooled
+                for result in hits:
+                    top.push(result)
+                return matches
+            # Pool could not serve this query (broken workers, racing
+            # refresh): fall through to thread shards — same page.
         cscorer = ColumnarScorer(scorer, view)
         workers = self._effective_shard_workers(len(rows))
         if workers <= 1:

@@ -1,6 +1,8 @@
 """Concurrent query serving over immutable catalog snapshots."""
 
-from .loadgen import LoadReport, percentile, run_load
+from .http import SearchHTTPServer, search_payload
+from .loadgen import LoadReport, percentile, run_load, run_load_http
+from .procpool import ProcessPoolScorer
 from .service import (
     SearchService,
     ServeConfig,
@@ -10,10 +12,14 @@ from .service import (
 
 __all__ = [
     "LoadReport",
+    "ProcessPoolScorer",
+    "SearchHTTPServer",
     "SearchService",
     "ServeConfig",
     "ServeResponse",
     "ServiceClosedError",
     "percentile",
     "run_load",
+    "run_load_http",
+    "search_payload",
 ]

@@ -1,0 +1,287 @@
+"""Stdlib HTTP front end for :class:`~repro.serve.service.SearchService`.
+
+The network face of the portal: a :class:`~http.server.ThreadingHTTPServer`
+(one thread per connection, keep-alive on) translating the service's
+typed contracts onto the wire::
+
+    GET /search?q=<qparser text>&limit=N   ranked page as JSON
+    GET /healthz                           service stats (503 once closed)
+    GET /telemetry                         the shared telemetry snapshot
+
+Error mapping — the bounded-admission contract over HTTP:
+
+* :class:`~repro.core.errors.OverloadedError` -> **429** with
+  ``Retry-After`` (the client backs off and retries, exactly like the
+  in-process load generator does),
+* :class:`~repro.serve.service.ServiceClosedError` -> **503** with
+  ``Retry-After`` (drain in progress or service closed),
+* :class:`~repro.core.qparser.QueryParseError`, a missing/empty ``q``,
+  a malformed ``limit`` -> **400** with a JSON error body,
+* unknown route -> **404**.
+
+Nothing ever escapes as a traceback page: any unexpected handler
+exception becomes a 500 JSON envelope (and is counted on the service
+telemetry as ``http.internal_errors``).
+
+Shutdown is graceful and ordered: :meth:`SearchHTTPServer.close` first
+stops the accept loop, then closes the service — which stops admission
+and drains, so requests already executing complete against the snapshot
+they started with while late arrivals on kept-alive connections get
+clean 503s — and finally releases the listening socket.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from ..core.errors import OverloadedError
+from ..core.qparser import QueryParseError, parse_query
+from .service import SearchService, ServiceClosedError
+
+#: Seconds a 429/503 tells the client to wait before retrying.
+RETRY_AFTER_SECONDS = 1
+
+
+def search_payload(response) -> dict:
+    """The JSON body of a 200 /search response (stable wire contract)."""
+    results = response.results
+    return {
+        "version": response.snapshot_version,
+        "total_matches": results.total_matches,
+        "truncated": results.truncated,
+        "queued_seconds": response.queued_seconds,
+        "total_seconds": response.total_seconds,
+        "results": [
+            {
+                "dataset_id": result.dataset_id,
+                "score": result.score,
+                "breakdown": {
+                    "total": result.breakdown.total,
+                    "location": result.breakdown.location,
+                    "time": result.breakdown.time,
+                    "variables": [
+                        [name, sim]
+                        for name, sim in result.breakdown.variables
+                    ],
+                },
+            }
+            for result in results
+        ],
+    }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request; ``self.server`` carries the service reference."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve"
+    #: Socket timeout: an idle kept-alive connection releases its
+    #: handler thread instead of pinning it forever.
+    timeout = 30
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, format: str, *args: object) -> None:
+        pass  # telemetry counters replace stderr chatter
+
+    def _send_json(
+        self, status: int, payload: dict, headers: dict | None = None
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        # Count before the body hits the wire: a client that has read
+        # this response must already see its status in /telemetry.
+        telemetry = self.server.service.telemetry
+        if telemetry.enabled:
+            telemetry.count(f"http.status.{status}")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+        self._responded = True
+
+    def do_GET(self) -> None:
+        self._responded = False
+        telemetry = self.server.service.telemetry
+        if telemetry.enabled:
+            telemetry.count("http.requests")
+        try:
+            self._route()
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+        except Exception:
+            if telemetry.enabled:
+                telemetry.count("http.internal_errors")
+            if self._responded:
+                # Headers already on the wire: the only safe move is to
+                # drop the connection, never a half-written traceback.
+                self.close_connection = True
+            else:
+                try:
+                    self._send_json(
+                        500,
+                        {"error": "internal server error",
+                         "code": "internal"},
+                    )
+                except OSError:
+                    self.close_connection = True
+
+    # -- routes --------------------------------------------------------------
+
+    def _route(self) -> None:
+        url = urlsplit(self.path)
+        if url.path == "/search":
+            self._search(url.query)
+        elif url.path == "/healthz":
+            self._healthz()
+        elif url.path == "/telemetry":
+            self._telemetry()
+        else:
+            self._send_json(
+                404,
+                {"error": f"no such route: {url.path}", "code": "not-found"},
+            )
+
+    def _search(self, query_string: str) -> None:
+        service: SearchService = self.server.service
+        params = parse_qs(query_string)
+        text = (params.get("q") or [""])[0]
+        raw_limit = (params.get("limit") or ["10"])[0]
+        try:
+            limit = int(raw_limit)
+        except ValueError:
+            self._send_json(
+                400,
+                {"error": f"limit must be an integer, got {raw_limit!r}",
+                 "code": "bad-request"},
+            )
+            return
+        if limit < 1:
+            self._send_json(
+                400,
+                {"error": "limit must be >= 1", "code": "bad-request"},
+            )
+            return
+        try:
+            query = parse_query(text)
+        except QueryParseError as exc:
+            self._send_json(
+                400, {"error": str(exc), "code": "bad-query"}
+            )
+            return
+        try:
+            response = service.search(query, limit=limit)
+        except OverloadedError as exc:
+            self._send_json(
+                429,
+                {"error": str(exc), "code": "overloaded"},
+                headers={"Retry-After": str(RETRY_AFTER_SECONDS)},
+            )
+            return
+        except ServiceClosedError:
+            self._send_json(
+                503,
+                {"error": "service is draining or closed",
+                 "code": "closed"},
+                headers={"Retry-After": str(RETRY_AFTER_SECONDS)},
+            )
+            return
+        self._send_json(200, search_payload(response))
+
+    def _healthz(self) -> None:
+        service: SearchService = self.server.service
+        stats = service.stats()
+        status = 503 if stats["closed"] else 200
+        self._send_json(
+            status,
+            {"status": "closed" if stats["closed"] else "ok", **stats},
+        )
+
+    def _telemetry(self) -> None:
+        service: SearchService = self.server.service
+        self._send_json(200, service.telemetry.snapshot())
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    # Graceful shutdown is the *service* drain; handler threads on idle
+    # kept-alive sockets must not block server_close.
+    block_on_close = False
+
+    def __init__(self, address, handler, service: SearchService) -> None:
+        super().__init__(address, handler)
+        self.service = service
+
+
+class SearchHTTPServer:
+    """Owns the listening socket, the accept thread and shutdown order.
+
+    Usage::
+
+        server = SearchHTTPServer(service, port=0).start()
+        print(server.url)          # ephemeral port resolved
+        ...
+        server.close(timeout=5.0)  # stop accepting, drain, release
+
+    ``close`` also closes the wrapped service (it is the one shutdown
+    path); pass ``close_service=False`` to keep the service alive.
+    """
+
+    def __init__(
+        self,
+        service: SearchService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self._httpd = _Server((host, port), _Handler, service)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._httpd.server_address[:2]
+        return host, port
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "SearchHTTPServer":
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-http-accept",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(
+        self, timeout: float | None = None, close_service: bool = True
+    ) -> bool:
+        """Graceful shutdown; True when the service drained in time."""
+        if self._thread is not None:
+            self._httpd.shutdown()  # stop accepting new connections
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        drained = True
+        if close_service:
+            # Stops admission and drains: in-flight requests complete
+            # against their snapshot; kept-alive stragglers get 503s.
+            drained = self.service.close(timeout=timeout)
+        self._httpd.server_close()
+        return drained
+
+    def __enter__(self) -> "SearchHTTPServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -15,12 +15,15 @@ modulo scheduling noise in the latency numbers themselves.
 
 from __future__ import annotations
 
+import http.client
+import json
 import math
 import random
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
+from urllib.parse import urlencode, urlsplit
 
 from ..core.errors import OverloadedError
 from ..core.query import Query
@@ -69,6 +72,14 @@ class LoadReport:
     #: Worst (live version - served version) observed, when a live
     #: version probe was provided; 0 otherwise.
     max_staleness: int = 0
+    #: How the workload reached the service: "inproc" (direct calls)
+    #: or "http" (sockets via :func:`run_load_http`).
+    transport: str = "inproc"
+    #: HTTP status -> count, socket mode only (empty for in-process).
+    status_counts: dict = field(default_factory=dict)
+    #: Responses whose snapshot version was *older* than one the same
+    #: client had already seen — must be 0 (snapshots swap forward only).
+    version_regressions: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -87,6 +98,9 @@ class LoadReport:
             "queued_p95": self.queued_p95,
             "snapshot_versions": self.snapshot_versions,
             "max_staleness": self.max_staleness,
+            "transport": self.transport,
+            "status_counts": self.status_counts,
+            "version_regressions": self.version_regressions,
         }
 
 
@@ -188,6 +202,186 @@ def run_load(
         duration_seconds=duration,
         snapshot_versions=sorted(versions),
         max_staleness=counts["staleness"],
+    )
+    if duration > 0.0:
+        report.qps = report.completed / duration
+    if latencies:
+        report.latency_p50 = percentile(latencies, 50.0)
+        report.latency_p95 = percentile(latencies, 95.0)
+        report.latency_p99 = percentile(latencies, 99.0)
+        report.latency_mean = sum(latencies) / len(latencies)
+    if queued:
+        report.queued_p95 = percentile(queued, 95.0)
+    return report
+
+
+def run_load_http(
+    url: str,
+    query_texts: Sequence[str],
+    clients: int = 4,
+    requests_per_client: int = 25,
+    think_seconds: float = 0.0,
+    zipf_s: float = 1.1,
+    limit: int = 10,
+    seed: int = 0,
+    live_version: Callable[[], int] | None = None,
+    timeout: float = 30.0,
+) -> LoadReport:
+    """Socket-mode twin of :func:`run_load`: drive a real HTTP server.
+
+    Same closed-loop Zipf workload, but each client owns one kept-alive
+    :class:`http.client.HTTPConnection` to ``url`` (a
+    :class:`~repro.serve.http.SearchHTTPServer` address, e.g.
+    ``"http://127.0.0.1:8080"``) and issues ``GET /search`` with the
+    query *text* — so the path measured includes the qparser, JSON
+    encoding and the socket round trip, i.e. what a remote portal
+    client actually experiences.
+
+    Status mapping mirrors the in-process driver: 429 counts as
+    rejected and is retried after a jittered backoff, 503 ends the
+    client (service closing), any other non-200 counts as an error.
+    Staleness is measured against ``live_version`` sampled *before*
+    each request — served version may never lag that sample by more
+    than 1 when the publisher refreshes after every batch.  Each client
+    also checks that versions never move backwards across its own
+    responses (``version_regressions``).
+    """
+    if clients < 1:
+        raise ValueError("clients must be positive")
+    if requests_per_client < 1:
+        raise ValueError("requests_per_client must be positive")
+    if think_seconds < 0.0:
+        raise ValueError("think_seconds must be non-negative")
+    if not query_texts:
+        raise ValueError("query_texts must be non-empty")
+    parts = urlsplit(url if "//" in url else f"http://{url}")
+    host = parts.hostname or "127.0.0.1"
+    port = parts.port or 80
+
+    weights = zipf_weights(len(query_texts), zipf_s)
+    lock = threading.Lock()
+    latencies: list[float] = []
+    queued: list[float] = []
+    versions: set[int] = set()
+    status_counts: dict[int, int] = {}
+    counts = {
+        "completed": 0,
+        "rejected": 0,
+        "errors": 0,
+        "staleness": 0,
+        "regressions": 0,
+    }
+    start_barrier = threading.Barrier(clients + 1)
+
+    def client(index: int) -> None:
+        rng = random.Random(seed * 100_003 + index)
+        conn = http.client.HTTPConnection(host, port, timeout=timeout)
+        last_version: int | None = None
+        start_barrier.wait()
+        served = 0
+        try:
+            while served < requests_per_client:
+                text = rng.choices(query_texts, weights=weights, k=1)[0]
+                target = "/search?" + urlencode(
+                    {"q": text, "limit": limit}
+                )
+                live_before = (
+                    live_version() if live_version is not None else None
+                )
+                started = time.monotonic()
+                try:
+                    conn.request("GET", target)
+                    response = conn.getresponse()
+                    body = response.read()
+                except (OSError, http.client.HTTPException):
+                    # Connection-level failure: count it, reconnect.
+                    conn.close()
+                    conn = http.client.HTTPConnection(
+                        host, port, timeout=timeout
+                    )
+                    with lock:
+                        counts["errors"] += 1
+                    served += 1
+                    continue
+                elapsed = time.monotonic() - started
+                status = response.status
+                with lock:
+                    status_counts[status] = (
+                        status_counts.get(status, 0) + 1
+                    )
+                if status == 429:
+                    with lock:
+                        counts["rejected"] += 1
+                    time.sleep(rng.uniform(0.001, 0.005))
+                    continue
+                if status == 503:
+                    with lock:
+                        counts["errors"] += 1
+                    return
+                if status != 200:
+                    with lock:
+                        counts["errors"] += 1
+                    served += 1
+                    continue
+                payload = json.loads(body)
+                version = payload["version"]
+                staleness = (
+                    max(0, live_before - version)
+                    if live_before is not None
+                    else 0
+                )
+                regression = (
+                    last_version is not None and version < last_version
+                )
+                last_version = (
+                    version
+                    if last_version is None
+                    else max(last_version, version)
+                )
+                with lock:
+                    counts["completed"] += 1
+                    counts["staleness"] = max(
+                        counts["staleness"], staleness
+                    )
+                    if regression:
+                        counts["regressions"] += 1
+                    latencies.append(elapsed)
+                    queued.append(payload.get("queued_seconds", 0.0))
+                    versions.add(version)
+                served += 1
+                if think_seconds > 0.0:
+                    time.sleep(think_seconds)
+        finally:
+            conn.close()
+
+    threads = [
+        threading.Thread(target=client, args=(i,), daemon=True)
+        for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    start_barrier.wait()
+    started = time.monotonic()
+    for thread in threads:
+        thread.join()
+    duration = time.monotonic() - started
+
+    report = LoadReport(
+        clients=clients,
+        requests_per_client=requests_per_client,
+        think_seconds=think_seconds,
+        completed=counts["completed"],
+        rejected=counts["rejected"],
+        errors=counts["errors"],
+        duration_seconds=duration,
+        snapshot_versions=sorted(versions),
+        max_staleness=counts["staleness"],
+        transport="http",
+        status_counts={
+            str(status): count
+            for status, count in sorted(status_counts.items())
+        },
+        version_regressions=counts["regressions"],
     )
     if duration > 0.0:
         report.qps = report.completed / duration

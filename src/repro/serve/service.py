@@ -38,6 +38,7 @@ from ..core.scoring import ScoringConfig
 from ..core.search import SearchEngine, SearchResults
 from ..hierarchy import ConceptHierarchy
 from ..obs import Telemetry, use_telemetry
+from .procpool import ProcessPoolScorer
 
 
 class ServiceClosedError(RuntimeError):
@@ -59,6 +60,14 @@ class ServeConfig:
     shard_workers: int | None = None
     shard_threshold: int = 1024
     cache_size: int = 512
+    #: Scoring worker *processes* (``None``/unset: in-process scoring).
+    #: When >= 2 the service owns a
+    #: :class:`~repro.serve.procpool.ProcessPoolScorer` and ships every
+    #: snapshot version to it — see DESIGN note 16.
+    score_workers: int | None = None
+    #: Candidate-row floor below which a query skips the process pool
+    #: (IPC would dominate) and scores on threads/serial instead.
+    score_min_rows: int = 256
 
     def __post_init__(self) -> None:
         if self.max_concurrency < 1:
@@ -69,6 +78,10 @@ class ServeConfig:
             raise ValueError("shard_threshold must be positive")
         if self.cache_size < 1:
             raise ValueError("cache_size must be positive")
+        if self.score_workers is not None and self.score_workers < 2:
+            raise ValueError("score_workers must be >= 2 (or None)")
+        if self.score_min_rows < 1:
+            raise ValueError("score_min_rows must be positive")
 
     @property
     def admission_capacity(self) -> int:
@@ -125,6 +138,15 @@ class SearchService:
                 max_workers=self.config.shard_workers,
                 thread_name_prefix="repro-shard",
             )
+        # Likewise one process pool for the service's lifetime; every
+        # snapshot version is shipped to it in _build_engine, *before*
+        # the engine swap, so a request never races an unshipped version.
+        self._procpool: ProcessPoolScorer | None = None
+        if self.config.score_workers and self.config.score_workers > 1:
+            self._procpool = ProcessPoolScorer(
+                workers=self.config.score_workers,
+                min_rows=self.config.score_min_rows,
+            )
         # Admission control: ``_admission`` bounds executing + queued
         # (non-blocking — its failure IS the overload signal);
         # ``_slots`` serializes execution (blocking — waiting on it is
@@ -154,12 +176,22 @@ class SearchService:
                 shard_workers=self.config.shard_workers,
                 shard_threshold=self.config.shard_threshold,
                 executor=self._shard_executor,
+                procpool=self._procpool,
             )
             engine.build_indexes()
             # Warm the columnar freeze off the request path: the first
             # admitted query scans flat columns instead of paying the
             # one-time freeze under its own latency budget.
-            engine.columnar_view()
+            view = engine.columnar_view()
+            if self._procpool is not None and view is not None:
+                # Ship the new version to the scoring workers before the
+                # engine swap makes it visible to requests; the pool
+                # retains the previous version too, so requests already
+                # in flight keep pool-scoring their own snapshot
+                # (staleness <= 1 by construction).
+                self._procpool.install(
+                    view, hierarchy=self.hierarchy, config=self.scoring
+                )
         self.telemetry.gauge("serve.snapshot_version", snapshot.version)
         return engine
 
@@ -225,8 +257,14 @@ class SearchService:
                 finally:
                     with self._idle:
                         self._in_flight -= 1
+                        last = self._closed and self._in_flight == 0
                         if self._in_flight == 0:
                             self._idle.notify_all()
+                    if last:
+                        # A close() whose drain timed out left the
+                        # executors alive for us; the last request out
+                        # releases them.
+                        self._release_executors()
                 return response
             finally:
                 self._slots.release()
@@ -271,14 +309,34 @@ class SearchService:
         Graceful: requests already executing run to completion; new
         calls raise :class:`ServiceClosedError`.  Returns True when the
         drain finished inside ``timeout`` (None = wait forever).
+
+        Executors are released only once the service is actually idle:
+        if the drain times out, the still-executing requests keep their
+        shard threads and scoring processes (shutting them down under a
+        live request would turn a graceful 503 into a RuntimeError
+        mid-query), and the last request out releases them instead.
         """
         with self._state_lock:
             self._closed = True
         drained = self.drain(timeout=timeout)
-        if self._shard_executor is not None:
-            self._shard_executor.shutdown(wait=True)
-            self._shard_executor = None
+        if drained:
+            self._release_executors()
         return drained
+
+    def _release_executors(self) -> None:
+        """Shut down the shard threads and the scoring process pool.
+
+        Idempotent and race-safe: ownership of each executor is claimed
+        under the state lock, so a timed-out ``close()`` and the last
+        in-flight request cannot both shut the same executor down.
+        """
+        with self._state_lock:
+            executor, self._shard_executor = self._shard_executor, None
+            procpool, self._procpool = self._procpool, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+        if procpool is not None:
+            procpool.close()
 
     def __enter__(self) -> "SearchService":
         return self
@@ -299,6 +357,7 @@ class SearchService:
             in_flight = self._in_flight
             admitted = self._admitted
         snapshot_version = self._engine.catalog.version
+        procpool = self._procpool
         return {
             "snapshot_version": snapshot_version,
             "source_version": self.source.version,
@@ -308,6 +367,8 @@ class SearchService:
             "max_concurrency": self.config.max_concurrency,
             "queue_depth": self.config.queue_depth,
             "shard_workers": self.config.shard_workers,
+            "score_workers": self.config.score_workers,
+            "procpool": procpool.stats() if procpool is not None else None,
             "closed": self._closed,
             "cache": self.cache.stats(),
         }

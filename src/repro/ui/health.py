@@ -186,6 +186,15 @@ def render_telemetry_report(snapshot: dict) -> str:
                 "  prefilter: sqlite rtree module unavailable — "
                 "degraded to indexed range scans"
             )
+        pooled = counters.get("procpool.queries", 0)
+        pool_degraded = counters.get("procpool.degraded", 0)
+        pool_stale = counters.get("procpool.stale_miss", 0)
+        if pooled or pool_degraded or pool_stale:
+            lines.append(
+                f"  procpool: {pooled} pooled queries "
+                f"({pool_degraded} degraded to threads, "
+                f"{pool_stale} stale misses)"
+            )
         parts.append("\n".join(lines))
 
     gauges = snapshot.get("gauges", {})
@@ -232,6 +241,8 @@ def render_serve_report(report, stats: dict | None = None) -> str:
     lines = [
         "Serve load report",
         "=" * 60,
+        f"  transport            "
+        f"{getattr(report, 'transport', 'inproc'):>10}",
         f"  clients              {report.clients:>10}",
         f"  requests per client  {report.requests_per_client:>10}",
         f"  think time           {report.think_seconds * 1e3:>10.1f} ms",
@@ -249,6 +260,13 @@ def render_serve_report(report, stats: dict | None = None) -> str:
         f"p99 {report.latency_p99 * 1e3:>9.2f}",
         f"  queued p95 {report.queued_p95 * 1e3:>9.2f}",
     ]
+    status_counts = getattr(report, "status_counts", None)
+    if status_counts:
+        statuses = ", ".join(
+            f"{status}: {count}"
+            for status, count in sorted(status_counts.items())
+        )
+        lines.append(f"  http statuses        {statuses}")
     versions = ", ".join(str(v) for v in report.snapshot_versions)
     lines += [
         "",
@@ -256,6 +274,8 @@ def render_serve_report(report, stats: dict | None = None) -> str:
         "-" * 60,
         f"  versions served      {versions or '-'}",
         f"  max staleness        {report.max_staleness:>10}",
+        f"  version regressions  "
+        f"{getattr(report, 'version_regressions', 0):>10}",
     ]
     if stats is not None:
         cache = stats.get("cache") or {}
@@ -271,6 +291,11 @@ def render_serve_report(report, stats: dict | None = None) -> str:
             + (
                 f", shard workers {stats['shard_workers']}"
                 if stats.get("shard_workers")
+                else ""
+            )
+            + (
+                f", score workers {stats['score_workers']}"
+                if stats.get("score_workers")
                 else ""
             ),
             f"  cache: {cache.get('hits', 0)} hits / "

@@ -1,0 +1,178 @@
+"""ColumnarSnapshot pickling: the snapshot-shipping wire format.
+
+Worker processes (serve/procpool.py) receive the frozen view by pickle;
+these tests pin that the round trip is lossless on every column, that
+scoring over an unpickled view is bit-identical, and that the payload
+for a catalog-scale freeze stays within a size/time budget (``row_of``
+is rebuilt on unpickle, not serialized).
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import MemoryCatalog
+from repro.catalog.records import DatasetFeature, VariableEntry
+from repro.core.columnar import ColumnarScorer, ColumnarSnapshot
+from repro.core.query import Query, VariableTerm
+from repro.core.scoring import QueryScorer
+from repro.geo import BoundingBox, TimeInterval
+
+VARIABLE_POOL = [
+    "water_temperature",
+    "salinity",
+    "dissolved_oxygen",
+    "chlorophyll",
+]
+
+finite_lat = st.floats(
+    min_value=42.0, max_value=49.0, allow_nan=False, allow_infinity=False
+)
+finite_lon = st.floats(
+    min_value=-127.0, max_value=-121.0,
+    allow_nan=False, allow_infinity=False,
+)
+
+
+@st.composite
+def features(draw, index: int):
+    lat = draw(finite_lat)
+    lon = draw(finite_lon)
+    start = draw(st.floats(min_value=0.0, max_value=1e7))
+    names = draw(
+        st.lists(
+            st.sampled_from(VARIABLE_POOL),
+            min_size=0,
+            max_size=3,
+            unique=True,
+        )
+    )
+    return DatasetFeature(
+        dataset_id=f"ds_{index:04d}",
+        title=f"dataset {index}",
+        platform="station",
+        file_format="csv",
+        bbox=BoundingBox(
+            lat, lon, lat + draw(st.floats(0.0, 0.5)),
+            lon + draw(st.floats(0.0, 0.5)),
+        ),
+        interval=TimeInterval(start, start + draw(st.floats(0.0, 1e6))),
+        row_count=draw(st.integers(1, 500)),
+        source_directory="",
+        variables=[
+            VariableEntry.from_written(name, "u", 10, 0.0, 30.0, 15.0, 5.0)
+            for name in names
+        ],
+    )
+
+
+@st.composite
+def snapshots(draw):
+    count = draw(st.integers(min_value=0, max_value=30))
+    feats = [draw(features(index)) for index in range(count)]
+    return ColumnarSnapshot(feats, version=draw(st.integers(1, 99)))
+
+
+COLUMN_SLOTS = [
+    "version", "ids", "row_of",
+    "min_lat", "min_lon", "max_lat", "max_lon",
+    "t_start", "t_end",
+    "var_offsets", "var_name_ids", "var_counts", "var_mins", "var_maxs",
+    "names",
+]
+
+
+@given(view=snapshots())
+@settings(max_examples=30, deadline=None)
+def test_pickle_roundtrip_equal_on_every_column(view):
+    clone = pickle.loads(pickle.dumps(view))
+    assert len(clone) == len(view)
+    for slot in COLUMN_SLOTS:
+        assert getattr(clone, slot) == getattr(view, slot), slot
+
+
+@given(view=snapshots())
+@settings(max_examples=15, deadline=None)
+def test_pickle_roundtrip_scores_identically(view):
+    clone = pickle.loads(pickle.dumps(view))
+    query = Query(
+        variables=(
+            VariableTerm(name="salinity"),
+            VariableTerm(name="water_temperature"),
+        )
+    )
+    original = ColumnarScorer(QueryScorer(query), view)
+    unpickled = ColumnarScorer(QueryScorer(query), clone)
+    for row in range(len(view)):
+        assert unpickled.score_row(row) == original.score_row(row)
+
+
+def _synthetic_features(n: int) -> list[DatasetFeature]:
+    names = VARIABLE_POOL
+    return [
+        DatasetFeature(
+            dataset_id=f"ds_{i:05d}",
+            title=f"dataset {i}",
+            platform="station",
+            file_format="csv",
+            bbox=BoundingBox(
+                42.0 + (i % 70) * 0.1, -127.0 + (i % 60) * 0.1,
+                42.5 + (i % 70) * 0.1, -126.5 + (i % 60) * 0.1,
+            ),
+            interval=TimeInterval(i * 1e4, i * 1e4 + 5e4),
+            row_count=100,
+            source_directory="",
+            variables=[
+                VariableEntry.from_written(
+                    names[(i + j) % len(names)], "u", 10,
+                    0.0, 30.0, 15.0, 5.0,
+                )
+                for j in range(1 + i % 3)
+            ],
+        )
+        for i in range(n)
+    ]
+
+
+def test_5k_freeze_pickle_budget():
+    """The shipping cost that bounds refresh latency at catalog scale.
+
+    5k datasets must pickle + unpickle inside a small, stable budget:
+    flat array columns serialize as single bytes blobs, and the derived
+    ``row_of`` dict must NOT be on the wire at all.
+    """
+    view = ColumnarSnapshot(_synthetic_features(5000), version=1)
+    started = time.monotonic()
+    blob = pickle.dumps(view, protocol=pickle.HIGHEST_PROTOCOL)
+    clone = pickle.loads(blob)
+    elapsed = time.monotonic() - started
+    # ~65 bytes/row of numeric columns + the id strings; 2 MB leaves
+    # headroom without letting per-row object pickling sneak back in.
+    assert len(blob) < 2_000_000, f"payload too large: {len(blob)} bytes"
+    assert elapsed < 2.0, f"round trip too slow: {elapsed:.3f}s"
+    assert b"row_of" not in blob
+    assert clone.row_of == view.row_of
+    assert clone.ids == view.ids
+    assert clone.var_offsets == view.var_offsets
+
+
+def test_row_of_rebuilt_consistently():
+    view = ColumnarSnapshot(_synthetic_features(50), version=3)
+    clone = pickle.loads(pickle.dumps(view))
+    for dataset_id, row in view.row_of.items():
+        assert clone.row_of[dataset_id] == row
+        assert clone.ids[row] == dataset_id
+
+
+def test_catalog_snapshot_columnar_is_picklable():
+    # The serving layer ships the *snapshot's* cached freeze.
+    catalog = MemoryCatalog()
+    catalog.upsert_many(_synthetic_features(20))
+    view = catalog.snapshot().columnar()
+    clone = pickle.loads(pickle.dumps(view))
+    assert clone.version == view.version
+    assert clone.ids == view.ids

@@ -1,0 +1,308 @@
+"""Process-pool scoring == sharded threads == serial, property-tested.
+
+DESIGN note 16's exactness argument, machine-checked the way
+``test_search_sharded.py`` checks thread shards: worker processes score
+contiguous row ranges of the shipped snapshot through bounded top-k
+heaps, the parent merges the survivors, and the page (ids, scores,
+order, full breakdowns) must equal the serial engine's on every random
+catalog/query/limit Hypothesis can find.  The degradation ladder —
+pool -> threads -> serial — is pinned too: a stale or broken pool must
+answer ``None`` and the query must still produce the exact page.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import MemoryCatalog
+from repro.catalog.records import DatasetFeature, VariableEntry
+from repro.core.query import Query, VariableTerm
+from repro.core.search import SearchEngine
+from repro.geo import BoundingBox, GeoPoint, TimeInterval
+from repro.obs import Telemetry, use_telemetry
+from repro.serve import ProcessPoolScorer
+
+VARIABLE_POOL = [
+    "water_temperature",
+    "salinity",
+    "dissolved_oxygen",
+    "chlorophyll",
+    "wind_speed",
+]
+
+finite_lat = st.floats(
+    min_value=42.0, max_value=49.0, allow_nan=False, allow_infinity=False
+)
+finite_lon = st.floats(
+    min_value=-127.0, max_value=-121.0,
+    allow_nan=False, allow_infinity=False,
+)
+
+
+@st.composite
+def features(draw, index: int):
+    lat = draw(finite_lat)
+    lon = draw(finite_lon)
+    start = draw(st.floats(min_value=0.0, max_value=1e7))
+    names = draw(
+        st.lists(
+            st.sampled_from(VARIABLE_POOL),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        )
+    )
+    return DatasetFeature(
+        dataset_id=f"ds_{index:04d}",
+        title=f"dataset {index}",
+        platform="station",
+        file_format="csv",
+        bbox=BoundingBox(
+            lat, lon, lat + draw(st.floats(0.0, 0.5)),
+            lon + draw(st.floats(0.0, 0.5)),
+        ),
+        interval=TimeInterval(start, start + draw(st.floats(0.0, 1e6))),
+        row_count=draw(st.integers(1, 500)),
+        source_directory="",
+        variables=[
+            VariableEntry.from_written(name, "u", 10, 0.0, 30.0, 15.0, 5.0)
+            for name in names
+        ],
+    )
+
+
+@st.composite
+def catalogs(draw):
+    count = draw(st.integers(min_value=1, max_value=30))
+    catalog = MemoryCatalog()
+    catalog.upsert_many(
+        [draw(features(index)) for index in range(count)]
+    )
+    return catalog
+
+
+@st.composite
+def queries(draw):
+    location = None
+    radius = 50.0
+    if draw(st.booleans()):
+        location = GeoPoint(draw(finite_lat), draw(finite_lon))
+        radius = draw(st.floats(min_value=1.0, max_value=500.0))
+    interval = None
+    if draw(st.booleans()):
+        start = draw(st.floats(min_value=0.0, max_value=1e7))
+        interval = TimeInterval(
+            start, start + draw(st.floats(0.0, 1e6))
+        )
+    names = draw(
+        st.lists(
+            st.sampled_from(VARIABLE_POOL),
+            min_size=0 if (location or interval) else 1,
+            max_size=2,
+            unique=True,
+        )
+    )
+    return Query(
+        location=location,
+        radius_km=radius,
+        interval=interval,
+        variables=tuple(VariableTerm(name=name) for name in names),
+    )
+
+
+def page(results):
+    return [(r.dataset_id, r.score, r.breakdown) for r in results]
+
+
+@pytest.fixture(scope="module")
+def pool():
+    # One worker pool for the whole module: Hypothesis drives many
+    # examples through it, which is exactly the serving pattern (one
+    # pool, many installs).
+    scorer = ProcessPoolScorer(workers=2, min_rows=1)
+    yield scorer
+    scorer.close()
+
+
+def pooled_engine(catalog, pool) -> SearchEngine:
+    engine = SearchEngine(catalog, cache=False, procpool=pool)
+    view = engine.columnar_view()
+    pool.install(view)
+    return engine
+
+
+@given(
+    catalog=catalogs(),
+    query=queries(),
+    limit=st.integers(min_value=1, max_value=15),
+)
+@settings(max_examples=12, deadline=None)
+def test_pool_page_equals_threads_equals_serial(catalog, query, limit, pool):
+    serial = SearchEngine(catalog, cache=False)
+    threaded = SearchEngine(
+        catalog, cache=False, shard_workers=3, shard_threshold=1
+    )
+    pooled = pooled_engine(catalog, pool)
+    telemetry = Telemetry()
+    try:
+        expected = page(serial.search(query, limit=limit))
+        assert page(threaded.search(query, limit=limit)) == expected
+        with use_telemetry(telemetry):
+            assert page(pooled.search(query, limit=limit)) == expected
+    finally:
+        threaded.close()
+    # The pool really served (nothing silently degraded to threads).
+    counters = telemetry.snapshot()["counters"]
+    assert counters.get("procpool.queries") == 1
+    assert "procpool.degraded" not in counters
+
+
+@given(
+    catalog=catalogs(),
+    query=queries(),
+    limit=st.integers(min_value=1, max_value=10),
+)
+@settings(max_examples=8, deadline=None)
+def test_pool_with_indexes_equals_serial(catalog, query, limit, pool):
+    # The pool rung composes with index pruning and the remainder
+    # rescan exactly like the thread rung does.
+    serial = SearchEngine(catalog, cache=False)
+    serial.build_indexes()
+    pooled = pooled_engine(catalog, pool)
+    pooled.build_indexes()
+    expected = page(serial.search(query, limit=limit))
+    assert page(pooled.search(query, limit=limit)) == expected
+
+
+def small_catalog(n: int = 12) -> MemoryCatalog:
+    catalog = MemoryCatalog()
+    catalog.upsert_many(
+        [
+            DatasetFeature(
+                dataset_id=f"d{i:03d}",
+                title=f"d{i}",
+                platform="station",
+                file_format="csv",
+                bbox=BoundingBox(45.0, -124.0, 45.5, -123.5),
+                interval=TimeInterval(0.0, 1000.0 + i),
+                row_count=10,
+                source_directory="",
+                variables=[
+                    VariableEntry.from_written(
+                        "salinity", "psu", 10, 0.0, 30.0, 15.0, 2.0
+                    )
+                ],
+            )
+            for i in range(n)
+        ]
+    )
+    return catalog
+
+
+QUERY = Query(variables=(VariableTerm(name="salinity"),))
+
+
+def test_stale_version_is_a_miss_not_a_wrong_page(pool):
+    catalog = small_catalog()
+    engine = pooled_engine(catalog, pool)
+    baseline = page(engine.search(QUERY, limit=5))
+    # Mutate the catalog: the engine's next view has a version the pool
+    # has never been shipped -> wants() is False, the query degrades to
+    # the serial rung, and the page tracks the *new* catalog state.
+    catalog.remove("d000")
+    serial = SearchEngine(catalog, cache=False)
+    assert not pool.wants(catalog.version, len(catalog))
+    degraded = page(engine.search(QUERY, limit=5))
+    assert degraded == page(serial.search(QUERY, limit=5))
+    assert degraded != baseline
+    # Direct contract: an unshipped version answers None.
+    assert pool.score(QUERY, 5, version=10_000, rows=range(5)) is None
+
+
+def test_min_rows_gate(pool):
+    assert not pool.wants(1, 0)
+    gated = ProcessPoolScorer(workers=2, min_rows=500)
+    try:
+        assert not gated.wants(1, 499)
+    finally:
+        gated.close()
+
+
+@pytest.fixture()
+def own_pool():
+    # Lifecycle tests ship versions from their own catalog lineage; a
+    # private pool keeps those version numbers from colliding with the
+    # module pool's (one pool serves one catalog in real serving).
+    scorer = ProcessPoolScorer(workers=2, min_rows=1)
+    yield scorer
+    scorer.close()
+
+
+def test_install_retains_current_and_previous_version_only(own_pool):
+    pool = own_pool
+    catalog = small_catalog()
+    engine = SearchEngine(catalog, cache=False)
+    installed = []
+    for _ in range(3):
+        view = engine.columnar_view()
+        pool.install(view)
+        installed.append(view.version)
+        catalog.upsert(catalog.get("d001"))  # bump the version
+        engine = SearchEngine(catalog, cache=False)
+    shipped = pool.stats()["versions_shipped"]
+    # Current + previous only: the staleness <= 1 retention window.
+    assert shipped == sorted(installed)[-2:]
+
+
+def test_broken_pool_degrades_to_exact_page_and_recovers(own_pool):
+    pool = own_pool
+    catalog = small_catalog()
+    engine = pooled_engine(catalog, pool)
+    serial = SearchEngine(catalog, cache=False)
+    expected = page(serial.search(QUERY, limit=5))
+
+    class _Boom:
+        def submit(self, *args, **kwargs):
+            raise RuntimeError("worker pool is gone")
+
+        def shutdown(self, wait=True, cancel_futures=False):
+            pass
+
+    alive = pool._pool
+    pool._pool = _Boom()
+    telemetry = Telemetry()
+    try:
+        with use_telemetry(telemetry):
+            got = page(engine.search(QUERY, limit=5))
+        assert got == expected  # degraded rung, identical page
+        counters = telemetry.snapshot()["counters"]
+        assert counters.get("procpool.degraded") == 1
+        assert pool.stats()["failures"] >= 1
+    finally:
+        # Restore a live executor; a fresh install resets the failure
+        # budget (a new snapshot is a new chance).
+        pool._pool = alive
+    pool.install(engine.columnar_view())
+    assert pool.stats()["failures"] == 0
+    assert page(engine.search(QUERY, limit=5)) == expected
+
+
+def test_engine_validation_and_defaults():
+    with pytest.raises(ValueError):
+        ProcessPoolScorer(workers=1)
+    with pytest.raises(ValueError):
+        ProcessPoolScorer(workers=2, min_rows=0)
+
+
+def test_closed_pool_refuses_install_and_score():
+    scorer = ProcessPoolScorer(workers=2, min_rows=1)
+    scorer.close()
+    scorer.close()  # idempotent
+    assert not scorer.wants(1, 100)
+    assert scorer.score(QUERY, 5, version=1, rows=range(5)) is None
+    catalog = small_catalog(3)
+    engine = SearchEngine(catalog, cache=False)
+    with pytest.raises(RuntimeError):
+        scorer.install(engine.columnar_view())

@@ -1,0 +1,357 @@
+"""The HTTP front end: wire contract, error mapping, shutdown races.
+
+What the network face promises (serve/http.py):
+
+* ``GET /search`` returns the same page the in-process service returns,
+  as JSON, over kept-alive connections;
+* the typed errors map to status codes — ``OverloadedError`` -> 429
+  with ``Retry-After``, ``ServiceClosedError`` -> 503, parse errors ->
+  400 with a JSON body, unknown routes -> 404 — and *nothing* ever
+  escapes as a traceback page or a hung socket;
+* shutdown is graceful under concurrent clients: during ``close`` every
+  response is a clean 200 or 503, never a 5xx surprise or a hang;
+* under publish churn the socket loadgen sees zero errors, snapshot
+  versions that never move backwards, and staleness <= 1.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.catalog import MemoryCatalog
+from repro.catalog.records import DatasetFeature, VariableEntry
+from repro.core.qparser import parse_query
+from repro.core.query import Query, VariableTerm
+from repro.geo import BoundingBox, TimeInterval
+from repro.serve import (
+    SearchHTTPServer,
+    SearchService,
+    ServeConfig,
+    run_load_http,
+    search_payload,
+)
+from repro.serve.http import RETRY_AFTER_SECONDS
+
+
+def make_feature(dataset_id: str, row_count: int = 10) -> DatasetFeature:
+    return DatasetFeature(
+        dataset_id=dataset_id,
+        title=f"Dataset {dataset_id}",
+        platform="station",
+        file_format="csv",
+        bbox=BoundingBox(45.0, -124.0, 45.5, -123.5),
+        interval=TimeInterval(0.0, 1000.0),
+        row_count=row_count,
+        source_directory="stations/x",
+        variables=[
+            VariableEntry.from_written(
+                "salinity", "psu", row_count, 0.0, 30.0, 15.0, 2.0
+            )
+        ],
+    )
+
+
+QUERY = Query(variables=(VariableTerm(name="salinity"),))
+
+
+@pytest.fixture()
+def catalog():
+    store = MemoryCatalog()
+    store.upsert_many([make_feature(f"d{i}") for i in range(6)])
+    return store
+
+
+@pytest.fixture()
+def server(catalog):
+    service = SearchService(catalog)
+    http_server = SearchHTTPServer(service, port=0).start()
+    yield http_server
+    http_server.close(timeout=5.0)
+
+
+def get(server, target: str):
+    """One GET; returns (status, headers, parsed JSON body)."""
+    host, port = server.address
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        conn.request("GET", target)
+        response = conn.getresponse()
+        body = response.read()
+        return response.status, dict(response.getheaders()), json.loads(body)
+    finally:
+        conn.close()
+
+
+class TestSearchRoute:
+    def test_200_page_matches_in_process_service(self, server):
+        status, headers, payload = get(server, "/search?q=with+salinity")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        expected = search_payload(
+            server.service.search(parse_query("with salinity"))
+        )
+        # Timing fields differ per request; the page itself must not.
+        for key in ("version", "total_matches", "truncated", "results"):
+            assert payload[key] == expected[key]
+        assert payload["results"], "workload query must match something"
+        first = payload["results"][0]
+        assert set(first) == {"dataset_id", "score", "breakdown"}
+        assert set(first["breakdown"]) == {
+            "total", "location", "time", "variables"
+        }
+        assert payload["queued_seconds"] >= 0.0
+        assert payload["total_seconds"] >= 0.0
+
+    def test_limit_caps_the_page(self, server):
+        status, _, payload = get(server, "/search?q=with+salinity&limit=2")
+        assert status == 200
+        assert len(payload["results"]) == 2
+        # truncated mirrors the in-process metadata exactly.
+        response = server.service.search(parse_query("with salinity"), limit=2)
+        assert payload["truncated"] == response.results.truncated
+        assert payload["total_matches"] == response.results.total_matches
+
+    def test_keep_alive_serves_many_requests_per_connection(self, server):
+        host, port = server.address
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            for _ in range(5):
+                conn.request("GET", "/search?q=with+salinity")
+                response = conn.getresponse()
+                body = response.read()
+                assert response.status == 200
+                assert json.loads(body)["results"]
+        finally:
+            conn.close()
+
+
+class TestErrorMapping:
+    def test_unparseable_query_is_400_bad_query(self, server):
+        status, headers, payload = get(
+            server, "/search?q=near+inf,+nan+within+100+km"
+        )
+        assert status == 400
+        assert headers["Content-Type"] == "application/json"
+        assert payload["code"] == "bad-query"
+        assert payload["error"]
+
+    def test_empty_q_is_400(self, server):
+        status, _, payload = get(server, "/search")
+        assert status == 400
+        assert payload["code"] in {"bad-query", "bad-request"}
+
+    def test_non_integer_limit_is_400(self, server):
+        status, _, payload = get(server, "/search?q=with+salinity&limit=abc")
+        assert status == 400
+        assert payload["code"] == "bad-request"
+        assert "abc" in payload["error"]
+
+    def test_non_positive_limit_is_400(self, server):
+        status, _, payload = get(server, "/search?q=with+salinity&limit=0")
+        assert status == 400
+        assert payload["code"] == "bad-request"
+
+    def test_unknown_route_is_404(self, server):
+        status, _, payload = get(server, "/nope")
+        assert status == 404
+        assert payload["code"] == "not-found"
+        assert "/nope" in payload["error"]
+
+    def test_overload_is_429_with_retry_after(self, catalog):
+        service = SearchService(
+            catalog, config=ServeConfig(max_concurrency=1, queue_depth=0)
+        )
+        server = SearchHTTPServer(service, port=0).start()
+        hold = threading.Event()
+        release = threading.Event()
+        engine = service._engine
+        original = engine.search
+
+        def blocked(query, limit=10):
+            hold.set()
+            release.wait(timeout=10)
+            return original(query, limit=limit)
+
+        engine.search = blocked
+        occupant = threading.Thread(
+            target=lambda: service.search(QUERY), daemon=True
+        )
+        try:
+            occupant.start()
+            assert hold.wait(timeout=5)  # the only slot is now taken
+            status, headers, payload = get(
+                server, "/search?q=with+salinity"
+            )
+            assert status == 429
+            assert payload["code"] == "overloaded"
+            assert headers["Retry-After"] == str(RETRY_AFTER_SECONDS)
+        finally:
+            release.set()
+            occupant.join(timeout=5)
+            engine.search = original
+            server.close(timeout=5.0)
+
+    def test_closed_service_is_503_with_retry_after(self, server):
+        server.service.close(timeout=5.0)
+        status, headers, payload = get(server, "/search?q=with+salinity")
+        assert status == 503
+        assert payload["code"] == "closed"
+        assert headers["Retry-After"] == str(RETRY_AFTER_SECONDS)
+
+
+class TestOperationalRoutes:
+    def test_healthz_ok(self, server):
+        status, _, payload = get(server, "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["closed"] is False
+        assert payload["snapshot_version"] == server.service.snapshot_version
+        assert payload["staleness"] == 0
+
+    def test_healthz_closed_is_503(self, server):
+        server.service.close(timeout=5.0)
+        status, _, payload = get(server, "/healthz")
+        assert status == 503
+        assert payload["status"] == "closed"
+        assert payload["closed"] is True
+
+    def test_telemetry_snapshot(self, server):
+        assert get(server, "/search?q=with+salinity")[0] == 200
+        status, _, payload = get(server, "/telemetry")
+        assert status == 200
+        assert payload["counters"]["serve.requests"] >= 1
+        assert payload["counters"]["http.requests"] >= 1
+        assert payload["counters"]["http.status.200"] >= 1
+        assert "spans" in payload
+
+
+class TestShutdown:
+    def test_close_reports_drained_and_refuses_late_requests(self, catalog):
+        service = SearchService(catalog)
+        server = SearchHTTPServer(service, port=0).start()
+        assert get(server, "/search?q=with+salinity")[0] == 200
+        assert server.close(timeout=5.0) is True
+        # The listening socket is gone: connecting now must fail fast,
+        # not hang.
+        host, port = server.address
+        with pytest.raises(OSError):
+            conn = http.client.HTTPConnection(host, port, timeout=2)
+            conn.request("GET", "/healthz")
+            conn.getresponse()
+
+    def test_concurrent_clients_see_only_200_or_503_during_close(
+        self, catalog
+    ):
+        """The shutdown race, over real sockets.
+
+        Clients hammer kept-alive connections while close() runs.  The
+        seed bug released the shard executor before in-flight sharded
+        queries finished, which surfaced here as 500s; the contract is
+        that every response on the wire is a clean 200 or 503 and every
+        client thread terminates.
+        """
+        service = SearchService(
+            catalog,
+            config=ServeConfig(
+                max_concurrency=4,
+                queue_depth=8,
+                shard_workers=2,
+                shard_threshold=1,  # force sharded scoring per query
+            ),
+        )
+        server = SearchHTTPServer(service, port=0).start()
+        host, port = server.address
+        statuses: list[int] = []
+        lock = threading.Lock()
+        stop = threading.Event()
+
+        def client() -> None:
+            conn = http.client.HTTPConnection(host, port, timeout=10)
+            try:
+                while not stop.is_set():
+                    try:
+                        conn.request("GET", "/search?q=with+salinity")
+                        response = conn.getresponse()
+                        response.read()
+                    except (OSError, http.client.HTTPException):
+                        return  # socket died after close: fine
+                    with lock:
+                        statuses.append(response.status)
+                    if response.status == 503:
+                        return
+            finally:
+                conn.close()
+
+        threads = [
+            threading.Thread(target=client, daemon=True) for _ in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.15)  # let the load reach the service
+        assert server.close(timeout=10.0) is True
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10)
+            assert not thread.is_alive(), "client hung through shutdown"
+        assert statuses, "no request completed before the close"
+        assert set(statuses) <= {200, 503}, f"dirty statuses: {statuses}"
+
+
+class TestChurnOverSockets:
+    def test_zero_errors_monotonic_versions_staleness_at_most_one(
+        self, catalog
+    ):
+        """Socket load under publish churn (satellite of DESIGN note 16).
+
+        A writer republishes batches (one version bump each) and
+        refreshes the service after every publish; the socket loadgen
+        must complete with zero errors, statuses drawn only from
+        {200, 429}, versions that never regress within a client, and
+        staleness bounded by 1.
+        """
+        service = SearchService(
+            catalog,
+            config=ServeConfig(max_concurrency=8, queue_depth=32),
+        )
+        server = SearchHTTPServer(service, port=0).start()
+        stop = threading.Event()
+
+        def writer() -> None:
+            round_number = 0
+            while not stop.is_set():
+                round_number += 1
+                batch = [
+                    make_feature(f"d{i}", row_count=100 + round_number)
+                    for i in range(3)
+                ]
+                catalog.apply_batch(batch, ())
+                service.refresh()
+                time.sleep(0.002)
+
+        publisher = threading.Thread(target=writer, daemon=True)
+        publisher.start()
+        try:
+            report = run_load_http(
+                server.url,
+                ["with salinity", "near 45.2, -123.8 within 100 km"],
+                clients=4,
+                requests_per_client=15,
+                live_version=lambda: catalog.version,
+                seed=7,
+            )
+        finally:
+            stop.set()
+            publisher.join(timeout=5)
+            server.close(timeout=5.0)
+        assert report.transport == "http"
+        assert report.completed == 4 * 15
+        assert report.errors == 0
+        assert set(report.status_counts) <= {"200", "429"}
+        assert report.version_regressions == 0
+        assert report.max_staleness <= 1
+        assert len(report.snapshot_versions) >= 1

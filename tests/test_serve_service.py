@@ -277,6 +277,54 @@ class TestDrain:
         assert len(done["response"].results) == 6
         assert service.stats()["in_flight"] == 0
 
+    def test_timed_out_close_keeps_executors_for_in_flight_requests(
+        self, catalog
+    ):
+        """Regression: a ``close()`` whose drain timed out used to shut
+        the shard executor down under the still-executing request, which
+        then died with ``cannot schedule new futures after shutdown``
+        (a traceback/500 instead of a graceful completion).  Executors
+        must stay alive until the last in-flight request leaves, and
+        that request releases them.
+        """
+        service = SearchService(
+            catalog,
+            config=ServeConfig(shard_workers=2, shard_threshold=1),
+        )
+        started = threading.Event()
+        release = threading.Event()
+        engine = service._engine
+        original_search = engine.search
+
+        def gated_search(query, limit=10):
+            started.set()
+            release.wait(timeout=10.0)
+            # The regression surfaced here: this call fans out onto the
+            # service-owned shard executor.
+            return original_search(query, limit=limit)
+
+        engine.search = gated_search
+        outcome = {}
+
+        def request() -> None:
+            try:
+                outcome["response"] = service.search(QUERY)
+            except Exception as exc:
+                outcome["error"] = exc
+
+        worker = threading.Thread(target=request, daemon=True)
+        worker.start()
+        assert started.wait(timeout=5.0)
+        assert service.close(timeout=0.05) is False  # drain timed out
+        assert service._shard_executor is not None  # NOT torn down yet
+        release.set()
+        worker.join(timeout=10.0)
+        assert "error" not in outcome, repr(outcome.get("error"))
+        assert len(outcome["response"].results) == 6
+        # The last request out released the executors.
+        assert service._shard_executor is None
+        assert service.stats()["in_flight"] == 0
+
 
 class TestTelemetryInvariant:
     CLIENTS = 8
