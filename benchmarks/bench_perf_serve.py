@@ -19,7 +19,12 @@ Exercises the serving stack end to end on a large synthetic catalog:
 * **churn** — in-process and socket load while a background writer
   keeps publishing atomic catalog batches and refreshing the service's
   snapshot; requests must keep completing (zero errors), versions never
-  regress, and staleness stays <= 1.
+  regress, and staleness stays <= 1,
+* **observability overhead** — the same socket workload against a
+  telemetry-off service vs a telemetry-on one (request tracing, span
+  stamping, SLO windows, flight recorder, plus a ``/metrics`` scrape),
+  interleaved runs and medians; the layer must cost <= 5% QPS, the
+  same gate the ingest benchmark holds telemetry to.
 
 Interpretation notes: the in-process phases run single-process under
 the GIL, so the scaling phase measures the *closed-loop* model — each
@@ -34,8 +39,9 @@ is reported rather than gated unless multiple CPUs are present.
 
 Gates (full runs): the in-process scaling factor (QPS at 8 clients >
 2x QPS at 1 client), zero errors everywhere, zero HTTP 5xx, churn
-staleness <= 1 and zero version regressions.  Quick runs gate on
-exactness and on nothing having been dropped.
+staleness <= 1, zero version regressions, and observability overhead
+<= 5%.  Quick runs gate on exactness and on nothing having been
+dropped (overhead is recorded, not gated — tiny runs are too noisy).
 
 Usage::
 
@@ -389,6 +395,72 @@ def http_churn_phase(catalog, texts, hierarchy, clients,
     return row
 
 
+def observability_overhead_phase(catalog, texts, hierarchy, clients,
+                                 requests_per_client, think_seconds,
+                                 limit, seed, repeats=3):
+    """Tracing+metrics on vs off over sockets: what the layer costs.
+
+    Mirrors the ingest benchmark's ``measure_telemetry_overhead``:
+    interleaved off/on runs (so drift hits both equally), medians
+    compared.  The "on" side is the full observability stack a real
+    deployment runs — enabled telemetry (request spans, id stamping,
+    counters, histograms), SLO windows, flight recorder — plus one
+    ``/metrics`` exposition scrape per run.
+    """
+    import statistics
+    import urllib.request
+
+    from repro.obs import Telemetry
+
+    def one_run(enabled: bool) -> float:
+        config = ServeConfig(
+            max_concurrency=max(8, clients), queue_depth=4 * clients
+        )
+        service = SearchService(
+            catalog, hierarchy=hierarchy, config=config,
+            telemetry=Telemetry(enabled=enabled),
+        )
+        with SearchHTTPServer(service, port=0).start() as server:
+            report = run_load_http(
+                server.url,
+                texts,
+                clients=clients,
+                requests_per_client=requests_per_client,
+                think_seconds=think_seconds,
+                limit=limit,
+                seed=seed + 4,
+            )
+            if enabled:
+                # The scrape is part of the cost being measured.
+                with urllib.request.urlopen(
+                    server.url + "/metrics"
+                ) as fh:
+                    fh.read()
+        if report.errors:
+            print(f"  OVERHEAD RUN ERRORS: {report.errors}")
+        return report.qps
+
+    base: list[float] = []
+    instrumented: list[float] = []
+    for _ in range(repeats):
+        base.append(one_run(False))
+        instrumented.append(one_run(True))
+    qps_off = statistics.median(base)
+    qps_on = statistics.median(instrumented)
+    overhead = (qps_off - qps_on) / qps_off if qps_off else 0.0
+    print(
+        f"  telemetry off {qps_off:8.1f} qps, on {qps_on:8.1f} qps "
+        f"({overhead:+.1%} overhead, {repeats} interleaved runs)"
+    )
+    return {
+        "clients": clients,
+        "repeats": repeats,
+        "qps_off": qps_off,
+        "qps_on": qps_on,
+        "overhead": overhead,
+    }
+
+
 def run(n_datasets, n_queries, client_counts, requests_per_client,
         think_ms, limit, shard_workers, seed) -> dict:
     hierarchy = vocabulary_hierarchy()
@@ -437,6 +509,12 @@ def run(n_datasets, n_queries, client_counts, requests_per_client,
         f"errors {churn['errors']}"
     )
 
+    print("observability overhead: tracing+metrics on vs off ...")
+    observability = observability_overhead_phase(
+        catalog, texts, hierarchy, max(client_counts),
+        requests_per_client, think_seconds, limit, seed,
+    )
+
     print("http churn: the same, over sockets ...")
     http_churn = http_churn_phase(
         catalog, texts, hierarchy, max(client_counts),
@@ -480,6 +558,7 @@ def run(n_datasets, n_queries, client_counts, requests_per_client,
         "pool_comparison": pool_comparison,
         "churn": churn,
         "http_churn": http_churn,
+        "observability_overhead": observability,
         "qps_low": scaling[low]["qps"],
         "qps_high": scaling[high]["qps"],
         "scaling_factor": (
@@ -593,6 +672,13 @@ def main(argv=None) -> int:
     )
     if result["scaling_factor"] <= 2.0:
         print("scaling below acceptance floor (8 clients > 2x 1 client)")
+        return 1
+    observability = result["observability_overhead"]
+    if observability["overhead"] > 0.05:
+        print(
+            f"observability overhead {observability['overhead']:.1%} "
+            "exceeds the 5% gate"
+        )
         return 1
     return 0
 

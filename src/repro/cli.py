@@ -169,6 +169,28 @@ def _build_parser() -> argparse.ArgumentParser:
         "--max-seconds", type=float, default=None,
         help="exit (gracefully) after N seconds — smoke tests/CI",
     )
+    serve.add_argument(
+        "--access-log", default=None, metavar="FILE",
+        help="write one JSONL access event per request to FILE "
+        "(schema-validated by `python -m repro.obs`)",
+    )
+    serve.add_argument(
+        "--flight-out", default=None, metavar="FILE",
+        help="dump the slow-query flight recorder to FILE (JSON) "
+        "on shutdown",
+    )
+    serve.add_argument(
+        "--slo-p95-ms", type=float, default=500.0,
+        help="SLO target: p95 latency, milliseconds (default 500)",
+    )
+    serve.add_argument(
+        "--slo-error-rate", type=float, default=0.01,
+        help="SLO target: tolerated error fraction (default 0.01)",
+    )
+    serve.add_argument(
+        "--slo-availability", type=float, default=0.99,
+        help="SLO target: answered-request fraction (default 0.99)",
+    )
 
     serve_bench = sub.add_parser(
         "serve-bench",
@@ -514,6 +536,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
     import threading
 
+    from .obs import AccessLogWriter, FlightRecorder, SLOConfig, SLOTracker
     from .serve import SearchHTTPServer, SearchService
 
     problem = _validate_serve_args(args)
@@ -521,6 +544,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         problem = "--port must be >= 0"
     if problem is None and args.drain_seconds < 0.0:
         problem = "--drain-seconds must be >= 0"
+    if problem is None and args.slo_p95_ms <= 0.0:
+        problem = "--slo-p95-ms must be > 0"
+    if problem is None and not 0.0 <= args.slo_error_rate <= 1.0:
+        problem = "--slo-error-rate must lie in [0, 1]"
+    if problem is None and not 0.0 < args.slo_availability <= 1.0:
+        problem = "--slo-availability must lie in (0, 1]"
     if problem is not None:
         print(f"error: {problem}", file=sys.stderr)
         return 2
@@ -532,13 +561,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         hierarchy=vocabulary_hierarchy(),
         config=_serve_config_from_args(args),
     )
+    slo = SLOTracker(
+        SLOConfig(
+            latency_p95_seconds=args.slo_p95_ms / 1e3,
+            max_error_rate=args.slo_error_rate,
+            min_availability=args.slo_availability,
+        )
+    )
+    flight = FlightRecorder()
+    access_log = (
+        AccessLogWriter(args.access_log)
+        if args.access_log is not None
+        else None
+    )
     server = SearchHTTPServer(
-        service, host=args.host, port=args.port
+        service,
+        host=args.host,
+        port=args.port,
+        slo=slo,
+        flight=flight,
+        access_log=access_log,
     ).start()
     host, port = server.address
     print(
         f"serving {args.catalog} at http://{host}:{port} "
-        f"(GET /search?q=..., /healthz, /telemetry)",
+        f"(GET /search?q=..., /healthz, /telemetry, /metrics, "
+        f"/debug/slow)",
         flush=True,
     )
     stop = threading.Event()
@@ -563,6 +611,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"served {stats['requests_admitted']} requests",
             flush=True,
         )
+        from .ui import render_slo_report
+
+        print(render_slo_report(slo.report()), flush=True)
+        if args.flight_out is not None:
+            kept = flight.dump(args.flight_out)
+            print(
+                f"flight recorder: {kept} records -> {args.flight_out}",
+                flush=True,
+            )
+        if access_log is not None:
+            access_log.close()
+            print(
+                f"access log: {access_log.lines} lines -> "
+                f"{args.access_log}",
+                flush=True,
+            )
         catalog.close()
     return 0
 

@@ -26,7 +26,7 @@ from ..catalog.records import DatasetFeature
 from ..catalog.store import CatalogStore
 from ..geo import SECONDS_PER_DAY
 from ..hierarchy import ConceptHierarchy
-from ..obs import get_telemetry
+from ..obs import current_request, get_telemetry, use_request, use_telemetry
 from .cache import QueryCache
 from .columnar import ColumnarScorer, ColumnarSnapshot
 from .query import Query
@@ -572,15 +572,24 @@ class SearchEngine:
         workers = self._effective_shard_workers(len(rows))
         if workers <= 1:
             return self._score_rows_into(cscorer, query, rows, top)
-        get_telemetry().count("search.sharded_queries")
+        telemetry = get_telemetry()
+        telemetry.count("search.sharded_queries")
+        # Shard threads carry the submitting request with them: same
+        # registry, same request context, spans re-parented under the
+        # request's open span — one request, one span tree.
+        parent = telemetry.active_path()
+        context = current_request()
         chunk = (len(rows) + workers - 1) // workers
         shards = [rows[i : i + chunk] for i in range(0, len(rows), chunk)]
 
         def run_shard(shard: Sequence[int]) -> tuple[int, _TopK]:
-            shard_top = _TopK(top.limit)
-            matched = self._score_rows_into(
-                cscorer, query, shard, shard_top
-            )
+            with use_telemetry(telemetry), use_request(context):
+                with telemetry.parented(parent):
+                    with telemetry.span("search.shard", rows=len(shard)):
+                        shard_top = _TopK(top.limit)
+                        matched = self._score_rows_into(
+                            cscorer, query, shard, shard_top
+                        )
             return matched, shard_top
 
         matches = 0
@@ -631,18 +640,26 @@ class SearchEngine:
         workers = self._effective_shard_workers(len(ids))
         if workers <= 1:
             return self._score_into(scorer, query, ids, top)
-        get_telemetry().count("search.sharded_queries")
+        telemetry = get_telemetry()
+        telemetry.count("search.sharded_queries")
+        parent = telemetry.active_path()
+        context = current_request()
         chunk = (len(ids) + workers - 1) // workers
         shards = [ids[i : i + chunk] for i in range(0, len(ids), chunk)]
 
         def run_shard(shard: Sequence[str]) -> tuple[int, _TopK]:
-            shard_scorer = QueryScorer(
-                query, hierarchy=self.hierarchy, config=self.config
-            )
-            shard_top = _TopK(top.limit)
-            matched = self._score_into(
-                shard_scorer, query, shard, shard_top
-            )
+            with use_telemetry(telemetry), use_request(context):
+                with telemetry.parented(parent):
+                    with telemetry.span("search.shard", rows=len(shard)):
+                        shard_scorer = QueryScorer(
+                            query,
+                            hierarchy=self.hierarchy,
+                            config=self.config,
+                        )
+                        shard_top = _TopK(top.limit)
+                        matched = self._score_into(
+                            shard_scorer, query, shard, shard_top
+                        )
             return matched, shard_top
 
         matches = 0
@@ -696,18 +713,35 @@ class SearchEngine:
 
     def _search(self, query: Query, limit: int, span) -> SearchResults:
         telemetry = get_telemetry()
+        context = current_request()
         key = self._cache_key(query, limit)
         if self.cache is not None:
             cached = self.cache.get(key)
             if cached is not None:
                 telemetry.count("search.cache_hits")
                 span.set("cached", True)
+                if context is not None:
+                    context.annotate(
+                        cache_hit=True,
+                        candidates_in=len(self.catalog),
+                        candidates_out=0,
+                        results=len(cached),
+                    )
                 return cached
             telemetry.count("search.cache_misses")
         scorer = QueryScorer(
             query, hierarchy=self.hierarchy, config=self.config
         )
-        candidate_ids, excluded_bound = self._candidate_ids(query)
+        with telemetry.span("search.prefilter") as prefilter_span:
+            candidate_ids, excluded_bound = self._candidate_ids(query)
+            prefilter_span.set("candidates_in", len(self.catalog))
+            prefilter_span.set("candidates_out", len(candidate_ids))
+        if context is not None:
+            context.annotate(
+                cache_hit=False,
+                candidates_in=len(self.catalog),
+                candidates_out=len(candidate_ids),
+            )
         if telemetry.enabled:
             pruned = len(self.catalog) - len(candidate_ids)
             if pruned > 0:
@@ -754,6 +788,8 @@ class SearchEngine:
                 for result in page
             ]
         results = SearchResults(page, total_matches=matches)
+        if context is not None:
+            context.annotate(results=len(results))
         if self.cache is not None:
             self.cache.put(key, results)
         return results

@@ -1,0 +1,203 @@
+"""Prometheus text exposition for one telemetry snapshot.
+
+The serving tier's ``/metrics`` endpoint renders the shared
+:class:`~repro.obs.telemetry.Telemetry` snapshot in the Prometheus
+text format (version 0.0.4) so any off-the-shelf scraper can watch the
+portal without the repo growing a client-library dependency::
+
+    # TYPE repro_http_requests_total counter
+    repro_http_requests_total 42
+    # TYPE repro_http_request_seconds histogram
+    repro_http_request_seconds_bucket{le="0.0005"} 3
+    ...
+    repro_http_request_seconds_bucket{le="+Inf"} 42
+    repro_http_request_seconds_sum 0.193
+    repro_http_request_seconds_count 42
+
+Mapping rules, all deterministic:
+
+* dotted telemetry names become underscore-separated metric names under
+  a ``repro_`` prefix (``http.status.200`` -> ``repro_http_status_200``);
+  any character outside ``[a-zA-Z0-9_]`` is replaced by ``_``,
+* counters get the conventional ``_total`` suffix,
+* gauges are emitted as-is,
+* histograms expand to **cumulative** ``_bucket`` lines (one per upper
+  bound plus the mandatory ``le="+Inf"``), a ``_sum`` and a ``_count``
+  — straight from the fixed-bucket histogram's exported counts, so the
+  exposition and the JSONL trace always agree.
+
+:func:`parse_prometheus_text` is the matching tiny parser: CI scrapes
+``/metrics`` during the serve smoke and round-trips the body through
+it, and the scrape-consistency tests use it to assert histogram
+``_count`` equals ``repro_http_requests_total`` at quiescence.
+
+Like everything in ``repro.obs`` this module imports nothing from the
+rest of the package.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: Every exported metric name starts with this.
+METRIC_PREFIX = "repro_"
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+#: One exposition line: ``name{labels} value`` with optional labels.
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+_LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def prometheus_name(name: str, suffix: str = "") -> str:
+    """A telemetry name as a valid prefixed Prometheus metric name."""
+    return METRIC_PREFIX + _INVALID_CHARS.sub("_", name) + suffix
+
+
+def _format_value(value: float | int) -> str:
+    """Render a sample value; integers without a trailing ``.0``."""
+    if isinstance(value, bool):  # bools are ints; never expected, but
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_bound(bound: float) -> str:
+    """An ``le`` label value: the histogram's own bound, verbatim."""
+    return _format_value(bound)
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """One telemetry snapshot as a Prometheus text-format page.
+
+    Families are emitted in sorted name order (counters, then gauges,
+    then histograms) so two snapshots with the same contents render
+    byte-identically.
+    """
+    lines: list[str] = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        metric = prometheus_name(name, "_total")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        metric = prometheus_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, payload in sorted(snapshot.get("histograms", {}).items()):
+        metric = prometheus_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(payload["bounds"], payload["counts"]):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{le="{_format_bound(bound)}"}} '
+                f"{cumulative}"
+            )
+        # The overflow bucket: everything, by definition.
+        lines.append(
+            f'{metric}_bucket{{le="+Inf"}} {payload["count"]}'
+        )
+        lines.append(f"{metric}_sum {_format_value(payload['sum'])}")
+        lines.append(f"{metric}_count {payload['count']}")
+    lines.append("")  # text format ends with a newline
+    return "\n".join(lines)
+
+
+def parse_prometheus_text(text: str) -> dict[str, dict]:
+    """Parse a text-format page back into families (the CI round-trip).
+
+    Returns ``{family_name: {"type": str | None, "samples":
+    [(sample_name, labels_dict, value), ...]}}``.  Histogram families
+    are keyed by their base name; their ``_bucket``/``_sum``/``_count``
+    samples all land in the one family, mirroring how Prometheus itself
+    groups them.  Raises :class:`ValueError` on any malformed line, so
+    a truncated or interleaved scrape fails loudly in CI.
+    """
+    families: dict[str, dict] = {}
+    declared: dict[str, str] = {}
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                declared[parts[2]] = parts[3]
+                families.setdefault(
+                    parts[2], {"type": parts[3], "samples": []}
+                )
+            # other comments (HELP, free text) are legal and ignored
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"line {number}: malformed sample {line!r}")
+        name = match.group("name")
+        labels: dict[str, str] = {}
+        raw_labels = match.group("labels")
+        if raw_labels:
+            consumed = 0
+            for pair in _LABEL_PAIR.finditer(raw_labels):
+                labels[pair.group(1)] = pair.group(2)
+                consumed = pair.end()
+            leftover = raw_labels[consumed:].strip().strip(",")
+            if leftover:
+                raise ValueError(
+                    f"line {number}: malformed labels {raw_labels!r}"
+                )
+        raw_value = match.group("value")
+        try:
+            value = float(raw_value)
+        except ValueError as exc:
+            raise ValueError(
+                f"line {number}: bad sample value {raw_value!r}"
+            ) from exc
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base and declared.get(base) == "histogram":
+                family = base
+                break
+        entry = families.setdefault(
+            family, {"type": declared.get(family), "samples": []}
+        )
+        entry["samples"].append((name, labels, value))
+    for family, entry in families.items():
+        if entry["type"] == "histogram":
+            counts = [
+                value
+                for name, labels, value in entry["samples"]
+                if name == family + "_count"
+            ]
+            infs = [
+                value
+                for name, labels, value in entry["samples"]
+                if name == family + "_bucket" and labels.get("le") == "+Inf"
+            ]
+            if not counts or not infs:
+                raise ValueError(
+                    f"histogram {family}: missing _count or +Inf bucket"
+                )
+            if counts[0] != infs[0]:
+                raise ValueError(
+                    f"histogram {family}: _count {counts[0]} != "
+                    f'+Inf bucket {infs[0]}'
+                )
+    return families
+
+
+def sample_value(
+    families: dict[str, dict], name: str, labels: dict[str, str] | None = None
+) -> float | None:
+    """Convenience lookup for one sample in parsed families."""
+    wanted = labels or {}
+    for entry in families.values():
+        for sample_name, sample_labels, value in entry["samples"]:
+            if sample_name == name and sample_labels == wanted:
+                return value
+    return None

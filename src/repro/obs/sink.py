@@ -22,12 +22,15 @@ analysis.  Run as a script to validate files::
 from __future__ import annotations
 
 import json
+import threading
 from typing import IO, Iterable, Iterator
 
 from .telemetry import SCHEMA_VERSION
 
-#: The event types a valid trace may contain.
-EVENT_TYPES = ("meta", "span", "counter", "gauge", "histogram")
+#: The event types a valid trace may contain.  ``access`` lines are the
+#: serving tier's structured access log — one per HTTP request — written
+#: through the same schema-versioned writer so one validator gates both.
+EVENT_TYPES = ("meta", "span", "counter", "gauge", "histogram", "access")
 
 
 def trace_events(snapshot: dict) -> Iterator[dict]:
@@ -206,6 +209,27 @@ def validate_trace_lines(lines: Iterable[str]) -> list[str]:
                     f"line {number}: counter value must be a "
                     f"non-negative integer"
                 )
+        elif kind == "access":
+            request_id = event.get("request_id")
+            if not isinstance(request_id, str) or not request_id:
+                problems.append(
+                    f"line {number}: access event needs a non-empty "
+                    f"string request_id"
+                )
+            if not isinstance(event.get("status"), int):
+                problems.append(
+                    f"line {number}: access status must be an integer"
+                )
+            latency = event.get("latency_seconds")
+            if (
+                not isinstance(latency, (int, float))
+                or isinstance(latency, bool)
+                or latency < 0
+            ):
+                problems.append(
+                    f"line {number}: access latency_seconds must be a "
+                    f"non-negative number"
+                )
         elif kind == "histogram":
             for key in ("name", "bounds", "counts", "count", "sum"):
                 if key not in event:
@@ -229,6 +253,76 @@ def validate_trace_lines(lines: Iterable[str]) -> list[str]:
     if not saw_meta:
         problems.append("trace has no meta event")
     return problems
+
+
+class AccessLogWriter:
+    """Schema-versioned JSONL access log: one line per HTTP request.
+
+    The serving tier's flight-data stream — every request lands as an
+    ``access`` event (id, route, status, latency, candidate counts,
+    cache hit, snapshot version ...), after a leading ``meta`` line so
+    the standard :func:`validate_trace_lines` gate accepts the file
+    as-is.  Writes are line-buffered under a lock (handler threads log
+    concurrently) and flushed per line so a killed server loses at most
+    the line being written.
+    """
+
+    def __init__(self, destination: str | IO[str]):
+        self._own = isinstance(destination, str)
+        self._fh = (
+            open(destination, "w", encoding="utf-8")
+            if self._own
+            else destination
+        )
+        self._lock = threading.Lock()
+        self.lines = 0
+        self._write(
+            {
+                "v": SCHEMA_VERSION,
+                "type": "meta",
+                "schema": SCHEMA_VERSION,
+                "stream": "access-log",
+            }
+        )
+
+    def _write(self, event: dict) -> None:
+        line = json.dumps(event, sort_keys=True, allow_nan=True)
+        with self._lock:
+            self._fh.write(line)
+            self._fh.write("\n")
+            self._fh.flush()
+            self.lines += 1
+
+    def log(
+        self,
+        request_id: str,
+        route: str,
+        status: int,
+        latency_seconds: float,
+        **attrs: object,
+    ) -> None:
+        """Append one request's access line."""
+        self._write(
+            {
+                "v": SCHEMA_VERSION,
+                "type": "access",
+                "request_id": request_id,
+                "route": route,
+                "status": status,
+                "latency_seconds": latency_seconds,
+                **attrs,
+            }
+        )
+
+    def close(self) -> None:
+        if self._own:
+            self._fh.close()
+
+    def __enter__(self) -> "AccessLogWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
 
 def validate_trace_file(path: str) -> list[str]:

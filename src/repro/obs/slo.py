@@ -1,0 +1,191 @@
+"""Sliding-window SLO tracking for the serving tier.
+
+The cumulative counters in :class:`~repro.obs.telemetry.Telemetry`
+answer "how many, ever"; an operator paging at 3 a.m. needs "how bad,
+*lately*".  :class:`SLOTracker` keeps ring-buffer windows of recent
+request outcomes (1 m / 5 m / 30 m by default) and grades them against
+a declared :class:`SLOConfig`:
+
+* **latency** — p50/p95/p99 by nearest-rank over every request that
+  actually ran (errors included: a 500 that took four seconds is tail
+  latency, not a statistical inconvenience),
+* **error rate** — internal failures over total requests,
+* **availability** — the share of requests that got a useful answer:
+  ``(total - errors - rejected) / total``.  Admission rejections (429)
+  count *against availability but not against the error rate* — a
+  shedding service is degraded, not broken.
+
+The clock is injectable (any ``() -> float`` monotonic source), so
+tests drive windows deterministically without sleeping.  All methods
+are thread-safe; ``record`` is O(1) amortised (pruning pops only
+expired entries) and is called once per served request.
+
+A window with no samples reports ``status="ok"`` — no data is not an
+outage.  The overall status is ``degraded`` as soon as *any* window
+breaches any target: short windows catch spikes, long windows catch
+slow burns.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+#: Default window lengths, seconds.
+DEFAULT_WINDOWS: tuple[int, ...] = (60, 300, 1800)
+
+
+@dataclass(frozen=True, slots=True)
+class SLOConfig:
+    """The declared service-level objective.
+
+    Defaults are deliberately loose — a laptop-class deployment should
+    sit comfortably inside them; ``repro serve`` flags tighten them for
+    real deployments.
+    """
+
+    #: p95 latency target, seconds.
+    latency_p95_seconds: float = 0.5
+    #: Tolerated internal-error fraction.
+    max_error_rate: float = 0.01
+    #: Required fraction of requests answered (not errored or shed).
+    min_availability: float = 0.99
+
+    def to_dict(self) -> dict:
+        return {
+            "latency_p95_seconds": self.latency_p95_seconds,
+            "max_error_rate": self.max_error_rate,
+            "min_availability": self.min_availability,
+        }
+
+
+def nearest_rank(sorted_values: list[float], p: float) -> float:
+    """The nearest-rank ``p``-percentile of pre-sorted values.
+
+    Exact order statistics — no interpolation — so a window of one
+    request reports that request's latency at every percentile.
+    Returns 0.0 for an empty list.
+    """
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(p * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+def _window_label(seconds: int) -> str:
+    return f"{seconds // 60}m" if seconds % 60 == 0 else f"{seconds}s"
+
+
+class SLOTracker:
+    """Ring-buffer outcome windows graded against an :class:`SLOConfig`."""
+
+    def __init__(
+        self,
+        config: SLOConfig | None = None,
+        windows: tuple[int, ...] = DEFAULT_WINDOWS,
+        clock=time.monotonic,
+    ):
+        if not windows or any(w <= 0 for w in windows):
+            raise ValueError("windows must be positive durations")
+        self.config = config or SLOConfig()
+        self.windows = tuple(sorted(windows))
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: One deque per window of ``(t, latency, errored, rejected)``;
+        #: the longest window could serve all of them, but per-window
+        #: deques keep pruning O(expired) with no re-scanning.
+        self._events: dict[int, deque] = {
+            w: deque() for w in self.windows
+        }
+
+    def record(
+        self,
+        latency_seconds: float,
+        *,
+        error: bool = False,
+        rejected: bool = False,
+    ) -> None:
+        """Record one finished request's outcome."""
+        now = self._clock()
+        entry = (now, float(latency_seconds), bool(error), bool(rejected))
+        with self._lock:
+            for window, events in self._events.items():
+                events.append(entry)
+            self._prune(now)
+
+    def _prune(self, now: float) -> None:
+        for window, events in self._events.items():
+            horizon = now - window
+            while events and events[0][0] <= horizon:
+                events.popleft()
+
+    def window_report(self, window: int) -> dict:
+        """One window's measured numbers and pass/fail verdict."""
+        if window not in self._events:
+            raise KeyError(f"no such window: {window}s")
+        now = self._clock()
+        with self._lock:
+            self._prune(now)
+            events = list(self._events[window])
+        total = len(events)
+        if total == 0:
+            return {
+                "window_seconds": window,
+                "requests": 0,
+                "errors": 0,
+                "rejected": 0,
+                "latency_p50": 0.0,
+                "latency_p95": 0.0,
+                "latency_p99": 0.0,
+                "error_rate": 0.0,
+                "availability": 1.0,
+                "breached": [],
+                "status": "ok",
+            }
+        errors = sum(1 for e in events if e[2])
+        rejected = sum(1 for e in events if e[3])
+        # Latency over requests that ran (rejections fast-fail at the
+        # admission gate; their latencies would only flatter the tail).
+        ran = sorted(e[1] for e in events if not e[3])
+        p50 = nearest_rank(ran, 0.50)
+        p95 = nearest_rank(ran, 0.95)
+        p99 = nearest_rank(ran, 0.99)
+        error_rate = errors / total
+        availability = (total - errors - rejected) / total
+        breached: list[str] = []
+        if ran and p95 > self.config.latency_p95_seconds:
+            breached.append("latency_p95")
+        if error_rate > self.config.max_error_rate:
+            breached.append("error_rate")
+        if availability < self.config.min_availability:
+            breached.append("availability")
+        return {
+            "window_seconds": window,
+            "requests": total,
+            "errors": errors,
+            "rejected": rejected,
+            "latency_p50": p50,
+            "latency_p95": p95,
+            "latency_p99": p99,
+            "error_rate": error_rate,
+            "availability": availability,
+            "breached": breached,
+            "status": "degraded" if breached else "ok",
+        }
+
+    def report(self) -> dict:
+        """All windows plus the overall verdict (the ``/healthz`` shape)."""
+        windows = {
+            _window_label(w): self.window_report(w) for w in self.windows
+        }
+        degraded = any(
+            entry["status"] != "ok" for entry in windows.values()
+        )
+        return {
+            "status": "degraded" if degraded else "ok",
+            "config": self.config.to_dict(),
+            "windows": windows,
+        }

@@ -175,6 +175,71 @@ def _coerce_attr(value: Any) -> Any:
 
 
 @dataclass(slots=True)
+class RequestContext:
+    """One served request's identity, carried alongside the telemetry.
+
+    The serving layer creates one context per request (a deterministic
+    ``req-NNNNNN`` id from a per-server counter) and activates it with
+    :func:`use_request`.  While a context is active on a thread, every
+    span and event recorded there is stamped with the request id — so
+    one request's spans can be picked back out of the shared registry
+    (the flight recorder does exactly this) even though many requests
+    write into it concurrently.
+
+    ``attrs`` is the request-scoped scratchpad: layers that know
+    something about the request (the engine knows the candidate counts
+    and whether the cache hit; the service knows the snapshot version)
+    :meth:`annotate` it, and the access log reads it all back at the
+    end without any layer having to thread fields through its return
+    types.
+    """
+
+    request_id: str
+    attrs: dict = field(default_factory=dict)
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach request-scoped facts (coerced to JSON-safe scalars)."""
+        for key, value in attrs.items():
+            self.attrs[key] = _coerce_attr(value)
+
+
+#: The active request context is per-thread, exactly like the active
+#: telemetry registry: request threads never share a context, and
+#: fan-out code (scoring shards, pool workers) re-activates the parent
+#: request's context explicitly.
+_active_request = threading.local()
+
+
+def current_request() -> RequestContext | None:
+    """This thread's active request context, if any."""
+    return getattr(_active_request, "value", None)
+
+
+def set_request(context: RequestContext | None) -> RequestContext | None:
+    """Make ``context`` active on this thread; returns the previous one."""
+    previous = current_request()
+    _active_request.value = context
+    return previous
+
+
+class use_request:
+    """Context manager: activate a request context, restore on exit."""
+
+    __slots__ = ("_context", "_previous")
+
+    def __init__(self, context: RequestContext | None):
+        self._context = context
+        self._previous: RequestContext | None = None
+
+    def __enter__(self) -> RequestContext | None:
+        self._previous = set_request(self._context)
+        return self._context
+
+    def __exit__(self, *exc_info: object) -> None:
+        set_request(self._previous)
+
+
+@dataclass(slots=True)
 class SpanRecord:
     """One completed span: what ran, where in the tree, for how long."""
 
@@ -251,6 +316,9 @@ class Span:
             stack.append(self.path)
             self._entered = True
             self.start = time.monotonic() - telemetry._t0
+            context = current_request()
+            if context is not None:
+                self.attrs.setdefault("request_id", context.request_id)
         self._began = time.monotonic()
         return self
 
@@ -274,6 +342,29 @@ class Span:
                 )
             )
         # Exceptions always propagate.
+
+
+class _Parented:
+    """Pushes a borrowed parent path onto this thread's span stack."""
+
+    __slots__ = ("_telemetry", "_path", "_pushed")
+
+    def __init__(self, telemetry: "Telemetry", path: str | None):
+        self._telemetry = telemetry
+        self._path = path
+        self._pushed = False
+
+    def __enter__(self) -> "_Parented":
+        if self._path is not None and self._telemetry.enabled:
+            self._telemetry._span_stack().append(self._path)
+            self._pushed = True
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._pushed:
+            stack = self._telemetry._span_stack()
+            if stack and stack[-1] == self._path:
+                stack.pop()
 
 
 class Telemetry:
@@ -314,6 +405,18 @@ class Telemetry:
         stack = self._span_stack()
         return stack[-1] if stack else None
 
+    def parented(self, path: str | None) -> "_Parented":
+        """Adopt ``path`` as this thread's span parent for a block.
+
+        Fan-out code (scoring shard threads) captures the submitting
+        thread's :meth:`active_path` and re-establishes it inside the
+        worker, so spans opened there nest under the request span
+        instead of starting a disconnected root tree.  ``None`` is a
+        no-op, which lets callers pass ``active_path()`` through
+        unconditionally.
+        """
+        return _Parented(self, path)
+
     def _record_span(self, record: SpanRecord) -> None:
         with self._lock:
             if len(self._spans) >= self.max_spans:
@@ -338,13 +441,17 @@ class Telemetry:
             return
         stack = self._span_stack()
         path = f"{stack[-1]}/{name}" if stack else name
+        coerced = {k: _coerce_attr(v) for k, v in attrs.items()}
+        context = current_request()
+        if context is not None:
+            coerced.setdefault("request_id", context.request_id)
         self._record_span(
             SpanRecord(
                 name=name,
                 path=path,
                 start=time.monotonic() - self._t0,
                 duration=0.0,
-                attrs={k: _coerce_attr(v) for k, v in attrs.items()},
+                attrs=coerced,
             )
         )
 

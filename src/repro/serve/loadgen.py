@@ -41,6 +41,21 @@ def percentile(values: Sequence[float], p: float) -> float:
     return ordered[rank - 1]
 
 
+def _status_latency_summary(
+    per_status: dict[str, list[float]],
+) -> dict[str, dict]:
+    """Collapse per-status latency lists into count/mean/p95 summaries."""
+    return {
+        status: {
+            "count": len(values),
+            "mean": sum(values) / len(values),
+            "p95": percentile(values, 95.0),
+        }
+        for status, values in sorted(per_status.items())
+        if values
+    }
+
+
 def zipf_weights(n: int, s: float) -> list[float]:
     """Zipf weights ``1/rank^s`` for ranks 1..n (unnormalized)."""
     if n < 1:
@@ -80,6 +95,11 @@ class LoadReport:
     #: Responses whose snapshot version was *older* than one the same
     #: client had already seen — must be 0 (snapshots swap forward only).
     version_regressions: int = 0
+    #: Per-status latency summaries (count/mean/p95), errors included —
+    #: a 500 that took four seconds is tail behavior the SLO windows
+    #: will see, so the load report must see it too.  Retried 429s stay
+    #: out (they are shed, not served).
+    latency_by_status: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -101,6 +121,7 @@ class LoadReport:
             "transport": self.transport,
             "status_counts": self.status_counts,
             "version_regressions": self.version_regressions,
+            "latency_by_status": self.latency_by_status,
         }
 
 
@@ -136,6 +157,7 @@ def run_load(
     weights = zipf_weights(len(queries), zipf_s)
     lock = threading.Lock()
     latencies: list[float] = []
+    per_status: dict[str, list[float]] = {}
     queued: list[float] = []
     versions: set[int] = set()
     counts = {"completed": 0, "rejected": 0, "errors": 0, "staleness": 0}
@@ -147,6 +169,7 @@ def run_load(
         served = 0
         while served < requests_per_client:
             query = rng.choices(queries, weights=weights, k=1)[0]
+            attempt_started = time.monotonic()
             try:
                 response = service.search(query, limit=limit)
             except OverloadedError:
@@ -157,12 +180,21 @@ def run_load(
                 time.sleep(rng.uniform(0.001, 0.005))
                 continue
             except ServiceClosedError:
+                elapsed = time.monotonic() - attempt_started
                 with lock:
                     counts["errors"] += 1
+                    latencies.append(elapsed)
+                    per_status.setdefault("503", []).append(elapsed)
                 return
             except Exception:
+                # Error responses took real time to fail; dropping them
+                # from the percentile math would let the load report
+                # and the SLO windows disagree on tail behavior.
+                elapsed = time.monotonic() - attempt_started
                 with lock:
                     counts["errors"] += 1
+                    latencies.append(elapsed)
+                    per_status.setdefault("error", []).append(elapsed)
                 served += 1
                 continue
             staleness = 0
@@ -174,6 +206,9 @@ def run_load(
                 counts["completed"] += 1
                 counts["staleness"] = max(counts["staleness"], staleness)
                 latencies.append(response.total_seconds)
+                per_status.setdefault("200", []).append(
+                    response.total_seconds
+                )
                 queued.append(response.queued_seconds)
                 versions.add(response.snapshot_version)
             served += 1
@@ -202,6 +237,7 @@ def run_load(
         duration_seconds=duration,
         snapshot_versions=sorted(versions),
         max_staleness=counts["staleness"],
+        latency_by_status=_status_latency_summary(per_status),
     )
     if duration > 0.0:
         report.qps = report.completed / duration
@@ -261,6 +297,7 @@ def run_load_http(
     weights = zipf_weights(len(query_texts), zipf_s)
     lock = threading.Lock()
     latencies: list[float] = []
+    per_status: dict[str, list[float]] = {}
     queued: list[float] = []
     versions: set[int] = set()
     status_counts: dict[int, int] = {}
@@ -295,12 +332,17 @@ def run_load_http(
                     body = response.read()
                 except (OSError, http.client.HTTPException):
                     # Connection-level failure: count it, reconnect.
+                    elapsed = time.monotonic() - started
                     conn.close()
                     conn = http.client.HTTPConnection(
                         host, port, timeout=timeout
                     )
                     with lock:
                         counts["errors"] += 1
+                        latencies.append(elapsed)
+                        per_status.setdefault("conn-error", []).append(
+                            elapsed
+                        )
                     served += 1
                     continue
                 elapsed = time.monotonic() - started
@@ -317,10 +359,21 @@ def run_load_http(
                 if status == 503:
                     with lock:
                         counts["errors"] += 1
+                        latencies.append(elapsed)
+                        per_status.setdefault(str(status), []).append(
+                            elapsed
+                        )
                     return
                 if status != 200:
+                    # Non-200s are latency too (see the in-process
+                    # driver): tail behavior must match what the SLO
+                    # windows record.
                     with lock:
                         counts["errors"] += 1
+                        latencies.append(elapsed)
+                        per_status.setdefault(str(status), []).append(
+                            elapsed
+                        )
                     served += 1
                     continue
                 payload = json.loads(body)
@@ -346,6 +399,7 @@ def run_load_http(
                     if regression:
                         counts["regressions"] += 1
                     latencies.append(elapsed)
+                    per_status.setdefault("200", []).append(elapsed)
                     queued.append(payload.get("queued_seconds", 0.0))
                     versions.add(version)
                 served += 1
@@ -382,6 +436,7 @@ def run_load_http(
             for status, count in sorted(status_counts.items())
         },
         version_regressions=counts["regressions"],
+        latency_by_status=_status_latency_summary(per_status),
     )
     if duration > 0.0:
         report.qps = report.completed / duration

@@ -53,7 +53,14 @@ from ..core.query import Query
 from ..core.scoring import QueryScorer, ScoringConfig
 from ..core.search import SearchResult, _TopK, score_rows_into
 from ..hierarchy import ConceptHierarchy
-from ..obs import Telemetry, get_telemetry, use_telemetry
+from ..obs import (
+    RequestContext,
+    Telemetry,
+    current_request,
+    get_telemetry,
+    use_request,
+    use_telemetry,
+)
 
 # -- worker side -------------------------------------------------------------
 
@@ -88,12 +95,17 @@ def _score_chunk(
     limit: int,
     rows: Sequence[int],
     traced: bool,
+    request_id: str | None = None,
 ) -> tuple[int, list[SearchResult], dict | None]:
     """Score one row shard in a worker process.
 
     Returns ``(known_matches, shard_top_k_results, telemetry_export)``.
     The shard's results carry ``feature=None`` exactly like the thread
     path — only page survivors are materialized, in the parent.
+    ``request_id`` carries the serving request's identity across the
+    pickle boundary: the worker re-activates it so every span in the
+    export is stamped, and the parent-side merge re-parents the tree
+    under the request's open spans — one request, one span tree.
     """
     payload = _load_payload(path)
     view: ColumnarSnapshot = payload["view"]
@@ -110,7 +122,10 @@ def _score_chunk(
         # per chunk whose export merges into the parent's active
         # telemetry, so pooled counter totals equal serial ones.
         telemetry = Telemetry()
-        with use_telemetry(telemetry):
+        context = (
+            RequestContext(request_id) if request_id is not None else None
+        )
+        with use_telemetry(telemetry), use_request(context):
             with telemetry.span("procpool.chunk", rows=len(rows)):
                 matches = score_rows_into(cscorer, query, rows, top)
             telemetry.count("procpool.rows_scored", len(rows))
@@ -260,12 +275,17 @@ class ProcessPoolScorer:
         if pool is None:
             return None
         traced = telemetry.enabled
+        context = current_request()
+        request_id = context.request_id if context is not None else None
         shards_n = min(self.workers, max(1, len(rows)))
         chunk = (len(rows) + shards_n - 1) // shards_n
         shards = [rows[i : i + chunk] for i in range(0, len(rows), chunk)]
         try:
             futures = [
-                pool.submit(_score_chunk, path, query, limit, shard, traced)
+                pool.submit(
+                    _score_chunk, path, query, limit, shard, traced,
+                    request_id,
+                )
                 for shard in shards
             ]
             outputs = [future.result() for future in futures]

@@ -37,7 +37,7 @@ from ..core.query import Query
 from ..core.scoring import ScoringConfig
 from ..core.search import SearchEngine, SearchResults
 from ..hierarchy import ConceptHierarchy
-from ..obs import Telemetry, use_telemetry
+from ..obs import Telemetry, current_request, use_telemetry
 from .procpool import ProcessPoolScorer
 
 
@@ -276,6 +276,12 @@ class SearchService:
     ) -> ServeResponse:
         engine = self._engine  # one read: this request's snapshot
         started = time.monotonic()
+        context = current_request()
+        if context is not None:
+            context.annotate(
+                snapshot_version=engine.catalog.version,
+                queued_seconds=round(queued, 6),
+            )
         with use_telemetry(self.telemetry):
             with self.telemetry.span(
                 "serve.request",

@@ -6,6 +6,7 @@ from .health import (
     render_health_report,
     render_quarantine_report,
     render_serve_report,
+    render_slo_report,
     render_span_tree,
     render_telemetry_report,
 )
@@ -24,6 +25,7 @@ __all__ = [
     "render_search_html",
     "render_search_text",
     "render_serve_report",
+    "render_slo_report",
     "render_span_tree",
     "render_summary_html",
     "render_summary_text",

@@ -232,6 +232,41 @@ def render_telemetry_report(snapshot: dict) -> str:
     return "\n".join(parts)
 
 
+def render_slo_report(report: dict) -> str:
+    """The operator-facing SLO page: per-window verdicts vs targets.
+
+    ``report`` is :meth:`repro.obs.SLOTracker.report` — the same dict
+    ``/healthz`` serves, so the terminal page and the endpoint always
+    agree.
+    """
+    config = report.get("config", {})
+    lines = [
+        "SLO report",
+        "=" * 60,
+        f"status: {report.get('status', 'ok')}",
+        f"targets: p95 <= {config.get('latency_p95_seconds', 0) * 1e3:.0f} ms"
+        f", error rate <= {config.get('max_error_rate', 0):.2%}"
+        f", availability >= {config.get('min_availability', 0):.2%}",
+        "",
+        f"  {'window':<8} {'reqs':>6} {'p50 ms':>8} {'p95 ms':>8} "
+        f"{'p99 ms':>8} {'err%':>6} {'avail%':>7}  verdict",
+        "-" * 60,
+    ]
+    for label, window in report.get("windows", {}).items():
+        verdict = window["status"]
+        if window["breached"]:
+            verdict += " (" + ", ".join(window["breached"]) + ")"
+        lines.append(
+            f"  {label:<8} {window['requests']:>6} "
+            f"{window['latency_p50'] * 1e3:>8.2f} "
+            f"{window['latency_p95'] * 1e3:>8.2f} "
+            f"{window['latency_p99'] * 1e3:>8.2f} "
+            f"{window['error_rate'] * 100:>6.2f} "
+            f"{window['availability'] * 100:>7.2f}  {verdict}"
+        )
+    return "\n".join(lines)
+
+
 def render_serve_report(report, stats: dict | None = None) -> str:
     """The ``serve-bench`` surface: one closed-loop load run.
 
@@ -267,6 +302,15 @@ def render_serve_report(report, stats: dict | None = None) -> str:
             for status, count in sorted(status_counts.items())
         )
         lines.append(f"  http statuses        {statuses}")
+    by_status = getattr(report, "latency_by_status", None)
+    if by_status and len(by_status) > 1:
+        # Only worth a line when something other than 200s happened.
+        for status, summary in sorted(by_status.items()):
+            lines.append(
+                f"  latency[{status}]: {summary['count']} reqs, "
+                f"mean {summary['mean'] * 1e3:.2f} ms, "
+                f"p95 {summary['p95'] * 1e3:.2f} ms"
+            )
     versions = ", ".join(str(v) for v in report.snapshot_versions)
     lines += [
         "",

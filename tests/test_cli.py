@@ -351,3 +351,61 @@ class TestServeBench:
     def test_missing_catalog_rejected(self, tmp_path, capsys):
         assert main(["serve-bench", str(tmp_path / "nope.db")]) == 2
         assert capsys.readouterr().err.strip()
+
+
+class TestServe:
+    def test_boot_and_drain_with_observability_outputs(
+        self, catalog_path, tmp_path, capsys
+    ):
+        """`repro serve --max-seconds 0`: boot, drain, dump, validate.
+
+        The HTTP routes themselves are exercised in test_serve_http /
+        test_serve_trace; here the CLI wiring is pinned — banner, SLO
+        report on shutdown, flight-recorder dump, access-log file that
+        the standard validator accepts.
+        """
+        access = str(tmp_path / "access.jsonl")
+        flight = str(tmp_path / "flight.json")
+        assert main(["serve", catalog_path, "--port", "0",
+                     "--max-seconds", "0",
+                     "--access-log", access,
+                     "--flight-out", flight]) == 0
+        out = capsys.readouterr().out
+        assert "serving" in out
+        assert "/metrics" in out and "/debug/slow" in out
+        assert "shutdown: drained=True" in out
+        assert "SLO report" in out
+        assert f"-> {flight}" in out
+        assert f"-> {access}" in out
+
+        import json
+
+        from repro.obs import validate_trace_lines
+
+        payload = json.load(open(flight))
+        assert payload["captured"] == 0  # no requests were served
+        with open(access) as fh:
+            lines = fh.read().splitlines()
+        assert validate_trace_lines(lines) == []
+        assert json.loads(lines[0])["stream"] == "access-log"
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--port", "-1"],
+            ["--drain-seconds", "-1"],
+            ["--slo-p95-ms", "0"],
+            ["--slo-error-rate", "1.5"],
+            ["--slo-error-rate", "-0.1"],
+            ["--slo-availability", "0"],
+            ["--slo-availability", "1.5"],
+            ["--concurrency", "0"],
+        ],
+    )
+    def test_bad_flags_rejected(self, catalog_path, capsys, flags):
+        assert main(["serve", catalog_path, *flags]) == 2
+        assert capsys.readouterr().err.strip()
+
+    def test_missing_catalog_rejected(self, tmp_path, capsys):
+        assert main(["serve", str(tmp_path / "nope.db")]) == 2
+        assert capsys.readouterr().err.strip()

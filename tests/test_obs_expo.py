@@ -1,0 +1,168 @@
+"""Prometheus exposition: deterministic rendering and the CI parser.
+
+The contract between ``/metrics`` and its scrapers (obs/expo.py):
+
+* telemetry names map deterministically onto prefixed metric names
+  (``http.status.200`` -> ``repro_http_status_200``), counters gain
+  ``_total``;
+* histograms expand to *cumulative* buckets plus the mandatory
+  ``+Inf``, ``_sum`` and ``_count`` — and ``_count`` always equals the
+  ``+Inf`` bucket;
+* rendering the same snapshot twice is byte-identical;
+* the tiny parser round-trips a rendered page and fails loudly on
+  malformed lines (truncated scrapes must not pass silently in CI).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    Telemetry,
+    parse_prometheus_text,
+    prometheus_name,
+    render_prometheus,
+    sample_value,
+)
+
+SNAPSHOT = {
+    "counters": {"http.requests": 42, "http.status.200": 40},
+    "gauges": {"serve.snapshot_version": 3},
+    "histograms": {
+        "http.request_seconds": {
+            "bounds": [0.001, 0.01, 0.1],
+            "counts": [5, 30, 6],  # per-bucket, non-cumulative
+            "count": 42,           # includes 1 overflow observation
+            "sum": 0.75,
+        }
+    },
+}
+
+
+class TestNameMapping:
+    def test_dots_become_underscores_under_the_prefix(self):
+        assert prometheus_name("http.status.200") == "repro_http_status_200"
+
+    def test_counter_suffix(self):
+        assert (
+            prometheus_name("http.requests", "_total")
+            == "repro_http_requests_total"
+        )
+
+    def test_any_invalid_char_is_replaced(self):
+        assert prometheus_name("a-b c/d") == "repro_a_b_c_d"
+
+
+class TestRender:
+    def test_counters_gauges_histograms_all_present(self):
+        text = render_prometheus(SNAPSHOT)
+        assert "# TYPE repro_http_requests_total counter" in text
+        assert "repro_http_requests_total 42" in text
+        assert "# TYPE repro_serve_snapshot_version gauge" in text
+        assert "repro_serve_snapshot_version 3" in text
+        assert "# TYPE repro_http_request_seconds histogram" in text
+
+    def test_buckets_are_cumulative_and_capped_by_inf(self):
+        text = render_prometheus(SNAPSHOT)
+        assert 'repro_http_request_seconds_bucket{le="0.001"} 5' in text
+        assert 'repro_http_request_seconds_bucket{le="0.01"} 35' in text
+        assert 'repro_http_request_seconds_bucket{le="0.1"} 41' in text
+        assert 'repro_http_request_seconds_bucket{le="+Inf"} 42' in text
+        assert "repro_http_request_seconds_sum 0.75" in text
+        assert "repro_http_request_seconds_count 42" in text
+
+    def test_rendering_is_deterministic(self):
+        assert render_prometheus(SNAPSHOT) == render_prometheus(SNAPSHOT)
+
+    def test_page_ends_with_newline(self):
+        assert render_prometheus(SNAPSHOT).endswith("\n")
+
+    def test_empty_snapshot_renders_and_parses_to_nothing(self):
+        assert parse_prometheus_text(render_prometheus({})) == {}
+
+
+class TestRoundTrip:
+    def test_parse_recovers_every_sample(self):
+        families = parse_prometheus_text(render_prometheus(SNAPSHOT))
+        assert sample_value(families, "repro_http_requests_total") == 42
+        assert sample_value(families, "repro_http_status_200_total") == 40
+        assert sample_value(families, "repro_serve_snapshot_version") == 3
+        assert sample_value(
+            families, "repro_http_request_seconds_count"
+        ) == 42
+        assert sample_value(
+            families,
+            "repro_http_request_seconds_bucket",
+            {"le": "+Inf"},
+        ) == 42
+
+    def test_histogram_samples_group_under_the_base_family(self):
+        families = parse_prometheus_text(render_prometheus(SNAPSHOT))
+        family = families["repro_http_request_seconds"]
+        assert family["type"] == "histogram"
+        names = {name for name, _, _ in family["samples"]}
+        assert names == {
+            "repro_http_request_seconds_bucket",
+            "repro_http_request_seconds_sum",
+            "repro_http_request_seconds_count",
+        }
+
+    def test_live_telemetry_snapshot_round_trips(self):
+        telemetry = Telemetry()
+        telemetry.count("http.requests", 3)
+        telemetry.gauge("serve.snapshot_version", 1)
+        for value in (0.002, 0.004, 0.2):
+            telemetry.observe("http.request_seconds", value)
+        families = parse_prometheus_text(
+            render_prometheus(telemetry.snapshot())
+        )
+        assert sample_value(families, "repro_http_requests_total") == 3
+        assert sample_value(
+            families, "repro_http_request_seconds_count"
+        ) == 3
+
+    def test_sample_value_misses_return_none(self):
+        families = parse_prometheus_text(render_prometheus(SNAPSHOT))
+        assert sample_value(families, "repro_nope") is None
+        assert sample_value(
+            families, "repro_http_request_seconds_bucket", {"le": "9"}
+        ) is None
+
+
+class TestParserRejectsGarbage:
+    def test_malformed_sample_line(self):
+        with pytest.raises(ValueError, match="malformed sample"):
+            parse_prometheus_text("this is not a metric line\n")
+
+    def test_bad_value(self):
+        with pytest.raises(ValueError, match="bad sample value"):
+            parse_prometheus_text("repro_x{le=\"1\"} forty\n")
+
+    def test_malformed_labels(self):
+        with pytest.raises(ValueError, match="malformed labels"):
+            parse_prometheus_text("repro_x{le=1} 4\n")
+
+    def test_histogram_count_must_equal_inf_bucket(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="+Inf"} 5\n'
+            "repro_h_sum 1.0\n"
+            "repro_h_count 4\n"
+        )
+        with pytest.raises(ValueError, match="_count"):
+            parse_prometheus_text(text)
+
+    def test_truncated_histogram_is_rejected(self):
+        text = "# TYPE repro_h histogram\nrepro_h_count 4\n"
+        with pytest.raises(ValueError, match="missing"):
+            parse_prometheus_text(text)
+
+    def test_comments_and_blank_lines_are_ignored(self):
+        text = (
+            "# HELP repro_x something helpful\n"
+            "\n"
+            "# TYPE repro_x counter\n"
+            "repro_x 1\n"
+        )
+        families = parse_prometheus_text(text)
+        assert sample_value(families, "repro_x") == 1

@@ -1,0 +1,183 @@
+"""Sliding-window SLO tracking, driven by an injected clock.
+
+The operator contract (obs/slo.py): windows hold only recent outcomes,
+percentiles are exact nearest-rank order statistics over the requests
+that *ran*, admission rejections count against availability but not
+against the error rate, a window with no data is "ok" (no data is not
+an outage), and the overall verdict degrades as soon as any one window
+breaches any one target.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import DEFAULT_WINDOWS, SLOConfig, SLOTracker, nearest_rank
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def tracker(config=None, windows=(60,), clock=None):
+    return SLOTracker(
+        config=config, windows=windows, clock=clock or FakeClock()
+    )
+
+
+class TestNearestRank:
+    def test_exact_order_statistics(self):
+        values = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
+        assert nearest_rank(values, 0.50) == 0.5
+        assert nearest_rank(values, 0.95) == 1.0
+        assert nearest_rank(values, 0.99) == 1.0
+
+    def test_single_sample_is_every_percentile(self):
+        assert nearest_rank([0.42], 0.50) == 0.42
+        assert nearest_rank([0.42], 0.99) == 0.42
+
+    def test_empty_is_zero(self):
+        assert nearest_rank([], 0.95) == 0.0
+
+
+class TestWindows:
+    def test_empty_window_is_ok_not_an_outage(self):
+        report = tracker().window_report(60)
+        assert report["requests"] == 0
+        assert report["status"] == "ok"
+        assert report["availability"] == 1.0
+        assert report["breached"] == []
+
+    def test_entries_expire_as_the_clock_advances(self):
+        clock = FakeClock()
+        slo = tracker(clock=clock)
+        slo.record(0.010)
+        clock.advance(30)
+        slo.record(0.020)
+        assert slo.window_report(60)["requests"] == 2
+        clock.advance(31)  # first entry is now 61s old
+        report = slo.window_report(60)
+        assert report["requests"] == 1
+        assert report["latency_p50"] == 0.020
+        clock.advance(120)
+        assert slo.window_report(60)["requests"] == 0
+
+    def test_short_window_spikes_long_window_remembers(self):
+        clock = FakeClock()
+        slo = tracker(windows=(60, 300), clock=clock)
+        slo.record(0.010, error=True)
+        clock.advance(120)  # past the 1m window, inside the 5m
+        slo.record(0.010)
+        assert slo.window_report(60)["errors"] == 0
+        assert slo.window_report(300)["errors"] == 1
+
+    def test_unknown_window_raises(self):
+        with pytest.raises(KeyError):
+            tracker().window_report(999)
+
+    def test_windows_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SLOTracker(windows=())
+        with pytest.raises(ValueError):
+            SLOTracker(windows=(60, 0))
+
+
+class TestVerdicts:
+    def test_healthy_traffic_is_ok(self):
+        slo = tracker()
+        for _ in range(20):
+            slo.record(0.005)
+        report = slo.window_report(60)
+        assert report["status"] == "ok"
+        assert report["error_rate"] == 0.0
+        assert report["availability"] == 1.0
+
+    def test_p95_breach_degrades(self):
+        slo = tracker(config=SLOConfig(latency_p95_seconds=0.1))
+        for _ in range(10):
+            slo.record(0.2)
+        report = slo.window_report(60)
+        assert report["breached"] == ["latency_p95"]
+        assert report["status"] == "degraded"
+
+    def test_error_rate_breach_degrades(self):
+        slo = tracker(config=SLOConfig(max_error_rate=0.05))
+        for index in range(10):
+            slo.record(0.005, error=index == 0)
+        report = slo.window_report(60)
+        assert report["error_rate"] == pytest.approx(0.1)
+        assert "error_rate" in report["breached"]
+
+    def test_rejections_hit_availability_not_error_rate(self):
+        """A shedding service is degraded, not broken."""
+        slo = tracker(config=SLOConfig(min_availability=0.95))
+        for index in range(10):
+            slo.record(0.001, rejected=index < 2)
+        report = slo.window_report(60)
+        assert report["rejected"] == 2
+        assert report["error_rate"] == 0.0
+        assert report["availability"] == pytest.approx(0.8)
+        assert report["breached"] == ["availability"]
+
+    def test_rejected_latencies_stay_out_of_the_percentiles(self):
+        slo = tracker(config=SLOConfig(latency_p95_seconds=0.1))
+        for _ in range(10):
+            slo.record(0.001)
+        slo.record(9.0, rejected=True)  # fast-fail path, not tail latency
+        report = slo.window_report(60)
+        assert report["latency_p95"] == 0.001
+        assert "latency_p95" not in report["breached"]
+
+    def test_all_rejected_window_skips_the_latency_check(self):
+        slo = tracker(config=SLOConfig(latency_p95_seconds=0.0001))
+        slo.record(0.5, rejected=True)
+        report = slo.window_report(60)
+        assert report["latency_p50"] == 0.0
+        assert report["breached"] == ["availability"]
+
+
+class TestOverallReport:
+    def test_default_window_labels(self):
+        report = SLOTracker(clock=FakeClock()).report()
+        assert set(report["windows"]) == {"1m", "5m", "30m"}
+        assert DEFAULT_WINDOWS == (60, 300, 1800)
+
+    def test_one_bad_window_degrades_the_whole_report(self):
+        clock = FakeClock()
+        slo = SLOTracker(
+            config=SLOConfig(max_error_rate=0.0),
+            windows=(60, 300),
+            clock=clock,
+        )
+        slo.record(0.01, error=True)
+        clock.advance(120)  # error now only visible to the 5m window
+        for _ in range(5):
+            slo.record(0.01)
+        report = slo.report()
+        assert report["windows"]["1m"]["status"] == "ok"
+        assert report["windows"]["5m"]["status"] == "degraded"
+        assert report["status"] == "degraded"
+
+    def test_report_carries_the_declared_config(self):
+        config = SLOConfig(
+            latency_p95_seconds=0.25,
+            max_error_rate=0.02,
+            min_availability=0.98,
+        )
+        report = SLOTracker(config=config, clock=FakeClock()).report()
+        assert report["config"] == {
+            "latency_p95_seconds": 0.25,
+            "max_error_rate": 0.02,
+            "min_availability": 0.98,
+        }
+
+    def test_non_minute_windows_get_second_labels(self):
+        report = SLOTracker(windows=(90,), clock=FakeClock()).report()
+        assert set(report["windows"]) == {"90s"}

@@ -11,12 +11,18 @@ What the network face promises (serve/http.py):
 * shutdown is graceful under concurrent clients: during ``close`` every
   response is a clean 200 or 503, never a 5xx surprise or a hang;
 * under publish churn the socket loadgen sees zero errors, snapshot
-  versions that never move backwards, and staleness <= 1.
+  versions that never move backwards, and staleness <= 1;
+* the observability routes (``/metrics``, ``/healthz`` SLO verdict,
+  ``/debug/slow``, the JSONL access log) never raise, never block, and
+  stay self-consistent under concurrent scrape-while-serving load —
+  each request's counter/histogram touches land atomically on the one
+  telemetry handle snapshotted at request start.
 """
 
 from __future__ import annotations
 
 import http.client
+import io
 import json
 import threading
 import time
@@ -28,6 +34,15 @@ from repro.catalog.records import DatasetFeature, VariableEntry
 from repro.core.qparser import parse_query
 from repro.core.query import Query, VariableTerm
 from repro.geo import BoundingBox, TimeInterval
+from repro.obs import (
+    AccessLogWriter,
+    SLOConfig,
+    SLOTracker,
+    Telemetry,
+    parse_prometheus_text,
+    sample_value,
+    validate_trace_lines,
+)
 from repro.serve import (
     SearchHTTPServer,
     SearchService,
@@ -72,6 +87,17 @@ def server(catalog):
     http_server = SearchHTTPServer(service, port=0).start()
     yield http_server
     http_server.close(timeout=5.0)
+
+
+def wait_until(condition, timeout: float = 5.0) -> None:
+    """Wait for post-response bookkeeping (SLO/flight/access-log runs
+    *after* the body is on the wire, so a client's read can return a
+    beat before the server-side record lands)."""
+    deadline = time.monotonic() + timeout
+    while not condition():
+        if time.monotonic() > deadline:
+            raise AssertionError("bookkeeping never became visible")
+        time.sleep(0.005)
 
 
 def get(server, target: str):
@@ -355,3 +381,287 @@ class TestChurnOverSockets:
         assert report.version_regressions == 0
         assert report.max_staleness <= 1
         assert len(report.snapshot_versions) >= 1
+
+
+class TestMetricsRoute:
+    def test_metrics_round_trips_through_the_parser(self, server):
+        assert get(server, "/search?q=with+salinity")[0] == 200
+        host, port = server.address
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            body = response.read().decode("utf-8")
+            assert response.status == 200
+            assert response.getheader("Content-Type").startswith(
+                "text/plain"
+            )
+        finally:
+            conn.close()
+        families = parse_prometheus_text(body)
+        assert sample_value(families, "repro_http_requests_total") >= 1
+        assert sample_value(families, "repro_serve_requests_total") >= 1
+        assert "repro_http_request_seconds" in families
+
+    def test_scrape_body_is_internally_consistent(self, server):
+        """Inside one scrape: histogram ``_count`` == ``http.requests``.
+
+        Both move in the same ``_count_response`` step *after* the
+        response body is rendered, so every scrape lags itself by
+        exactly one request on every metric equally.
+        """
+        for _ in range(4):
+            assert get(server, "/search?q=with+salinity")[0] == 200
+        host, port = server.address
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            conn.request("GET", "/metrics")
+            body = conn.getresponse().read().decode("utf-8")
+        finally:
+            conn.close()
+        families = parse_prometheus_text(body)
+        requests = sample_value(families, "repro_http_requests_total")
+        histogram_count = sample_value(
+            families, "repro_http_request_seconds_count"
+        )
+        assert requests == histogram_count == 4
+
+
+class TestHealthzSLO:
+    def test_healthz_carries_the_slo_report(self, server):
+        assert get(server, "/search?q=with+salinity")[0] == 200
+        wait_until(
+            lambda: server.slo.window_report(60)["requests"] >= 1
+        )
+        status, _, payload = get(server, "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        slo = payload["slo"]
+        assert slo["status"] == "ok"
+        assert set(slo["windows"]) == {"1m", "5m", "30m"}
+        assert slo["windows"]["1m"]["requests"] >= 1
+        assert slo["config"]["latency_p95_seconds"] > 0
+
+    def test_breached_slo_degrades_healthz_but_stays_200(self, catalog):
+        """Degraded is still serving: LBs eject on 503, operators page
+        on the SLO field."""
+        service = SearchService(catalog)
+        slo = SLOTracker(SLOConfig(latency_p95_seconds=1e-9))
+        server = SearchHTTPServer(service, port=0, slo=slo).start()
+        try:
+            assert get(server, "/search?q=with+salinity")[0] == 200
+            wait_until(lambda: slo.window_report(60)["requests"] >= 1)
+            status, _, payload = get(server, "/healthz")
+            assert status == 200
+            assert payload["status"] == "degraded"
+            assert "latency_p95" in (
+                payload["slo"]["windows"]["1m"]["breached"]
+            )
+        finally:
+            server.close(timeout=5.0)
+
+    def test_scrapes_do_not_enter_the_slo_window(self, server):
+        for _ in range(3):
+            assert get(server, "/healthz")[0] == 200
+        _, _, payload = get(server, "/healthz")
+        assert payload["slo"]["windows"]["1m"]["requests"] == 0
+
+
+class TestDebugSlowRoute:
+    def test_search_requests_land_in_the_flight_ring(self, server):
+        assert get(server, "/search?q=with+salinity")[0] == 200
+        wait_until(lambda: server.flight.captured >= 1)
+        status, _, payload = get(server, "/debug/slow")
+        assert status == 200
+        assert payload["captured"] >= 1
+        entry = payload["slowest"][0]
+        assert entry["query"] == "with salinity"
+        assert entry["status"] == 200
+        assert entry["request_id"].startswith("req-")
+        span_names = {span["name"] for span in entry["spans"]}
+        assert "http.request" in span_names
+        assert "serve.request" in span_names
+
+    def test_scrapes_themselves_stay_out_of_the_ring(self, server):
+        for _ in range(3):
+            assert get(server, "/debug/slow")[0] == 200
+        _, _, payload = get(server, "/debug/slow")
+        assert payload["captured"] == 0
+
+
+class TestAccessLog:
+    def test_every_request_logs_one_validating_line(self, catalog):
+        service = SearchService(catalog)
+        buffer = io.StringIO()
+        access_log = AccessLogWriter(buffer)
+        server = SearchHTTPServer(
+            service, port=0, access_log=access_log
+        ).start()
+        try:
+            assert get(server, "/search?q=with+salinity")[0] == 200
+            assert get(server, "/healthz")[0] == 200
+            assert get(server, "/nope")[0] == 404
+            wait_until(lambda: access_log.lines == 4)  # meta + 3
+        finally:
+            server.close(timeout=5.0)
+        lines = buffer.getvalue().splitlines()
+        assert validate_trace_lines(lines) == []
+        events = [json.loads(line) for line in lines]
+        assert events[0]["type"] == "meta"
+        # Bookkeeping is post-response, so lines from different
+        # connections may interleave; request ids restore the order.
+        access = sorted(
+            (e for e in events if e["type"] == "access"),
+            key=lambda e: e["request_id"],
+        )
+        assert [e["route"] for e in access] == [
+            "/search", "/healthz", "/nope"
+        ]
+        assert [e["status"] for e in access] == [200, 200, 404]
+        search_line = access[0]
+        assert search_line["request_id"] == "req-000001"
+        assert search_line["latency_seconds"] >= 0.0
+        assert search_line["cache_hit"] is False
+        assert search_line["results"] >= 1
+
+
+class TestTelemetrySwapAtomicity:
+    def test_in_flight_request_counts_on_its_snapshotted_handle(
+        self, catalog
+    ):
+        """A mid-request ``service.telemetry`` swap cannot split one
+        request's increments across registries: the handler snapshots
+        the handle once at request start and counts everything on it at
+        the response exit point."""
+        service = SearchService(catalog)
+        original = service.telemetry
+        server = SearchHTTPServer(service, port=0).start()
+        hold = threading.Event()
+        release = threading.Event()
+        engine = service._engine
+        original_search = engine.search
+
+        def blocked(query, limit=10):
+            hold.set()
+            release.wait(timeout=10)
+            return original_search(query, limit=limit)
+
+        engine.search = blocked
+        replacement = Telemetry()
+        result: dict = {}
+
+        def client() -> None:
+            result["status"] = get(server, "/search?q=with+salinity")[0]
+
+        thread = threading.Thread(target=client, daemon=True)
+        try:
+            thread.start()
+            assert hold.wait(timeout=5)
+            service.telemetry = replacement  # the swap, mid-request
+            release.set()
+            thread.join(timeout=10)
+            assert result["status"] == 200
+        finally:
+            release.set()
+            engine.search = original_search
+            service.telemetry = original
+            server.close(timeout=5.0)
+        assert original.counter("http.requests") == 1
+        assert original.counter("http.status.200") == 1
+        assert (
+            original.snapshot()["histograms"]["http.request_seconds"][
+                "count"
+            ]
+            == 1
+        )
+        assert replacement.counter("http.requests") == 0
+        assert replacement.counter("http.status.200") == 0
+
+
+class TestScrapeWhileServing:
+    def test_concurrent_scrapes_never_fail_and_converge(self, catalog):
+        """Scrape-while-serving: /metrics and /telemetry under load.
+
+        Scraper threads hammer both endpoints while search clients
+        serve; every scrape must be a clean 200 whose body parses, and
+        at quiescence the final scrape shows histogram ``_count`` ==
+        ``http.requests`` == the sum of all ``http.status.*``."""
+        service = SearchService(
+            catalog, config=ServeConfig(max_concurrency=8, queue_depth=32)
+        )
+        server = SearchHTTPServer(service, port=0).start()
+        host, port = server.address
+        failures: list[str] = []
+        lock = threading.Lock()
+        stop = threading.Event()
+
+        def fail(message: str) -> None:
+            with lock:
+                failures.append(message)
+
+        def searcher() -> None:
+            conn = http.client.HTTPConnection(host, port, timeout=10)
+            try:
+                for _ in range(25):
+                    conn.request("GET", "/search?q=with+salinity")
+                    response = conn.getresponse()
+                    response.read()
+                    if response.status not in (200, 429):
+                        fail(f"search status {response.status}")
+            except Exception as exc:
+                fail(f"searcher raised {exc!r}")
+            finally:
+                conn.close()
+
+        def scraper(target: str) -> None:
+            conn = http.client.HTTPConnection(host, port, timeout=10)
+            try:
+                while not stop.is_set():
+                    conn.request("GET", target)
+                    response = conn.getresponse()
+                    body = response.read().decode("utf-8")
+                    if response.status != 200:
+                        fail(f"{target} status {response.status}")
+                    elif target == "/metrics":
+                        parse_prometheus_text(body)  # must never raise
+                    else:
+                        json.loads(body)
+            except Exception as exc:
+                fail(f"scraper {target} raised {exc!r}")
+            finally:
+                conn.close()
+
+        searchers = [
+            threading.Thread(target=searcher, daemon=True)
+            for _ in range(4)
+        ]
+        scrapers = [
+            threading.Thread(target=scraper, args=(target,), daemon=True)
+            for target in ("/metrics", "/telemetry")
+        ]
+        for thread in searchers + scrapers:
+            thread.start()
+        for thread in searchers:
+            thread.join(timeout=30)
+            assert not thread.is_alive(), "searcher hung"
+        stop.set()
+        for thread in scrapers:
+            thread.join(timeout=30)
+            assert not thread.is_alive(), "scraper hung or blocked"
+        assert failures == [], failures
+
+        # Quiescence: one final scrape over a fresh connection.  Its
+        # body excludes only itself, identically on every metric.
+        _, _, snapshot = get(server, "/telemetry")
+        counters = snapshot["counters"]
+        status_total = sum(
+            value
+            for name, value in counters.items()
+            if name.startswith("http.status.")
+        )
+        histogram_count = snapshot["histograms"]["http.request_seconds"][
+            "count"
+        ]
+        assert counters["http.requests"] == status_total
+        assert counters["http.requests"] == histogram_count
+        server.close(timeout=5.0)
