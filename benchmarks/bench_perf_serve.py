@@ -18,8 +18,15 @@ Exercises the serving stack end to end on a large synthetic catalog:
   recording both QPS figures side by side,
 * **churn** — in-process and socket load while a background writer
   keeps publishing atomic catalog batches and refreshing the service's
-  snapshot; requests must keep completing (zero errors), versions never
-  regress, and staleness stays <= 1,
+  snapshot through the stamped-delta O(changed) path; requests must
+  keep completing (zero errors), versions never regress, and staleness
+  stays <= 1,
+* **refresh cost** — refresh wall-clock versus publish-delta size
+  (1, 10, 1% and 10% of the catalog), delta path against the full
+  rebuild, plus first-query-after-swap latency with warming on vs off;
+  the delta page must match a cold engine exactly, and full runs gate
+  the O(changed) claim (a 1-dataset delta refresh must undercut the
+  full rebuild, and cost must grow with delta size),
 * **observability overhead** — the same socket workload against a
   telemetry-off service vs a telemetry-on one (request tracing, span
   stamping, SLO windows, flight recorder, plus a ``/metrics`` scrape),
@@ -83,6 +90,24 @@ from repro.serve import (
     run_load,
     run_load_http,
 )
+from repro.wrangling.state import PublishDelta
+
+
+def publish_round(catalog, ids, round_number):
+    """One wrangler publish: rewrite ``ids`` as ONE atomic batch (one
+    version bump) and return the stamped delta that proves it."""
+    batch = []
+    for dataset_id in ids:
+        feature = catalog.get(dataset_id)
+        feature.row_count = 100 + round_number
+        batch.append(feature)
+    base = catalog.version
+    catalog.apply_batch(batch, ())
+    return PublishDelta(
+        upserted=list(ids),
+        base_version=base,
+        published_version=catalog.version,
+    )
 
 
 def page(results):
@@ -211,17 +236,13 @@ def churn_phase(catalog, queries, hierarchy, clients, requests_per_client,
         def writer() -> None:
             # A wrangler in a loop: each round rewrites a batch of
             # datasets as ONE apply_batch (one version bump), then
-            # tells the service to pick the new snapshot up.
+            # hands the service the stamped delta so the refresh is
+            # O(changed) instead of a full rebuild.
             round_number = 0
             while not stop.is_set():
                 round_number += 1
-                batch = []
-                for dataset_id in ids:
-                    feature = catalog.get(dataset_id)
-                    feature.row_count = 100 + round_number
-                    batch.append(feature)
-                catalog.apply_batch(batch, ())
-                service.refresh()
+                delta = publish_round(catalog, ids, round_number)
+                service.refresh(delta=delta)
                 publishes[0] += 1
                 time.sleep(0.005)
 
@@ -242,9 +263,13 @@ def churn_phase(catalog, queries, hierarchy, clients, requests_per_client,
             stop.set()
             thread.join(timeout=10.0)
         refreshes = service.telemetry.counter("serve.snapshot_refreshes")
+        delta_applied = service.telemetry.counter("refresh.delta_applied")
+        full_rebuilds = service.telemetry.counter("refresh.full_rebuilds")
 
     return {
         "publishes": publishes[0],
+        "refresh_delta_applied": delta_applied,
+        "refresh_full_rebuilds": full_rebuilds,
         "completed": report.completed,
         "rejected": report.rejected,
         "errors": report.errors,
@@ -254,6 +279,105 @@ def churn_phase(catalog, queries, hierarchy, clients, requests_per_client,
         "max_staleness": report.max_staleness,
         "snapshot_refreshes": refreshes,
     }
+
+
+def refresh_cost_phase(catalog, queries, hierarchy, limit, rounds=5):
+    """Refresh wall-clock vs publish-delta size, delta path vs full.
+
+    For each delta size, three services are measured over ``rounds``
+    publishes each: the full-rebuild path (delta withheld), the pure
+    stamped-delta path (warming off, so the timing is the O(changed)
+    rebuild alone), and the delta path with warming on (the production
+    configuration — its refresh additionally pre-executes the hottest
+    queries *before* the swap, which is the cost that buys the warm
+    first-query latency).  ``first_query_*_ms`` is the latency of the
+    first request admitted after the swap — cold pays the scan, warm
+    hits the pre-executed cache entry.  The delta-refreshed page is
+    checked against a cold serial engine after the last round
+    (``page_mismatches`` gates).
+    """
+    import statistics
+
+    n = len(catalog)
+    sizes = sorted({1, 10, max(1, n // 100), max(1, n // 10)})
+    ids_all = catalog.dataset_ids()
+    hot = queries[0]
+    rows = {}
+    round_number = [10_000]  # distinct row_counts from the churn phases
+
+    def measure(service, ids, use_delta):
+        refresh_times, first_query_times = [], []
+        for _ in range(rounds):
+            round_number[0] += 1
+            delta = publish_round(catalog, ids, round_number[0])
+            started = time.perf_counter()
+            service.refresh(delta=delta if use_delta else None)
+            refresh_times.append(time.perf_counter() - started)
+            started = time.perf_counter()
+            service.search(hot, limit=limit)
+            first_query_times.append(time.perf_counter() - started)
+        return (
+            statistics.median(refresh_times) * 1000.0,
+            statistics.median(first_query_times) * 1000.0,
+        )
+
+    mismatches = 0
+    cold_config = ServeConfig(
+        max_concurrency=4, queue_depth=16, warm_queries=0
+    )
+    warm_config = ServeConfig(max_concurrency=4, queue_depth=16)
+    for size in sizes:
+        ids = ids_all[:size]
+        with SearchService(
+            catalog, hierarchy=hierarchy, config=cold_config
+        ) as service:
+            for query in queries:
+                service.search(query, limit=limit)
+            full_ms, first_cold_ms = measure(service, ids, use_delta=False)
+        with SearchService(
+            catalog, hierarchy=hierarchy, config=cold_config
+        ) as service:
+            for query in queries:
+                service.search(query, limit=limit)
+            delta_ms, _ = measure(service, ids, use_delta=True)
+            applied = service.telemetry.counter("refresh.delta_applied")
+            refrozen = service.telemetry.counter("columnar.rows_refrozen")
+            reused = service.telemetry.counter("columnar.rows_reused")
+        with SearchService(
+            catalog, hierarchy=hierarchy, config=warm_config
+        ) as service:
+            for query in queries:
+                service.search(query, limit=limit)  # seed the hotness ring
+            warm_refresh_ms, first_warm_ms = measure(
+                service, ids, use_delta=True
+            )
+            # The O(changed) page must still be the exact page.
+            serial = SearchEngine(catalog, hierarchy=hierarchy, cache=False)
+            serial.build_indexes()
+            for query in queries:
+                want = page(serial.search(query, limit=limit))
+                got = page(service.search(query, limit=limit).results)
+                if got != want:
+                    mismatches += 1
+                    print(f"  REFRESH MISMATCH for {query.describe()!r}")
+        rows[str(size)] = {
+            "full_refresh_ms": full_ms,
+            "delta_refresh_ms": delta_ms,
+            "warm_refresh_ms": warm_refresh_ms,
+            "first_query_cold_ms": first_cold_ms,
+            "first_query_warm_ms": first_warm_ms,
+            "delta_applied": applied,
+            "rows_refrozen": refrozen,
+            "rows_reused": reused,
+        }
+        print(
+            f"  delta {size:4d}: refresh {delta_ms:7.2f} ms "
+            f"(full {full_ms:7.2f} ms, warmed {warm_refresh_ms:7.2f} ms)  "
+            f"first query warm {first_warm_ms:6.2f} ms / "
+            f"cold {first_cold_ms:6.2f} ms"
+        )
+    return {"sizes": sizes, "rounds": rounds,
+            "page_mismatches": mismatches, "rows": rows}
 
 
 def _http_row(report) -> dict:
@@ -362,13 +486,8 @@ def http_churn_phase(catalog, texts, hierarchy, clients,
             round_number = 0
             while not stop.is_set():
                 round_number += 1
-                batch = []
-                for dataset_id in ids:
-                    feature = catalog.get(dataset_id)
-                    feature.row_count = 100 + round_number
-                    batch.append(feature)
-                catalog.apply_batch(batch, ())
-                service.refresh()
+                delta = publish_round(catalog, ids, round_number)
+                service.refresh(delta=delta)
                 publishes[0] += 1
                 time.sleep(0.005)
 
@@ -392,6 +511,12 @@ def http_churn_phase(catalog, texts, hierarchy, clients,
     row["publishes"] = publishes[0]
     row["snapshot_versions_served"] = len(report.snapshot_versions)
     row["max_staleness"] = report.max_staleness
+    row["refresh_delta_applied"] = service.telemetry.counter(
+        "refresh.delta_applied"
+    )
+    row["refresh_full_rebuilds"] = service.telemetry.counter(
+        "refresh.full_rebuilds"
+    )
     return row
 
 
@@ -509,6 +634,18 @@ def run(n_datasets, n_queries, client_counts, requests_per_client,
         f"errors {churn['errors']}"
     )
 
+    print("refresh cost: delta path vs full rebuild, by delta size ...")
+    refresh_cost = refresh_cost_phase(catalog, queries, hierarchy, limit)
+    if refresh_cost["page_mismatches"]:
+        print(
+            f"refresh exactness FAILED on "
+            f"{refresh_cost['page_mismatches']} pages"
+        )
+        return {
+            "exactness_ok": False,
+            "mismatches": refresh_cost["page_mismatches"],
+        }
+
     print("observability overhead: tracing+metrics on vs off ...")
     observability = observability_overhead_phase(
         catalog, texts, hierarchy, max(client_counts),
@@ -558,6 +695,7 @@ def run(n_datasets, n_queries, client_counts, requests_per_client,
         "pool_comparison": pool_comparison,
         "churn": churn,
         "http_churn": http_churn,
+        "refresh_cost": refresh_cost,
         "observability_overhead": observability,
         "qps_low": scaling[low]["qps"],
         "qps_high": scaling[high]["qps"],
@@ -650,6 +788,19 @@ def main(argv=None) -> int:
             "the <= 1 bound"
         )
         return 1
+    refresh_cost = result["refresh_cost"]
+    cost_rows = refresh_cost["rows"]
+    expected_applied = refresh_cost["rounds"]
+    for size, row in cost_rows.items():
+        # The delta path must actually have engaged — a silent fall
+        # back to full rebuilds would make the timings meaningless.
+        if row["delta_applied"] != expected_applied:
+            print(
+                f"refresh-cost delta path engaged only "
+                f"{row['delta_applied']}/{expected_applied} times "
+                f"at size {size}"
+            )
+            return 1
     if args.quick:
         # Tiny runs are too noisy to gate on throughput; gate on
         # correctness and on nothing having been dropped.
@@ -672,6 +823,27 @@ def main(argv=None) -> int:
     )
     if result["scaling_factor"] <= 2.0:
         print("scaling below acceptance floor (8 clients > 2x 1 client)")
+        return 1
+    sizes = refresh_cost["sizes"]
+    small = cost_rows[str(sizes[0])]
+    large = cost_rows[str(sizes[-1])]
+    print(
+        f"refresh cost: delta {small['delta_refresh_ms']:.2f} ms "
+        f"@ {sizes[0]} -> {large['delta_refresh_ms']:.2f} ms "
+        f"@ {sizes[-1]} (full rebuild "
+        f"{small['full_refresh_ms']:.2f} ms)"
+    )
+    if small["delta_refresh_ms"] > 0.5 * small["full_refresh_ms"]:
+        print(
+            "a 1-dataset delta refresh failed to undercut the full "
+            "rebuild by 2x — the O(changed) path is not paying off"
+        )
+        return 1
+    if small["delta_refresh_ms"] > large["delta_refresh_ms"]:
+        print(
+            "delta refresh cost did not grow with delta size — "
+            "O(changed) scaling not observed"
+        )
         return 1
     observability = result["observability_overhead"]
     if observability["overhead"] > 0.05:

@@ -1,0 +1,161 @@
+"""CI smoke: a publish storm over HTTP must be invisible to clients.
+
+An in-process :class:`~repro.serve.http.SearchHTTPServer` serves socket
+clients while a publisher thread hammers the catalog with stamped-delta
+publishes (the wrangler pattern: one atomic batch, one version bump,
+one ``service.refresh(delta=...)``).  The storm runs in-process because
+only an in-process publisher can hand the service the
+:class:`~repro.wrangling.state.PublishDelta` that drives the O(changed)
+refresh path — an external writer would fall back to full rebuilds.
+
+Gates:
+
+* zero HTTP 5xx and zero client errors on the wire,
+* served staleness <= 1 (live version sampled before each request) and
+  zero version regressions within any client,
+* the delta path really engaged: ``repro_refresh_delta_applied_total``
+  present and positive in a ``/metrics`` scrape,
+* the access log validates against the obs schema.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_publish_storm.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+if str(REPO_ROOT / "benchmarks") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from bench_perf_search import synthetic_catalog
+from bench_perf_serve import publish_round, synthetic_query_texts
+
+from repro.hierarchy import vocabulary_hierarchy
+from repro.obs import (
+    AccessLogWriter,
+    parse_prometheus_text,
+    sample_value,
+)
+from repro.obs.sink import validate_trace_file
+from repro.serve import (
+    SearchHTTPServer,
+    SearchService,
+    ServeConfig,
+    run_load_http,
+)
+
+
+def main() -> int:
+    catalog = synthetic_catalog(200, seed=11)
+    texts = synthetic_query_texts(6, seed=17)
+    hierarchy = vocabulary_hierarchy()
+    ids = catalog.dataset_ids()[:12]
+    stop = threading.Event()
+    publishes = [0]
+
+    service = SearchService(
+        catalog,
+        hierarchy=hierarchy,
+        config=ServeConfig(max_concurrency=8, queue_depth=32),
+    )
+    access_path = tempfile.mktemp(
+        suffix=".jsonl", prefix="storm_access_"
+    )
+    access_log = AccessLogWriter(access_path)
+    with SearchHTTPServer(
+        service, port=0, access_log=access_log
+    ).start() as server:
+
+        def publisher() -> None:
+            round_number = 0
+            while not stop.is_set():
+                round_number += 1
+                delta = publish_round(catalog, ids, round_number)
+                service.refresh(delta=delta)
+                publishes[0] += 1
+                time.sleep(0.002)
+
+        thread = threading.Thread(target=publisher, daemon=True)
+        thread.start()
+        try:
+            report = run_load_http(
+                server.url,
+                texts,
+                clients=4,
+                requests_per_client=15,
+                think_seconds=0.002,
+                limit=10,
+                seed=23,
+                live_version=lambda: catalog.version,
+            )
+        finally:
+            stop.set()
+            thread.join(timeout=10.0)
+        with urllib.request.urlopen(server.url + "/metrics") as fh:
+            metrics_text = fh.read().decode("utf-8")
+    access_log.close()
+
+    print(
+        f"storm: {publishes[0]} publishes, {report.completed} requests, "
+        f"statuses {report.status_counts}, "
+        f"max staleness {report.max_staleness}, "
+        f"regressions {report.version_regressions}"
+    )
+    failures = []
+    http_5xx = sum(
+        count
+        for status, count in report.status_counts.items()
+        if status.startswith("5")
+    )
+    if publishes[0] < 5:
+        failures.append(f"storm too small: {publishes[0]} publishes")
+    if http_5xx:
+        failures.append(f"{http_5xx} HTTP 5xx responses")
+    if report.errors:
+        failures.append(f"{report.errors} client errors")
+    if report.max_staleness > 1:
+        failures.append(
+            f"staleness {report.max_staleness} exceeds the <= 1 bound"
+        )
+    if report.version_regressions:
+        failures.append(
+            f"{report.version_regressions} version regressions"
+        )
+
+    families = parse_prometheus_text(metrics_text)
+    delta_applied = sample_value(
+        families, "repro_refresh_delta_applied_total"
+    )
+    if not delta_applied or delta_applied < 1:
+        failures.append(
+            "repro_refresh_delta_applied_total missing from /metrics — "
+            "the storm never took the delta refresh path"
+        )
+    else:
+        print(f"delta refreshes applied: {delta_applied:.0f}")
+
+    problems = validate_trace_file(access_path)
+    if problems:
+        failures.append(
+            f"access log invalid: {problems[:3]}"
+        )
+    else:
+        print(f"access log ok: {access_path}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -128,5 +128,17 @@ class FlakyCatalogStore(CatalogStore):
         self._maybe_fail_read("snapshot")
         return self.inner.snapshot(attempts=attempts)
 
+    def snapshot_cow(
+        self,
+        previous,
+        upserted: Iterable[str] = (),
+        removed: Iterable[str] = (),
+        expect_version: int | None = None,
+    ):
+        self._maybe_fail_read("snapshot_cow")
+        return self.inner.snapshot_cow(
+            previous, upserted, removed, expect_version=expect_version
+        )
+
     def __len__(self) -> int:
         return len(self.inner)

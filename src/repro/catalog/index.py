@@ -135,6 +135,22 @@ class SpatialGridIndex:
         """Every registered dataset id."""
         return set(self._boxes)
 
+    def copy(self) -> "SpatialGridIndex":
+        """A structurally independent copy (shared immutable values).
+
+        O(cells + datasets) dict/set duplication — far below a rebuild,
+        which re-derives every box's cell range.  Mutating either copy
+        never affects the other; the ``BoundingBox`` values themselves
+        are shared (never mutated by the index).
+        """
+        out = SpatialGridIndex(cell_degrees=self.cell_degrees)
+        out._cells = defaultdict(
+            set,
+            {cell: set(members) for cell, members in self._cells.items()},
+        )
+        out._boxes = dict(self._boxes)
+        return out
+
 
 class IntervalIndex:
     """A sorted-endpoint index over dataset time intervals.
@@ -218,6 +234,15 @@ class IntervalIndex:
     def all_ids(self) -> set[str]:
         """Every registered dataset id."""
         return set(self._intervals)
+
+    def copy(self) -> "IntervalIndex":
+        """A structurally independent copy, laziness state included."""
+        out = IntervalIndex()
+        out._intervals = dict(self._intervals)
+        out._dirty = self._dirty
+        out._starts = list(self._starts)
+        out._ends = list(self._ends)
+        return out
 
 
 #: Above this fraction of the indexed size, :meth:`CatalogIndexes.apply`
@@ -311,6 +336,23 @@ class CatalogIndexes:
         if catalog_version is not None:
             self.catalog_version = catalog_version
         return self
+
+    def copy(self) -> "CatalogIndexes":
+        """A structurally independent copy of both indexes.
+
+        The refresh path's migration primitive: in-flight requests may
+        still be scanning the *old* engine's indexes, and
+        :meth:`apply` mutates in place — so a refresh copies first,
+        applies the delta to the copy, and hands the copy to the new
+        engine.  O(index size) pointer work, no geometric re-derivation.
+        """
+        out = CatalogIndexes(
+            cell_degrees=self.spatial.cell_degrees,
+            catalog_version=self.catalog_version,
+        )
+        out.spatial = self.spatial.copy()
+        out.temporal = self.temporal.copy()
+        return out
 
     def __len__(self) -> int:
         return len(self.temporal)

@@ -378,6 +378,37 @@ class SqliteCatalog(CatalogStore):
             }
         return CatalogSnapshot(features, version=version)
 
+    def snapshot_cow(
+        self,
+        previous: CatalogSnapshot,
+        upserted=(),
+        removed=(),
+        expect_version: int | None = None,
+    ) -> CatalogSnapshot | None:
+        """Copy-on-write snapshot: read only the delta's rows.
+
+        Same contract as :meth:`CatalogStore.snapshot_cow`; the version
+        check and the per-id reads share the connection lock, so the
+        delta rows cannot straddle a concurrent write transaction.
+        Small deltas pay the per-dataset two-query :meth:`get` cost,
+        which is still far below the grouped full read for the
+        refresh-sized deltas this path exists for.
+        """
+        with self._lock:
+            version = self.version
+            if expect_version is not None and version != expect_version:
+                return None
+            if version == previous.version:
+                return previous
+            upserts = {}
+            gone = list(removed)
+            for dataset_id in upserted:
+                try:
+                    upserts[dataset_id] = self.get(dataset_id)
+                except DatasetNotFoundError:
+                    gone.append(dataset_id)
+            return previous.evolve(upserts, gone, version=version)
+
     def _bump_version(self) -> None:
         """Bump inside the caller's transaction."""
         self._conn.execute(

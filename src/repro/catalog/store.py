@@ -104,6 +104,48 @@ class CatalogStore(ABC):
             "(writer mutating continuously?)"
         )
 
+    def snapshot_cow(
+        self,
+        previous: "CatalogSnapshot",
+        upserted: Iterable[str] = (),
+        removed: Iterable[str] = (),
+        expect_version: int | None = None,
+    ) -> "CatalogSnapshot | None":
+        """A copy-on-write snapshot: ``previous`` plus a known delta.
+
+        Instead of copying all N features, fetch only the ``upserted``
+        ids from the store and build the new snapshot by structurally
+        sharing every unchanged feature object with ``previous`` — the
+        publish path of the serving layer, O(changed) per refresh.
+
+        Sound only when the caller *proves* the delta is the sole
+        change since ``previous`` was taken (see
+        ``PublishDelta.spans``); ``expect_version`` re-checks the store
+        version at read time so a racing writer cannot slip a mutation
+        under the shared copy.  Returns ``None`` when the check fails —
+        callers fall back to :meth:`snapshot`.  Upserted ids no longer
+        present in the store are treated as removed.
+
+        This generic implementation is optimistic like the generic
+        :meth:`snapshot`; the bundled stores override it with one
+        locked pass.
+        """
+        before = self.version
+        if expect_version is not None and before != expect_version:
+            return None
+        if before == previous.version:
+            return previous
+        upserts: dict[str, DatasetFeature] = {}
+        gone = list(removed)
+        for dataset_id in upserted:
+            try:
+                upserts[dataset_id] = self.get(dataset_id)
+            except DatasetNotFoundError:
+                gone.append(dataset_id)
+        if self.version != before:
+            return None  # raced a writer mid-read
+        return previous.evolve(upserts, gone, version=before)
+
     # -- dataset-level -------------------------------------------------------
 
     @abstractmethod
@@ -353,6 +395,11 @@ class CatalogSnapshot(CatalogStore):
         self._ids = sorted(self._features)
         self._frozen_version = version
         self._columnar = None
+        self._freeze_lock = threading.Lock()
+        # Set by evolve(): (base snapshot, upserted ids, removed ids),
+        # consumed by the first columnar() call for an incremental
+        # refreeze, then dropped so snapshot chains are not retained.
+        self._cow_base: tuple | None = None
 
     @property
     def version(self) -> int:
@@ -387,6 +434,44 @@ class CatalogSnapshot(CatalogStore):
         """A snapshot of a snapshot is itself (already immutable)."""
         return self
 
+    def evolve(
+        self,
+        upserts: dict[str, DatasetFeature],
+        removed: Iterable[str],
+        version: int,
+    ) -> "CatalogSnapshot":
+        """A new snapshot sharing this one's unchanged feature objects.
+
+        The copy-on-write construction behind
+        :meth:`CatalogStore.snapshot_cow`: the feature *dict* is copied
+        (O(N) pointers), the feature *objects* — the expensive part —
+        are shared for every id the delta did not touch.  Sharing is
+        sound because snapshots are immutable end to end: every mutator
+        raises :class:`SnapshotMutationError`, every read
+        (:meth:`get`/:meth:`features`) returns copies, and the stores
+        that build snapshots store copies themselves — no path exists
+        by which either snapshot's objects can be written through.
+
+        The caller is responsible for the delta actually spanning
+        ``self.version -> version`` (the store's ``snapshot_cow``
+        verifies that under its lock).
+        """
+        features = dict(self._features)
+        for dataset_id in removed:
+            features.pop(dataset_id, None)
+        features.update(upserts)
+        out = CatalogSnapshot(features, version=version)
+        out._cow_base = (self, tuple(upserts), tuple(removed))
+        from ..obs import get_telemetry
+
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.count("snapshot.cow")
+            telemetry.count(
+                "snapshot.cow_shared", len(features) - len(upserts)
+            )
+        return out
+
     def columnar(self):
         """The columnar view of this snapshot, frozen once and cached.
 
@@ -397,17 +482,61 @@ class CatalogSnapshot(CatalogStore):
         internal features directly (no defensive copies): the freeze
         only extracts numeric facets and interned strings.
 
-        Concurrent first calls may both freeze; the race is benign (the
-        views are identical) and last-write-wins keeps one.
+        The first freeze runs under a per-snapshot lock, so concurrent
+        first readers share ONE freeze instead of each paying the full
+        O(N) pass (the losers count ``columnar.freeze_races_avoided``
+        and reuse the winner's view).
+
+        Snapshots built copy-on-write (:meth:`evolve`) refreeze
+        *incrementally* when their base snapshot already froze: only
+        the delta's rows are rebuilt, everything else is spliced from
+        the base view (``ColumnarSnapshot.freeze_from``).
         """
         view = self._columnar
-        if view is None:
-            from ..core.columnar import ColumnarSnapshot
+        if view is not None:
+            return view
+        from ..core.columnar import ColumnarSnapshot
+        from ..obs import get_telemetry
 
-            view = ColumnarSnapshot.freeze(
-                self._features.values(), version=self._frozen_version
-            )
+        with self._freeze_lock:
+            view = self._columnar
+            if view is not None:
+                # Another reader froze while we waited for the lock —
+                # exactly the double freeze the lock exists to avoid.
+                telemetry = get_telemetry()
+                if telemetry.enabled:
+                    telemetry.count("columnar.freeze_races_avoided")
+                return view
+            base = self._cow_base
+            if base is not None:
+                previous, upserted_ids, removed_ids = base
+                base_view = previous._columnar
+                if base_view is not None:
+                    upserted = [
+                        self._features[dataset_id]
+                        for dataset_id in upserted_ids
+                        if dataset_id in self._features
+                    ]
+                    try:
+                        view = ColumnarSnapshot.freeze_from(
+                            base_view,
+                            upserted,
+                            removed_ids,
+                            version=self._frozen_version,
+                        )
+                    except KeyError:
+                        view = None  # inconsistent base; cold freeze
+                    if view is not None and view.ids != self._ids:
+                        telemetry = get_telemetry()
+                        if telemetry.enabled:
+                            telemetry.count("columnar.refreeze_fallbacks")
+                        view = None
+            if view is None:
+                view = ColumnarSnapshot.freeze(
+                    self._features.values(), version=self._frozen_version
+                )
             self._columnar = view
+            self._cow_base = None  # never retain a snapshot chain
         return view
 
     # -- every mutation refused ---------------------------------------------
@@ -477,6 +606,32 @@ class MemoryCatalog(CatalogStore):
                 },
                 version=self._version,
             )
+
+    def snapshot_cow(
+        self,
+        previous: CatalogSnapshot,
+        upserted: Iterable[str] = (),
+        removed: Iterable[str] = (),
+        expect_version: int | None = None,
+    ) -> CatalogSnapshot | None:
+        # One locked pass: the version check and the delta reads are a
+        # single atomic unit, so the expect_version guarantee cannot be
+        # invalidated between check and copy.
+        with self._write_lock:
+            version = self._version
+            if expect_version is not None and version != expect_version:
+                return None
+            if version == previous.version:
+                return previous
+            upserts: dict[str, DatasetFeature] = {}
+            gone = list(removed)
+            for dataset_id in upserted:
+                feature = self._features.get(dataset_id)
+                if feature is None:
+                    gone.append(dataset_id)
+                else:
+                    upserts[dataset_id] = feature.copy()
+            return previous.evolve(upserts, gone, version=version)
 
     def upsert(self, feature: DatasetFeature) -> None:
         with self._write_lock:

@@ -170,6 +170,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="exit (gracefully) after N seconds — smoke tests/CI",
     )
     serve.add_argument(
+        "--refresh-seconds", type=float, default=None,
+        help="poll the catalog every N seconds and refresh the engine "
+        "when its version changed (default: no polling)",
+    )
+    serve.add_argument(
         "--access-log", default=None, metavar="FILE",
         help="write one JSONL access event per request to FILE "
         "(schema-validated by `python -m repro.obs`)",
@@ -544,6 +549,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         problem = "--port must be >= 0"
     if problem is None and args.drain_seconds < 0.0:
         problem = "--drain-seconds must be >= 0"
+    if (
+        problem is None
+        and args.refresh_seconds is not None
+        and args.refresh_seconds <= 0.0
+    ):
+        problem = "--refresh-seconds must be > 0"
     if problem is None and args.slo_p95_ms <= 0.0:
         problem = "--slo-p95-ms must be > 0"
     if problem is None and not 0.0 <= args.slo_error_rate <= 1.0:
@@ -599,16 +610,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.max_seconds is not None
         else None
     )
+    next_refresh = (
+        time.monotonic() + args.refresh_seconds
+        if args.refresh_seconds is not None
+        else None
+    )
+    refreshes = 0
     try:
         while not stop.wait(0.2):
-            if deadline is not None and time.monotonic() >= deadline:
+            now = time.monotonic()
+            if deadline is not None and now >= deadline:
                 break
+            if next_refresh is not None and now >= next_refresh:
+                # refresh() is a version-compare no-op when nothing was
+                # published, so polling is cheap; external writers give
+                # us no PublishDelta, hence the full-rebuild path.
+                if service.refresh():
+                    refreshes += 1
+                next_refresh = now + args.refresh_seconds
     finally:
         drained = server.close(timeout=args.drain_seconds)
         stats = service.stats()
         print(
             f"shutdown: drained={drained}, "
-            f"served {stats['requests_admitted']} requests",
+            f"served {stats['requests_admitted']} requests, "
+            f"refreshed {refreshes} snapshots",
             flush=True,
         )
         from .ui import render_slo_report

@@ -49,6 +49,39 @@ from .scoring import (
 )
 
 
+def _append_variables(
+    feature,
+    name_ids: dict,
+    names: list,
+    var_name_ids,
+    var_counts,
+    var_mins,
+    var_maxs,
+) -> int:
+    """Append one feature's searchable variables to the CSR columns.
+
+    The single source of truth for the per-feature inner loop: the cold
+    ``__init__`` freeze and the incremental :meth:`freeze_from` both run
+    it, so a refrozen row's CSR segment cannot drift from a cold one's.
+    Returns the number of entries appended.
+    """
+    added = 0
+    for entry in feature.variables:
+        if entry.excluded:
+            continue
+        name_id = name_ids.get(entry.name)
+        if name_id is None:
+            name_id = len(names)
+            name_ids[entry.name] = name_id
+            names.append(entry.name)
+        var_name_ids.append(name_id)
+        var_counts.append(entry.count)
+        var_mins.append(entry.minimum)
+        var_maxs.append(entry.maximum)
+        added += 1
+    return added
+
+
 class ColumnarSnapshot:
     """Dataset facets frozen into flat columns keyed by dense row index.
 
@@ -103,19 +136,10 @@ class ColumnarSnapshot:
             self.max_lon[row] = bbox.max_lon
             self.t_start[row] = interval.start
             self.t_end[row] = interval.end
-            for entry in feature.variables:
-                if entry.excluded:
-                    continue
-                name_id = name_ids.get(entry.name)
-                if name_id is None:
-                    name_id = len(names)
-                    name_ids[entry.name] = name_id
-                    names.append(entry.name)
-                var_name_ids.append(name_id)
-                var_counts.append(entry.count)
-                var_mins.append(entry.minimum)
-                var_maxs.append(entry.maximum)
-                total += 1
+            total += _append_variables(
+                feature, name_ids, names,
+                var_name_ids, var_counts, var_mins, var_maxs,
+            )
             self.var_offsets[row + 1] = total
         self.var_name_ids = var_name_ids
         self.var_counts = var_counts
@@ -130,6 +154,139 @@ class ColumnarSnapshot:
         with telemetry.span("columnar.freeze"):
             view = cls(features, version=version)
         telemetry.count("columnar.freezes")
+        return view
+
+    @classmethod
+    def freeze_from(
+        cls,
+        previous: "ColumnarSnapshot",
+        upserted: Iterable,
+        removed: Iterable[str],
+        version: int,
+    ) -> "ColumnarSnapshot":
+        """Incremental refreeze: splice a delta into ``previous``.
+
+        Rebuilds only the upserted rows; every unchanged row's scalars
+        and CSR segment are copied straight out of ``previous`` by
+        index, and the interned name table is *reused and extended*
+        rather than re-derived.  The cost is O(rows) pointer work plus
+        O(changed) feature traversal — no per-variable object walk for
+        the unchanged majority.
+
+        Exactness: rows stay in sorted-dataset-id order (a sorted merge
+        of kept and fresh ids), so scan order matches a cold freeze.
+        The name table may *permute* relative to a cold freeze of the
+        same features (a name first seen by an earlier generation keeps
+        its old id; cold freezing re-interns in first-encounter order),
+        but scoring is invariant under that: similarities are computed
+        per interned *name string* (``ColumnarScorer`` builds its
+        term-sim table by name), never per id, so every row scores
+        bit-identically.  ``tests/test_search_columnar.py`` pins this.
+
+        Raises ``KeyError`` when ``previous`` does not contain a row the
+        delta claims is unchanged — the caller treats that as an
+        inconsistent base and falls back to a cold freeze.
+        """
+        telemetry = get_telemetry()
+        changed = {}
+        for feature in upserted:
+            changed[feature.dataset_id] = feature
+        drop = set(removed)
+        drop.update(changed)
+        with telemetry.span(
+            "columnar.refreeze", upserted=len(changed), removed=len(drop) - len(changed)
+        ):
+            kept = [did for did in previous.ids if did not in drop]
+            fresh = sorted(changed)
+            # Sorted merge: kept ids are already sorted (a subsequence
+            # of previous.ids), fresh ids are sorted above.
+            ids: list[str] = []
+            i = j = 0
+            n_kept, n_fresh = len(kept), len(fresh)
+            while i < n_kept and j < n_fresh:
+                if kept[i] < fresh[j]:
+                    ids.append(kept[i])
+                    i += 1
+                else:
+                    ids.append(fresh[j])
+                    j += 1
+            ids.extend(kept[i:])
+            ids.extend(fresh[j:])
+
+            view = cls.__new__(cls)
+            view.version = version
+            view.ids = ids
+            view.row_of = {
+                dataset_id: row for row, dataset_id in enumerate(ids)
+            }
+            n = len(ids)
+            view.min_lat = array("d", bytes(8 * n))
+            view.min_lon = array("d", bytes(8 * n))
+            view.max_lat = array("d", bytes(8 * n))
+            view.max_lon = array("d", bytes(8 * n))
+            view.t_start = array("d", bytes(8 * n))
+            view.t_end = array("d", bytes(8 * n))
+            view.var_offsets = array("q", bytes(8 * (n + 1)))
+            names = list(previous.names)
+            name_ids = {name: idx for idx, name in enumerate(names)}
+            var_name_ids = array("q")
+            var_counts = array("q")
+            var_mins = array("d")
+            var_maxs = array("d")
+
+            prev_row_of = previous.row_of
+            p_min_lat, p_min_lon = previous.min_lat, previous.min_lon
+            p_max_lat, p_max_lon = previous.max_lat, previous.max_lon
+            p_t_start, p_t_end = previous.t_start, previous.t_end
+            p_offsets = previous.var_offsets
+            p_name_ids = previous.var_name_ids
+            p_counts = previous.var_counts
+            p_mins = previous.var_mins
+            p_maxs = previous.var_maxs
+
+            total = 0
+            reused = 0
+            for row, dataset_id in enumerate(ids):
+                feature = changed.get(dataset_id)
+                if feature is None:
+                    r = prev_row_of[dataset_id]  # KeyError: bad base
+                    view.min_lat[row] = p_min_lat[r]
+                    view.min_lon[row] = p_min_lon[r]
+                    view.max_lat[row] = p_max_lat[r]
+                    view.max_lon[row] = p_max_lon[r]
+                    view.t_start[row] = p_t_start[r]
+                    view.t_end[row] = p_t_end[r]
+                    lo, hi = p_offsets[r], p_offsets[r + 1]
+                    if hi > lo:
+                        var_name_ids.extend(p_name_ids[lo:hi])
+                        var_counts.extend(p_counts[lo:hi])
+                        var_mins.extend(p_mins[lo:hi])
+                        var_maxs.extend(p_maxs[lo:hi])
+                        total += hi - lo
+                    reused += 1
+                else:
+                    bbox = feature.bbox
+                    interval = feature.interval
+                    view.min_lat[row] = bbox.min_lat
+                    view.min_lon[row] = bbox.min_lon
+                    view.max_lat[row] = bbox.max_lat
+                    view.max_lon[row] = bbox.max_lon
+                    view.t_start[row] = interval.start
+                    view.t_end[row] = interval.end
+                    total += _append_variables(
+                        feature, name_ids, names,
+                        var_name_ids, var_counts, var_mins, var_maxs,
+                    )
+                view.var_offsets[row + 1] = total
+            view.var_name_ids = var_name_ids
+            view.var_counts = var_counts
+            view.var_mins = var_mins
+            view.var_maxs = var_maxs
+            view.names = names
+        if telemetry.enabled:
+            telemetry.count("columnar.refreezes")
+            telemetry.count("columnar.rows_refrozen", len(changed))
+            telemetry.count("columnar.rows_reused", reused)
         return view
 
     def __len__(self) -> int:

@@ -106,6 +106,29 @@ class ConceptHierarchy:
 
     # -- queries ---------------------------------------------------------------
 
+    def fingerprint(self) -> tuple:
+        """A stable content key for equality-of-meaning comparisons.
+
+        Two hierarchies with the same nodes (name, parent link,
+        measurability, description) have equal fingerprints however
+        they were constructed; any structural or label difference
+        changes it.  The serving layer compares fingerprints instead of
+        object identity when deciding whether a replacement hierarchy
+        actually changes scoring — an equal-but-distinct object must
+        not force a full engine rebuild or invalidate warm caches.
+
+        Not ``__eq__``: defining that would null the default ``__hash__``
+        and hierarchies are used as identity keys elsewhere.  Child
+        *order* is excluded deliberately — ``expand()``/scoring are
+        set-based, and parent links already determine the structure.
+        """
+        return tuple(
+            (node.name, node.parent, node.measurable, node.description)
+            for node in sorted(
+                self._nodes.values(), key=lambda node: node.name
+            )
+        )
+
     def __contains__(self, name: str) -> bool:
         return name in self._nodes
 

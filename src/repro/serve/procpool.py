@@ -71,13 +71,39 @@ from ..obs import (
 _PAYLOADS: dict[str, dict] = {}
 _PAYLOAD_KEEP = 2
 
+#: Longest delta chain a shipped payload may sit on.  Deltas reference
+#: their base payload by spool path; past this depth the parent ships a
+#: full payload again, bounding both a cold worker's recursive
+#: reconstruction and the spool files the retention sweep must keep.
+_MAX_DELTA_CHAIN = 8
+
 
 def _load_payload(path: str) -> dict:
-    """Load (and memoize) one shipped snapshot payload in this process."""
+    """Load (and memoize) one shipped snapshot payload in this process.
+
+    Payloads come in two shapes: *full* (carrying ``"view"``) and
+    *delta* (carrying ``"delta"`` — the base payload's spool path plus
+    upserted features and removed ids).  A delta payload reconstructs
+    its view with :meth:`ColumnarSnapshot.freeze_from` over the
+    recursively loaded base view — the sorted-merge row layout is the
+    parent's, so the row indices tasks carry stay valid — and is then
+    memoized exactly like a full one.  A cold worker whose base file
+    was already retired raises; the parent treats that like any worker
+    failure and degrades to thread scoring (still exact).
+    """
     payload = _PAYLOADS.get(path)
     if payload is None:
         with open(path, "rb") as fh:
             payload = pickle.load(fh)
+        delta = payload.pop("delta", None)
+        if delta is not None:
+            base = _load_payload(delta["base"])
+            payload["view"] = ColumnarSnapshot.freeze_from(
+                base["view"],
+                delta["upserted"],
+                delta["removed"],
+                version=delta["version"],
+            )
         while len(_PAYLOADS) >= _PAYLOAD_KEEP:
             _PAYLOADS.pop(next(iter(_PAYLOADS)))
         _PAYLOADS[path] = payload
@@ -165,9 +191,15 @@ class ProcessPoolScorer:
         self._spool = spool_dir or tempfile.mkdtemp(prefix="repro-procpool-")
         self._lock = threading.Lock()
         self._pool: ProcessPoolExecutor | None = None
-        self._paths: dict[int, str] = {}  # version -> spool path
+        #: version -> (spool path, delta-chain depth; 0 = full payload).
+        self._entries: dict[int, tuple[str, int]] = {}
+        #: Every spool file still on disk -> the base path its payload
+        #: references (None for full payloads).  Retention chases these
+        #: links so a retained delta's whole base chain stays readable.
+        self._files: dict[str, str | None] = {}
         self._generation = 0
         self._failures = 0
+        self._delta_installs = 0
         self._closed = False
 
     # -- snapshot shipping ---------------------------------------------------
@@ -177,21 +209,48 @@ class ProcessPoolScorer:
         view: ColumnarSnapshot,
         hierarchy: ConceptHierarchy | None = None,
         config: ScoringConfig | None = None,
+        delta: tuple[int, Sequence, Sequence[str]] | None = None,
     ) -> None:
         """Ship ``view`` (plus scoring context) to the spool.
 
         Atomic from the workers' perspective: the payload is written to
         a temp name and published with ``os.replace``; tasks only ever
         name fully written files.  Retains the new version and the one
-        before it; anything older is deleted — in-flight requests can
-        lag at most one refresh behind (the service swaps its engine
-        reference only after this returns).
+        before it (plus, transitively, any base files retained delta
+        payloads still reference); anything else is deleted — in-flight
+        requests can lag at most one refresh behind (the service swaps
+        its engine reference only after this returns).
+
+        ``delta`` — ``(base_version, upserted_features, removed_ids)``
+        — ships only the publish delta instead of the full view when
+        the base version's payload is still spooled and the resulting
+        chain stays under ``_MAX_DELTA_CHAIN``: workers rebuild the new
+        view from their memoized base via ``freeze_from`` (same
+        sorted-row layout, so the parent's row indices stay valid).
+        Falls back to a full payload otherwise.
         """
-        payload = {
-            "view": view,
+        payload: dict = {
             "hierarchy": hierarchy,
             "config": config or ScoringConfig(),
         }
+        base_path: str | None = None
+        depth = 0
+        if delta is not None:
+            base_version, upserted, removed = delta
+            with self._lock:
+                entry = self._entries.get(base_version)
+                if entry is not None and entry[1] + 1 <= _MAX_DELTA_CHAIN:
+                    base_path, depth = entry[0], entry[1] + 1
+        if base_path is not None:
+            payload["delta"] = {
+                "base": base_path,
+                "upserted": list(upserted),
+                "removed": list(removed),
+                "version": view.version,
+            }
+        else:
+            payload["view"] = view
+            depth = 0
         data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         with self._lock:
             if self._closed:
@@ -207,11 +266,24 @@ class ProcessPoolScorer:
         os.replace(tmp, path)
         stale: list[str] = []
         with self._lock:
-            if view.version in self._paths:
-                stale.append(self._paths[view.version])
-            self._paths[view.version] = path
-            for version in sorted(self._paths)[:-_PAYLOAD_KEEP]:
-                stale.append(self._paths.pop(version))
+            self._entries[view.version] = (path, depth)
+            self._files[path] = base_path
+            if base_path is not None:
+                self._delta_installs += 1
+            for version in sorted(self._entries)[:-_PAYLOAD_KEEP]:
+                del self._entries[version]
+            # Keep every retained payload *and* its transitive base
+            # chain — a delta file is useless without the files it
+            # reconstructs from.  Everything unreachable goes.
+            keep: set[str] = set()
+            for kept_path, __ in self._entries.values():
+                chase: str | None = kept_path
+                while chase is not None and chase not in keep:
+                    keep.add(chase)
+                    chase = self._files.get(chase)
+            stale = [old for old in self._files if old not in keep]
+            for old in stale:
+                del self._files[old]
             # A fresh snapshot is a fresh chance: past pool failures no
             # longer block this install from trying worker processes.
             self._failures = 0
@@ -223,6 +295,8 @@ class ProcessPoolScorer:
         telemetry = get_telemetry()
         if telemetry.enabled:
             telemetry.count("procpool.installs")
+            if base_path is not None:
+                telemetry.count("procpool.delta_installs")
             telemetry.observe("procpool.ship_bytes", float(len(data)))
         # Spin the workers (and pre-load the payload in each) off the
         # request path, so the first pooled query pays no cold start.
@@ -245,7 +319,7 @@ class ProcessPoolScorer:
             return (
                 not self._closed
                 and self._failures < 2
-                and version in self._paths
+                and version in self._entries
             )
 
     def score(
@@ -266,7 +340,8 @@ class ProcessPoolScorer:
         with self._lock:
             path = None
             if not self._closed and self._failures < 2:
-                path = self._paths.get(version)
+                entry = self._entries.get(version)
+                path = entry[0] if entry is not None else None
         if path is None:
             if telemetry.enabled:
                 telemetry.count("procpool.stale_miss")
@@ -337,8 +412,9 @@ class ProcessPoolScorer:
                 return
             self._closed = True
             pool, self._pool = self._pool, None
-            paths = list(self._paths.values())
-            self._paths.clear()
+            paths = list(self._files)
+            self._entries.clear()
+            self._files.clear()
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=True)
         for path in paths:
@@ -365,7 +441,9 @@ class ProcessPoolScorer:
             return {
                 "workers": self.workers,
                 "min_rows": self.min_rows,
-                "versions_shipped": sorted(self._paths),
+                "versions_shipped": sorted(self._entries),
+                "delta_installs": self._delta_installs,
+                "spool_files": len(self._files),
                 "pool_alive": self._pool is not None,
                 "failures": self._failures,
                 "closed": self._closed,

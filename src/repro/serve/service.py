@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import Counter, deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -68,6 +69,15 @@ class ServeConfig:
     #: Candidate-row floor below which a query skips the process pool
     #: (IPC would dominate) and scores on threads/serial instead.
     score_min_rows: int = 256
+    #: How many of the hottest recent queries a refresh pre-executes
+    #: against the new engine *before* the atomic swap (0 disables) —
+    #: the first post-swap requests for those queries hit a warm cache
+    #: instead of paying a cold scan under their own latency budget.
+    warm_queries: int = 4
+    #: Largest publish delta (touched datasets) for which a refresh
+    #: attempts query-cache migration; beyond it, scoring every cached
+    #: query against every touched state costs more than the re-misses.
+    migrate_max_delta: int = 64
 
     def __post_init__(self) -> None:
         if self.max_concurrency < 1:
@@ -82,6 +92,10 @@ class ServeConfig:
             raise ValueError("score_workers must be >= 2 (or None)")
         if self.score_min_rows < 1:
             raise ValueError("score_min_rows must be positive")
+        if self.warm_queries < 0:
+            raise ValueError("warm_queries must be non-negative")
+        if self.migrate_max_delta < 0:
+            raise ValueError("migrate_max_delta must be non-negative")
 
     @property
     def admission_capacity(self) -> int:
@@ -160,47 +174,203 @@ class SearchService:
         self._in_flight = 0
         self._admitted = 0
         self._closed = False
+        # The access pattern, for refresh warming: a bounded ring of
+        # recent (query, limit) pairs.  Appends from request threads
+        # are lock-free (deque appends are atomic); refresh counts the
+        # hottest entries and pre-executes them on the new engine.
+        self._recent_queries: deque = deque(maxlen=256)
         # The swap target: requests read this reference exactly once.
         self._engine = self._build_engine()
 
     # -- snapshot lifecycle --------------------------------------------------
 
-    def _build_engine(self) -> SearchEngine:
+    def _build_engine(
+        self,
+        previous: SearchEngine | None = None,
+        delta=None,
+    ) -> SearchEngine:
+        """Build the next engine — cold, or O(changed) from a delta.
+
+        With ``previous`` and a spanning ``delta``
+        (:class:`~repro.wrangling.state.PublishDelta`), the whole
+        handoff is proportional to the publish, not the catalog:
+
+        * **snapshot** — ``snapshot_cow`` shares every unchanged
+          feature object with the previous snapshot (the store
+          re-verifies the version stamps under its lock; any failure
+          falls back to a full copy),
+        * **columnar** — the copy-on-write snapshot refreezes
+          incrementally from the previous view (splicing unchanged
+          rows; see ``ColumnarSnapshot.freeze_from``),
+        * **indexes** — the previous engine's indexes are copied
+          structurally and the delta is folded in with
+          ``CatalogIndexes.apply`` (copy-then-apply, because apply
+          mutates in place and in-flight requests still scan the old
+          engine's indexes),
+        * **process pool** — only the delta crosses the pickle
+          boundary (full-payload fallback inside ``install``),
+        * **cache** — still-valid query-cache entries are re-keyed to
+          the new version (``SearchEngine.migrate_cache_from``), and
+        * **warming** — the hottest recent queries are pre-executed on
+          the new engine, so the swap exposes no cold-cache cliff.
+        """
         with use_telemetry(self.telemetry):
-            snapshot = self.source.snapshot()
-            engine = SearchEngine(
-                snapshot,
-                hierarchy=self.hierarchy,
-                config=self.scoring,
-                cache=self.cache,
-                shard_workers=self.config.shard_workers,
-                shard_threshold=self.config.shard_threshold,
-                executor=self._shard_executor,
-                procpool=self._procpool,
-            )
-            engine.build_indexes()
-            # Warm the columnar freeze off the request path: the first
-            # admitted query scans flat columns instead of paying the
-            # one-time freeze under its own latency budget.
-            view = engine.columnar_view()
-            if self._procpool is not None and view is not None:
-                # Ship the new version to the scoring workers before the
-                # engine swap makes it visible to requests; the pool
-                # retains the previous version too, so requests already
-                # in flight keep pool-scoring their own snapshot
-                # (staleness <= 1 by construction).
-                self._procpool.install(
-                    view, hierarchy=self.hierarchy, config=self.scoring
+            with self.telemetry.span(
+                "refresh.build",
+                delta=delta.changed if delta is not None else -1,
+            ):
+                snapshot = None
+                delta_ok = (
+                    previous is not None
+                    and delta is not None
+                    and delta.spans(
+                        previous.catalog.version, self.source.version
+                    )
                 )
+                if delta_ok:
+                    snapshot = self.source.snapshot_cow(
+                        previous.catalog,
+                        delta.upserted,
+                        delta.removed,
+                        expect_version=delta.published_version,
+                    )
+                used_delta = snapshot is not None
+                if snapshot is None:
+                    snapshot = self.source.snapshot()
+                indexes = None
+                upserted_features = []
+                if used_delta:
+                    upserted_features = [
+                        snapshot.get(dataset_id)
+                        for dataset_id in delta.upserted
+                        if snapshot.contains(dataset_id)
+                    ]
+                    if previous.indexes is not None:
+                        indexes = previous.indexes.copy().apply(
+                            updated=upserted_features,
+                            removed=delta.removed,
+                            catalog_version=snapshot.version,
+                            rebuild_from=snapshot,
+                        )
+                engine = SearchEngine(
+                    snapshot,
+                    hierarchy=self.hierarchy,
+                    indexes=indexes,
+                    config=self.scoring,
+                    cache=self.cache,
+                    shard_workers=self.config.shard_workers,
+                    shard_threshold=self.config.shard_threshold,
+                    executor=self._shard_executor,
+                    procpool=self._procpool,
+                )
+                if indexes is None:
+                    engine.build_indexes()
+                # Warm the columnar freeze off the request path: the
+                # first admitted query scans flat columns instead of
+                # paying the one-time freeze under its own latency
+                # budget.
+                view = engine.columnar_view()
+                if self._procpool is not None and view is not None:
+                    # Ship the new version to the scoring workers before
+                    # the engine swap makes it visible to requests; the
+                    # pool retains the previous version too, so requests
+                    # already in flight keep pool-scoring their own
+                    # snapshot (staleness <= 1 by construction).
+                    pool_delta = None
+                    if used_delta:
+                        pool_delta = (
+                            previous.catalog.version,
+                            upserted_features,
+                            list(delta.removed),
+                        )
+                    self._procpool.install(
+                        view,
+                        hierarchy=self.hierarchy,
+                        config=self.scoring,
+                        delta=pool_delta,
+                    )
+                carried = 0
+                if (
+                    used_delta
+                    and delta.changed <= self.config.migrate_max_delta
+                ):
+                    carried = engine.migrate_cache_from(
+                        previous, self._touched_states(previous, snapshot, delta)
+                    )
+                warmed = self._warm(engine) if previous is not None else 0
+                if previous is not None:
+                    telemetry = self.telemetry
+                    if used_delta:
+                        telemetry.count("refresh.delta_applied")
+                        telemetry.count("refresh.delta_size", delta.changed)
+                    else:
+                        telemetry.count("refresh.full_rebuilds")
+                    if carried:
+                        telemetry.count(
+                            "refresh.cache_entries_carried", carried
+                        )
+                    if warmed:
+                        telemetry.count("refresh.warmed_queries", warmed)
         self.telemetry.gauge("serve.snapshot_version", snapshot.version)
         return engine
+
+    @staticmethod
+    def _touched_states(previous, snapshot, delta):
+        """(old_state, new_state) per dataset the delta touched."""
+        touched = []
+        old_catalog = previous.catalog
+        for dataset_id in delta.upserted:
+            old = (
+                old_catalog.get(dataset_id)
+                if old_catalog.contains(dataset_id) else None
+            )
+            new = (
+                snapshot.get(dataset_id)
+                if snapshot.contains(dataset_id) else None
+            )
+            touched.append((old, new))
+        for dataset_id in delta.removed:
+            old = (
+                old_catalog.get(dataset_id)
+                if old_catalog.contains(dataset_id) else None
+            )
+            touched.append((old, None))
+        return touched
+
+    def _warm(self, engine: SearchEngine) -> int:
+        """Pre-execute the hottest recent queries on the new engine.
+
+        Runs *before* the atomic swap, so the first post-swap request
+        for a hot query hits the version-keyed cache instead of paying
+        the cold scan — the refresh latency cliff the churn benchmark
+        measures.  Hotness is the frequency count over the bounded
+        recent-query ring.
+        """
+        k = self.config.warm_queries
+        if k <= 0:
+            return 0
+        recent = list(self._recent_queries)
+        if not recent:
+            return 0
+        warmed = 0
+        for (query, limit), __ in Counter(recent).most_common(k):
+            try:
+                engine.search(query, limit=limit)
+            except Exception:
+                break  # warming must never block a refresh
+            warmed += 1
+        return warmed
 
     @property
     def snapshot_version(self) -> int:
         """The catalog version currently being served."""
         return self._engine.catalog.version
 
-    def refresh(self, hierarchy: ConceptHierarchy | None = None) -> bool:
+    def refresh(
+        self,
+        hierarchy: ConceptHierarchy | None = None,
+        delta=None,
+    ) -> bool:
         """Swap in a fresh snapshot of the source catalog.
 
         Call after a publish (the wrangler's loop does).  A no-op when
@@ -209,14 +379,40 @@ class SearchService:
         snapshot was installed.  In-flight requests keep the snapshot
         they started with; only requests admitted after the swap see
         the new version.
+
+        ``delta`` — the publish's
+        :class:`~repro.wrangling.state.PublishDelta` — turns the
+        rebuild into the O(changed) warm handoff described on
+        :meth:`_build_engine`.  It is used only when its version stamps
+        prove it spans exactly the previous snapshot's version to the
+        live version (anything else — unstamped, full-copy, a racing
+        foreign write — falls back to the full path, same results).
+
+        A replacement ``hierarchy`` is compared by *content*
+        (:meth:`~repro.hierarchy.tree.ConceptHierarchy.fingerprint`),
+        not identity: an equal-but-distinct object neither forces a
+        rebuild nor invalidates warm cache entries (the engine keeps
+        the old object, whose ``id`` the cache keys carry).
         """
-        if hierarchy is not None:
-            self.hierarchy = hierarchy
-        if self.source.version == self._engine.catalog.version and (
-            hierarchy is None or hierarchy is self._engine.hierarchy
+        previous = self._engine
+        if hierarchy is not None and hierarchy is not self.hierarchy:
+            if (
+                self.hierarchy is not None
+                and hierarchy.fingerprint() == self.hierarchy.fingerprint()
+            ):
+                pass  # content-equal: keep the old object, caches live
+            else:
+                self.hierarchy = hierarchy
+        hierarchy_changed = self.hierarchy is not previous.hierarchy
+        if (
+            self.source.version == previous.catalog.version
+            and not hierarchy_changed
         ):
             return False
-        engine = self._build_engine()
+        engine = self._build_engine(
+            previous=previous,
+            delta=None if hierarchy_changed else delta,
+        )
         self._engine = engine  # atomic reference swap
         self.telemetry.count("serve.snapshot_refreshes")
         return True
@@ -289,6 +485,9 @@ class SearchService:
                 snapshot_version=engine.catalog.version,
             ):
                 results = engine.search(query, limit=limit)
+        # Feed the refresh warmer's hotness ring (deque appends are
+        # atomic; maxlen bounds it).
+        self._recent_queries.append((query, limit))
         duration = time.monotonic() - started
         self.telemetry.count("serve.requests")
         self.telemetry.observe("serve.request_seconds", duration)

@@ -184,6 +184,7 @@ class Publish(Component):
             # none of it — never the upserted-but-not-yet-removed
             # middle.  Materialized (not a generator) so a retried
             # write replays the identical batch.
+            base_version = state.published.version
             try:
                 with telemetry.span(
                     "publish.apply",
@@ -204,6 +205,16 @@ class Publish(Component):
                 return
             delta.upserted.extend(changed_ids)
             delta.removed.extend(vanished)
+            # Version-stamp the delta so consumers can prove it is the
+            # only change between two store versions (the COW snapshot
+            # path checks spans()).  One batch = one bump; anything else
+            # (a foreign writer interleaved, a store without the
+            # single-bump apply_batch override) leaves the stamps
+            # useless and consumers fall back to a full snapshot.
+            after_version = state.published.version
+            if after_version == base_version + 1:
+                delta.base_version = base_version
+                delta.published_version = after_version
             report.changes += len(changed_ids) + len(vanished)
             for dataset_id in vanished:
                 report.add(f"withdrew vanished dataset {dataset_id}")

@@ -27,20 +27,44 @@ from ..semantics import (
 class PublishDelta:
     """What the most recent publish changed in the published catalog.
 
-    Downstream consumers (search-index maintenance) use this to update
-    incrementally in O(changed) instead of rebuilding over the whole
-    catalog.  ``full_copy`` marks a non-incremental clear-and-copy
-    publish, after which only a full rebuild is sound.
+    Downstream consumers (search-index maintenance, the serving layer's
+    copy-on-write refresh) use this to update incrementally in
+    O(changed) instead of rebuilding over the whole catalog.
+    ``full_copy`` marks a non-incremental clear-and-copy publish, after
+    which only a full rebuild is sound.
+
+    ``base_version``/``published_version`` stamp the published store's
+    version immediately before and after the publish's single
+    ``apply_batch``.  ``published == base + 1`` (one batch, one bump)
+    is what makes the delta *provably complete*: a consumer holding a
+    snapshot at ``base_version`` can reach ``published_version`` by
+    applying exactly this delta — any interleaved foreign write would
+    show up as an extra bump and fail :meth:`spans`.  Unstamped deltas
+    (``-1``, below any real store version) never span anything.
     """
 
     upserted: list[str] = field(default_factory=list)
     removed: list[str] = field(default_factory=list)
     full_copy: bool = False
+    base_version: int = -1
+    published_version: int = -1
 
     @property
     def changed(self) -> int:
         """Number of datasets touched."""
         return len(self.upserted) + len(self.removed)
+
+    def spans(self, base_version: int, target_version: int) -> bool:
+        """True when applying this delta to a snapshot at
+        ``base_version`` provably yields the store at ``target_version``
+        (the sole intervening mutation was this delta's own batch)."""
+        return (
+            not self.full_copy
+            and self.base_version >= 0
+            and self.base_version == base_version
+            and self.published_version == target_version
+            and self.published_version == self.base_version + 1
+        )
 
 
 @dataclass(slots=True)
